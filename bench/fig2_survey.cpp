@@ -1,0 +1,40 @@
+//===- bench/fig2_survey.cpp - Figure 2: benchmark usage survey ---------------===//
+//
+// Regenerates Figure 2: "The average number of benchmarks used in GPGPU
+// research papers, organized by origin" (survey of 25 papers from
+// CGO/HiPC/PACT/PPoPP 2013-2016). The seven most popular suites account
+// for 92% of results and define the catalogue of Table 3.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Common.h"
+
+#include "suites/Catalogue.h"
+
+using namespace clgen;
+
+int main() {
+  std::printf("%s", sectionBanner("Figure 2: average number of benchmarks "
+                                  "used in GPGPU research papers")
+                        .c_str());
+
+  auto Survey = suites::gpgpuSurvey();
+  BarChart Chart("avg #. benchmarks per paper, by suite of origin", 46);
+  double Total = 0.0, Top7 = 0.0;
+  for (size_t I = 0; I < Survey.size(); ++I) {
+    Chart.addBar(Survey[I].Origin, Survey[I].AvgBenchmarksPerPaper);
+    Total += Survey[I].AvgBenchmarksPerPaper;
+    if (I < 7)
+      Top7 += Survey[I].AvgBenchmarksPerPaper;
+  }
+  std::printf("%s", Chart.render().c_str());
+
+  std::printf("\nThe 7 most frequently used suites account for %.0f%% of "
+              "results\n(paper: 92%%); these are the suites reproduced in "
+              "Table 3.\n",
+              100.0 * Top7 / Total);
+  std::printf("Average benchmarks per paper (sum over suites): %.1f "
+              "(paper: 17)\n",
+              Total);
+  return 0;
+}

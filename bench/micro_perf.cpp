@@ -1,0 +1,115 @@
+//===- bench/micro_perf.cpp - google-benchmark microbenchmarks ----------------===//
+//
+// Throughput microbenchmarks for the pipeline's hot components: frontend
+// (lex/parse/sema), bytecode compilation, interpretation, feature
+// extraction, n-gram sampling and LSTM stepping. Not a paper experiment;
+// useful for tracking the simulator's own performance.
+//
+//===----------------------------------------------------------------------===//
+
+#include "clgen/Sampler.h"
+#include "features/Features.h"
+#include "model/LstmModel.h"
+#include "model/NGramModel.h"
+#include "ocl/Parser.h"
+#include "ocl/Sema.h"
+#include "suites/KernelPatterns.h"
+#include "vm/Compiler.h"
+#include "vm/Interpreter.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace clgen;
+
+namespace {
+
+const std::string &sampleSource() {
+  static const std::string Src = suites::renderPattern(
+      suites::PatternKind::NBody, suites::PatternStyle(), "bench_kernel");
+  return Src;
+}
+
+void BM_ParseAndSema(benchmark::State &State) {
+  for (auto _ : State) {
+    auto R = ocl::parseProgram(sampleSource());
+    ocl::analyze(*R.get());
+    benchmark::DoNotOptimize(R.get());
+  }
+  State.SetBytesProcessed(State.iterations() * sampleSource().size());
+}
+BENCHMARK(BM_ParseAndSema);
+
+void BM_CompileKernel(benchmark::State &State) {
+  for (auto _ : State) {
+    auto K = vm::compileFirstKernel(sampleSource());
+    benchmark::DoNotOptimize(K.get().Code.size());
+  }
+}
+BENCHMARK(BM_CompileKernel);
+
+void BM_InterpretKernel(benchmark::State &State) {
+  auto K = vm::compileFirstKernel(sampleSource()).take();
+  std::vector<vm::BufferData> Bufs = {
+      vm::BufferData::zeros(1024, 1), vm::BufferData::zeros(1024, 1),
+      vm::BufferData::zeros(1024, 1)};
+  vm::LaunchConfig Config;
+  Config.GlobalSize[0] = 1024;
+  Config.LocalSize[0] = 64;
+  uint64_t Instructions = 0;
+  for (auto _ : State) {
+    auto R = vm::launchKernel(K,
+                              {vm::KernelArg::buffer(0),
+                               vm::KernelArg::buffer(1),
+                               vm::KernelArg::buffer(2),
+                               vm::KernelArg::scalar(1024)},
+                              Bufs, Config);
+    Instructions += R.get().Instructions;
+    benchmark::DoNotOptimize(R.get().Instructions);
+  }
+  State.counters["instr/s"] = benchmark::Counter(
+      static_cast<double>(Instructions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_InterpretKernel);
+
+void BM_FeatureExtraction(benchmark::State &State) {
+  auto K = vm::compileFirstKernel(sampleSource()).take();
+  for (auto _ : State) {
+    auto F = features::extractStaticFeatures(K);
+    benchmark::DoNotOptimize(F.Comp);
+  }
+}
+BENCHMARK(BM_FeatureExtraction);
+
+void BM_NGramSampleChar(benchmark::State &State) {
+  model::NGramModel Model;
+  Model.train({sampleSource()});
+  Model.reset();
+  Model.observeText("__kernel void A(");
+  Rng R(1);
+  for (auto _ : State) {
+    auto Dist = Model.nextDistribution();
+    size_t Tok = R.weighted(Dist);
+    Model.observe(static_cast<int>(Tok));
+    benchmark::DoNotOptimize(Tok);
+  }
+}
+BENCHMARK(BM_NGramSampleChar);
+
+void BM_LstmStep(benchmark::State &State) {
+  model::LstmOptions Opts;
+  Opts.Epochs = 1;
+  Opts.HiddenSize = 64;
+  model::LstmModel Model(Opts);
+  Model.train({sampleSource().substr(0, 512)});
+  Model.reset();
+  for (auto _ : State) {
+    Model.observe(1);
+    auto Dist = Model.nextDistribution();
+    benchmark::DoNotOptimize(Dist[0]);
+  }
+}
+BENCHMARK(BM_LstmStep);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,105 @@
+//===- bench/table1_cross_suite.cpp - Table 1: cross-suite generalisation -----===//
+//
+// Regenerates Table 1: "Performance relative to the optimal of the Grewe
+// et al. predictive model across different benchmark suites on an AMD
+// GPU. The columns show the suite used for training; the rows show the
+// suite used for testing."
+//
+// Paper shape targets: cross-suite training is generally poor; the best
+// training suite (NVIDIA SDK) reaches only ~49% of optimal on average;
+// the worst pair (train Parboil -> test Polybench) drops to ~11.5%.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Common.h"
+
+#include "features/Features.h"
+
+using namespace clgen;
+using namespace clgen::bench;
+
+int main() {
+  std::printf("%s",
+              sectionBanner("Table 1: cross-suite performance relative to "
+                            "the oracle (AMD GPU)")
+                  .c_str());
+
+  std::printf("measuring the 7-suite catalogue on the AMD platform...\n");
+  auto Catalogue = suites::buildCatalogue();
+  auto Obs = suites::measureCatalogue(Catalogue, runtime::amdPlatform());
+  std::printf("observations: %zu\n\n", Obs.size());
+
+  auto Names = suites::suiteNames();
+  TextTable T;
+  std::vector<std::string> Header = {"test \\ train"};
+  for (const auto &N : Names)
+    Header.push_back(N);
+  T.setHeader(Header);
+
+  // Also track per-training-suite averages for the "best suite" claim.
+  std::vector<double> TrainAvg(Names.size(), 0.0);
+  std::vector<int> TrainCount(Names.size(), 0);
+  double Worst = 1.0;
+  std::string WorstPair;
+
+  for (const auto &TestSuite : Names) {
+    std::vector<std::string> Row = {TestSuite};
+    auto Test = bySuite(Obs, TestSuite);
+    for (size_t TI = 0; TI < Names.size(); ++TI) {
+      const auto &TrainSuite = Names[TI];
+      if (TrainSuite == TestSuite) {
+        Row.push_back("-");
+        continue;
+      }
+      auto Train = bySuite(Obs, TrainSuite);
+      auto Preds = predict::trainAndPredict(Train, Test,
+                                            predict::FeatureSetKind::Grewe);
+      double Perf = predict::performanceRelativeToOracle(Test, Preds);
+      Row.push_back(formatPercent(Perf));
+      TrainAvg[TI] += Perf;
+      TrainCount[TI] += 1;
+      if (Perf < Worst) {
+        Worst = Perf;
+        WorstPair = "train " + TrainSuite + " -> test " + TestSuite;
+      }
+    }
+    T.addRow(Row);
+  }
+  std::printf("%s", T.render().c_str());
+
+  // Summary row: average per training suite.
+  std::printf("\nAverage performance by training suite:\n");
+  size_t BestIdx = 0;
+  for (size_t TI = 0; TI < Names.size(); ++TI) {
+    double Avg = TrainCount[TI] ? TrainAvg[TI] / TrainCount[TI] : 0.0;
+    std::printf("  %-11s %s\n", Names[TI].c_str(),
+                formatPercent(Avg).c_str());
+    if (TrainCount[TI] &&
+        Avg > TrainAvg[BestIdx] / std::max(TrainCount[BestIdx], 1))
+      BestIdx = TI;
+  }
+  std::printf("\nWorst pair: %s at %s (paper: train Parboil -> test "
+              "Polybench, 11.5%%)\n",
+              WorstPair.c_str(), formatPercent(Worst).c_str());
+  std::printf("Paper's best training suite: NVIDIA SDK at 49%% average.\n");
+  std::printf("\nConclusion (paper section 2): heuristics learned on one "
+              "benchmark suite\nfail to generalise across other suites.\n");
+
+  // Table 2, for reference: the features the model trains on.
+  std::printf("%s", sectionBanner("Table 2: Grewe et al. model features")
+                        .c_str());
+  TextTable F;
+  F.setHeader({"Feature", "Description"});
+  F.addRow({"comp", "static #. compute operations"});
+  F.addRow({"mem", "static #. accesses to global memory"});
+  F.addRow({"localmem", "static #. accesses to local memory"});
+  F.addRow({"coalesced", "static #. coalesced memory accesses"});
+  F.addRow({"transfer", "dynamic size of data transfers"});
+  F.addRow({"wgsize", "dynamic #. work-items per kernel"});
+  F.addRow({"F1: transfer/(comp+mem)", "communication-computation ratio"});
+  F.addRow({"F2: coalesced/mem", "% coalesced memory accesses"});
+  F.addRow({"F3: (localmem/mem)*wgsize", "local/global ratio x items"});
+  F.addRow({"F4: comp/mem", "computation-memory ratio"});
+  std::printf("%s", F.render().c_str());
+  return 0;
+}

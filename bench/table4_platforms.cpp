@@ -1,0 +1,61 @@
+//===- bench/table4_platforms.cpp - Table 4: experimental platforms -----------===//
+//
+// Regenerates Table 4: the two CPU-GPU systems the paper evaluates on,
+// as realised by the simulator's analytic device models.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Common.h"
+
+using namespace clgen;
+using namespace clgen::runtime;
+
+int main() {
+  std::printf("%s",
+              sectionBanner("Table 4: experimental platforms (simulated)")
+                  .c_str());
+
+  TextTable T;
+  T.setHeader({"", "Intel CPU", "AMD GPU", "NVIDIA GPU"});
+  DeviceModel Cpu = intelI7_3820();
+  DeviceModel Amd = amdTahiti7970();
+  DeviceModel Nv = nvidiaGtx970();
+
+  auto Row = [&](const std::string &Name, auto Get) {
+    T.addRow({Name, Get(Cpu), Get(Amd), Get(Nv)});
+  };
+  Row("Model", [](const DeviceModel &D) { return D.Name; });
+  Row("Frequency", [](const DeviceModel &D) {
+    return formatString("%.2f GHz", D.FrequencyGHz);
+  });
+  Row("#. Cores (parallel lanes)", [](const DeviceModel &D) {
+    return formatString("%.0f", D.ParallelLanes);
+  });
+  Row("Coalesced access (cyc)", [](const DeviceModel &D) {
+    return formatString("%.1f", D.CoalescedAccessCost);
+  });
+  Row("Uncoalesced access (cyc)", [](const DeviceModel &D) {
+    return formatString("%.1f", D.UncoalescedAccessCost);
+  });
+  Row("Local access (cyc)", [](const DeviceModel &D) {
+    return formatString("%.1f", D.LocalAccessCost);
+  });
+  Row("Divergence penalty", [](const DeviceModel &D) {
+    return formatString("%.1fx", D.DivergencePenalty);
+  });
+  Row("PCIe transfer", [](const DeviceModel &D) {
+    return D.TransferGBPerSec > 0
+               ? formatString("%.0f GB/s", D.TransferGBPerSec)
+               : std::string("zero-copy");
+  });
+  Row("Launch overhead", [](const DeviceModel &D) {
+    return formatString("%.0f us", D.LaunchOverheadUs);
+  });
+  std::printf("%s", T.render().c_str());
+
+  std::printf("\nPlatform A = {CPU, AMD Tahiti 7970} on OpenSUSE 12.3;\n"
+              "Platform B = {CPU, NVIDIA GTX 970} on Ubuntu 16.04.\n"
+              "Parameters are calibrated for first-order CPU/GPU tradeoffs\n"
+              "(see src/runtime/Device.cpp), not absolute timings.\n");
+  return 0;
+}

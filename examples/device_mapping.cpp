@@ -1,0 +1,73 @@
+//===- examples/device_mapping.cpp - CPU/GPU mapping prediction ---------------===//
+//
+// Trains the Grewe et al. predictive model on the benchmark catalogue and
+// uses it to pick the device for a kernel it has never seen — the
+// downstream task the paper's synthetic benchmarks improve.
+//
+//===----------------------------------------------------------------------===//
+
+#include "features/Features.h"
+#include "predict/Evaluation.h"
+#include "runtime/HostDriver.h"
+#include "suites/Runner.h"
+#include "vm/Compiler.h"
+
+#include <cstdio>
+
+using namespace clgen;
+
+int main() {
+  // Measure the full catalogue on the NVIDIA platform: these are the
+  // training observations.
+  auto P = runtime::nvidiaPlatform();
+  std::printf("measuring the benchmark catalogue (this takes a few "
+              "seconds)...\n");
+  auto Train = suites::measureCatalogue(suites::buildCatalogue(), P);
+  std::printf("training observations: %zu\n", Train.size());
+
+  // A user kernel the model has never seen: a fused multiply-add sweep.
+  const char *UserKernel =
+      "__kernel void fma_sweep(__global float* x, __global float* y,\n"
+      "                        __global float* out, const int n) {\n"
+      "  int i = get_global_id(0);\n"
+      "  if (i >= n) { return; }\n"
+      "  float acc = 0.0f;\n"
+      "  for (int k = 0; k < 96; k++) {\n"
+      "    acc = mad(x[i], y[i], acc);\n"
+      "    acc = acc * 0.999f + 0.001f;\n"
+      "  }\n"
+      "  out[i] = acc;\n"
+      "}\n";
+  auto Kernel = vm::compileFirstKernel(UserKernel);
+  if (!Kernel.ok()) {
+    std::printf("compile error: %s\n", Kernel.errorMessage().c_str());
+    return 1;
+  }
+
+  // Evaluate the user kernel at several dataset sizes and compare the
+  // model's choice against measured reality.
+  std::printf("\n%-12s %-12s %-12s %-10s %-10s\n", "global size",
+              "cpu (ms)", "gpu (ms)", "predicted", "actual");
+  for (size_t Size : {1024u, 16384u, 262144u}) {
+    runtime::DriverOptions DOpts;
+    DOpts.GlobalSize = Size;
+    auto M = runtime::runBenchmark(Kernel.get(), P, DOpts);
+    if (!M.ok())
+      continue;
+
+    predict::Observation Query;
+    Query.Raw.Static = features::extractStaticFeatures(Kernel.get());
+    Query.Raw.TransferBytes = static_cast<double>(M.get().Transfer.total());
+    Query.Raw.WgSize = static_cast<double>(Size);
+
+    auto Preds = predict::trainAndPredict(Train, {Query},
+                                          predict::FeatureSetKind::Extended);
+    const char *Predicted = Preds[0] == 1 ? "GPU" : "CPU";
+    const char *Actual = M.get().gpuIsBest() ? "GPU" : "CPU";
+    std::printf("%-12zu %-12.3f %-12.3f %-10s %-10s%s\n", Size,
+                M.get().CpuTime * 1e3, M.get().GpuTime * 1e3, Predicted,
+                Actual,
+                std::string(Predicted) == Actual ? "  (correct)" : "");
+  }
+  return 0;
+}

@@ -1,0 +1,36 @@
+//===- clgen/Pipeline.cpp - End-to-end CLgen pipeline -------------------------===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "clgen/Pipeline.h"
+
+using namespace clgen;
+using namespace clgen::core;
+
+ClgenPipeline
+ClgenPipeline::train(const std::vector<corpus::ContentFile> &Files,
+                     const PipelineOptions &Opts) {
+  ClgenPipeline P;
+  P.TrainingCorpus = corpus::buildCorpus(Files, Opts.Corpus);
+  switch (Opts.Backend) {
+  case ModelBackend::NGram: {
+    auto M = std::make_unique<model::NGramModel>(Opts.NGram);
+    M->train(P.TrainingCorpus.Entries);
+    P.Model = std::move(M);
+    break;
+  }
+  case ModelBackend::Lstm: {
+    auto M = std::make_unique<model::LstmModel>(Opts.Lstm);
+    M->train(P.TrainingCorpus.Entries);
+    P.Model = std::move(M);
+    break;
+  }
+  }
+  return P;
+}
+
+SynthesisResult ClgenPipeline::synthesize(const SynthesisOptions &Opts) {
+  return synthesizeKernels(*Model, Opts);
+}

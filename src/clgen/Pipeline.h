@@ -1,0 +1,64 @@
+//===- clgen/Pipeline.h - End-to-end CLgen pipeline --------------*- C++ -*-===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The end-to-end CLgen pipeline of Figure 4: content files -> rejection
+/// filter -> code rewriter -> language corpus -> language model ->
+/// synthesizer -> synthesized benchmarks. This is the public facade most
+/// examples and experiments use.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLGEN_CLGEN_PIPELINE_H
+#define CLGEN_CLGEN_PIPELINE_H
+
+#include "clgen/Synthesizer.h"
+#include "corpus/Corpus.h"
+#include "model/LstmModel.h"
+#include "model/NGramModel.h"
+
+#include <memory>
+
+namespace clgen {
+namespace core {
+
+enum class ModelBackend {
+  /// Interpolated character n-gram: trains in seconds; used by the
+  /// large-scale experiments (see DESIGN.md substitution notes).
+  NGram,
+  /// The paper's LSTM architecture, at laptop-scale defaults.
+  Lstm,
+};
+
+struct PipelineOptions {
+  corpus::CorpusOptions Corpus;
+  ModelBackend Backend = ModelBackend::NGram;
+  model::NGramOptions NGram;
+  model::LstmOptions Lstm;
+};
+
+/// A trained CLgen instance: the corpus it learned from plus the model.
+class ClgenPipeline {
+public:
+  /// Builds the corpus from \p Files and trains the model.
+  static ClgenPipeline train(const std::vector<corpus::ContentFile> &Files,
+                             const PipelineOptions &Opts = PipelineOptions());
+
+  /// Synthesizes benchmarks with the trained model.
+  SynthesisResult synthesize(const SynthesisOptions &Opts);
+
+  const corpus::Corpus &corpus() const { return TrainingCorpus; }
+  model::LanguageModel &languageModel() { return *Model; }
+
+private:
+  corpus::Corpus TrainingCorpus;
+  std::unique_ptr<model::LanguageModel> Model;
+};
+
+} // namespace core
+} // namespace clgen
+
+#endif // CLGEN_CLGEN_PIPELINE_H

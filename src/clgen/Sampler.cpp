@@ -1,0 +1,105 @@
+//===- clgen/Sampler.cpp - Model sampling (Algorithm 1) -----------------------===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "clgen/Sampler.h"
+
+#include "support/StringUtils.h"
+
+#include <cmath>
+
+using namespace clgen;
+using namespace clgen::core;
+
+ArgSpec ArgSpec::figure6() {
+  ArgSpec Spec;
+  Spec.ArgTypes = {"__global float*", "__global float*", "__global float*",
+                   "const int"};
+  return Spec;
+}
+
+std::string ArgSpec::seedText() const {
+  std::string Seed = "__kernel void A(";
+  for (size_t I = 0; I < ArgTypes.size(); ++I) {
+    if (I != 0)
+      Seed += ", ";
+    Seed += ArgTypes[I];
+    Seed += " ";
+    Seed += sequentialName(I, false);
+  }
+  Seed += ") {";
+  return Seed;
+}
+
+std::string core::freeModeSeed() { return "__kernel void A("; }
+
+namespace {
+
+/// Temperature-adjusted draw from a distribution.
+int drawToken(const std::vector<double> &Dist, double Temperature, Rng &R) {
+  if (Temperature <= 0.0)
+    Temperature = 1e-3;
+  std::vector<double> Weights(Dist.size());
+  double Sum = 0.0;
+  for (size_t I = 0; I < Dist.size(); ++I) {
+    Weights[I] = std::pow(Dist[I], 1.0 / Temperature);
+    Sum += Weights[I];
+  }
+  if (Sum <= 0.0)
+    return 0;
+  double Target = R.uniform() * Sum;
+  double Running = 0.0;
+  for (size_t I = 0; I < Weights.size(); ++I) {
+    Running += Weights[I];
+    if (Target < Running)
+      return static_cast<int>(I);
+  }
+  return static_cast<int>(Weights.size()) - 1;
+}
+
+} // namespace
+
+std::optional<std::string> core::sampleKernel(model::LanguageModel &Model,
+                                              const std::string &Seed,
+                                              const SampleOptions &Opts,
+                                              Rng &R) {
+  const model::Vocabulary &Vocab = Model.vocabulary();
+
+  // Algorithm 1, lines 1-2: S <- seed, d <- block depth of the seed.
+  Model.reset();
+  int Depth = 0;
+  for (char C : Seed) {
+    Model.observe(Vocab.idOf(C));
+    if (C == '{')
+      ++Depth;
+    if (C == '}')
+      --Depth;
+  }
+
+  std::string Sample = Seed;
+  // Lines 3-14: generate until the function block closes.
+  while (Sample.size() < Opts.MaxLength) {
+    std::vector<double> Dist = Model.nextDistribution();
+    int Token = drawToken(Dist, Opts.Temperature, R);
+    if (Token == model::Vocabulary::EndOfText) {
+      // The model ended the kernel itself; valid only if the block is
+      // closed (free mode may legitimately end after the signature).
+      if (Depth == 0 && Sample.find('{') != std::string::npos)
+        return Sample;
+      return std::nullopt;
+    }
+    char C = Vocab.charOf(Token);
+    if (C == '{')
+      ++Depth;
+    if (C == '}') {
+      --Depth;
+    }
+    Sample += C;
+    Model.observe(Token);
+    if (C == '}' && Depth == 0)
+      return Sample; // Exited the function block: stop sampling.
+  }
+  return std::nullopt; // Length cap reached before the kernel closed.
+}

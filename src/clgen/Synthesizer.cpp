@@ -1,0 +1,68 @@
+//===- clgen/Synthesizer.cpp - Benchmark synthesis loop -----------------------===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "clgen/Synthesizer.h"
+
+#include "corpus/Rewriter.h"
+#include "ocl/AstPrinter.h"
+
+#include <unordered_set>
+
+using namespace clgen;
+using namespace clgen::core;
+
+SynthesisResult core::synthesizeKernels(model::LanguageModel &Model,
+                                        const SynthesisOptions &Opts) {
+  SynthesisResult Result;
+  SynthesisStats &Stats = Result.Stats;
+  Rng R(Opts.Seed);
+
+  std::string Seed =
+      Opts.Spec ? Opts.Spec->seedText() : freeModeSeed();
+  size_t MaxAttempts =
+      Opts.MaxAttempts > 0 ? Opts.MaxAttempts : Opts.TargetKernels * 100;
+
+  corpus::FilterOptions FilterOpts;
+  // Samples are drawn from the normalised corpus distribution; the shim
+  // is unnecessary (and injecting it would not hurt, only slow).
+  FilterOpts.UseShim = false;
+
+  std::unordered_set<std::string> Dedup;
+
+  while (Result.Kernels.size() < Opts.TargetKernels &&
+         Stats.Attempts < MaxAttempts) {
+    ++Stats.Attempts;
+    std::optional<std::string> Sample =
+        sampleKernel(Model, Seed, Opts.Sampling, R);
+    if (!Sample) {
+      ++Stats.IncompleteSamples;
+      continue;
+    }
+
+    corpus::FilterResult FR = corpus::filterContentFile(*Sample, FilterOpts);
+    if (!FR.Accepted) {
+      ++Stats.RejectedByFilter;
+      continue;
+    }
+
+    // Normalise (the sample is near-normal already, but renaming +
+    // canonical printing makes deduplication exact) and keep the first
+    // kernel.
+    corpus::renameIdentifiers(*FR.Prog);
+    std::string Normalised = ocl::printProgram(*FR.Prog);
+    if (!Dedup.insert(Normalised).second) {
+      ++Stats.Duplicates;
+      continue;
+    }
+
+    SynthesizedKernel SK;
+    SK.Source = std::move(Normalised);
+    SK.Kernel = std::move(FR.Kernels.front());
+    Result.Kernels.push_back(std::move(SK));
+    ++Stats.Accepted;
+  }
+  return Result;
+}

@@ -1,0 +1,74 @@
+//===- clgen/Synthesizer.h - Benchmark synthesis loop ------------*- C++ -*-===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The synthesis loop of section 4.3: repeatedly sample the language
+/// model, pass each candidate through the same rejection filter used for
+/// corpus assembly, normalise and deduplicate survivors. The result is
+/// an unbounded stream of compilable synthetic benchmarks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLGEN_CLGEN_SYNTHESIZER_H
+#define CLGEN_CLGEN_SYNTHESIZER_H
+
+#include "clgen/Sampler.h"
+#include "corpus/RejectionFilter.h"
+#include "vm/Bytecode.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace clgen {
+namespace core {
+
+struct SynthesisOptions {
+  /// Stop after this many accepted, unique kernels.
+  size_t TargetKernels = 100;
+  /// Give up after this many raw samples (0 = 100x target).
+  size_t MaxAttempts = 0;
+  /// Argument specification; nullopt = free mode.
+  std::optional<ArgSpec> Spec = ArgSpec::figure6();
+  SampleOptions Sampling;
+  uint64_t Seed = 0xC17E9;
+};
+
+struct SynthesizedKernel {
+  /// Normalised source text.
+  std::string Source;
+  vm::CompiledKernel Kernel;
+};
+
+struct SynthesisStats {
+  size_t Attempts = 0;
+  size_t IncompleteSamples = 0; // Length cap / premature end-of-text.
+  size_t RejectedByFilter = 0;
+  size_t Duplicates = 0;
+  size_t Accepted = 0;
+
+  double acceptanceRate() const {
+    return Attempts == 0
+               ? 0.0
+               : static_cast<double>(Accepted) /
+                     static_cast<double>(Attempts);
+  }
+};
+
+struct SynthesisResult {
+  std::vector<SynthesizedKernel> Kernels;
+  SynthesisStats Stats;
+};
+
+/// Runs the sample -> filter -> normalise -> dedupe loop against
+/// \p Model.
+SynthesisResult synthesizeKernels(model::LanguageModel &Model,
+                                  const SynthesisOptions &Opts);
+
+} // namespace core
+} // namespace clgen
+
+#endif // CLGEN_CLGEN_SYNTHESIZER_H

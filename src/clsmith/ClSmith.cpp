@@ -1,0 +1,88 @@
+//===- clsmith/ClSmith.cpp - CLSmith-style random generator -------------------===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "clsmith/ClSmith.h"
+
+#include "support/StringUtils.h"
+
+using namespace clgen;
+using namespace clgen::clsmith;
+
+namespace {
+
+/// Random integer expression over previously declared locals.
+std::string randomExpr(Rng &R, const std::vector<std::string> &Locals,
+                       int Depth) {
+  if (Depth <= 0 || R.chance(0.3)) {
+    if (!Locals.empty() && R.chance(0.6))
+      return Locals[R.bounded(Locals.size())];
+    // CLSmith-style magic constants.
+    static const char *Constants[] = {
+        "0x1A7B9E35", "0x4D2C11F0", "2147483647", "0x7FFF",
+        "65521",      "0x0F0F0F0F", "1000000007", "0x55555555"};
+    return Constants[R.bounded(std::size(Constants))];
+  }
+  static const char *Ops[] = {"+", "-", "*", "^", "|", "&", ">>", "<<"};
+  std::string Op = Ops[R.bounded(std::size(Ops))];
+  std::string Lhs = randomExpr(R, Locals, Depth - 1);
+  std::string Rhs = randomExpr(R, Locals, Depth - 1);
+  // Shift counts must stay small to be meaningful.
+  if (Op == ">>" || Op == "<<")
+    Rhs = std::to_string(1 + R.bounded(7));
+  return "(" + Lhs + " " + Op + " " + Rhs + ")";
+}
+
+} // namespace
+
+std::string clsmith::generateKernel(Rng &R, const ClSmithOptions &Opts) {
+  std::string Src;
+  Src += "int func_1(int p_2, int p_3) {\n"
+         "  return (p_2 ^ (p_3 >> 3)) + p_2 * 11;\n"
+         "}\n\n";
+  Src += "__kernel void entry(__global ulong* result) {\n";
+  Src += "  int linear_id = get_global_id(0);\n";
+
+  std::vector<std::string> Locals = {"linear_id"};
+  int NextLocal = 10 + static_cast<int>(R.bounded(40));
+  for (int I = 0; I < Opts.StatementCount; ++I) {
+    std::string Name = formatString(
+        R.chance(0.5) ? "p_%d" : "l_%d", NextLocal);
+    NextLocal += 1 + static_cast<int>(R.bounded(5));
+    std::string Init = randomExpr(R, Locals, Opts.MaxDepth);
+    if (R.chance(0.3))
+      Init = formatString("func_1(%s, %s)", Init.c_str(),
+                          randomExpr(R, Locals, 1).c_str());
+    Src += formatString("  int %s = %s;\n", Name.c_str(), Init.c_str());
+    Locals.push_back(Name);
+    if (R.chance(0.35)) {
+      std::string Loop = formatString(
+          "  for (int i_%d = 0; i_%d < %d; i_%d++) {\n    %s = (%s %s %s);"
+          "\n  }\n",
+          I, I, 2 + static_cast<int>(R.bounded(6)), I, Name.c_str(),
+          Name.c_str(), R.chance(0.5) ? "^" : "+",
+          randomExpr(R, Locals, 2).c_str());
+      Src += Loop;
+    }
+  }
+
+  // Checksum fold into the single output buffer.
+  Src += "  int checksum = 0;\n";
+  for (const std::string &L : Locals)
+    Src += formatString("  checksum = checksum ^ %s;\n", L.c_str());
+  Src += "  result[linear_id] = (ulong)checksum;\n";
+  Src += "}\n";
+  return Src;
+}
+
+std::vector<std::string>
+clsmith::generateKernels(size_t Count, const ClSmithOptions &Opts) {
+  Rng R(Opts.Seed);
+  std::vector<std::string> Out;
+  Out.reserve(Count);
+  for (size_t I = 0; I < Count; ++I)
+    Out.push_back(generateKernel(R, Opts));
+  return Out;
+}

@@ -1,0 +1,53 @@
+//===- clsmith/ClSmith.h - CLSmith-style random generator --------*- C++ -*-===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A grammar-based random OpenCL kernel generator in the style of
+/// CLSmith (Lidbury et al., PLDI'15) — the baseline generator the paper
+/// compares against in the Turing evaluation (section 6.1) and the
+/// feature-space match analysis (Figure 9).
+///
+/// CLSmith targets differential testing, not benchmarking; its output is
+/// valid but unmistakably machine-made. The tells the paper mentions are
+/// reproduced deliberately: a single `__global ulong*` result buffer,
+/// accumulator variables named like p_37/l_12, deep chains of mixed
+/// bitwise arithmetic with magic constants, and loop nests that compute
+/// checksums rather than anything resembling an application.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLGEN_CLSMITH_CLSMITH_H
+#define CLGEN_CLSMITH_CLSMITH_H
+
+#include "support/Rng.h"
+
+#include <string>
+#include <vector>
+
+namespace clgen {
+namespace clsmith {
+
+struct ClSmithOptions {
+  /// Expression nesting depth.
+  int MaxDepth = 6;
+  /// Number of checksum accumulator statements.
+  int StatementCount = 10;
+  uint64_t Seed = 0xC15317;
+};
+
+/// Generates one random differential-testing kernel.
+std::string generateKernel(Rng &R,
+                           const ClSmithOptions &Opts = ClSmithOptions());
+
+/// Generates \p Count kernels from a fresh deterministic stream.
+std::vector<std::string> generateKernels(size_t Count,
+                                         const ClSmithOptions &Opts =
+                                             ClSmithOptions());
+
+} // namespace clsmith
+} // namespace clgen
+
+#endif // CLGEN_CLSMITH_CLSMITH_H

@@ -1,0 +1,72 @@
+//===- corpus/Corpus.cpp - Language corpus assembly ----------------------===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+#include "corpus/Rewriter.h"
+#include "ocl/AstPrinter.h"
+#include "ocl/Lexer.h"
+#include "support/StringUtils.h"
+
+#include <unordered_set>
+
+using namespace clgen;
+using namespace clgen::corpus;
+
+std::string Corpus::allText() const {
+  std::string All;
+  for (const std::string &E : Entries) {
+    All += E;
+    All += '\n';
+  }
+  return All;
+}
+
+Corpus corpus::buildCorpus(const std::vector<ContentFile> &Files,
+                           const CorpusOptions &Opts) {
+  Corpus Out;
+  CorpusStats &S = Out.Stats;
+  S.FilesIn = Files.size();
+
+  std::unordered_set<std::string> VocabBefore, VocabAfter;
+  std::unordered_set<std::string> Dedup;
+
+  for (const ContentFile &File : Files) {
+    S.RawLines += countNonBlankLines(File.Text);
+
+    FilterResult FR = filterContentFile(File.Text, Opts.Filter);
+    if (!FR.Accepted) {
+      S.FilesRejected += 1;
+      S.RejectionsByReason[static_cast<int>(FR.Reason)] += 1;
+      continue;
+    }
+    S.FilesAccepted += 1;
+    S.CompilableLines += countNonBlankLines(FR.Preprocessed);
+    S.KernelCount += FR.Prog->kernelCount();
+
+    // Vocabulary before rewriting (identifiers of the preprocessed,
+    // compilable text).
+    for (const auto &Tok : ocl::lex(FR.Preprocessed))
+      if (Tok.Kind == ocl::TokenKind::Identifier)
+        VocabBefore.insert(Tok.Text);
+
+    // Steps 2+3: rename + canonical print. The program already passed
+    // Sema inside the filter, so renaming operates on FR.Prog directly.
+    renameIdentifiers(*FR.Prog);
+    std::string Entry = ocl::printProgram(*FR.Prog);
+    for (const auto &Tok : ocl::lex(Entry))
+      if (Tok.Kind == ocl::TokenKind::Identifier)
+        VocabAfter.insert(Tok.Text);
+
+    S.FinalLines += countNonBlankLines(Entry);
+    if (Dedup.insert(Entry).second)
+      Out.Entries.push_back(std::move(Entry));
+  }
+
+  S.VocabularyBefore = VocabBefore.size();
+  S.VocabularyAfter = VocabAfter.size();
+  return Out;
+}

@@ -1,0 +1,80 @@
+//===- corpus/Corpus.h - Language corpus assembly ----------------*- C++ -*-===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Assembles the OpenCL language corpus of section 4.1: content files go
+/// through the rejection filter (with or without the shim header) and
+/// the accepted ones through the code rewriter, producing normalised
+/// kernel texts plus the statistics the paper reports (line counts at
+/// each stage, kernel count, discard rates, vocabulary reduction).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLGEN_CORPUS_CORPUS_H
+#define CLGEN_CORPUS_CORPUS_H
+
+#include "corpus/RejectionFilter.h"
+
+#include <string>
+#include <vector>
+
+namespace clgen {
+namespace corpus {
+
+/// One mined file, as fetched.
+struct ContentFile {
+  std::string Path;
+  std::string Text;
+};
+
+struct CorpusOptions {
+  FilterOptions Filter;
+};
+
+struct CorpusStats {
+  size_t FilesIn = 0;
+  size_t FilesAccepted = 0;
+  size_t FilesRejected = 0;
+  /// Rejections by reason, indexed by RejectionReason.
+  size_t RejectionsByReason[7] = {0};
+  size_t RawLines = 0;        // Over all input files.
+  size_t CompilableLines = 0; // Over accepted files (post-preprocess).
+  size_t FinalLines = 0;      // Over rewritten entries.
+  size_t KernelCount = 0;
+  size_t VocabularyBefore = 0; // Distinct identifiers pre-rewrite.
+  size_t VocabularyAfter = 0;  // Distinct identifiers post-rewrite.
+
+  double discardRate() const {
+    return FilesIn == 0 ? 0.0
+                        : static_cast<double>(FilesRejected) /
+                              static_cast<double>(FilesIn);
+  }
+  double vocabularyReduction() const {
+    return VocabularyBefore == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(VocabularyAfter) /
+                           static_cast<double>(VocabularyBefore);
+  }
+};
+
+/// The assembled corpus: one normalised entry per accepted content file
+/// (each entry may define several kernels).
+struct Corpus {
+  std::vector<std::string> Entries;
+  CorpusStats Stats;
+
+  /// Concatenation used for vocabulary building.
+  std::string allText() const;
+};
+
+/// Runs the full pipeline over \p Files.
+Corpus buildCorpus(const std::vector<ContentFile> &Files,
+                   const CorpusOptions &Opts = CorpusOptions());
+
+} // namespace corpus
+} // namespace clgen
+
+#endif // CLGEN_CORPUS_CORPUS_H

@@ -1,0 +1,97 @@
+//===- corpus/RejectionFilter.cpp - Compile-or-discard filter -----------------===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/RejectionFilter.h"
+
+#include "corpus/ShimHeader.h"
+#include "ocl/Parser.h"
+#include "ocl/Preprocessor.h"
+#include "ocl/Sema.h"
+#include "vm/Compiler.h"
+
+using namespace clgen;
+using namespace clgen::corpus;
+
+const char *corpus::rejectionReasonName(RejectionReason R) {
+  switch (R) {
+  case RejectionReason::None: return "accepted";
+  case RejectionReason::Preprocessor: return "preprocessor error";
+  case RejectionReason::Syntax: return "syntax error";
+  case RejectionReason::Semantic: return "semantic error";
+  case RejectionReason::Lowering: return "lowering error";
+  case RejectionReason::NoKernel: return "no kernel";
+  case RejectionReason::TooFewInstructions: return "too few instructions";
+  }
+  return "?";
+}
+
+FilterResult corpus::filterContentFile(const std::string &Text,
+                                       const FilterOptions &Opts) {
+  FilterResult Result;
+
+  ocl::PreprocessOptions POpts;
+  if (Opts.UseShim)
+    POpts.Includes["shim.h"] = shimHeaderText();
+  std::string Input = Text;
+  if (Opts.UseShim) {
+    // The driver injects the shim whether or not the file includes it,
+    // mirroring the paper's compile command.
+    Input = shimHeaderText() + "\n" + Text;
+  }
+
+  auto Preprocessed = ocl::preprocess(Input, POpts);
+  if (!Preprocessed.ok()) {
+    Result.Reason = RejectionReason::Preprocessor;
+    Result.Detail = Preprocessed.errorMessage();
+    return Result;
+  }
+  Result.Preprocessed = Preprocessed.take();
+
+  auto Parsed = ocl::parseProgram(Result.Preprocessed);
+  if (!Parsed.ok()) {
+    Result.Reason = RejectionReason::Syntax;
+    Result.Detail = Parsed.errorMessage();
+    return Result;
+  }
+  Result.Prog = std::shared_ptr<ocl::Program>(Parsed.take().release());
+
+  Status SemaStatus = ocl::analyze(*Result.Prog);
+  if (!SemaStatus.ok()) {
+    Result.Reason = RejectionReason::Semantic;
+    Result.Detail = SemaStatus.errorMessage();
+    return Result;
+  }
+
+  if (Result.Prog->kernelCount() == 0) {
+    Result.Reason = RejectionReason::NoKernel;
+    Result.Detail = "no __kernel function defined";
+    return Result;
+  }
+
+  size_t TotalInstructions = 0;
+  for (const auto &F : Result.Prog->Functions) {
+    if (!F->IsKernel)
+      continue;
+    auto Compiled = vm::compileKernel(*Result.Prog, *F);
+    if (!Compiled.ok()) {
+      Result.Reason = RejectionReason::Lowering;
+      Result.Detail = Compiled.errorMessage();
+      return Result;
+    }
+    TotalInstructions += Compiled.get().staticInstructionCount();
+    Result.Kernels.push_back(Compiled.take());
+  }
+
+  if (TotalInstructions < Opts.MinInstructions) {
+    Result.Reason = RejectionReason::TooFewInstructions;
+    Result.Detail = "static instruction count below threshold";
+    Result.Kernels.clear();
+    return Result;
+  }
+
+  Result.Accepted = true;
+  return Result;
+}

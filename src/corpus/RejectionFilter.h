@@ -1,0 +1,68 @@
+//===- corpus/RejectionFilter.h - Compile-or-discard filter ------*- C++ -*-===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The rejection filter of section 4.1: "accepts as input a content file
+/// and returns whether or not it contains compilable, executable OpenCL
+/// code. To do this we attempt to compile the input to NVIDIA PTX
+/// bytecode and perform static analysis to ensure a minimum static
+/// instruction count of three." Our PTX stand-in is the project's
+/// bytecode (vm/Bytecode.h). The same filter validates CLgen samples
+/// (section 4.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLGEN_CORPUS_REJECTIONFILTER_H
+#define CLGEN_CORPUS_REJECTIONFILTER_H
+
+#include "ocl/Ast.h"
+#include "vm/Bytecode.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace clgen {
+namespace corpus {
+
+enum class RejectionReason {
+  None,          // Accepted.
+  Preprocessor,  // Directive-level failure.
+  Syntax,        // Parse error.
+  Semantic,      // Undeclared identifier / type error / recursion.
+  Lowering,      // Bytecode compilation failure.
+  NoKernel,      // Compiles but defines no kernel function.
+  TooFewInstructions, // Static instruction count below the threshold.
+};
+
+const char *rejectionReasonName(RejectionReason R);
+
+struct FilterOptions {
+  /// Inject the shim header (Listing 1) before compiling.
+  bool UseShim = true;
+  /// The paper's minimum static instruction count.
+  size_t MinInstructions = 3;
+};
+
+struct FilterResult {
+  bool Accepted = false;
+  RejectionReason Reason = RejectionReason::None;
+  std::string Detail;
+  /// On acceptance: the preprocessed source, parsed program and every
+  /// compiled kernel.
+  std::string Preprocessed;
+  std::shared_ptr<ocl::Program> Prog;
+  std::vector<vm::CompiledKernel> Kernels;
+};
+
+/// Runs the filter over one content file.
+FilterResult filterContentFile(const std::string &Text,
+                               const FilterOptions &Opts = FilterOptions());
+
+} // namespace corpus
+} // namespace clgen
+
+#endif // CLGEN_CORPUS_REJECTIONFILTER_H

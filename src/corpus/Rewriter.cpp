@@ -1,0 +1,232 @@
+//===- corpus/Rewriter.cpp - Source normalisation ------------------------===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Rewriter.h"
+
+#include "ocl/AstPrinter.h"
+#include "ocl/Builtins.h"
+#include "ocl/Casting.h"
+#include "ocl/Lexer.h"
+#include "ocl/Parser.h"
+#include "ocl/Sema.h"
+#include "support/StringUtils.h"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+using namespace clgen;
+using namespace clgen::corpus;
+using namespace clgen::ocl;
+
+namespace {
+
+/// Scoped renamer: walks the AST in source order, assigning sequential
+/// names at declaration sites and resolving references through the scope
+/// stack.
+class Renamer {
+public:
+  explicit Renamer(Program &P) : P(P) {}
+
+  void run() {
+    // Function names first (their order of appearance).
+    std::unordered_map<std::string, std::string> FunctionNames;
+    size_t FnIndex = 0;
+    for (auto &F : P.Functions)
+      FunctionNames[F->Name] = sequentialName(FnIndex++, true);
+
+    pushScope();
+    // File-scope constants join the variable series first.
+    for (auto &GC : P.Constants) {
+      if (GC.Init)
+        renameExpr(GC.Init.get());
+      GC.Name = declare(GC.Name);
+    }
+    Functions = std::move(FunctionNames);
+    for (auto &F : P.Functions) {
+      F->Name = Functions[F->Name];
+      pushScope();
+      for (ParamDecl &Param : F->Params)
+        Param.Name = declare(Param.Name);
+      renameStmt(F->Body.get());
+      popScope();
+    }
+    popScope();
+  }
+
+private:
+  Program &P;
+  size_t VarIndex = 0;
+  std::vector<std::unordered_map<std::string, std::string>> Scopes;
+  std::unordered_map<std::string, std::string> Functions;
+
+  void pushScope() { Scopes.emplace_back(); }
+  void popScope() { Scopes.pop_back(); }
+
+  std::string declare(const std::string &Old) {
+    std::string Fresh = sequentialName(VarIndex++, false);
+    Scopes.back()[Old] = Fresh;
+    return Fresh;
+  }
+
+  std::string resolve(const std::string &Name) const {
+    for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+      auto Found = It->find(Name);
+      if (Found != It->end())
+        return Found->second;
+    }
+    return Name; // Builtin constants etc. stay as-is.
+  }
+
+  void renameExpr(Expr *E) {
+    switch (E->kind()) {
+    case Expr::Kind::IntLiteral:
+    case Expr::Kind::FloatLiteral:
+      return;
+    case Expr::Kind::VarRef: {
+      auto *VR = cast<VarRefExpr>(E);
+      VR->Name = resolve(VR->Name);
+      return;
+    }
+    case Expr::Kind::Binary: {
+      auto *BE = cast<BinaryExpr>(E);
+      renameExpr(BE->Lhs.get());
+      renameExpr(BE->Rhs.get());
+      return;
+    }
+    case Expr::Kind::Unary:
+      renameExpr(cast<UnaryExpr>(E)->Operand.get());
+      return;
+    case Expr::Kind::Call: {
+      auto *CE = cast<CallExpr>(E);
+      if (!isBuiltinFunction(CE->Callee)) {
+        auto It = Functions.find(CE->Callee);
+        if (It != Functions.end())
+          CE->Callee = It->second;
+      }
+      for (auto &Arg : CE->Args)
+        renameExpr(Arg.get());
+      return;
+    }
+    case Expr::Kind::Index: {
+      auto *IE = cast<IndexExpr>(E);
+      renameExpr(IE->Base.get());
+      renameExpr(IE->Index.get());
+      return;
+    }
+    case Expr::Kind::Member:
+      renameExpr(cast<MemberExpr>(E)->Base.get());
+      return;
+    case Expr::Kind::Cast:
+      renameExpr(cast<CastExpr>(E)->Operand.get());
+      return;
+    case Expr::Kind::VectorLiteral:
+      for (auto &Elem : cast<VectorLiteralExpr>(E)->Elements)
+        renameExpr(Elem.get());
+      return;
+    case Expr::Kind::Conditional: {
+      auto *CE = cast<ConditionalExpr>(E);
+      renameExpr(CE->Cond.get());
+      renameExpr(CE->TrueExpr.get());
+      renameExpr(CE->FalseExpr.get());
+      return;
+    }
+    }
+  }
+
+  void renameStmt(Stmt *S) {
+    switch (S->kind()) {
+    case Stmt::Kind::Compound: {
+      pushScope();
+      for (auto &Child : cast<CompoundStmt>(S)->Body)
+        renameStmt(Child.get());
+      popScope();
+      return;
+    }
+    case Stmt::Kind::Decl: {
+      auto *DS = cast<DeclStmt>(S);
+      if (DS->Init)
+        renameExpr(DS->Init.get());
+      DS->Name = declare(DS->Name);
+      return;
+    }
+    case Stmt::Kind::Expr:
+      renameExpr(cast<ExprStmt>(S)->E.get());
+      return;
+    case Stmt::Kind::If: {
+      auto *IS = cast<IfStmt>(S);
+      renameExpr(IS->Cond.get());
+      renameStmt(IS->Then.get());
+      if (IS->Else)
+        renameStmt(IS->Else.get());
+      return;
+    }
+    case Stmt::Kind::For: {
+      auto *FS = cast<ForStmt>(S);
+      pushScope();
+      if (FS->Init)
+        renameStmt(FS->Init.get());
+      if (FS->Cond)
+        renameExpr(FS->Cond.get());
+      if (FS->Step)
+        renameExpr(FS->Step.get());
+      renameStmt(FS->Body.get());
+      popScope();
+      return;
+    }
+    case Stmt::Kind::While: {
+      auto *WS = cast<WhileStmt>(S);
+      renameExpr(WS->Cond.get());
+      renameStmt(WS->Body.get());
+      return;
+    }
+    case Stmt::Kind::Do: {
+      auto *DS = cast<DoStmt>(S);
+      renameStmt(DS->Body.get());
+      renameExpr(DS->Cond.get());
+      return;
+    }
+    case Stmt::Kind::Return: {
+      auto *RS = cast<ReturnStmt>(S);
+      if (RS->Value)
+        renameExpr(RS->Value.get());
+      return;
+    }
+    case Stmt::Kind::Break:
+    case Stmt::Kind::Continue:
+    case Stmt::Kind::Empty:
+      return;
+    }
+  }
+};
+
+} // namespace
+
+void corpus::renameIdentifiers(Program &P) {
+  Renamer R(P);
+  R.run();
+}
+
+Result<std::string>
+corpus::rewriteSource(const std::string &PreprocessedSource) {
+  auto Parsed = parseProgram(PreprocessedSource);
+  if (!Parsed.ok())
+    return Result<std::string>::error(Parsed.errorMessage());
+  auto Prog = Parsed.take();
+  Status S = analyze(*Prog);
+  if (!S.ok())
+    return Result<std::string>::error(S.errorMessage());
+  renameIdentifiers(*Prog);
+  return printProgram(*Prog);
+}
+
+size_t corpus::identifierVocabularySize(const std::string &Source) {
+  std::unordered_set<std::string> Names;
+  for (const Token &T : lex(Source))
+    if (T.Kind == TokenKind::Identifier)
+      Names.insert(T.Text);
+  return Names.size();
+}

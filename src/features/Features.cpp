@@ -1,0 +1,82 @@
+//===- features/Features.cpp - Grewe et al. feature extraction ---------------===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "features/Features.h"
+
+using namespace clgen;
+using namespace clgen::features;
+using namespace clgen::vm;
+
+StaticFeatures
+features::extractStaticFeatures(const CompiledKernel &Kernel) {
+  StaticFeatures F;
+  for (const Instr &I : Kernel.Code) {
+    switch (I.Op) {
+    case Opcode::BinOp:
+    case Opcode::UnOp:
+    case Opcode::Cast:
+      F.Comp += 1;
+      break;
+    case Opcode::CallB:
+      // Work-item queries are address computation, not compute; math
+      // builtins count as compute operations.
+      F.Comp += 1;
+      break;
+    default:
+      break;
+    }
+  }
+  for (const AccessSite &S : Kernel.AccessSites) {
+    switch (S.Space) {
+    case MemSpace::Global:
+      F.Mem += 1;
+      F.Coalesced += S.Coalesced ? 1 : 0;
+      break;
+    case MemSpace::Local:
+      F.LocalMem += 1;
+      break;
+    case MemSpace::Private:
+      break;
+    }
+  }
+  F.Branches = Kernel.BranchSites;
+  return F;
+}
+
+std::vector<double> features::greweFeatureVector(const RawFeatures &F) {
+  const StaticFeatures &S = F.Static;
+  double CompMem = S.Comp + S.Mem;
+  double F1 = CompMem > 0 ? F.TransferBytes / CompMem : 0.0;
+  double F2 = S.Mem > 0 ? S.Coalesced / S.Mem : 0.0;
+  double F3 = S.Mem > 0 ? (S.LocalMem / S.Mem) * F.WgSize : 0.0;
+  double F4 = S.Mem > 0 ? S.Comp / S.Mem : 0.0;
+  return {F1, F2, F3, F4};
+}
+
+std::vector<double> features::extendedFeatureVector(const RawFeatures &F) {
+  std::vector<double> V = greweFeatureVector(F);
+  const StaticFeatures &S = F.Static;
+  V.push_back(S.Comp);
+  V.push_back(S.Mem);
+  V.push_back(S.LocalMem);
+  V.push_back(S.Coalesced);
+  V.push_back(F.TransferBytes);
+  V.push_back(F.WgSize);
+  V.push_back(S.Branches);
+  return V;
+}
+
+std::vector<std::string> features::greweFeatureNames() {
+  return {"F1:transfer/(comp+mem)", "F2:coalesced/mem",
+          "F3:(localmem/mem)*wgsize", "F4:comp/mem"};
+}
+
+std::vector<std::string> features::extendedFeatureNames() {
+  std::vector<std::string> Names = greweFeatureNames();
+  Names.insert(Names.end(), {"comp", "mem", "localmem", "coalesced",
+                             "transfer", "wgsize", "branches"});
+  return Names;
+}

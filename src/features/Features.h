@@ -1,0 +1,82 @@
+//===- features/Features.h - Grewe et al. feature extraction ----*- C++ -*-===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The feature set of the Grewe, Wang & O'Boyle CGO'13 predictive model,
+/// as summarised in Table 2 of the paper:
+///
+///   raw static:  comp (compute ops), mem (global accesses), localmem
+///                (local accesses), coalesced (coalesced accesses);
+///   raw dynamic: transfer (bytes moved), wgsize (work-items);
+///   combined:    F1 = transfer/(comp+mem)   communication-computation
+///                F2 = coalesced/mem          % coalesced accesses
+///                F3 = (localmem/mem)*wgsize  local-vs-global x items
+///                F4 = comp/mem               computation-memory ratio
+///
+/// Section 8.2 extends the model with the raw feature values plus a
+/// static branch count; both vector layouts are produced here.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLGEN_FEATURES_FEATURES_H
+#define CLGEN_FEATURES_FEATURES_H
+
+#include "vm/Bytecode.h"
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace clgen {
+namespace features {
+
+/// Static code features (Table 2a) plus the branch count of section 8.2.
+struct StaticFeatures {
+  double Comp = 0;
+  double Mem = 0;
+  double LocalMem = 0;
+  double Coalesced = 0;
+  double Branches = 0;
+
+  /// Integer tuple for exact feature-value matching (Figure 9).
+  std::array<int64_t, 5> key() const {
+    return {static_cast<int64_t>(Comp), static_cast<int64_t>(Mem),
+            static_cast<int64_t>(LocalMem), static_cast<int64_t>(Coalesced),
+            static_cast<int64_t>(Branches)};
+  }
+  /// Matching key without the branch feature (the Table 2a feature set).
+  std::array<int64_t, 4> keyNoBranch() const {
+    return {static_cast<int64_t>(Comp), static_cast<int64_t>(Mem),
+            static_cast<int64_t>(LocalMem), static_cast<int64_t>(Coalesced)};
+  }
+};
+
+/// Full feature record for one (kernel, dataset) observation.
+struct RawFeatures {
+  StaticFeatures Static;
+  double TransferBytes = 0;
+  double WgSize = 0;
+};
+
+/// Extracts the static features from compiled bytecode.
+StaticFeatures extractStaticFeatures(const vm::CompiledKernel &Kernel);
+
+/// Combined features F1..F4 (the original Grewe et al. model inputs).
+std::vector<double> greweFeatureVector(const RawFeatures &F);
+
+/// Extended model of section 8.2: F1..F4 + raw statics + transfer +
+/// wgsize + branch count.
+std::vector<double> extendedFeatureVector(const RawFeatures &F);
+
+/// Column names for the two layouts (reports, debugging).
+std::vector<std::string> greweFeatureNames();
+std::vector<std::string> extendedFeatureNames();
+
+} // namespace features
+} // namespace clgen
+
+#endif // CLGEN_FEATURES_FEATURES_H

@@ -1,0 +1,57 @@
+//===- githubsim/GithubSim.h - Synthetic GitHub content files ----*- C++ -*-===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Substitute for the paper's GitHub mining (section 4.1): a procedural
+/// generator of raw OpenCL "content files" with the pathologies the
+/// paper's corpus pipeline contends with:
+///
+///  - comments (header blocks, line comments), macros, conditional
+///    compilation, project typedefs, helper functions, varied naming and
+///    formatting — the noise the rewriter normalises away;
+///  - files that reference project identifiers (FLOAT_T, WG_SIZE, ...)
+///    whose definitions were lost when the device code was isolated —
+///    the class of failure the shim header repairs;
+///  - hopeless files: host C++ fragments, struct-typed kernels,
+///    truncated downloads, kernels below the instruction-count floor.
+///
+/// Fractions are calibrated so the corpus statistics reproduce the
+/// paper's shape: a ~40% discard rate without the shim falling to ~32%
+/// with it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLGEN_GITHUBSIM_GITHUBSIM_H
+#define CLGEN_GITHUBSIM_GITHUBSIM_H
+
+#include "corpus/Corpus.h"
+#include "support/Rng.h"
+
+#include <vector>
+
+namespace clgen {
+namespace githubsim {
+
+struct GithubSimOptions {
+  /// Number of content files to "mine" (the paper's dataset has 8078).
+  size_t FileCount = 1000;
+  uint64_t Seed = 0x617B5EED;
+  /// Fraction of files that are unusable regardless of the shim.
+  double HopelessFraction = 0.32;
+  /// Fraction of files that compile only with the shim injected.
+  double ShimFixableFraction = 0.08;
+  /// Fraction of valid files that define more than one kernel.
+  double MultiKernelFraction = 0.25;
+};
+
+/// Generates the synthetic repository snapshot.
+std::vector<corpus::ContentFile> mineGithub(
+    const GithubSimOptions &Opts = GithubSimOptions());
+
+} // namespace githubsim
+} // namespace clgen
+
+#endif // CLGEN_GITHUBSIM_GITHUBSIM_H

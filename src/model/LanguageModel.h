@@ -1,0 +1,56 @@
+//===- model/LanguageModel.h - Generative LM interface -----------*- C++ -*-===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The contract shared by the project's two character-level language
+/// models (LSTM and interpolated n-gram): a stateful generator that is
+/// advanced one token at a time and queried for the distribution over the
+/// next token. The sampler (Algorithm 1) is written against this
+/// interface only.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLGEN_MODEL_LANGUAGEMODEL_H
+#define CLGEN_MODEL_LANGUAGEMODEL_H
+
+#include "model/Vocabulary.h"
+
+#include <memory>
+#include <vector>
+
+namespace clgen {
+namespace model {
+
+class LanguageModel {
+public:
+  virtual ~LanguageModel();
+
+  /// The vocabulary this model emits over.
+  virtual const Vocabulary &vocabulary() const = 0;
+
+  /// Clears generation state (fresh sequence).
+  virtual void reset() = 0;
+
+  /// Advances the generation state with an observed token.
+  virtual void observe(int TokenId) = 0;
+
+  /// Probability distribution over the next token given the state; sums
+  /// to 1 and has vocabulary().size() entries.
+  virtual std::vector<double> nextDistribution() = 0;
+
+  /// Convenience: feed a whole string.
+  void observeText(const std::string &Text);
+
+  /// Average per-character negative log2 likelihood of \p Text under
+  /// this model starting from a fresh state. Lower = more "natural" to
+  /// the model; the Turing-test judge thresholds on this.
+  double bitsPerChar(const std::string &Text);
+};
+
+} // namespace model
+} // namespace clgen
+
+#endif // CLGEN_MODEL_LANGUAGEMODEL_H

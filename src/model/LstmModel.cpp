@@ -1,0 +1,528 @@
+//===- model/LstmModel.cpp - LSTM language model -------------------------===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "model/LstmModel.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace clgen;
+using namespace clgen::model;
+
+namespace {
+
+float sigmoidf(float X) { return 1.0f / (1.0f + std::exp(-X)); }
+
+/// y += W[Rows x Cols] * x.
+void matVecAcc(const std::vector<float> &W, const float *X, int Rows,
+               int Cols, float *Y) {
+  for (int R = 0; R < Rows; ++R) {
+    const float *Row = W.data() + static_cast<size_t>(R) * Cols;
+    float Sum = 0.0f;
+    for (int C = 0; C < Cols; ++C)
+      Sum += Row[C] * X[C];
+    Y[R] += Sum;
+  }
+}
+
+/// y += W^T * x, where W is [Rows x Cols] and x has Rows entries.
+void matTVecAcc(const std::vector<float> &W, const float *X, int Rows,
+                int Cols, float *Y) {
+  for (int R = 0; R < Rows; ++R) {
+    const float *Row = W.data() + static_cast<size_t>(R) * Cols;
+    float XR = X[R];
+    if (XR == 0.0f)
+      continue;
+    for (int C = 0; C < Cols; ++C)
+      Y[C] += Row[C] * XR;
+  }
+}
+
+/// dW += outer(dy, x) for W [Rows x Cols].
+void outerAcc(std::vector<float> &DW, const float *DY, const float *X,
+              int Rows, int Cols) {
+  for (int R = 0; R < Rows; ++R) {
+    float D = DY[R];
+    if (D == 0.0f)
+      continue;
+    float *Row = DW.data() + static_cast<size_t>(R) * Cols;
+    for (int C = 0; C < Cols; ++C)
+      Row[C] += D * X[C];
+  }
+}
+
+void softmaxInPlace(std::vector<float> &Logits) {
+  float Max = Logits[0];
+  for (float L : Logits)
+    Max = std::max(Max, L);
+  float Sum = 0.0f;
+  for (float &L : Logits) {
+    L = std::exp(L - Max);
+    Sum += L;
+  }
+  for (float &L : Logits)
+    L /= Sum;
+}
+
+} // namespace
+
+/// Per-chunk forward cache for BPTT.
+struct LstmModel::Tape {
+  // Indexed [t][layer].
+  std::vector<std::vector<std::vector<float>>> Gates; // 4H pre-activations
+                                                      // post-nonlinearity:
+                                                      // [i f g o].
+  std::vector<std::vector<std::vector<float>>> C;     // Cell states.
+  std::vector<std::vector<std::vector<float>>> H;     // Hidden states.
+  std::vector<std::vector<std::vector<float>>> X;     // Layer inputs.
+  std::vector<std::vector<float>> Probs;              // Softmax outputs.
+  std::vector<int> Inputs;                            // Token ids per step.
+};
+
+void LstmModel::initParameters() {
+  Rng R(Opts.Seed);
+  int H = Opts.HiddenSize;
+  Layers.clear();
+  Layers.resize(Opts.Layers);
+  for (int L = 0; L < Opts.Layers; ++L) {
+    int In = L == 0 ? V : H;
+    Layers[L].In = In;
+    float ScaleX = 1.0f / std::sqrt(static_cast<float>(In));
+    float ScaleH = 1.0f / std::sqrt(static_cast<float>(H));
+    Layers[L].Wx.assign(static_cast<size_t>(4 * H) * In, 0.0f);
+    Layers[L].Wh.assign(static_cast<size_t>(4 * H) * H, 0.0f);
+    Layers[L].B.assign(4 * H, 0.0f);
+    for (float &W : Layers[L].Wx)
+      W = static_cast<float>(R.gaussian(0.0, ScaleX));
+    for (float &W : Layers[L].Wh)
+      W = static_cast<float>(R.gaussian(0.0, ScaleH));
+    // Forget-gate bias starts positive (standard trick for gradient
+    // flow).
+    for (int I = H; I < 2 * H; ++I)
+      Layers[L].B[I] = 1.0f;
+  }
+  float ScaleY = 1.0f / std::sqrt(static_cast<float>(H));
+  Wy.assign(static_cast<size_t>(V) * H, 0.0f);
+  By.assign(V, 0.0f);
+  for (float &W : Wy)
+    W = static_cast<float>(R.gaussian(0.0, ScaleY));
+}
+
+size_t LstmModel::parameterCount() const {
+  size_t N = Wy.size() + By.size();
+  for (const Layer &L : Layers)
+    N += L.Wx.size() + L.Wh.size() + L.B.size();
+  return N;
+}
+
+void LstmModel::reset() {
+  int H = Opts.HiddenSize;
+  StateH.assign(Opts.Layers, std::vector<float>(H, 0.0f));
+  StateC.assign(Opts.Layers, std::vector<float>(H, 0.0f));
+}
+
+void LstmModel::stepState(int TokenId,
+                          std::vector<std::vector<float>> &HState,
+                          std::vector<std::vector<float>> &CState,
+                          std::vector<float> *LogitsOut) {
+  int H = Opts.HiddenSize;
+  std::vector<float> Input;
+  for (int L = 0; L < Opts.Layers; ++L) {
+    Layer &Lay = Layers[L];
+    std::vector<float> A(4 * H, 0.0f);
+    for (int I = 0; I < 4 * H; ++I)
+      A[I] = Lay.B[I];
+    if (L == 0) {
+      // One-hot input: add column TokenId of Wx.
+      for (int RIdx = 0; RIdx < 4 * H; ++RIdx)
+        A[RIdx] += Lay.Wx[static_cast<size_t>(RIdx) * Lay.In + TokenId];
+    } else {
+      matVecAcc(Lay.Wx, Input.data(), 4 * H, Lay.In, A.data());
+    }
+    matVecAcc(Lay.Wh, HState[L].data(), 4 * H, H, A.data());
+    std::vector<float> NewH(H), NewC(H);
+    for (int I = 0; I < H; ++I) {
+      float Gi = sigmoidf(A[I]);
+      float Gf = sigmoidf(A[H + I]);
+      float Gg = std::tanh(A[2 * H + I]);
+      float Go = sigmoidf(A[3 * H + I]);
+      NewC[I] = Gi * Gg + Gf * CState[L][I];
+      NewH[I] = Go * std::tanh(NewC[I]);
+    }
+    CState[L] = NewC;
+    HState[L] = NewH;
+    Input = NewH;
+  }
+  if (LogitsOut) {
+    LogitsOut->assign(V, 0.0f);
+    for (int I = 0; I < V; ++I)
+      (*LogitsOut)[I] = By[I];
+    matVecAcc(Wy, HState[Opts.Layers - 1].data(), V, H, LogitsOut->data());
+  }
+}
+
+void LstmModel::observe(int TokenId) {
+  if (StateH.empty())
+    reset();
+  stepState(TokenId, StateH, StateC, nullptr);
+}
+
+std::vector<double> LstmModel::nextDistribution() {
+  if (StateH.empty())
+    reset();
+  int H = Opts.HiddenSize;
+  std::vector<float> Logits(V, 0.0f);
+  for (int I = 0; I < V; ++I)
+    Logits[I] = By[I];
+  matVecAcc(Wy, StateH[Opts.Layers - 1].data(), V, H, Logits.data());
+  softmaxInPlace(Logits);
+  std::vector<double> Dist(V);
+  for (int I = 0; I < V; ++I)
+    Dist[I] = Logits[I];
+  return Dist;
+}
+
+double LstmModel::trainChunk(const std::vector<int> &Tokens, size_t Begin,
+                             size_t End,
+                             std::vector<std::vector<float>> &HState,
+                             std::vector<std::vector<float>> &CState,
+                             float Lr) {
+  int H = Opts.HiddenSize;
+  int T = static_cast<int>(End - Begin - 1); // Steps (predict next token).
+  if (T <= 0)
+    return 0.0;
+
+  Tape Tp;
+  Tp.Gates.resize(T);
+  Tp.C.resize(T);
+  Tp.H.resize(T);
+  Tp.X.resize(T);
+  Tp.Probs.resize(T);
+  Tp.Inputs.resize(T);
+
+  std::vector<std::vector<float>> HPrev = HState, CPrev = CState;
+  double LossBits = 0.0;
+
+  // ---- Forward ----
+  for (int Step = 0; Step < T; ++Step) {
+    int TokenId = Tokens[Begin + Step];
+    int Target = Tokens[Begin + Step + 1];
+    Tp.Inputs[Step] = TokenId;
+    Tp.Gates[Step].resize(Opts.Layers);
+    Tp.C[Step].resize(Opts.Layers);
+    Tp.H[Step].resize(Opts.Layers);
+    Tp.X[Step].resize(Opts.Layers);
+
+    std::vector<float> Input;
+    for (int L = 0; L < Opts.Layers; ++L) {
+      Layer &Lay = Layers[L];
+      std::vector<float> A(Lay.B);
+      if (L == 0) {
+        for (int RIdx = 0; RIdx < 4 * H; ++RIdx)
+          A[RIdx] += Lay.Wx[static_cast<size_t>(RIdx) * Lay.In + TokenId];
+      } else {
+        Tp.X[Step][L] = Input;
+        matVecAcc(Lay.Wx, Input.data(), 4 * H, Lay.In, A.data());
+      }
+      const std::vector<float> &HIn =
+          Step == 0 ? HPrev[L] : Tp.H[Step - 1][L];
+      const std::vector<float> &CIn =
+          Step == 0 ? CPrev[L] : Tp.C[Step - 1][L];
+      matVecAcc(Lay.Wh, HIn.data(), 4 * H, H, A.data());
+      std::vector<float> Gate(4 * H), NewC(H), NewH(H);
+      for (int I = 0; I < H; ++I) {
+        float Gi = sigmoidf(A[I]);
+        float Gf = sigmoidf(A[H + I]);
+        float Gg = std::tanh(A[2 * H + I]);
+        float Go = sigmoidf(A[3 * H + I]);
+        Gate[I] = Gi;
+        Gate[H + I] = Gf;
+        Gate[2 * H + I] = Gg;
+        Gate[3 * H + I] = Go;
+        NewC[I] = Gi * Gg + Gf * CIn[I];
+        NewH[I] = Go * std::tanh(NewC[I]);
+      }
+      Tp.Gates[Step][L] = std::move(Gate);
+      Tp.C[Step][L] = std::move(NewC);
+      Tp.H[Step][L] = NewH;
+      Input = std::move(NewH);
+    }
+
+    std::vector<float> Logits(By);
+    matVecAcc(Wy, Tp.H[Step][Opts.Layers - 1].data(), V, H, Logits.data());
+    softmaxInPlace(Logits);
+    LossBits += -std::log2(std::max(Logits[Target], 1e-12f));
+    Tp.Probs[Step] = std::move(Logits);
+  }
+
+  // ---- Backward ----
+  std::vector<Layer> Grads(Opts.Layers);
+  for (int L = 0; L < Opts.Layers; ++L) {
+    Grads[L].In = Layers[L].In;
+    Grads[L].Wx.assign(Layers[L].Wx.size(), 0.0f);
+    Grads[L].Wh.assign(Layers[L].Wh.size(), 0.0f);
+    Grads[L].B.assign(Layers[L].B.size(), 0.0f);
+  }
+  std::vector<float> GWy(Wy.size(), 0.0f), GBy(By.size(), 0.0f);
+
+  // dH/dC accumulators per layer (flowing backwards in time).
+  std::vector<std::vector<float>> DH(Opts.Layers,
+                                     std::vector<float>(H, 0.0f));
+  std::vector<std::vector<float>> DC(Opts.Layers,
+                                     std::vector<float>(H, 0.0f));
+
+  for (int Step = T - 1; Step >= 0; --Step) {
+    int Target = Tokens[Begin + Step + 1];
+    // Softmax cross-entropy gradient (natural log scale; the bits/char
+    // reporting is cosmetic).
+    std::vector<float> DY = Tp.Probs[Step];
+    DY[Target] -= 1.0f;
+
+    outerAcc(GWy, DY.data(), Tp.H[Step][Opts.Layers - 1].data(), V, H);
+    for (int I = 0; I < V; ++I)
+      GBy[I] += DY[I];
+    matTVecAcc(Wy, DY.data(), V, H, DH[Opts.Layers - 1].data());
+
+    for (int L = Opts.Layers - 1; L >= 0; --L) {
+      const std::vector<float> &Gate = Tp.Gates[Step][L];
+      const std::vector<float> &CNow = Tp.C[Step][L];
+      const std::vector<float> &CIn =
+          Step == 0 ? CPrev[L] : Tp.C[Step - 1][L];
+      const std::vector<float> &HIn =
+          Step == 0 ? HPrev[L] : Tp.H[Step - 1][L];
+
+      std::vector<float> DA(4 * H, 0.0f);
+      for (int I = 0; I < H; ++I) {
+        float Gi = Gate[I], Gf = Gate[H + I], Gg = Gate[2 * H + I],
+              Go = Gate[3 * H + I];
+        float TanhC = std::tanh(CNow[I]);
+        float DHI = DH[L][I];
+        float DCI = DC[L][I] + DHI * Go * (1.0f - TanhC * TanhC);
+        float DGo = DHI * TanhC;
+        float DGi = DCI * Gg;
+        float DGg = DCI * Gi;
+        float DGf = DCI * CIn[I];
+        DA[I] = DGi * Gi * (1.0f - Gi);
+        DA[H + I] = DGf * Gf * (1.0f - Gf);
+        DA[2 * H + I] = DGg * (1.0f - Gg * Gg);
+        DA[3 * H + I] = DGo * Go * (1.0f - Go);
+        DC[L][I] = DCI * Gf; // To t-1.
+      }
+
+      // Parameter gradients.
+      if (L == 0) {
+        int TokenId = Tp.Inputs[Step];
+        for (int RIdx = 0; RIdx < 4 * H; ++RIdx)
+          Grads[L].Wx[static_cast<size_t>(RIdx) * Layers[L].In + TokenId] +=
+              DA[RIdx];
+      } else {
+        outerAcc(Grads[L].Wx, DA.data(), Tp.X[Step][L].data(), 4 * H,
+                 Layers[L].In);
+      }
+      outerAcc(Grads[L].Wh, DA.data(), HIn.data(), 4 * H, H);
+      for (int I = 0; I < 4 * H; ++I)
+        Grads[L].B[I] += DA[I];
+
+      // Propagate to h at t-1 (same layer) and to the layer below.
+      std::vector<float> DHPrev(H, 0.0f);
+      matTVecAcc(Layers[L].Wh, DA.data(), 4 * H, H, DHPrev.data());
+      DH[L] = std::move(DHPrev);
+      if (L > 0) {
+        matTVecAcc(Layers[L].Wx, DA.data(), 4 * H, Layers[L].In,
+                   DH[L - 1].data());
+      }
+    }
+  }
+
+  // ---- Clip and apply ----
+  double Norm2 = 0.0;
+  auto AccumNorm = [&Norm2](const std::vector<float> &G) {
+    for (float X : G)
+      Norm2 += static_cast<double>(X) * X;
+  };
+  for (const Layer &G : Grads) {
+    AccumNorm(G.Wx);
+    AccumNorm(G.Wh);
+    AccumNorm(G.B);
+  }
+  AccumNorm(GWy);
+  AccumNorm(GBy);
+  double Norm = std::sqrt(Norm2);
+  float Scale = Norm > Opts.GradClip
+                    ? static_cast<float>(Opts.GradClip / Norm)
+                    : 1.0f;
+  float Step = Lr * Scale / static_cast<float>(T);
+
+  auto Apply = [Step](std::vector<float> &W, const std::vector<float> &G) {
+    for (size_t I = 0; I < W.size(); ++I)
+      W[I] -= Step * G[I];
+  };
+  for (int L = 0; L < Opts.Layers; ++L) {
+    Apply(Layers[L].Wx, Grads[L].Wx);
+    Apply(Layers[L].Wh, Grads[L].Wh);
+    Apply(Layers[L].B, Grads[L].B);
+  }
+  Apply(Wy, GWy);
+  Apply(By, GBy);
+
+  // Carry state across chunks (truncated BPTT).
+  HState = Tp.H[T - 1];
+  CState = Tp.C[T - 1];
+  return LossBits / T;
+}
+
+void LstmModel::train(const std::vector<std::string> &Entries,
+                      const std::function<void(int, double)> &Progress) {
+  std::string All;
+  for (const std::string &E : Entries)
+    All += E;
+  Vocab = Vocabulary::fromText(All);
+  V = static_cast<int>(Vocab.size());
+  initParameters();
+
+  // Token stream with sentinels between entries.
+  std::vector<int> Stream;
+  Stream.reserve(All.size() + Entries.size());
+  for (const std::string &E : Entries) {
+    for (char C : E)
+      Stream.push_back(Vocab.idOf(C));
+    Stream.push_back(Vocabulary::EndOfText);
+  }
+  if (Stream.size() < 2)
+    return;
+
+  float Lr = Opts.LearningRate;
+  for (int Epoch = 0; Epoch < Opts.Epochs; ++Epoch) {
+    if (Epoch > 0 && Opts.DecayEveryEpochs > 0 &&
+        Epoch % Opts.DecayEveryEpochs == 0)
+      Lr *= Opts.LearningRateDecay;
+    std::vector<std::vector<float>> HState(
+        Opts.Layers, std::vector<float>(Opts.HiddenSize, 0.0f));
+    std::vector<std::vector<float>> CState = HState;
+    double LossSum = 0.0;
+    int Chunks = 0;
+    size_t StepLen = static_cast<size_t>(Opts.SequenceLength);
+    for (size_t Begin = 0; Begin + 1 < Stream.size(); Begin += StepLen) {
+      size_t End = std::min(Begin + StepLen + 1, Stream.size());
+      LossSum += trainChunk(Stream, Begin, End, HState, CState, Lr);
+      ++Chunks;
+    }
+    if (Progress)
+      Progress(Epoch, Chunks > 0 ? LossSum / Chunks : 0.0);
+  }
+  reset();
+}
+
+double LstmModel::sequenceLoss(const std::vector<int> &Tokens) {
+  if (Tokens.size() < 2)
+    return 0.0;
+  std::vector<std::vector<float>> HState(
+      Opts.Layers, std::vector<float>(Opts.HiddenSize, 0.0f));
+  std::vector<std::vector<float>> CState = HState;
+  double Bits = 0.0;
+  for (size_t Step = 0; Step + 1 < Tokens.size(); ++Step) {
+    std::vector<float> Logits;
+    stepState(Tokens[Step], HState, CState, &Logits);
+    softmaxInPlace(Logits);
+    Bits += -std::log2(std::max(Logits[Tokens[Step + 1]], 1e-12f));
+  }
+  return Bits / static_cast<double>(Tokens.size() - 1);
+}
+
+double LstmModel::gradientCheck(const std::vector<int> &Tokens,
+                                int SampleCount) {
+  assert(V > 0 && "train or init before gradientCheck");
+  // Analytic gradients via a zero-lr "training" pass would mutate
+  // parameters; instead, compute them by running trainChunk with Lr==0 is
+  // not possible (it applies updates scaled by Lr, which is 0 -> no
+  // mutation). Exploit that: run with Lr = 0 to fill nothing... we need
+  // the raw gradients. Simplest robust approach: finite differences of
+  // sequenceLoss against an analytic directional derivative obtained from
+  // a tiny SGD step.
+  //
+  // Procedure per sampled parameter p:
+  //   g_analytic ~= (loss(p) - loss(p - lr*g)) / (lr*g)  is circular, so
+  // we instead verify that a small SGD step decreases the loss in
+  // proportion to ||g||^2, and check central differences directly on a
+  // few parameters by brute force.
+  double MaxRelError = 0.0;
+  Rng R(123);
+  const float Eps = 1e-2f;
+
+  // Brute-force central differences on sampled parameters, against the
+  // analytic gradient recovered from a single unit-lr update on a copy.
+  // Save parameters.
+  auto SavedLayers = Layers;
+  auto SavedWy = Wy;
+  auto SavedBy = By;
+
+  // Recover analytic gradient: apply one step with Lr = 1, no clipping.
+  float SavedClip = Opts.GradClip;
+  Opts.GradClip = 1e30f;
+  std::vector<std::vector<float>> HState(
+      Opts.Layers, std::vector<float>(Opts.HiddenSize, 0.0f));
+  std::vector<std::vector<float>> CState = HState;
+  int T = static_cast<int>(Tokens.size()) - 1;
+  trainChunk(Tokens, 0, Tokens.size(), HState, CState, 1.0f);
+  Opts.GradClip = SavedClip;
+
+  // gradient = (old - new) * T   (trainChunk divides by T).
+  struct Sample {
+    int Kind; // 0 Wx, 1 Wh, 2 B, 3 Wy, 4 By.
+    int LayerIdx;
+    size_t Offset;
+    double Analytic;
+  };
+  std::vector<Sample> Samples;
+  for (int I = 0; I < SampleCount; ++I) {
+    Sample S;
+    S.Kind = static_cast<int>(R.bounded(5));
+    S.LayerIdx = static_cast<int>(R.bounded(Layers.size()));
+    auto Pick = [&](const std::vector<float> &Old,
+                    const std::vector<float> &New) {
+      S.Offset = R.bounded(Old.size());
+      S.Analytic = (static_cast<double>(Old[S.Offset]) - New[S.Offset]) * T;
+    };
+    switch (S.Kind) {
+    case 0: Pick(SavedLayers[S.LayerIdx].Wx, Layers[S.LayerIdx].Wx); break;
+    case 1: Pick(SavedLayers[S.LayerIdx].Wh, Layers[S.LayerIdx].Wh); break;
+    case 2: Pick(SavedLayers[S.LayerIdx].B, Layers[S.LayerIdx].B); break;
+    case 3: Pick(SavedWy, Wy); break;
+    case 4: Pick(SavedBy, By); break;
+    }
+    Samples.push_back(S);
+  }
+
+  // Restore and evaluate central differences (loss reported in bits;
+  // convert the analytic nat-scale gradient to bits).
+  Layers = SavedLayers;
+  Wy = SavedWy;
+  By = SavedBy;
+  const double Ln2 = 0.6931471805599453;
+
+  for (const Sample &S : Samples) {
+    auto Ref = [&]() -> float & {
+      switch (S.Kind) {
+      case 0: return Layers[S.LayerIdx].Wx[S.Offset];
+      case 1: return Layers[S.LayerIdx].Wh[S.Offset];
+      case 2: return Layers[S.LayerIdx].B[S.Offset];
+      case 3: return Wy[S.Offset];
+      default: return By[S.Offset];
+      }
+    };
+    float Saved = Ref();
+    Ref() = Saved + Eps;
+    double LossPlus = sequenceLoss(Tokens) * T; // Total bits.
+    Ref() = Saved - Eps;
+    double LossMinus = sequenceLoss(Tokens) * T;
+    Ref() = Saved;
+    double Numeric = (LossPlus - LossMinus) / (2.0 * Eps) * Ln2;
+    double Denom = std::max(1e-4, std::fabs(Numeric) + std::fabs(S.Analytic));
+    double RelError = std::fabs(Numeric - S.Analytic) / Denom;
+    MaxRelError = std::max(MaxRelError, RelError);
+  }
+  return MaxRelError;
+}

@@ -1,0 +1,90 @@
+//===- model/NGramModel.cpp - Backoff n-gram language model -------------------===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "model/NGramModel.h"
+
+#include <cassert>
+
+using namespace clgen;
+using namespace clgen::model;
+
+void NGramModel::train(const std::vector<std::string> &Entries) {
+  std::string All;
+  for (const std::string &E : Entries)
+    All += E;
+  Vocab = Vocabulary::fromText(All);
+  Counts.clear();
+  for (const std::string &E : Entries)
+    addSequence(E);
+  reset();
+}
+
+void NGramModel::addSequence(const std::string &Entry) {
+  // Token stream: entry characters followed by the sentinel. Contexts are
+  // built over raw characters; the sentinel uses '\0' which cannot occur
+  // inside entries.
+  std::string Stream = Entry;
+  Stream.push_back('\0');
+
+  int ContextLen = Opts.Order - 1;
+  for (size_t I = 0; I < Stream.size(); ++I) {
+    int NextId = Stream[I] == '\0' ? Vocabulary::EndOfText
+                                   : Vocab.idOf(Stream[I]);
+    // All context suffixes ending just before position I.
+    for (int L = 0; L <= ContextLen; ++L) {
+      if (static_cast<size_t>(L) > I)
+        break;
+      std::string Ctx = Stream.substr(I - L, L);
+      Counts[Ctx][NextId] += 1;
+    }
+  }
+}
+
+void NGramModel::reset() { Context.clear(); }
+
+void NGramModel::observe(int TokenId) {
+  Context.push_back(TokenId == Vocabulary::EndOfText
+                        ? '\0'
+                        : Vocab.charOf(TokenId));
+  size_t MaxLen = static_cast<size_t>(Opts.Order - 1);
+  if (Context.size() > MaxLen)
+    Context.erase(0, Context.size() - MaxLen);
+}
+
+std::vector<double> NGramModel::nextDistribution() {
+  size_t V = Vocab.size();
+  std::vector<double> Dist(V, 0.0);
+
+  // Walk from the longest available context down to the unigram level,
+  // taking the first context with any observations, discounted by
+  // BackoffAlpha per skipped level.
+  double Scale = 1.0;
+  for (size_t Skip = 0; Skip <= Context.size(); ++Skip) {
+    std::string Ctx = Context.substr(Skip);
+    auto It = Counts.find(Ctx);
+    if (It == Counts.end() || It->second.empty()) {
+      Scale *= Opts.BackoffAlpha;
+      continue;
+    }
+    double Total = 0.0;
+    for (const auto &[Id, Count] : It->second)
+      Total += Count;
+    for (const auto &[Id, Count] : It->second)
+      Dist[Id] += Scale * static_cast<double>(Count) / Total;
+    break;
+  }
+
+  // Unigram smoothing floor so every token has nonzero probability.
+  double Floor = Opts.UnigramSmoothing / static_cast<double>(V);
+  double Sum = 0.0;
+  for (double &P : Dist) {
+    P += Floor;
+    Sum += P;
+  }
+  for (double &P : Dist)
+    P /= Sum;
+  return Dist;
+}

@@ -1,0 +1,53 @@
+//===- model/Vocabulary.cpp - Character vocabulary -----------------------===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "model/Vocabulary.h"
+
+using namespace clgen;
+using namespace clgen::model;
+
+Vocabulary Vocabulary::fromText(const std::string &Corpus) {
+  Vocabulary V;
+  bool Seen[256] = {false};
+  for (char C : Corpus) {
+    auto U = static_cast<unsigned char>(C);
+    if (C != '\0' && !Seen[U]) {
+      Seen[U] = true;
+      V.IdByChar[U] = static_cast<int>(V.Chars.size());
+      V.Chars.push_back(C);
+    }
+  }
+  return V;
+}
+
+int Vocabulary::idOf(char C) const {
+  return IdByChar[static_cast<unsigned char>(C)];
+}
+
+char Vocabulary::charOf(int Id) const {
+  if (Id <= 0 || static_cast<size_t>(Id) >= Chars.size())
+    return '\0';
+  return Chars[Id];
+}
+
+std::vector<int> Vocabulary::encode(const std::string &Text) const {
+  std::vector<int> Ids;
+  Ids.reserve(Text.size());
+  for (char C : Text)
+    Ids.push_back(idOf(C));
+  return Ids;
+}
+
+std::string Vocabulary::decode(const std::vector<int> &Ids) const {
+  std::string Text;
+  Text.reserve(Ids.size());
+  for (int Id : Ids) {
+    if (Id == EndOfText)
+      break;
+    Text += charOf(Id);
+  }
+  return Text;
+}

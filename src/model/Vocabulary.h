@@ -1,0 +1,56 @@
+//===- model/Vocabulary.h - Character vocabulary -----------------*- C++ -*-===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Character-level 1-of-K vocabulary ("an output layer providing
+/// normalized probability values from a 1-of-K coded vocabulary",
+/// section 4.2). Token 0 is reserved as the end-of-kernel sentinel that
+/// separates corpus entries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLGEN_MODEL_VOCABULARY_H
+#define CLGEN_MODEL_VOCABULARY_H
+
+#include <string>
+#include <vector>
+
+namespace clgen {
+namespace model {
+
+class Vocabulary {
+public:
+  /// The reserved end-of-sequence token id.
+  static constexpr int EndOfText = 0;
+
+  /// Builds a vocabulary over every distinct character of \p Corpus.
+  static Vocabulary fromText(const std::string &Corpus);
+
+  /// Number of tokens (distinct characters + sentinel).
+  size_t size() const { return Chars.size(); }
+
+  /// Token id for \p C; unseen characters map to the sentinel.
+  int idOf(char C) const;
+
+  /// Character for token \p Id (sentinel renders as '\0').
+  char charOf(int Id) const;
+
+  /// Encodes text to token ids (no sentinel appended).
+  std::vector<int> encode(const std::string &Text) const;
+
+  /// Decodes ids to text, stopping at the sentinel.
+  std::string decode(const std::vector<int> &Ids) const;
+
+private:
+  /// Chars[id] = character; Chars[0] = '\0' sentinel.
+  std::vector<char> Chars = {'\0'};
+  int IdByChar[256] = {0};
+};
+
+} // namespace model
+} // namespace clgen
+
+#endif // CLGEN_MODEL_VOCABULARY_H

@@ -1,0 +1,123 @@
+//===- ocl/Ast.cpp - OpenCL C abstract syntax tree --------------------------===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ocl/Ast.h"
+
+using namespace clgen;
+using namespace clgen::ocl;
+
+// Out-of-line virtual destructors anchor the vtables to this file.
+Expr::~Expr() = default;
+Stmt::~Stmt() = default;
+
+bool ocl::isAssignmentOp(BinaryOp Op) {
+  return Op >= BinaryOp::Assign && Op <= BinaryOp::XorAssign;
+}
+
+BinaryOp ocl::underlyingOp(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::AddAssign: return BinaryOp::Add;
+  case BinaryOp::SubAssign: return BinaryOp::Sub;
+  case BinaryOp::MulAssign: return BinaryOp::Mul;
+  case BinaryOp::DivAssign: return BinaryOp::Div;
+  case BinaryOp::RemAssign: return BinaryOp::Rem;
+  case BinaryOp::ShlAssign: return BinaryOp::Shl;
+  case BinaryOp::ShrAssign: return BinaryOp::Shr;
+  case BinaryOp::AndAssign: return BinaryOp::BitAnd;
+  case BinaryOp::OrAssign: return BinaryOp::BitOr;
+  case BinaryOp::XorAssign: return BinaryOp::BitXor;
+  default:
+    assert(false && "not a compound assignment");
+    return BinaryOp::Add;
+  }
+}
+
+bool ocl::isComparisonOp(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Lt:
+  case BinaryOp::Gt:
+  case BinaryOp::Le:
+  case BinaryOp::Ge:
+  case BinaryOp::Eq:
+  case BinaryOp::Ne:
+    return true;
+  default:
+    return false;
+  }
+}
+
+const char *ocl::binaryOpSpelling(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Add: return "+";
+  case BinaryOp::Sub: return "-";
+  case BinaryOp::Mul: return "*";
+  case BinaryOp::Div: return "/";
+  case BinaryOp::Rem: return "%";
+  case BinaryOp::Shl: return "<<";
+  case BinaryOp::Shr: return ">>";
+  case BinaryOp::BitAnd: return "&";
+  case BinaryOp::BitOr: return "|";
+  case BinaryOp::BitXor: return "^";
+  case BinaryOp::LAnd: return "&&";
+  case BinaryOp::LOr: return "||";
+  case BinaryOp::Lt: return "<";
+  case BinaryOp::Gt: return ">";
+  case BinaryOp::Le: return "<=";
+  case BinaryOp::Ge: return ">=";
+  case BinaryOp::Eq: return "==";
+  case BinaryOp::Ne: return "!=";
+  case BinaryOp::Assign: return "=";
+  case BinaryOp::AddAssign: return "+=";
+  case BinaryOp::SubAssign: return "-=";
+  case BinaryOp::MulAssign: return "*=";
+  case BinaryOp::DivAssign: return "/=";
+  case BinaryOp::RemAssign: return "%=";
+  case BinaryOp::ShlAssign: return "<<=";
+  case BinaryOp::ShrAssign: return ">>=";
+  case BinaryOp::AndAssign: return "&=";
+  case BinaryOp::OrAssign: return "|=";
+  case BinaryOp::XorAssign: return "^=";
+  }
+  return "?";
+}
+
+const char *ocl::unaryOpSpelling(UnaryOp Op) {
+  switch (Op) {
+  case UnaryOp::Plus: return "+";
+  case UnaryOp::Neg: return "-";
+  case UnaryOp::BitNot: return "~";
+  case UnaryOp::LNot: return "!";
+  case UnaryOp::PreInc:
+  case UnaryOp::PostInc: return "++";
+  case UnaryOp::PreDec:
+  case UnaryOp::PostDec: return "--";
+  case UnaryOp::Deref: return "*";
+  case UnaryOp::AddrOf: return "&";
+  }
+  return "?";
+}
+
+FunctionDecl *Program::firstKernel() const {
+  for (const auto &F : Functions)
+    if (F->IsKernel)
+      return F.get();
+  return nullptr;
+}
+
+FunctionDecl *Program::findFunction(std::string_view Name) const {
+  for (const auto &F : Functions)
+    if (F->Name == Name)
+      return F.get();
+  return nullptr;
+}
+
+size_t Program::kernelCount() const {
+  size_t N = 0;
+  for (const auto &F : Functions)
+    if (F->IsKernel)
+      ++N;
+  return N;
+}

@@ -1,0 +1,424 @@
+//===- ocl/Ast.h - OpenCL C abstract syntax tree -----------------*- C++ -*-===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST node definitions for the OpenCL C subset. Nodes use LLVM-style
+/// kind discriminators with classof() so they work with the isa<> /
+/// cast<> / dyn_cast<> templates in ocl/Casting.h (the project builds
+/// without RTTI-style dynamic_cast).
+///
+/// Ownership: children are held by std::unique_ptr; a Program owns its
+/// top-level declarations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLGEN_OCL_AST_H
+#define CLGEN_OCL_AST_H
+
+#include "ocl/Type.h"
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace clgen {
+namespace ocl {
+
+class Expr;
+class Stmt;
+using ExprPtr = std::unique_ptr<Expr>;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+enum class BinaryOp : uint8_t {
+  Add, Sub, Mul, Div, Rem,
+  Shl, Shr, BitAnd, BitOr, BitXor,
+  LAnd, LOr,
+  Lt, Gt, Le, Ge, Eq, Ne,
+  Assign, AddAssign, SubAssign, MulAssign, DivAssign, RemAssign,
+  ShlAssign, ShrAssign, AndAssign, OrAssign, XorAssign,
+};
+
+enum class UnaryOp : uint8_t {
+  Plus, Neg, BitNot, LNot,
+  PreInc, PreDec, PostInc, PostDec,
+  Deref, AddrOf,
+};
+
+/// Returns true for the assignment family (including compound assignment).
+bool isAssignmentOp(BinaryOp Op);
+/// Returns the arithmetic op underlying a compound assignment
+/// (AddAssign -> Add); plain Assign has no underlying op and asserts.
+BinaryOp underlyingOp(BinaryOp Op);
+/// Returns true for comparison operators (result type int).
+bool isComparisonOp(BinaryOp Op);
+/// Source spelling of an operator ("+=", "&&", ...).
+const char *binaryOpSpelling(BinaryOp Op);
+const char *unaryOpSpelling(UnaryOp Op);
+
+/// Base class of all expressions. Carries the type computed by Sema.
+class Expr {
+public:
+  enum class Kind : uint8_t {
+    IntLiteral,
+    FloatLiteral,
+    VarRef,
+    Binary,
+    Unary,
+    Call,
+    Index,
+    Member,
+    Cast,
+    VectorLiteral,
+    Conditional,
+  };
+
+  virtual ~Expr();
+
+  Kind kind() const { return K; }
+  int line() const { return Line; }
+
+  /// The expression's type; Void until Sema has run.
+  QualType Ty;
+
+protected:
+  Expr(Kind K, int Line) : K(K), Line(Line) {}
+
+private:
+  Kind K;
+  int Line;
+};
+
+/// Integer literal (decimal, hex or character constant).
+class IntLiteralExpr : public Expr {
+public:
+  IntLiteralExpr(int64_t Value, bool IsUnsigned, int Line)
+      : Expr(Kind::IntLiteral, Line), Value(Value), IsUnsigned(IsUnsigned) {}
+  static bool classof(const Expr *E) { return E->kind() == Kind::IntLiteral; }
+
+  int64_t Value;
+  bool IsUnsigned;
+};
+
+/// Floating-point literal.
+class FloatLiteralExpr : public Expr {
+public:
+  FloatLiteralExpr(double Value, bool IsDoublePrecision, int Line)
+      : Expr(Kind::FloatLiteral, Line), Value(Value),
+        IsDoublePrecision(IsDoublePrecision) {}
+  static bool classof(const Expr *E) {
+    return E->kind() == Kind::FloatLiteral;
+  }
+
+  double Value;
+  bool IsDoublePrecision;
+};
+
+/// Reference to a named variable or parameter.
+class VarRefExpr : public Expr {
+public:
+  VarRefExpr(std::string Name, int Line)
+      : Expr(Kind::VarRef, Line), Name(std::move(Name)) {}
+  static bool classof(const Expr *E) { return E->kind() == Kind::VarRef; }
+
+  std::string Name;
+};
+
+/// Binary operator, including assignments.
+class BinaryExpr : public Expr {
+public:
+  BinaryExpr(BinaryOp Op, ExprPtr Lhs, ExprPtr Rhs, int Line)
+      : Expr(Kind::Binary, Line), Op(Op), Lhs(std::move(Lhs)),
+        Rhs(std::move(Rhs)) {}
+  static bool classof(const Expr *E) { return E->kind() == Kind::Binary; }
+
+  BinaryOp Op;
+  ExprPtr Lhs, Rhs;
+};
+
+/// Unary operator, including ++/-- and pointer deref/address-of.
+class UnaryExpr : public Expr {
+public:
+  UnaryExpr(UnaryOp Op, ExprPtr Operand, int Line)
+      : Expr(Kind::Unary, Line), Op(Op), Operand(std::move(Operand)) {}
+  static bool classof(const Expr *E) { return E->kind() == Kind::Unary; }
+
+  UnaryOp Op;
+  ExprPtr Operand;
+};
+
+/// Function call; Callee is a plain name resolved by Sema to either a
+/// builtin or a user-defined function in the same translation unit.
+class CallExpr : public Expr {
+public:
+  CallExpr(std::string Callee, std::vector<ExprPtr> Args, int Line)
+      : Expr(Kind::Call, Line), Callee(std::move(Callee)),
+        Args(std::move(Args)) {}
+  static bool classof(const Expr *E) { return E->kind() == Kind::Call; }
+
+  std::string Callee;
+  std::vector<ExprPtr> Args;
+  /// Set by Sema: true when Callee is an OpenCL builtin.
+  bool IsBuiltin = false;
+};
+
+/// Array subscript Base[Index].
+class IndexExpr : public Expr {
+public:
+  IndexExpr(ExprPtr Base, ExprPtr Index, int Line)
+      : Expr(Kind::Index, Line), Base(std::move(Base)),
+        Index(std::move(Index)) {}
+  static bool classof(const Expr *E) { return E->kind() == Kind::Index; }
+
+  ExprPtr Base;
+  ExprPtr Index;
+};
+
+/// Vector component / swizzle access, e.g. v.x, v.s0, v.xyz.
+class MemberExpr : public Expr {
+public:
+  MemberExpr(ExprPtr Base, std::string Component, int Line)
+      : Expr(Kind::Member, Line), Base(std::move(Base)),
+        Component(std::move(Component)) {}
+  static bool classof(const Expr *E) { return E->kind() == Kind::Member; }
+
+  ExprPtr Base;
+  std::string Component;
+  /// Lane indices resolved by Sema (one per swizzle element).
+  std::vector<uint8_t> Lanes;
+};
+
+/// C-style scalar cast, e.g. (int)x or (float)x.
+class CastExpr : public Expr {
+public:
+  CastExpr(QualType Target, ExprPtr Operand, int Line)
+      : Expr(Kind::Cast, Line), Target(Target), Operand(std::move(Operand)) {}
+  static bool classof(const Expr *E) { return E->kind() == Kind::Cast; }
+
+  QualType Target;
+  ExprPtr Operand;
+};
+
+/// OpenCL vector literal, e.g. (float4)(0.0f) or (int2)(a, b). A single
+/// element broadcasts; otherwise element count must match the width.
+class VectorLiteralExpr : public Expr {
+public:
+  VectorLiteralExpr(QualType Target, std::vector<ExprPtr> Elements, int Line)
+      : Expr(Kind::VectorLiteral, Line), Target(Target),
+        Elements(std::move(Elements)) {}
+  static bool classof(const Expr *E) {
+    return E->kind() == Kind::VectorLiteral;
+  }
+
+  QualType Target;
+  std::vector<ExprPtr> Elements;
+};
+
+/// Ternary conditional Cond ? TrueExpr : FalseExpr.
+class ConditionalExpr : public Expr {
+public:
+  ConditionalExpr(ExprPtr Cond, ExprPtr TrueExpr, ExprPtr FalseExpr, int Line)
+      : Expr(Kind::Conditional, Line), Cond(std::move(Cond)),
+        TrueExpr(std::move(TrueExpr)), FalseExpr(std::move(FalseExpr)) {}
+  static bool classof(const Expr *E) {
+    return E->kind() == Kind::Conditional;
+  }
+
+  ExprPtr Cond, TrueExpr, FalseExpr;
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+class Stmt {
+public:
+  enum class Kind : uint8_t {
+    Compound,
+    Decl,
+    Expr,
+    If,
+    For,
+    While,
+    Do,
+    Return,
+    Break,
+    Continue,
+    Empty,
+  };
+
+  virtual ~Stmt();
+
+  Kind kind() const { return K; }
+  int line() const { return Line; }
+
+protected:
+  Stmt(Kind K, int Line) : K(K), Line(Line) {}
+
+private:
+  Kind K;
+  int Line;
+};
+
+/// { ... } block.
+class CompoundStmt : public Stmt {
+public:
+  explicit CompoundStmt(int Line) : Stmt(Kind::Compound, Line) {}
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Compound; }
+
+  std::vector<StmtPtr> Body;
+};
+
+/// A local variable declaration, possibly an array and possibly __local.
+class DeclStmt : public Stmt {
+public:
+  DeclStmt(QualType Ty, std::string Name, ExprPtr Init, int Line)
+      : Stmt(Kind::Decl, Line), Ty(Ty), Name(std::move(Name)),
+        Init(std::move(Init)) {}
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Decl; }
+
+  QualType Ty;
+  std::string Name;
+  ExprPtr Init; // May be null.
+  /// For array declarations: the constant element count, else 0.
+  int64_t ArraySize = 0;
+};
+
+/// Expression statement.
+class ExprStmt : public Stmt {
+public:
+  ExprStmt(ExprPtr E, int Line) : Stmt(Kind::Expr, Line), E(std::move(E)) {}
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Expr; }
+
+  ExprPtr E;
+};
+
+class IfStmt : public Stmt {
+public:
+  IfStmt(ExprPtr Cond, StmtPtr Then, StmtPtr Else, int Line)
+      : Stmt(Kind::If, Line), Cond(std::move(Cond)), Then(std::move(Then)),
+        Else(std::move(Else)) {}
+  static bool classof(const Stmt *S) { return S->kind() == Kind::If; }
+
+  ExprPtr Cond;
+  StmtPtr Then;
+  StmtPtr Else; // May be null.
+};
+
+class ForStmt : public Stmt {
+public:
+  ForStmt(StmtPtr Init, ExprPtr Cond, ExprPtr Step, StmtPtr Body, int Line)
+      : Stmt(Kind::For, Line), Init(std::move(Init)), Cond(std::move(Cond)),
+        Step(std::move(Step)), Body(std::move(Body)) {}
+  static bool classof(const Stmt *S) { return S->kind() == Kind::For; }
+
+  StmtPtr Init; // DeclStmt, ExprStmt or null.
+  ExprPtr Cond; // May be null (infinite loop).
+  ExprPtr Step; // May be null.
+  StmtPtr Body;
+};
+
+class WhileStmt : public Stmt {
+public:
+  WhileStmt(ExprPtr Cond, StmtPtr Body, int Line)
+      : Stmt(Kind::While, Line), Cond(std::move(Cond)), Body(std::move(Body)) {
+  }
+  static bool classof(const Stmt *S) { return S->kind() == Kind::While; }
+
+  ExprPtr Cond;
+  StmtPtr Body;
+};
+
+class DoStmt : public Stmt {
+public:
+  DoStmt(StmtPtr Body, ExprPtr Cond, int Line)
+      : Stmt(Kind::Do, Line), Body(std::move(Body)), Cond(std::move(Cond)) {}
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Do; }
+
+  StmtPtr Body;
+  ExprPtr Cond;
+};
+
+class ReturnStmt : public Stmt {
+public:
+  ReturnStmt(ExprPtr Value, int Line)
+      : Stmt(Kind::Return, Line), Value(std::move(Value)) {}
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Return; }
+
+  ExprPtr Value; // May be null.
+};
+
+class BreakStmt : public Stmt {
+public:
+  explicit BreakStmt(int Line) : Stmt(Kind::Break, Line) {}
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Break; }
+};
+
+class ContinueStmt : public Stmt {
+public:
+  explicit ContinueStmt(int Line) : Stmt(Kind::Continue, Line) {}
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Continue; }
+};
+
+class EmptyStmt : public Stmt {
+public:
+  explicit EmptyStmt(int Line) : Stmt(Kind::Empty, Line) {}
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Empty; }
+};
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+/// A function parameter.
+struct ParamDecl {
+  QualType Ty;
+  std::string Name;
+};
+
+/// A function definition (kernels and helper functions).
+class FunctionDecl {
+public:
+  QualType ReturnTy;
+  std::string Name;
+  std::vector<ParamDecl> Params;
+  std::unique_ptr<CompoundStmt> Body;
+  bool IsKernel = false;
+  bool IsInline = false;
+  int Line = 0;
+};
+
+/// A whole translation unit: functions plus file-scope __constant
+/// variables.
+class Program {
+public:
+  /// File-scope constant declaration, e.g. __constant float Pi = 3.14f;
+  struct GlobalConst {
+    QualType Ty;
+    std::string Name;
+    ExprPtr Init;
+  };
+
+  std::vector<std::unique_ptr<FunctionDecl>> Functions;
+  std::vector<GlobalConst> Constants;
+
+  /// Returns the first kernel function, or nullptr when none exists.
+  FunctionDecl *firstKernel() const;
+  /// Returns the function named \p Name, or nullptr.
+  FunctionDecl *findFunction(std::string_view Name) const;
+  /// Number of kernel-qualified functions.
+  size_t kernelCount() const;
+};
+
+} // namespace ocl
+} // namespace clgen
+
+#endif // CLGEN_OCL_AST_H

@@ -1,0 +1,39 @@
+//===- ocl/AstPrinter.h - Style-normalised source printer --------*- C++ -*-===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pretty-prints an AST back to OpenCL C in a single canonical style
+/// (step 3 of the code rewriter in section 4.1: "a variant of the Google
+/// C++ code style is enforced to ensure consistent use of braces,
+/// parentheses, and white space"). Round-tripping any program through
+/// parse -> print yields byte-identical text, which the corpus pipeline
+/// relies on for deduplication.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLGEN_OCL_ASTPRINTER_H
+#define CLGEN_OCL_ASTPRINTER_H
+
+#include "ocl/Ast.h"
+
+#include <string>
+
+namespace clgen {
+namespace ocl {
+
+/// Renders the whole translation unit.
+std::string printProgram(const Program &P);
+
+/// Renders one function definition.
+std::string printFunction(const FunctionDecl &F);
+
+/// Renders a single expression (minimal parentheses).
+std::string printExpr(const Expr &E);
+
+} // namespace ocl
+} // namespace clgen
+
+#endif // CLGEN_OCL_ASTPRINTER_H

@@ -1,0 +1,222 @@
+//===- ocl/Builtins.cpp - OpenCL builtin function registry ------------------===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ocl/Builtins.h"
+
+#include <cmath>
+#include <unordered_map>
+
+using namespace clgen;
+using namespace clgen::ocl;
+
+namespace {
+
+struct RegistryEntry {
+  BuiltinOp Op;
+  int MinArity;
+  int MaxArity;
+};
+
+const std::unordered_map<std::string_view, RegistryEntry> &registry() {
+  static const std::unordered_map<std::string_view, RegistryEntry> Table = {
+      {"get_global_id", {BuiltinOp::GetGlobalId, 1, 1}},
+      {"get_local_id", {BuiltinOp::GetLocalId, 1, 1}},
+      {"get_group_id", {BuiltinOp::GetGroupId, 1, 1}},
+      {"get_global_size", {BuiltinOp::GetGlobalSize, 1, 1}},
+      {"get_local_size", {BuiltinOp::GetLocalSize, 1, 1}},
+      {"get_num_groups", {BuiltinOp::GetNumGroups, 1, 1}},
+      {"get_work_dim", {BuiltinOp::GetWorkDim, 0, 0}},
+      {"barrier", {BuiltinOp::Barrier, 1, 1}},
+      {"mem_fence", {BuiltinOp::MemFence, 1, 1}},
+      {"read_mem_fence", {BuiltinOp::MemFence, 1, 1}},
+      {"write_mem_fence", {BuiltinOp::MemFence, 1, 1}},
+
+      {"sin", {BuiltinOp::Sin, 1, 1}},
+      {"native_sin", {BuiltinOp::Sin, 1, 1}},
+      {"half_sin", {BuiltinOp::Sin, 1, 1}},
+      {"cos", {BuiltinOp::Cos, 1, 1}},
+      {"native_cos", {BuiltinOp::Cos, 1, 1}},
+      {"half_cos", {BuiltinOp::Cos, 1, 1}},
+      {"tan", {BuiltinOp::Tan, 1, 1}},
+      {"asin", {BuiltinOp::Asin, 1, 1}},
+      {"acos", {BuiltinOp::Acos, 1, 1}},
+      {"atan", {BuiltinOp::Atan, 1, 1}},
+      {"sinh", {BuiltinOp::Sinh, 1, 1}},
+      {"cosh", {BuiltinOp::Cosh, 1, 1}},
+      {"tanh", {BuiltinOp::Tanh, 1, 1}},
+      {"exp", {BuiltinOp::Exp, 1, 1}},
+      {"native_exp", {BuiltinOp::Exp, 1, 1}},
+      {"exp2", {BuiltinOp::Exp2, 1, 1}},
+      {"log", {BuiltinOp::Log, 1, 1}},
+      {"native_log", {BuiltinOp::Log, 1, 1}},
+      {"log2", {BuiltinOp::Log2, 1, 1}},
+      {"log10", {BuiltinOp::Log10, 1, 1}},
+      {"sqrt", {BuiltinOp::Sqrt, 1, 1}},
+      {"native_sqrt", {BuiltinOp::Sqrt, 1, 1}},
+      {"half_sqrt", {BuiltinOp::Sqrt, 1, 1}},
+      {"rsqrt", {BuiltinOp::Rsqrt, 1, 1}},
+      {"native_rsqrt", {BuiltinOp::Rsqrt, 1, 1}},
+      {"cbrt", {BuiltinOp::Cbrt, 1, 1}},
+      {"fabs", {BuiltinOp::Fabs, 1, 1}},
+      {"floor", {BuiltinOp::Floor, 1, 1}},
+      {"ceil", {BuiltinOp::Ceil, 1, 1}},
+      {"round", {BuiltinOp::Round, 1, 1}},
+      {"trunc", {BuiltinOp::Trunc, 1, 1}},
+      {"sign", {BuiltinOp::Sign, 1, 1}},
+
+      {"pow", {BuiltinOp::Pow, 2, 2}},
+      {"native_powr", {BuiltinOp::Pow, 2, 2}},
+      {"powr", {BuiltinOp::Pow, 2, 2}},
+      {"fmod", {BuiltinOp::Fmod, 2, 2}},
+      {"atan2", {BuiltinOp::Atan2, 2, 2}},
+      {"fmin", {BuiltinOp::Fmin, 2, 2}},
+      {"fmax", {BuiltinOp::Fmax, 2, 2}},
+      {"hypot", {BuiltinOp::Hypot, 2, 2}},
+      {"step", {BuiltinOp::Step, 2, 2}},
+      {"fdim", {BuiltinOp::Fdim, 2, 2}},
+
+      {"clamp", {BuiltinOp::Clamp, 3, 3}},
+      {"mix", {BuiltinOp::Mix, 3, 3}},
+      {"fma", {BuiltinOp::Fma, 3, 3}},
+      {"mad", {BuiltinOp::Mad, 3, 3}},
+      {"smoothstep", {BuiltinOp::Smoothstep, 3, 3}},
+
+      {"abs", {BuiltinOp::Abs, 1, 1}},
+      {"min", {BuiltinOp::Min, 2, 2}},
+      {"max", {BuiltinOp::Max, 2, 2}},
+      {"mul24", {BuiltinOp::Mul24, 2, 2}},
+      {"mad24", {BuiltinOp::Mad24, 3, 3}},
+      {"rotate", {BuiltinOp::Rotate, 2, 2}},
+
+      {"dot", {BuiltinOp::Dot, 2, 2}},
+      {"length", {BuiltinOp::Length, 1, 1}},
+      {"fast_length", {BuiltinOp::Length, 1, 1}},
+      {"distance", {BuiltinOp::Distance, 2, 2}},
+      {"fast_distance", {BuiltinOp::Distance, 2, 2}},
+      {"normalize", {BuiltinOp::Normalize, 1, 1}},
+      {"fast_normalize", {BuiltinOp::Normalize, 1, 1}},
+      {"cross", {BuiltinOp::Cross, 2, 2}},
+
+      {"select", {BuiltinOp::Select, 3, 3}},
+      {"isnan", {BuiltinOp::IsNan, 1, 1}},
+      {"isinf", {BuiltinOp::IsInf, 1, 1}},
+      {"any", {BuiltinOp::Any, 1, 1}},
+      {"all", {BuiltinOp::All, 1, 1}},
+
+      {"atomic_add", {BuiltinOp::AtomicAdd, 2, 2}},
+      {"atom_add", {BuiltinOp::AtomicAdd, 2, 2}},
+      {"atomic_sub", {BuiltinOp::AtomicSub, 2, 2}},
+      {"atomic_inc", {BuiltinOp::AtomicInc, 1, 1}},
+      {"atom_inc", {BuiltinOp::AtomicInc, 1, 1}},
+      {"atomic_dec", {BuiltinOp::AtomicDec, 1, 1}},
+      {"atomic_min", {BuiltinOp::AtomicMin, 2, 2}},
+      {"atomic_max", {BuiltinOp::AtomicMax, 2, 2}},
+      {"atomic_xchg", {BuiltinOp::AtomicXchg, 2, 2}},
+  };
+  return Table;
+}
+
+} // namespace
+
+std::optional<BuiltinInfo> ocl::lookupBuiltin(std::string_view Name) {
+  auto It = registry().find(Name);
+  if (It != registry().end()) {
+    BuiltinInfo Info;
+    Info.Op = It->second.Op;
+    Info.MinArity = It->second.MinArity;
+    Info.MaxArity = It->second.MaxArity;
+    return Info;
+  }
+
+  // convert_<type>[_sat][_rte...] family.
+  if (Name.substr(0, 8) == "convert_") {
+    std::string_view Rest = Name.substr(8);
+    // Strip rounding / saturation suffixes.
+    for (std::string_view Suffix :
+         {"_sat_rte", "_sat_rtz", "_sat", "_rte", "_rtz", "_rtp", "_rtn"}) {
+      if (Rest.size() > Suffix.size() &&
+          Rest.substr(Rest.size() - Suffix.size()) == Suffix) {
+        Rest = Rest.substr(0, Rest.size() - Suffix.size());
+        break;
+      }
+    }
+    if (auto Ty = builtinTypeByName(Rest)) {
+      BuiltinInfo Info;
+      Info.Op = BuiltinOp::Convert;
+      Info.MinArity = 1;
+      Info.MaxArity = 1;
+      Info.ConvertTarget = *Ty;
+      return Info;
+    }
+    return std::nullopt;
+  }
+
+  // vloadN / vstoreN family.
+  auto ParseWidth = [](std::string_view Digits) -> int {
+    if (Digits == "2") return 2;
+    if (Digits == "3") return 3;
+    if (Digits == "4") return 4;
+    if (Digits == "8") return 8;
+    if (Digits == "16") return 16;
+    return 0;
+  };
+  if (Name.substr(0, 5) == "vload") {
+    int W = ParseWidth(Name.substr(5));
+    if (W != 0) {
+      BuiltinInfo Info;
+      Info.Op = BuiltinOp::VLoad;
+      Info.MinArity = 2;
+      Info.MaxArity = 2;
+      Info.VectorWidth = W;
+      return Info;
+    }
+  }
+  if (Name.substr(0, 6) == "vstore") {
+    int W = ParseWidth(Name.substr(6));
+    if (W != 0) {
+      BuiltinInfo Info;
+      Info.Op = BuiltinOp::VStore;
+      Info.MinArity = 3;
+      Info.MaxArity = 3;
+      Info.VectorWidth = W;
+      return Info;
+    }
+  }
+  return std::nullopt;
+}
+
+bool ocl::isBuiltinFunction(std::string_view Name) {
+  return lookupBuiltin(Name).has_value();
+}
+
+std::optional<BuiltinConstant>
+ocl::lookupBuiltinConstant(std::string_view Name) {
+  static const std::unordered_map<std::string_view, BuiltinConstant> Table = {
+      {"CLK_LOCAL_MEM_FENCE", {QualType(Scalar::UInt), 1.0}},
+      {"CLK_GLOBAL_MEM_FENCE", {QualType(Scalar::UInt), 2.0}},
+      {"M_PI", {QualType(Scalar::Double), 3.14159265358979323846}},
+      {"M_PI_F", {QualType(Scalar::Float), 3.14159265358979323846}},
+      {"M_E", {QualType(Scalar::Double), 2.71828182845904523536}},
+      {"M_E_F", {QualType(Scalar::Float), 2.71828182845904523536}},
+      {"M_SQRT2", {QualType(Scalar::Double), 1.41421356237309504880}},
+      {"FLT_MAX", {QualType(Scalar::Float), 3.402823466e38}},
+      {"FLT_MIN", {QualType(Scalar::Float), 1.175494351e-38}},
+      {"FLT_EPSILON", {QualType(Scalar::Float), 1.192092896e-07}},
+      {"DBL_MAX", {QualType(Scalar::Double), 1.7976931348623158e308}},
+      {"INT_MAX", {QualType(Scalar::Int), 2147483647.0}},
+      {"INT_MIN", {QualType(Scalar::Int), -2147483648.0}},
+      {"UINT_MAX", {QualType(Scalar::UInt), 4294967295.0}},
+      {"INFINITY", {QualType(Scalar::Float), HUGE_VAL}},
+      {"MAXFLOAT", {QualType(Scalar::Float), 3.402823466e38}},
+      {"NAN", {QualType(Scalar::Float), NAN}},
+      {"true", {QualType(Scalar::Int), 1.0}},
+      {"false", {QualType(Scalar::Int), 0.0}},
+  };
+  auto It = Table.find(Name);
+  if (It == Table.end())
+    return std::nullopt;
+  return It->second;
+}

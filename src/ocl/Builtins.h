@@ -1,0 +1,88 @@
+//===- ocl/Builtins.h - OpenCL builtin function registry ---------*- C++ -*-===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Registry of the OpenCL C builtin functions understood by the subset:
+/// work-item queries, math, geometric, relational, synchronisation and
+/// atomic functions, plus the convert_T / vloadN / vstoreN families which
+/// are matched by name pattern. Sema uses the registry for name
+/// resolution and result typing; the VM uses the BuiltinOp discriminator
+/// for evaluation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLGEN_OCL_BUILTINS_H
+#define CLGEN_OCL_BUILTINS_H
+
+#include "ocl/Type.h"
+
+#include <optional>
+#include <string_view>
+
+namespace clgen {
+namespace ocl {
+
+enum class BuiltinOp {
+  // Work-item functions.
+  GetGlobalId, GetLocalId, GetGroupId, GetGlobalSize, GetLocalSize,
+  GetNumGroups, GetWorkDim,
+  // Synchronisation.
+  Barrier, MemFence,
+  // Unary math (gentype -> gentype).
+  Sin, Cos, Tan, Asin, Acos, Atan, Sinh, Cosh, Tanh,
+  Exp, Exp2, Log, Log2, Log10, Sqrt, Rsqrt, Cbrt,
+  Fabs, Floor, Ceil, Round, Trunc, Sign,
+  // Binary math (gentype, gentype -> gentype).
+  Pow, Fmod, Atan2, Fmin, Fmax, Hypot, Step, Fdim,
+  // Ternary math.
+  Clamp, Mix, Fma, Mad, Smoothstep,
+  // Integer math.
+  Abs, Min, Max, Mul24, Mad24, Rotate,
+  // Geometric (fixed small vectors).
+  Dot, Length, Distance, Normalize, Cross,
+  // Relational.
+  Select, IsNan, IsInf, Any, All,
+  // Conversions (name carries the target type).
+  Convert,
+  // Vector load/store (name carries the width).
+  VLoad, VStore,
+  // Atomics on global/local integer pointers.
+  AtomicAdd, AtomicSub, AtomicInc, AtomicDec, AtomicMin, AtomicMax,
+  AtomicXchg,
+};
+
+/// Resolved information about a builtin call site.
+struct BuiltinInfo {
+  BuiltinOp Op;
+  /// Required argument count range.
+  int MinArity;
+  int MaxArity;
+  /// For Convert: the target type encoded in the name.
+  QualType ConvertTarget;
+  /// For VLoad/VStore: the vector width encoded in the name.
+  int VectorWidth = 0;
+};
+
+/// Looks up \p Name in the builtin registry, including the convert_T,
+/// vloadN and vstoreN name families. Returns nullopt for unknown names.
+std::optional<BuiltinInfo> lookupBuiltin(std::string_view Name);
+
+/// Returns true when \p Name is a builtin function name. Used by the code
+/// rewriter so that builtins survive identifier renaming.
+bool isBuiltinFunction(std::string_view Name);
+
+/// Named builtin constants (CLK_LOCAL_MEM_FENCE, M_PI_F, FLT_MAX, ...).
+/// Returns the constant's value and type when \p Name is recognised.
+struct BuiltinConstant {
+  QualType Ty;
+  double Value;
+};
+std::optional<BuiltinConstant> lookupBuiltinConstant(std::string_view Name);
+
+} // namespace ocl
+} // namespace clgen
+
+#endif // CLGEN_OCL_BUILTINS_H

@@ -1,0 +1,52 @@
+//===- ocl/Casting.h - isa/cast/dyn_cast helpers -----------------*- C++ -*-===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-rolled LLVM-style RTTI: isa<>, cast<> and dyn_cast<> templates
+/// driven by each node's static classof(). The project compiles without
+/// dynamic_cast; every class participating here defines
+/// `static bool classof(const Base*)`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLGEN_OCL_CASTING_H
+#define CLGEN_OCL_CASTING_H
+
+#include <cassert>
+
+namespace clgen {
+
+/// Returns true when \p Value dynamically is a To. \p Value must be
+/// non-null.
+template <typename To, typename From> bool isa(const From *Value) {
+  assert(Value && "isa<> on a null pointer");
+  return To::classof(Value);
+}
+
+/// Checked downcast; asserts on kind mismatch.
+template <typename To, typename From> To *cast(From *Value) {
+  assert(isa<To>(Value) && "cast<> to incompatible kind");
+  return static_cast<To *>(Value);
+}
+
+template <typename To, typename From> const To *cast(const From *Value) {
+  assert(isa<To>(Value) && "cast<> to incompatible kind");
+  return static_cast<const To *>(Value);
+}
+
+/// Downcast returning nullptr on kind mismatch. \p Value must be non-null.
+template <typename To, typename From> To *dyn_cast(From *Value) {
+  return isa<To>(Value) ? static_cast<To *>(Value) : nullptr;
+}
+
+template <typename To, typename From>
+const To *dyn_cast(const From *Value) {
+  return isa<To>(Value) ? static_cast<const To *>(Value) : nullptr;
+}
+
+} // namespace clgen
+
+#endif // CLGEN_OCL_CASTING_H

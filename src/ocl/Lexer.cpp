@@ -1,0 +1,378 @@
+//===- ocl/Lexer.cpp - OpenCL C lexer --------------------------------------===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ocl/Lexer.h"
+
+#include <cctype>
+#include <unordered_set>
+
+using namespace clgen;
+using namespace clgen::ocl;
+
+std::string ocl::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Eof: return "end of file";
+  case TokenKind::Identifier: return "identifier";
+  case TokenKind::Keyword: return "keyword";
+  case TokenKind::IntLiteral: return "integer literal";
+  case TokenKind::FloatLiteral: return "float literal";
+  case TokenKind::StringLiteral: return "string literal";
+  case TokenKind::LParen: return "'('";
+  case TokenKind::RParen: return "')'";
+  case TokenKind::LBrace: return "'{'";
+  case TokenKind::RBrace: return "'}'";
+  case TokenKind::LBracket: return "'['";
+  case TokenKind::RBracket: return "']'";
+  case TokenKind::Semi: return "';'";
+  case TokenKind::Comma: return "','";
+  case TokenKind::Dot: return "'.'";
+  case TokenKind::Arrow: return "'->'";
+  case TokenKind::Plus: return "'+'";
+  case TokenKind::Minus: return "'-'";
+  case TokenKind::Star: return "'*'";
+  case TokenKind::Slash: return "'/'";
+  case TokenKind::Percent: return "'%'";
+  case TokenKind::Amp: return "'&'";
+  case TokenKind::Pipe: return "'|'";
+  case TokenKind::Caret: return "'^'";
+  case TokenKind::Tilde: return "'~'";
+  case TokenKind::Exclaim: return "'!'";
+  case TokenKind::Question: return "'?'";
+  case TokenKind::Colon: return "':'";
+  case TokenKind::Less: return "'<'";
+  case TokenKind::Greater: return "'>'";
+  case TokenKind::LessEqual: return "'<='";
+  case TokenKind::GreaterEqual: return "'>='";
+  case TokenKind::EqualEqual: return "'=='";
+  case TokenKind::ExclaimEqual: return "'!='";
+  case TokenKind::AmpAmp: return "'&&'";
+  case TokenKind::PipePipe: return "'||'";
+  case TokenKind::LessLess: return "'<<'";
+  case TokenKind::GreaterGreater: return "'>>'";
+  case TokenKind::Equal: return "'='";
+  case TokenKind::PlusEqual: return "'+='";
+  case TokenKind::MinusEqual: return "'-='";
+  case TokenKind::StarEqual: return "'*='";
+  case TokenKind::SlashEqual: return "'/='";
+  case TokenKind::PercentEqual: return "'%='";
+  case TokenKind::AmpEqual: return "'&='";
+  case TokenKind::PipeEqual: return "'|='";
+  case TokenKind::CaretEqual: return "'^='";
+  case TokenKind::LessLessEqual: return "'<<='";
+  case TokenKind::GreaterGreaterEqual: return "'>>='";
+  case TokenKind::PlusPlus: return "'++'";
+  case TokenKind::MinusMinus: return "'--'";
+  case TokenKind::Unknown: return "unknown token";
+  }
+  return "token";
+}
+
+bool ocl::isReservedKeyword(std::string_view Name) {
+  static const std::unordered_set<std::string_view> Keywords = {
+      "if",       "else",     "for",      "while",    "do",
+      "return",   "break",    "continue", "switch",   "case",
+      "default",  "goto",     "sizeof",   "const",    "volatile",
+      "restrict", "inline",   "static",   "extern",   "typedef",
+      "struct",   "union",    "enum",     "unsigned", "signed",
+      "__kernel", "kernel",   "__global", "global",   "__local",
+      "local",    "__constant", "constant", "__private", "private",
+      "__read_only", "read_only", "__write_only", "write_only",
+      "__attribute__",
+  };
+  return Keywords.count(Name) != 0;
+}
+
+namespace {
+
+/// Cursor over the source text with line/column tracking.
+class Cursor {
+public:
+  explicit Cursor(std::string_view Source) : Source(Source) {}
+
+  bool atEnd() const { return Pos >= Source.size(); }
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+  }
+  char advance() {
+    char C = Source[Pos++];
+    if (C == '\n') {
+      ++Line;
+      Column = 1;
+    } else {
+      ++Column;
+    }
+    return C;
+  }
+  bool match(char Expected) {
+    if (atEnd() || Source[Pos] != Expected)
+      return false;
+    advance();
+    return true;
+  }
+
+  std::string_view Source;
+  size_t Pos = 0;
+  int Line = 1;
+  int Column = 1;
+};
+
+} // namespace
+
+static bool isIdentStart(char C) {
+  return std::isalpha(static_cast<unsigned char>(C)) || C == '_';
+}
+static bool isIdentChar(char C) {
+  return std::isalnum(static_cast<unsigned char>(C)) || C == '_';
+}
+
+std::vector<Token> ocl::lex(std::string_view Source) {
+  std::vector<Token> Tokens;
+  Cursor C(Source);
+
+  auto Emit = [&](TokenKind Kind, std::string Text, int Line, int Col) {
+    Token T;
+    T.Kind = Kind;
+    T.Text = std::move(Text);
+    T.Line = Line;
+    T.Column = Col;
+    Tokens.push_back(std::move(T));
+  };
+
+  while (!C.atEnd()) {
+    int Line = C.Line, Col = C.Column;
+    char Ch = C.peek();
+
+    // Whitespace.
+    if (std::isspace(static_cast<unsigned char>(Ch))) {
+      C.advance();
+      continue;
+    }
+
+    // Comments (tolerated so the lexer works on raw text too).
+    if (Ch == '/' && C.peek(1) == '/') {
+      while (!C.atEnd() && C.peek() != '\n')
+        C.advance();
+      continue;
+    }
+    if (Ch == '/' && C.peek(1) == '*') {
+      C.advance();
+      C.advance();
+      while (!C.atEnd() && !(C.peek() == '*' && C.peek(1) == '/'))
+        C.advance();
+      if (!C.atEnd()) {
+        C.advance();
+        C.advance();
+      }
+      continue;
+    }
+
+    // Identifiers and keywords.
+    if (isIdentStart(Ch)) {
+      std::string Text;
+      while (!C.atEnd() && isIdentChar(C.peek()))
+        Text += C.advance();
+      TokenKind Kind = isReservedKeyword(Text) ? TokenKind::Keyword
+                                               : TokenKind::Identifier;
+      Emit(Kind, std::move(Text), Line, Col);
+      continue;
+    }
+
+    // Numeric literals. Handles decimal/hex integers, suffixes, floats with
+    // exponents and the f/F suffix.
+    if (std::isdigit(static_cast<unsigned char>(Ch)) ||
+        (Ch == '.' && std::isdigit(static_cast<unsigned char>(C.peek(1))))) {
+      std::string Text;
+      bool IsFloat = false;
+      if (Ch == '0' && (C.peek(1) == 'x' || C.peek(1) == 'X')) {
+        Text += C.advance();
+        Text += C.advance();
+        while (!C.atEnd() &&
+               std::isxdigit(static_cast<unsigned char>(C.peek())))
+          Text += C.advance();
+      } else {
+        while (!C.atEnd() &&
+               std::isdigit(static_cast<unsigned char>(C.peek())))
+          Text += C.advance();
+        if (C.peek() == '.') {
+          IsFloat = true;
+          Text += C.advance();
+          while (!C.atEnd() &&
+                 std::isdigit(static_cast<unsigned char>(C.peek())))
+            Text += C.advance();
+        }
+        if (C.peek() == 'e' || C.peek() == 'E') {
+          char Next = C.peek(1);
+          char Next2 = C.peek(2);
+          if (std::isdigit(static_cast<unsigned char>(Next)) ||
+              ((Next == '+' || Next == '-') &&
+               std::isdigit(static_cast<unsigned char>(Next2)))) {
+            IsFloat = true;
+            Text += C.advance(); // e
+            if (C.peek() == '+' || C.peek() == '-')
+              Text += C.advance();
+            while (!C.atEnd() &&
+                   std::isdigit(static_cast<unsigned char>(C.peek())))
+              Text += C.advance();
+          }
+        }
+      }
+      // Suffixes: f/F force float; u/U/l/L are integer suffixes.
+      if (C.peek() == 'f' || C.peek() == 'F') {
+        IsFloat = true;
+        Text += C.advance();
+      } else {
+        while (C.peek() == 'u' || C.peek() == 'U' || C.peek() == 'l' ||
+               C.peek() == 'L')
+          Text += C.advance();
+      }
+      Emit(IsFloat ? TokenKind::FloatLiteral : TokenKind::IntLiteral,
+           std::move(Text), Line, Col);
+      continue;
+    }
+
+    // String literals (kept whole; OpenCL kernels rarely use them).
+    if (Ch == '"') {
+      std::string Text;
+      Text += C.advance();
+      while (!C.atEnd() && C.peek() != '"' && C.peek() != '\n') {
+        if (C.peek() == '\\') {
+          Text += C.advance();
+          if (!C.atEnd())
+            Text += C.advance();
+          continue;
+        }
+        Text += C.advance();
+      }
+      if (!C.atEnd() && C.peek() == '"') {
+        Text += C.advance();
+        Emit(TokenKind::StringLiteral, std::move(Text), Line, Col);
+      } else {
+        Emit(TokenKind::Unknown, std::move(Text), Line, Col);
+      }
+      continue;
+    }
+
+    // Character literals become integer literals with the char's value.
+    if (Ch == '\'') {
+      C.advance();
+      int Value = 0;
+      if (C.peek() == '\\') {
+        C.advance();
+        char Esc = C.atEnd() ? '\0' : C.advance();
+        switch (Esc) {
+        case 'n': Value = '\n'; break;
+        case 't': Value = '\t'; break;
+        case '0': Value = 0; break;
+        case 'r': Value = '\r'; break;
+        default: Value = Esc; break;
+        }
+      } else if (!C.atEnd()) {
+        Value = C.advance();
+      }
+      if (!C.atEnd() && C.peek() == '\'') {
+        C.advance();
+        Emit(TokenKind::IntLiteral, std::to_string(Value), Line, Col);
+      } else {
+        Emit(TokenKind::Unknown, "'", Line, Col);
+      }
+      continue;
+    }
+
+    // Operators and punctuation.
+    C.advance();
+    TokenKind Kind = TokenKind::Unknown;
+    std::string Text(1, Ch);
+    switch (Ch) {
+    case '(': Kind = TokenKind::LParen; break;
+    case ')': Kind = TokenKind::RParen; break;
+    case '{': Kind = TokenKind::LBrace; break;
+    case '}': Kind = TokenKind::RBrace; break;
+    case '[': Kind = TokenKind::LBracket; break;
+    case ']': Kind = TokenKind::RBracket; break;
+    case ';': Kind = TokenKind::Semi; break;
+    case ',': Kind = TokenKind::Comma; break;
+    case '.': Kind = TokenKind::Dot; break;
+    case '~': Kind = TokenKind::Tilde; break;
+    case '?': Kind = TokenKind::Question; break;
+    case ':': Kind = TokenKind::Colon; break;
+    case '+':
+      if (C.match('+')) { Kind = TokenKind::PlusPlus; Text = "++"; }
+      else if (C.match('=')) { Kind = TokenKind::PlusEqual; Text = "+="; }
+      else Kind = TokenKind::Plus;
+      break;
+    case '-':
+      if (C.match('-')) { Kind = TokenKind::MinusMinus; Text = "--"; }
+      else if (C.match('=')) { Kind = TokenKind::MinusEqual; Text = "-="; }
+      else if (C.match('>')) { Kind = TokenKind::Arrow; Text = "->"; }
+      else Kind = TokenKind::Minus;
+      break;
+    case '*':
+      if (C.match('=')) { Kind = TokenKind::StarEqual; Text = "*="; }
+      else Kind = TokenKind::Star;
+      break;
+    case '/':
+      if (C.match('=')) { Kind = TokenKind::SlashEqual; Text = "/="; }
+      else Kind = TokenKind::Slash;
+      break;
+    case '%':
+      if (C.match('=')) { Kind = TokenKind::PercentEqual; Text = "%="; }
+      else Kind = TokenKind::Percent;
+      break;
+    case '&':
+      if (C.match('&')) { Kind = TokenKind::AmpAmp; Text = "&&"; }
+      else if (C.match('=')) { Kind = TokenKind::AmpEqual; Text = "&="; }
+      else Kind = TokenKind::Amp;
+      break;
+    case '|':
+      if (C.match('|')) { Kind = TokenKind::PipePipe; Text = "||"; }
+      else if (C.match('=')) { Kind = TokenKind::PipeEqual; Text = "|="; }
+      else Kind = TokenKind::Pipe;
+      break;
+    case '^':
+      if (C.match('=')) { Kind = TokenKind::CaretEqual; Text = "^="; }
+      else Kind = TokenKind::Caret;
+      break;
+    case '!':
+      if (C.match('=')) { Kind = TokenKind::ExclaimEqual; Text = "!="; }
+      else Kind = TokenKind::Exclaim;
+      break;
+    case '=':
+      if (C.match('=')) { Kind = TokenKind::EqualEqual; Text = "=="; }
+      else Kind = TokenKind::Equal;
+      break;
+    case '<':
+      if (C.match('<')) {
+        if (C.match('=')) { Kind = TokenKind::LessLessEqual; Text = "<<="; }
+        else { Kind = TokenKind::LessLess; Text = "<<"; }
+      } else if (C.match('=')) {
+        Kind = TokenKind::LessEqual; Text = "<=";
+      } else {
+        Kind = TokenKind::Less;
+      }
+      break;
+    case '>':
+      if (C.match('>')) {
+        if (C.match('=')) {
+          Kind = TokenKind::GreaterGreaterEqual; Text = ">>=";
+        } else {
+          Kind = TokenKind::GreaterGreater; Text = ">>";
+        }
+      } else if (C.match('=')) {
+        Kind = TokenKind::GreaterEqual; Text = ">=";
+      } else {
+        Kind = TokenKind::Greater;
+      }
+      break;
+    default:
+      Kind = TokenKind::Unknown;
+      break;
+    }
+    Emit(Kind, std::move(Text), Line, Col);
+  }
+
+  Emit(TokenKind::Eof, "", C.Line, C.Column);
+  return Tokens;
+}

@@ -1,0 +1,40 @@
+//===- ocl/Lexer.h - OpenCL C lexer ------------------------------*- C++ -*-===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A hand-written lexer for the OpenCL C subset used throughout the
+/// project. Operates on preprocessed text (no directives, no comments).
+/// Unterminated literals and stray characters are reported as Unknown
+/// tokens so that the rejection filter can produce a diagnostic rather
+/// than crashing on malformed GitHub content files.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLGEN_OCL_LEXER_H
+#define CLGEN_OCL_LEXER_H
+
+#include "ocl/Token.h"
+
+#include <string_view>
+#include <vector>
+
+namespace clgen {
+namespace ocl {
+
+/// Lexes \p Source into a token vector terminated by an Eof token.
+/// Comments are tolerated (skipped) so the lexer can also be used on raw,
+/// un-preprocessed text, e.g. by the corpus statistics pass.
+std::vector<Token> lex(std::string_view Source);
+
+/// Returns true if \p Name is a reserved declaration / control keyword of
+/// the subset ("if", "for", "return", "const", "__kernel", ...). Type names
+/// are not keywords; the parser resolves those contextually.
+bool isReservedKeyword(std::string_view Name);
+
+} // namespace ocl
+} // namespace clgen
+
+#endif // CLGEN_OCL_LEXER_H

@@ -1,0 +1,1067 @@
+//===- ocl/Parser.cpp - OpenCL C recursive-descent parser -------------------===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ocl/Parser.h"
+
+#include "ocl/Casting.h"
+#include "ocl/Lexer.h"
+#include "support/StringUtils.h"
+
+#include <cstdlib>
+#include <unordered_map>
+
+using namespace clgen;
+using namespace clgen::ocl;
+
+namespace {
+
+/// The parser proper. Fail-fast: `Failed` latches on the first error and
+/// every production bails out quickly afterwards.
+class Parser {
+public:
+  explicit Parser(const std::string &Source) : Tokens(lex(Source)) {}
+
+private:
+  std::vector<Token> Tokens;
+  size_t Pos = 0;
+  bool Failed = false;
+  std::string Diagnostic;
+  std::unordered_map<std::string, QualType> Typedefs;
+
+  //===--------------------------------------------------------------------===//
+  // Token helpers
+  //===--------------------------------------------------------------------===//
+
+  const Token &peek(size_t Ahead = 0) const {
+    size_t I = Pos + Ahead;
+    return I < Tokens.size() ? Tokens[I] : Tokens.back();
+  }
+  const Token &current() const { return peek(0); }
+  bool atEnd() const { return current().is(TokenKind::Eof); }
+
+  Token consume() {
+    Token T = current();
+    if (Pos + 1 < Tokens.size())
+      ++Pos;
+    return T;
+  }
+
+  bool tryConsume(TokenKind K) {
+    if (!current().is(K))
+      return false;
+    consume();
+    return true;
+  }
+
+  bool tryConsumeKeyword(const char *KW) {
+    if (!current().isKeyword(KW))
+      return false;
+    consume();
+    return true;
+  }
+
+  /// Records an error at the current token. Returns false for convenience.
+  bool error(const std::string &Message) {
+    if (!Failed) {
+      Failed = true;
+      Diagnostic = formatString("line %d: %s (got %s '%s')", current().Line,
+                                Message.c_str(),
+                                tokenKindName(current().Kind).c_str(),
+                                current().Text.c_str());
+    }
+    return false;
+  }
+
+  bool expect(TokenKind K, const char *Context) {
+    if (tryConsume(K))
+      return true;
+    return error(formatString("expected %s in %s", tokenKindName(K).c_str(),
+                              Context));
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Types
+  //===--------------------------------------------------------------------===//
+
+  /// Returns true when the token at \p Ahead could start a type
+  /// (qualifier keyword, builtin type name or typedef name).
+  bool isTypeStart(size_t Ahead = 0) const {
+    const Token &T = peek(Ahead);
+    if (T.is(TokenKind::Keyword)) {
+      static const char *TypeKeywords[] = {
+          "const",    "volatile",   "restrict",  "unsigned", "signed",
+          "__global", "global",     "__local",   "local",    "__constant",
+          "constant", "__private",  "private",   "__read_only",
+          "read_only", "__write_only", "write_only", "struct",
+      };
+      for (const char *KW : TypeKeywords)
+        if (T.Text == KW)
+          return true;
+      return false;
+    }
+    if (!T.is(TokenKind::Identifier))
+      return false;
+    if (builtinTypeByName(T.Text))
+      return true;
+    return Typedefs.count(T.Text) != 0;
+  }
+
+  /// Parses qualifiers + type name [+ '*']. Returns Void type on error.
+  QualType parseType() {
+    QualType Ty;
+    bool SawUnsigned = false, SawSigned = false, SawBase = false;
+
+    for (;;) {
+      const Token &T = current();
+      if (T.isKeyword("const")) {
+        Ty.Const = true;
+        consume();
+        continue;
+      }
+      if (T.isKeyword("volatile") || T.isKeyword("restrict") ||
+          T.isKeyword("__read_only") || T.isKeyword("read_only") ||
+          T.isKeyword("__write_only") || T.isKeyword("write_only")) {
+        consume(); // Accepted and ignored.
+        continue;
+      }
+      if (T.isKeyword("__global") || T.isKeyword("global")) {
+        Ty.AS = AddrSpace::Global;
+        consume();
+        continue;
+      }
+      if (T.isKeyword("__local") || T.isKeyword("local")) {
+        Ty.AS = AddrSpace::Local;
+        consume();
+        continue;
+      }
+      if (T.isKeyword("__constant") || T.isKeyword("constant")) {
+        Ty.AS = AddrSpace::Constant;
+        consume();
+        continue;
+      }
+      if (T.isKeyword("__private") || T.isKeyword("private")) {
+        Ty.AS = AddrSpace::Private;
+        consume();
+        continue;
+      }
+      if (T.isKeyword("unsigned")) {
+        SawUnsigned = true;
+        consume();
+        continue;
+      }
+      if (T.isKeyword("signed")) {
+        SawSigned = true;
+        consume();
+        continue;
+      }
+      if (T.isKeyword("struct") || T.isKeyword("union") ||
+          T.isKeyword("enum")) {
+        error("user-defined aggregate types are not supported");
+        return QualType();
+      }
+      break;
+    }
+
+    // Base type name.
+    if (current().is(TokenKind::Identifier)) {
+      if (auto Builtin = builtinTypeByName(current().Text)) {
+        QualType Base = *Builtin;
+        Ty.S = Base.S;
+        Ty.VecWidth = Base.VecWidth;
+        SawBase = true;
+        consume();
+      } else {
+        auto It = Typedefs.find(current().Text);
+        if (It != Typedefs.end()) {
+          QualType Alias = It->second;
+          Ty.S = Alias.S;
+          Ty.VecWidth = Alias.VecWidth;
+          if (Alias.Pointer)
+            Ty.Pointer = true;
+          if (Alias.Const)
+            Ty.Const = true;
+          SawBase = true;
+          consume();
+        }
+      }
+    }
+
+    if (!SawBase) {
+      if (SawUnsigned || SawSigned) {
+        // Bare "unsigned" / "signed" means int.
+        Ty.S = Scalar::Int;
+      } else {
+        error("expected type name");
+        return QualType();
+      }
+    }
+
+    if (SawUnsigned)
+      Ty.S = toUnsigned(Ty.S);
+    if (SawSigned)
+      Ty.S = toSigned(Ty.S);
+
+    // Pointer declarator(s). Multi-level pointers are unsupported.
+    if (tryConsume(TokenKind::Star)) {
+      Ty.Pointer = true;
+      // Trailing qualifiers after '*', e.g. "float * restrict".
+      while (tryConsumeKeyword("restrict") || tryConsumeKeyword("const") ||
+             tryConsumeKeyword("volatile")) {
+      }
+      if (current().is(TokenKind::Star)) {
+        error("multi-level pointers are not supported");
+        return QualType();
+      }
+    }
+    return Ty;
+  }
+
+  static Scalar toUnsigned(Scalar S) {
+    switch (S) {
+    case Scalar::Char: return Scalar::UChar;
+    case Scalar::Short: return Scalar::UShort;
+    case Scalar::Int: return Scalar::UInt;
+    case Scalar::Long: return Scalar::ULong;
+    default: return S;
+    }
+  }
+  static Scalar toSigned(Scalar S) {
+    switch (S) {
+    case Scalar::UChar: return Scalar::Char;
+    case Scalar::UShort: return Scalar::Short;
+    case Scalar::UInt: return Scalar::Int;
+    case Scalar::ULong: return Scalar::Long;
+    default: return S;
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Expressions (precedence climbing)
+  //===--------------------------------------------------------------------===//
+
+  /// Binding power of the binary operator at the cursor; 0 when the
+  /// current token is not a binary operator.
+  static int binaryPrecedence(TokenKind K) {
+    switch (K) {
+    case TokenKind::Star:
+    case TokenKind::Slash:
+    case TokenKind::Percent: return 10;
+    case TokenKind::Plus:
+    case TokenKind::Minus: return 9;
+    case TokenKind::LessLess:
+    case TokenKind::GreaterGreater: return 8;
+    case TokenKind::Less:
+    case TokenKind::Greater:
+    case TokenKind::LessEqual:
+    case TokenKind::GreaterEqual: return 7;
+    case TokenKind::EqualEqual:
+    case TokenKind::ExclaimEqual: return 6;
+    case TokenKind::Amp: return 5;
+    case TokenKind::Caret: return 4;
+    case TokenKind::Pipe: return 3;
+    case TokenKind::AmpAmp: return 2;
+    case TokenKind::PipePipe: return 1;
+    default: return 0;
+    }
+  }
+
+  static BinaryOp binaryOpFor(TokenKind K) {
+    switch (K) {
+    case TokenKind::Star: return BinaryOp::Mul;
+    case TokenKind::Slash: return BinaryOp::Div;
+    case TokenKind::Percent: return BinaryOp::Rem;
+    case TokenKind::Plus: return BinaryOp::Add;
+    case TokenKind::Minus: return BinaryOp::Sub;
+    case TokenKind::LessLess: return BinaryOp::Shl;
+    case TokenKind::GreaterGreater: return BinaryOp::Shr;
+    case TokenKind::Less: return BinaryOp::Lt;
+    case TokenKind::Greater: return BinaryOp::Gt;
+    case TokenKind::LessEqual: return BinaryOp::Le;
+    case TokenKind::GreaterEqual: return BinaryOp::Ge;
+    case TokenKind::EqualEqual: return BinaryOp::Eq;
+    case TokenKind::ExclaimEqual: return BinaryOp::Ne;
+    case TokenKind::Amp: return BinaryOp::BitAnd;
+    case TokenKind::Caret: return BinaryOp::BitXor;
+    case TokenKind::Pipe: return BinaryOp::BitOr;
+    case TokenKind::AmpAmp: return BinaryOp::LAnd;
+    case TokenKind::PipePipe: return BinaryOp::LOr;
+    default: assert(false && "not a binary operator"); return BinaryOp::Add;
+    }
+  }
+
+  /// Maps an assignment token to its BinaryOp, or nullopt.
+  static std::optional<BinaryOp> assignOpFor(TokenKind K) {
+    switch (K) {
+    case TokenKind::Equal: return BinaryOp::Assign;
+    case TokenKind::PlusEqual: return BinaryOp::AddAssign;
+    case TokenKind::MinusEqual: return BinaryOp::SubAssign;
+    case TokenKind::StarEqual: return BinaryOp::MulAssign;
+    case TokenKind::SlashEqual: return BinaryOp::DivAssign;
+    case TokenKind::PercentEqual: return BinaryOp::RemAssign;
+    case TokenKind::LessLessEqual: return BinaryOp::ShlAssign;
+    case TokenKind::GreaterGreaterEqual: return BinaryOp::ShrAssign;
+    case TokenKind::AmpEqual: return BinaryOp::AndAssign;
+    case TokenKind::PipeEqual: return BinaryOp::OrAssign;
+    case TokenKind::CaretEqual: return BinaryOp::XorAssign;
+    default: return std::nullopt;
+    }
+  }
+
+  /// expression := assignment
+  ExprPtr parseExpr() { return parseAssignment(); }
+
+  /// assignment := conditional (ASSIGNOP assignment)?
+  ExprPtr parseAssignment() {
+    ExprPtr Lhs = parseConditional();
+    if (!Lhs)
+      return nullptr;
+    auto Op = assignOpFor(current().Kind);
+    if (!Op)
+      return Lhs;
+    int Line = current().Line;
+    consume();
+    ExprPtr Rhs = parseAssignment();
+    if (!Rhs)
+      return nullptr;
+    return std::make_unique<BinaryExpr>(*Op, std::move(Lhs), std::move(Rhs),
+                                        Line);
+  }
+
+  /// conditional := binary ('?' expression ':' assignment)?
+  ExprPtr parseConditional() {
+    ExprPtr Cond = parseBinary(1);
+    if (!Cond)
+      return nullptr;
+    if (!current().is(TokenKind::Question))
+      return Cond;
+    int Line = consume().Line;
+    ExprPtr TrueE = parseExpr();
+    if (!TrueE)
+      return nullptr;
+    if (!expect(TokenKind::Colon, "conditional expression"))
+      return nullptr;
+    ExprPtr FalseE = parseAssignment();
+    if (!FalseE)
+      return nullptr;
+    return std::make_unique<ConditionalExpr>(std::move(Cond), std::move(TrueE),
+                                             std::move(FalseE), Line);
+  }
+
+  ExprPtr parseBinary(int MinPrec) {
+    ExprPtr Lhs = parseUnary();
+    if (!Lhs)
+      return nullptr;
+    for (;;) {
+      int Prec = binaryPrecedence(current().Kind);
+      if (Prec < MinPrec || Prec == 0)
+        return Lhs;
+      TokenKind OpTok = current().Kind;
+      int Line = consume().Line;
+      ExprPtr Rhs = parseBinary(Prec + 1);
+      if (!Rhs)
+        return nullptr;
+      Lhs = std::make_unique<BinaryExpr>(binaryOpFor(OpTok), std::move(Lhs),
+                                         std::move(Rhs), Line);
+    }
+  }
+
+  ExprPtr parseUnary() {
+    int Line = current().Line;
+    switch (current().Kind) {
+    case TokenKind::Plus:
+      consume();
+      return wrapUnary(UnaryOp::Plus, Line);
+    case TokenKind::Minus:
+      consume();
+      return wrapUnary(UnaryOp::Neg, Line);
+    case TokenKind::Tilde:
+      consume();
+      return wrapUnary(UnaryOp::BitNot, Line);
+    case TokenKind::Exclaim:
+      consume();
+      return wrapUnary(UnaryOp::LNot, Line);
+    case TokenKind::PlusPlus:
+      consume();
+      return wrapUnary(UnaryOp::PreInc, Line);
+    case TokenKind::MinusMinus:
+      consume();
+      return wrapUnary(UnaryOp::PreDec, Line);
+    case TokenKind::Star:
+      consume();
+      return wrapUnary(UnaryOp::Deref, Line);
+    case TokenKind::Amp:
+      consume();
+      return wrapUnary(UnaryOp::AddrOf, Line);
+    case TokenKind::LParen:
+      // Cast or parenthesised expression.
+      if (isTypeStart(1))
+        return parseCastOrVectorLiteral();
+      break;
+    default:
+      break;
+    }
+    return parsePostfix();
+  }
+
+  ExprPtr wrapUnary(UnaryOp Op, int Line) {
+    ExprPtr Operand = parseUnary();
+    if (!Operand)
+      return nullptr;
+    return std::make_unique<UnaryExpr>(Op, std::move(Operand), Line);
+  }
+
+  /// '(' type ')' followed by either a unary expression (scalar cast) or a
+  /// parenthesised element list (vector literal).
+  ExprPtr parseCastOrVectorLiteral() {
+    int Line = current().Line;
+    expect(TokenKind::LParen, "cast");
+    QualType Target = parseType();
+    if (Failed)
+      return nullptr;
+    if (!expect(TokenKind::RParen, "cast"))
+      return nullptr;
+
+    if (Target.isVector() && current().is(TokenKind::LParen)) {
+      // Vector literal: (float4)(a, b, c, d) or broadcast (float4)(0.0f).
+      consume();
+      std::vector<ExprPtr> Elements;
+      if (!current().is(TokenKind::RParen)) {
+        do {
+          ExprPtr E = parseExpr();
+          if (!E)
+            return nullptr;
+          Elements.push_back(std::move(E));
+        } while (tryConsume(TokenKind::Comma));
+      }
+      if (!expect(TokenKind::RParen, "vector literal"))
+        return nullptr;
+      if (Elements.empty()) {
+        error("vector literal requires at least one element");
+        return nullptr;
+      }
+      return std::make_unique<VectorLiteralExpr>(Target, std::move(Elements),
+                                                 Line);
+    }
+
+    ExprPtr Operand = parseUnary();
+    if (!Operand)
+      return nullptr;
+    return std::make_unique<CastExpr>(Target, std::move(Operand), Line);
+  }
+
+  ExprPtr parsePostfix() {
+    ExprPtr E = parsePrimary();
+    if (!E)
+      return nullptr;
+    for (;;) {
+      int Line = current().Line;
+      if (tryConsume(TokenKind::LBracket)) {
+        ExprPtr Index = parseExpr();
+        if (!Index)
+          return nullptr;
+        if (!expect(TokenKind::RBracket, "array subscript"))
+          return nullptr;
+        E = std::make_unique<IndexExpr>(std::move(E), std::move(Index), Line);
+        continue;
+      }
+      if (tryConsume(TokenKind::Dot)) {
+        if (!current().is(TokenKind::Identifier)) {
+          error("expected member name after '.'");
+          return nullptr;
+        }
+        std::string Component = consume().Text;
+        E = std::make_unique<MemberExpr>(std::move(E), std::move(Component),
+                                         Line);
+        continue;
+      }
+      if (current().is(TokenKind::Arrow)) {
+        error("'->' member access is not supported");
+        return nullptr;
+      }
+      if (tryConsume(TokenKind::PlusPlus)) {
+        E = std::make_unique<UnaryExpr>(UnaryOp::PostInc, std::move(E), Line);
+        continue;
+      }
+      if (tryConsume(TokenKind::MinusMinus)) {
+        E = std::make_unique<UnaryExpr>(UnaryOp::PostDec, std::move(E), Line);
+        continue;
+      }
+      return E;
+    }
+  }
+
+  ExprPtr parsePrimary() {
+    const Token &T = current();
+    int Line = T.Line;
+
+    if (T.is(TokenKind::IntLiteral)) {
+      std::string Text = consume().Text;
+      bool IsUnsigned = Text.find('u') != std::string::npos ||
+                        Text.find('U') != std::string::npos;
+      int64_t Value =
+          static_cast<int64_t>(std::strtoull(Text.c_str(), nullptr, 0));
+      return std::make_unique<IntLiteralExpr>(Value, IsUnsigned, Line);
+    }
+
+    if (T.is(TokenKind::FloatLiteral)) {
+      std::string Text = consume().Text;
+      bool IsDouble = Text.find('f') == std::string::npos &&
+                      Text.find('F') == std::string::npos;
+      double Value = std::strtod(Text.c_str(), nullptr);
+      return std::make_unique<FloatLiteralExpr>(Value, IsDouble, Line);
+    }
+
+    if (T.isKeyword("sizeof")) {
+      consume();
+      if (!expect(TokenKind::LParen, "sizeof"))
+        return nullptr;
+      QualType Ty = parseType();
+      if (Failed)
+        return nullptr;
+      if (!expect(TokenKind::RParen, "sizeof"))
+        return nullptr;
+      return std::make_unique<IntLiteralExpr>(
+          static_cast<int64_t>(Ty.elementSizeBytes()), true, Line);
+    }
+
+    if (T.is(TokenKind::Identifier)) {
+      std::string Name = consume().Text;
+      if (tryConsume(TokenKind::LParen)) {
+        std::vector<ExprPtr> Args;
+        if (!current().is(TokenKind::RParen)) {
+          do {
+            ExprPtr Arg = parseExpr();
+            if (!Arg)
+              return nullptr;
+            Args.push_back(std::move(Arg));
+          } while (tryConsume(TokenKind::Comma));
+        }
+        if (!expect(TokenKind::RParen, "call"))
+          return nullptr;
+        return std::make_unique<CallExpr>(std::move(Name), std::move(Args),
+                                          Line);
+      }
+      return std::make_unique<VarRefExpr>(std::move(Name), Line);
+    }
+
+    if (tryConsume(TokenKind::LParen)) {
+      ExprPtr E = parseExpr();
+      if (!E)
+        return nullptr;
+      if (!expect(TokenKind::RParen, "parenthesised expression"))
+        return nullptr;
+      return E;
+    }
+
+    if (T.is(TokenKind::StringLiteral)) {
+      error("string literals are not supported in kernels");
+      return nullptr;
+    }
+
+    error("expected expression");
+    return nullptr;
+  }
+
+  /// Evaluates an integer constant expression (for array sizes). Supports
+  /// literals and + - * / % << >> on them.
+  std::optional<int64_t> evalConstInt(const Expr *E) {
+    if (const auto *IL = dyn_cast<IntLiteralExpr>(E))
+      return IL->Value;
+    if (const auto *UE = dyn_cast<UnaryExpr>(E)) {
+      auto V = evalConstInt(UE->Operand.get());
+      if (!V)
+        return std::nullopt;
+      switch (UE->Op) {
+      case UnaryOp::Neg: return -*V;
+      case UnaryOp::Plus: return *V;
+      case UnaryOp::BitNot: return ~*V;
+      default: return std::nullopt;
+      }
+    }
+    if (const auto *BE = dyn_cast<BinaryExpr>(E)) {
+      auto L = evalConstInt(BE->Lhs.get());
+      auto R = evalConstInt(BE->Rhs.get());
+      if (!L || !R)
+        return std::nullopt;
+      switch (BE->Op) {
+      case BinaryOp::Add: return *L + *R;
+      case BinaryOp::Sub: return *L - *R;
+      case BinaryOp::Mul: return *L * *R;
+      case BinaryOp::Div: return *R == 0 ? std::optional<int64_t>() : *L / *R;
+      case BinaryOp::Rem: return *R == 0 ? std::optional<int64_t>() : *L % *R;
+      case BinaryOp::Shl: return *L << (*R & 63);
+      case BinaryOp::Shr: return *L >> (*R & 63);
+      default: return std::nullopt;
+      }
+    }
+    return std::nullopt;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Statements
+  //===--------------------------------------------------------------------===//
+
+  StmtPtr parseStmt() {
+    const Token &T = current();
+    int Line = T.Line;
+
+    if (T.is(TokenKind::LBrace))
+      return parseCompound();
+    if (T.isKeyword("if"))
+      return parseIf();
+    if (T.isKeyword("for"))
+      return parseFor();
+    if (T.isKeyword("while"))
+      return parseWhile();
+    if (T.isKeyword("do"))
+      return parseDo();
+    if (T.isKeyword("return")) {
+      consume();
+      ExprPtr Value;
+      if (!current().is(TokenKind::Semi)) {
+        Value = parseExpr();
+        if (!Value)
+          return nullptr;
+      }
+      if (!expect(TokenKind::Semi, "return statement"))
+        return nullptr;
+      return std::make_unique<ReturnStmt>(std::move(Value), Line);
+    }
+    if (T.isKeyword("break")) {
+      consume();
+      if (!expect(TokenKind::Semi, "break statement"))
+        return nullptr;
+      return std::make_unique<BreakStmt>(Line);
+    }
+    if (T.isKeyword("continue")) {
+      consume();
+      if (!expect(TokenKind::Semi, "continue statement"))
+        return nullptr;
+      return std::make_unique<ContinueStmt>(Line);
+    }
+    if (T.isKeyword("switch") || T.isKeyword("goto") || T.isKeyword("case") ||
+        T.isKeyword("default")) {
+      error("'" + T.Text + "' statements are not supported");
+      return nullptr;
+    }
+    if (T.is(TokenKind::Semi)) {
+      consume();
+      return std::make_unique<EmptyStmt>(Line);
+    }
+    if (isDeclStart())
+      return parseDeclGroup();
+
+    // Expression statement.
+    ExprPtr E = parseExpr();
+    if (!E)
+      return nullptr;
+    if (!expect(TokenKind::Semi, "expression statement"))
+      return nullptr;
+    return std::make_unique<ExprStmt>(std::move(E), Line);
+  }
+
+  /// A declaration begins with a type unless the type name is immediately
+  /// used as something else (e.g. a cast already handled by expression
+  /// context).
+  bool isDeclStart() const { return isTypeStart(); }
+
+  /// Parses `type name [= init] (, name [= init])* ;` into a CompoundStmt
+  /// when more than one declarator is present, or a single DeclStmt.
+  StmtPtr parseDeclGroup() {
+    int Line = current().Line;
+    QualType BaseTy = parseType();
+    if (Failed)
+      return nullptr;
+
+    std::vector<StmtPtr> Decls;
+    do {
+      StmtPtr D = parseSingleDeclarator(BaseTy);
+      if (!D)
+        return nullptr;
+      Decls.push_back(std::move(D));
+    } while (tryConsume(TokenKind::Comma));
+
+    if (!expect(TokenKind::Semi, "declaration"))
+      return nullptr;
+
+    if (Decls.size() == 1)
+      return std::move(Decls.front());
+    auto Block = std::make_unique<CompoundStmt>(Line);
+    Block->Body = std::move(Decls);
+    return Block;
+  }
+
+  StmtPtr parseSingleDeclarator(QualType BaseTy) {
+    // Additional '*' may bind to the declarator: `float *p`.
+    QualType Ty = BaseTy;
+    if (tryConsume(TokenKind::Star)) {
+      if (Ty.Pointer) {
+        error("multi-level pointers are not supported");
+        return nullptr;
+      }
+      Ty.Pointer = true;
+      while (tryConsumeKeyword("restrict") || tryConsumeKeyword("const")) {
+      }
+    }
+    if (!current().is(TokenKind::Identifier)) {
+      error("expected variable name in declaration");
+      return nullptr;
+    }
+    int Line = current().Line;
+    std::string Name = consume().Text;
+
+    int64_t ArraySize = 0;
+    if (tryConsume(TokenKind::LBracket)) {
+      ExprPtr SizeExpr = parseExpr();
+      if (!SizeExpr)
+        return nullptr;
+      auto Size = evalConstInt(SizeExpr.get());
+      if (!Size || *Size <= 0) {
+        error("array size must be a positive integer constant");
+        return nullptr;
+      }
+      ArraySize = *Size;
+      if (!expect(TokenKind::RBracket, "array declaration"))
+        return nullptr;
+    }
+
+    ExprPtr Init;
+    if (tryConsume(TokenKind::Equal)) {
+      if (current().is(TokenKind::LBrace)) {
+        error("array initialiser lists are not supported");
+        return nullptr;
+      }
+      Init = parseAssignment();
+      if (!Init)
+        return nullptr;
+    }
+
+    auto D = std::make_unique<DeclStmt>(Ty, std::move(Name), std::move(Init),
+                                        Line);
+    D->ArraySize = ArraySize;
+    return D;
+  }
+
+  StmtPtr parseCompound() {
+    int Line = current().Line;
+    if (!expect(TokenKind::LBrace, "block"))
+      return nullptr;
+    auto Block = std::make_unique<CompoundStmt>(Line);
+    while (!current().is(TokenKind::RBrace)) {
+      if (atEnd()) {
+        error("unterminated block");
+        return nullptr;
+      }
+      StmtPtr S = parseStmt();
+      if (!S)
+        return nullptr;
+      Block->Body.push_back(std::move(S));
+    }
+    consume(); // '}'
+    return Block;
+  }
+
+  StmtPtr parseIf() {
+    int Line = consume().Line; // 'if'
+    if (!expect(TokenKind::LParen, "if condition"))
+      return nullptr;
+    ExprPtr Cond = parseExpr();
+    if (!Cond)
+      return nullptr;
+    if (!expect(TokenKind::RParen, "if condition"))
+      return nullptr;
+    StmtPtr Then = parseStmt();
+    if (!Then)
+      return nullptr;
+    StmtPtr Else;
+    if (tryConsumeKeyword("else")) {
+      Else = parseStmt();
+      if (!Else)
+        return nullptr;
+    }
+    return std::make_unique<IfStmt>(std::move(Cond), std::move(Then),
+                                    std::move(Else), Line);
+  }
+
+  StmtPtr parseFor() {
+    int Line = consume().Line; // 'for'
+    if (!expect(TokenKind::LParen, "for statement"))
+      return nullptr;
+
+    StmtPtr Init;
+    if (!tryConsume(TokenKind::Semi)) {
+      if (isDeclStart()) {
+        QualType BaseTy = parseType();
+        if (Failed)
+          return nullptr;
+        std::vector<StmtPtr> Decls;
+        do {
+          StmtPtr D = parseSingleDeclarator(BaseTy);
+          if (!D)
+            return nullptr;
+          Decls.push_back(std::move(D));
+        } while (tryConsume(TokenKind::Comma));
+        if (Decls.size() == 1) {
+          Init = std::move(Decls.front());
+        } else {
+          auto Block = std::make_unique<CompoundStmt>(Line);
+          Block->Body = std::move(Decls);
+          Init = std::move(Block);
+        }
+      } else {
+        ExprPtr E = parseExpr();
+        if (!E)
+          return nullptr;
+        Init = std::make_unique<ExprStmt>(std::move(E), Line);
+      }
+      if (!expect(TokenKind::Semi, "for initialiser"))
+        return nullptr;
+    }
+
+    ExprPtr Cond;
+    if (!current().is(TokenKind::Semi)) {
+      Cond = parseExpr();
+      if (!Cond)
+        return nullptr;
+    }
+    if (!expect(TokenKind::Semi, "for condition"))
+      return nullptr;
+
+    ExprPtr Step;
+    if (!current().is(TokenKind::RParen)) {
+      Step = parseExpr();
+      if (!Step)
+        return nullptr;
+      // Comma-separated step expressions: keep the left-most, require the
+      // rest to parse (common pattern `i++, j++`).
+      while (tryConsume(TokenKind::Comma)) {
+        ExprPtr Extra = parseExpr();
+        if (!Extra)
+          return nullptr;
+        int StepLine = Step->line();
+        // Chain the extra step after the first via a synthetic comma
+        // expression encoded as (a, b) -> evaluate both: we model it with
+        // a BinaryExpr of kind Assign-free; simplest faithful encoding is
+        // to wrap both in a conditional that always evaluates both sides.
+        // Instead, keep semantics by combining into a vector-free
+        // two-statement body is not possible here, so reject.
+        (void)Extra;
+        (void)StepLine;
+        error("comma operator in for-step is not supported");
+        return nullptr;
+      }
+    }
+    if (!expect(TokenKind::RParen, "for statement"))
+      return nullptr;
+
+    StmtPtr Body = parseStmt();
+    if (!Body)
+      return nullptr;
+    return std::make_unique<ForStmt>(std::move(Init), std::move(Cond),
+                                     std::move(Step), std::move(Body), Line);
+  }
+
+  StmtPtr parseWhile() {
+    int Line = consume().Line; // 'while'
+    if (!expect(TokenKind::LParen, "while condition"))
+      return nullptr;
+    ExprPtr Cond = parseExpr();
+    if (!Cond)
+      return nullptr;
+    if (!expect(TokenKind::RParen, "while condition"))
+      return nullptr;
+    StmtPtr Body = parseStmt();
+    if (!Body)
+      return nullptr;
+    return std::make_unique<WhileStmt>(std::move(Cond), std::move(Body), Line);
+  }
+
+  StmtPtr parseDo() {
+    int Line = consume().Line; // 'do'
+    StmtPtr Body = parseStmt();
+    if (!Body)
+      return nullptr;
+    if (!tryConsumeKeyword("while")) {
+      error("expected 'while' after do-body");
+      return nullptr;
+    }
+    if (!expect(TokenKind::LParen, "do-while condition"))
+      return nullptr;
+    ExprPtr Cond = parseExpr();
+    if (!Cond)
+      return nullptr;
+    if (!expect(TokenKind::RParen, "do-while condition"))
+      return nullptr;
+    if (!expect(TokenKind::Semi, "do-while statement"))
+      return nullptr;
+    return std::make_unique<DoStmt>(std::move(Body), std::move(Cond), Line);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Top level
+  //===--------------------------------------------------------------------===//
+
+  /// Skips __attribute__((...)) with balanced parentheses.
+  bool skipAttribute() {
+    if (!tryConsumeKeyword("__attribute__"))
+      return true;
+    if (!expect(TokenKind::LParen, "__attribute__"))
+      return false;
+    int Depth = 1;
+    while (Depth > 0) {
+      if (atEnd())
+        return error("unterminated __attribute__");
+      if (tryConsume(TokenKind::LParen)) {
+        ++Depth;
+        continue;
+      }
+      if (tryConsume(TokenKind::RParen)) {
+        --Depth;
+        continue;
+      }
+      consume();
+    }
+    return true;
+  }
+
+  bool parseTypedef() {
+    consume(); // 'typedef'
+    QualType Ty = parseType();
+    if (Failed)
+      return false;
+    if (!current().is(TokenKind::Identifier))
+      return error("expected typedef name");
+    std::string Name = consume().Text;
+    if (!expect(TokenKind::Semi, "typedef"))
+      return false;
+    Typedefs[Name] = Ty;
+    return true;
+  }
+
+  bool parseTopLevel(Program &P) {
+    if (current().isKeyword("typedef"))
+      return parseTypedef();
+
+    bool IsKernel = false, IsInline = false;
+    for (;;) {
+      if (tryConsumeKeyword("__kernel") || tryConsumeKeyword("kernel")) {
+        IsKernel = true;
+        if (!skipAttribute())
+          return false;
+        continue;
+      }
+      if (tryConsumeKeyword("inline") || tryConsumeKeyword("static")) {
+        IsInline = true;
+        continue;
+      }
+      if (current().isKeyword("__attribute__")) {
+        if (!skipAttribute())
+          return false;
+        continue;
+      }
+      break;
+    }
+
+    QualType Ty = parseType();
+    if (Failed)
+      return false;
+
+    if (!current().is(TokenKind::Identifier))
+      return error("expected function or variable name");
+    int Line = current().Line;
+    std::string Name = consume().Text;
+
+    if (current().is(TokenKind::LParen)) {
+      // Function definition or prototype.
+      consume();
+      auto F = std::make_unique<FunctionDecl>();
+      F->ReturnTy = Ty;
+      F->Name = std::move(Name);
+      F->IsKernel = IsKernel;
+      F->IsInline = IsInline;
+      F->Line = Line;
+
+      if (!current().is(TokenKind::RParen)) {
+        if (current().isKeyword("void") ||
+            (current().is(TokenKind::Identifier) && current().Text == "void" &&
+             peek(1).is(TokenKind::RParen))) {
+          consume();
+        } else {
+          do {
+            QualType ParamTy = parseType();
+            if (Failed)
+              return false;
+            std::string ParamName;
+            if (current().is(TokenKind::Identifier))
+              ParamName = consume().Text;
+            // Array-style param: T name[] means pointer.
+            if (tryConsume(TokenKind::LBracket)) {
+              if (!current().is(TokenKind::RBracket)) {
+                ExprPtr SizeExpr = parseExpr();
+                if (!SizeExpr)
+                  return false;
+              }
+              if (!expect(TokenKind::RBracket, "parameter"))
+                return false;
+              ParamTy.Pointer = true;
+            }
+            F->Params.push_back({ParamTy, std::move(ParamName)});
+          } while (tryConsume(TokenKind::Comma));
+        }
+      }
+      if (!expect(TokenKind::RParen, "parameter list"))
+        return false;
+
+      if (tryConsume(TokenKind::Semi))
+        return true; // Prototype only; body may follow in another decl.
+
+      StmtPtr Body = parseCompound();
+      if (!Body)
+        return false;
+      F->Body.reset(cast<CompoundStmt>(Body.release()));
+      P.Functions.push_back(std::move(F));
+      return true;
+    }
+
+    // File-scope variable; only __constant scalars with initialisers are
+    // accepted.
+    if (Ty.AS != AddrSpace::Constant)
+      return error("file-scope variables must be __constant");
+    Program::GlobalConst GC;
+    GC.Ty = Ty;
+    GC.Name = std::move(Name);
+    if (tryConsume(TokenKind::Equal)) {
+      GC.Init = parseAssignment();
+      if (!GC.Init)
+        return false;
+    }
+    if (!expect(TokenKind::Semi, "constant declaration"))
+      return false;
+    P.Constants.push_back(std::move(GC));
+    return true;
+  }
+
+public:
+  friend Result<std::unique_ptr<Program>>
+  clgen::ocl::parseProgram(const std::string &Source);
+};
+
+} // namespace
+
+Result<std::unique_ptr<Program>>
+ocl::parseProgram(const std::string &Source) {
+  Parser P(Source);
+  auto Prog = std::make_unique<Program>();
+  while (!P.atEnd()) {
+    if (!P.parseTopLevel(*Prog)) {
+      assert(P.Failed && "top-level parse failed without diagnostic");
+      return Result<std::unique_ptr<Program>>::error(P.Diagnostic);
+    }
+  }
+  if (P.Failed)
+    return Result<std::unique_ptr<Program>>::error(P.Diagnostic);
+  return Prog;
+}

@@ -1,0 +1,40 @@
+//===- ocl/Parser.h - OpenCL C recursive-descent parser ----------*- C++ -*-===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for the OpenCL C subset. Consumes
+/// preprocessed source and produces a Program AST. The parser fails fast:
+/// the first syntax error aborts the parse with a diagnostic, which is all
+/// the rejection filter needs. Typedefs are resolved during parsing via a
+/// typedef table (required to disambiguate casts).
+///
+/// Unsupported constructs (struct/union/enum definitions, switch, goto,
+/// array initialiser lists) produce explicit "unsupported" diagnostics;
+/// this mirrors the paper's pipeline, where content files using irregular
+/// constructs are discarded by the rejection filter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLGEN_OCL_PARSER_H
+#define CLGEN_OCL_PARSER_H
+
+#include "ocl/Ast.h"
+#include "support/Result.h"
+
+#include <memory>
+#include <string>
+
+namespace clgen {
+namespace ocl {
+
+/// Parses \p Source (already preprocessed) into a Program.
+/// On failure the Result carries a "line N: message" diagnostic.
+Result<std::unique_ptr<Program>> parseProgram(const std::string &Source);
+
+} // namespace ocl
+} // namespace clgen
+
+#endif // CLGEN_OCL_PARSER_H

@@ -1,0 +1,52 @@
+//===- ocl/Preprocessor.h - Minimal C preprocessor ---------------*- C++ -*-===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small C preprocessor sufficient for GitHub-style OpenCL content
+/// files: object- and function-like macros, conditional compilation,
+/// include resolution against an in-memory header map (used for the shim
+/// header of section 4.1), comment stripping and line splicing.
+///
+/// Unknown includes are skipped rather than fatal: exactly as with the
+/// paper's corpus miner, a missing project header usually surfaces later
+/// as an undeclared-identifier rejection, which the shim header then
+/// partially repairs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLGEN_OCL_PREPROCESSOR_H
+#define CLGEN_OCL_PREPROCESSOR_H
+
+#include "support/Result.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace clgen {
+namespace ocl {
+
+struct PreprocessOptions {
+  /// Resolvable headers: basename -> content.
+  std::unordered_map<std::string, std::string> Includes;
+  /// Macros predefined before the first line, as (name, body) pairs.
+  std::vector<std::pair<std::string, std::string>> Predefined;
+};
+
+/// Runs the preprocessor over \p Source. On success the result contains
+/// directive-free, comment-free, macro-expanded source text.
+Result<std::string> preprocess(const std::string &Source,
+                               const PreprocessOptions &Opts = {});
+
+/// Removes // and /* */ comments, preserving newlines inside block
+/// comments so line numbers stay stable. Exposed separately for the
+/// corpus statistics pass.
+std::string stripComments(const std::string &Source);
+
+} // namespace ocl
+} // namespace clgen
+
+#endif // CLGEN_OCL_PREPROCESSOR_H

@@ -1,0 +1,907 @@
+//===- ocl/Sema.cpp - Semantic analysis for OpenCL C -------------------------===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ocl/Sema.h"
+
+#include "ocl/Builtins.h"
+#include "ocl/Casting.h"
+#include "support/StringUtils.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace clgen;
+using namespace clgen::ocl;
+
+int ocl::conversionRank(Scalar S) {
+  switch (S) {
+  case Scalar::Bool: return 0;
+  case Scalar::Char: return 1;
+  case Scalar::UChar: return 2;
+  case Scalar::Short: return 3;
+  case Scalar::UShort: return 4;
+  case Scalar::Int: return 5;
+  case Scalar::UInt: return 6;
+  case Scalar::Long: return 7;
+  case Scalar::ULong: return 8;
+  case Scalar::Half: return 9;
+  case Scalar::Float: return 10;
+  case Scalar::Double: return 11;
+  case Scalar::Void: return -1;
+  }
+  return -1;
+}
+
+QualType ocl::unifyArithmetic(const QualType &A, const QualType &B) {
+  if (!A.isArithmetic() || !B.isArithmetic())
+    return QualType();
+  // Vector widths must match, or one side is scalar and broadcasts.
+  uint8_t Width;
+  if (A.VecWidth == B.VecWidth)
+    Width = A.VecWidth;
+  else if (A.VecWidth == 1)
+    Width = B.VecWidth;
+  else if (B.VecWidth == 1)
+    Width = A.VecWidth;
+  else
+    return QualType();
+  Scalar S =
+      conversionRank(A.S) >= conversionRank(B.S) ? A.S : B.S;
+  return QualType(S, Width);
+}
+
+namespace {
+
+struct VarInfo {
+  QualType Ty;
+  bool IsArray = false;
+};
+
+class Sema {
+public:
+  explicit Sema(Program &P) : P(P) {}
+
+  Status run();
+
+private:
+  Program &P;
+  bool Failed = false;
+  std::string Diagnostic;
+  std::vector<std::unordered_map<std::string, VarInfo>> Scopes;
+  std::unordered_map<std::string, FunctionDecl *> Functions;
+  FunctionDecl *CurrentFunction = nullptr;
+  /// Call graph edges for recursion detection.
+  std::unordered_map<std::string, std::unordered_set<std::string>> CallGraph;
+
+  bool error(int Line, const std::string &Message) {
+    if (!Failed) {
+      Failed = true;
+      Diagnostic = formatString("line %d: %s", Line, Message.c_str());
+    }
+    return false;
+  }
+
+  void pushScope() { Scopes.emplace_back(); }
+  void popScope() { Scopes.pop_back(); }
+
+  bool declare(int Line, const std::string &Name, VarInfo Info) {
+    assert(!Scopes.empty());
+    auto &Scope = Scopes.back();
+    if (Scope.count(Name))
+      return error(Line, "redefinition of '" + Name + "'");
+    Scope.emplace(Name, Info);
+    return true;
+  }
+
+  const VarInfo *lookup(const std::string &Name) const {
+    for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+      auto Found = It->find(Name);
+      if (Found != It->end())
+        return &Found->second;
+    }
+    return nullptr;
+  }
+
+  /// Is \p E something assignable / addressable?
+  static bool isLValue(const Expr *E) {
+    if (isa<VarRefExpr>(E) || isa<IndexExpr>(E))
+      return true;
+    if (const auto *ME = dyn_cast<MemberExpr>(E))
+      return isLValue(ME->Base.get());
+    if (const auto *UE = dyn_cast<UnaryExpr>(E))
+      return UE->Op == UnaryOp::Deref;
+    return false;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Expressions
+  //===--------------------------------------------------------------------===//
+
+  bool checkExpr(Expr *E) {
+    switch (E->kind()) {
+    case Expr::Kind::IntLiteral: {
+      auto *IL = cast<IntLiteralExpr>(E);
+      E->Ty = QualType(IL->IsUnsigned ? Scalar::UInt : Scalar::Int);
+      // Large literals are long.
+      if (IL->Value > 0x7FFFFFFFll || IL->Value < -0x80000000ll)
+        E->Ty = QualType(IL->IsUnsigned ? Scalar::ULong : Scalar::Long);
+      return true;
+    }
+    case Expr::Kind::FloatLiteral: {
+      auto *FL = cast<FloatLiteralExpr>(E);
+      E->Ty = QualType(FL->IsDoublePrecision ? Scalar::Double : Scalar::Float);
+      return true;
+    }
+    case Expr::Kind::VarRef:
+      return checkVarRef(cast<VarRefExpr>(E));
+    case Expr::Kind::Binary:
+      return checkBinary(cast<BinaryExpr>(E));
+    case Expr::Kind::Unary:
+      return checkUnary(cast<UnaryExpr>(E));
+    case Expr::Kind::Call:
+      return checkCall(cast<CallExpr>(E));
+    case Expr::Kind::Index:
+      return checkIndex(cast<IndexExpr>(E));
+    case Expr::Kind::Member:
+      return checkMember(cast<MemberExpr>(E));
+    case Expr::Kind::Cast: {
+      auto *CE = cast<CastExpr>(E);
+      if (!checkExpr(CE->Operand.get()))
+        return false;
+      if (CE->Target.Pointer)
+        return error(E->line(), "pointer casts are not supported");
+      if (!CE->Operand->Ty.isArithmetic())
+        return error(E->line(), "cast of non-arithmetic value");
+      if (CE->Operand->Ty.VecWidth != CE->Target.VecWidth &&
+          CE->Operand->Ty.VecWidth != 1)
+        return error(E->line(), "cast changes vector width");
+      E->Ty = CE->Target;
+      return true;
+    }
+    case Expr::Kind::VectorLiteral: {
+      auto *VL = cast<VectorLiteralExpr>(E);
+      size_t Want = VL->Target.VecWidth;
+      if (VL->Elements.size() != 1 && VL->Elements.size() != Want)
+        return error(E->line(),
+                     formatString("vector literal needs 1 or %zu elements, "
+                                  "got %zu",
+                                  Want, VL->Elements.size()));
+      for (auto &Elem : VL->Elements) {
+        if (!checkExpr(Elem.get()))
+          return false;
+        if (!Elem->Ty.isArithmetic() || Elem->Ty.isVector())
+          return error(Elem->line(),
+                       "vector literal elements must be scalars");
+      }
+      E->Ty = VL->Target;
+      return true;
+    }
+    case Expr::Kind::Conditional: {
+      auto *CE = cast<ConditionalExpr>(E);
+      if (!checkExpr(CE->Cond.get()) || !checkExpr(CE->TrueExpr.get()) ||
+          !checkExpr(CE->FalseExpr.get()))
+        return false;
+      if (!CE->Cond->Ty.isArithmetic())
+        return error(E->line(), "condition must be arithmetic");
+      QualType Unified =
+          unifyArithmetic(CE->TrueExpr->Ty, CE->FalseExpr->Ty);
+      if (Unified.isVoid())
+        return error(E->line(), "incompatible conditional operand types");
+      E->Ty = Unified;
+      return true;
+    }
+    }
+    return error(E->line(), "unknown expression kind");
+  }
+
+  bool checkVarRef(VarRefExpr *E) {
+    if (const VarInfo *Info = lookup(E->Name)) {
+      E->Ty = Info->Ty;
+      return true;
+    }
+    if (auto Const = lookupBuiltinConstant(E->Name)) {
+      E->Ty = Const->Ty;
+      return true;
+    }
+    return error(E->line(), "use of undeclared identifier '" + E->Name + "'");
+  }
+
+  bool checkBinary(BinaryExpr *E) {
+    if (!checkExpr(E->Lhs.get()) || !checkExpr(E->Rhs.get()))
+      return false;
+    const QualType &L = E->Lhs->Ty;
+    const QualType &R = E->Rhs->Ty;
+
+    if (isAssignmentOp(E->Op)) {
+      if (!isLValue(E->Lhs.get()))
+        return error(E->line(), "assignment to non-lvalue");
+      if (L.Pointer) {
+        // Pointer assignment: p = q, or p += n.
+        if (E->Op == BinaryOp::Assign) {
+          if (!R.Pointer)
+            return error(E->line(), "assigning non-pointer to pointer");
+        } else if (E->Op == BinaryOp::AddAssign ||
+                   E->Op == BinaryOp::SubAssign) {
+          if (!R.isInteger())
+            return error(E->line(), "pointer arithmetic needs an integer");
+        } else {
+          return error(E->line(), "invalid pointer compound assignment");
+        }
+        E->Ty = L;
+        return true;
+      }
+      if (!L.isArithmetic() || !R.isArithmetic())
+        return error(E->line(), "invalid assignment operand types");
+      if (R.VecWidth != L.VecWidth && R.VecWidth != 1)
+        return error(E->line(), "vector width mismatch in assignment");
+      E->Ty = L;
+      return true;
+    }
+
+    // Pointer arithmetic and comparison.
+    if (L.Pointer || R.Pointer) {
+      if ((E->Op == BinaryOp::Add || E->Op == BinaryOp::Sub) &&
+          L.Pointer && R.isInteger()) {
+        E->Ty = L;
+        return true;
+      }
+      if (E->Op == BinaryOp::Add && R.Pointer && L.isInteger()) {
+        E->Ty = R;
+        return true;
+      }
+      if (isComparisonOp(E->Op) && L.Pointer && R.Pointer) {
+        E->Ty = QualType(Scalar::Int);
+        return true;
+      }
+      if (E->Op == BinaryOp::Sub && L.Pointer && R.Pointer) {
+        E->Ty = QualType(Scalar::Long);
+        return true;
+      }
+      return error(E->line(), "invalid pointer operation");
+    }
+
+    if (!L.isArithmetic() || !R.isArithmetic())
+      return error(E->line(), "invalid binary operand types");
+
+    QualType Unified = unifyArithmetic(L, R);
+    if (Unified.isVoid())
+      return error(E->line(), "incompatible vector widths in binary operator");
+
+    if (isComparisonOp(E->Op) || E->Op == BinaryOp::LAnd ||
+        E->Op == BinaryOp::LOr) {
+      // Comparisons yield int (vector comparisons yield int vectors).
+      E->Ty = QualType(Scalar::Int, Unified.VecWidth);
+      return true;
+    }
+
+    // Integer-only operators.
+    if (E->Op == BinaryOp::Rem || E->Op == BinaryOp::Shl ||
+        E->Op == BinaryOp::Shr || E->Op == BinaryOp::BitAnd ||
+        E->Op == BinaryOp::BitOr || E->Op == BinaryOp::BitXor) {
+      if (!L.isInteger() || !R.isInteger())
+        return error(E->line(), "bitwise operator on non-integer operands");
+    }
+    E->Ty = Unified;
+    return true;
+  }
+
+  bool checkUnary(UnaryExpr *E) {
+    if (!checkExpr(E->Operand.get()))
+      return false;
+    const QualType &T = E->Operand->Ty;
+    switch (E->Op) {
+    case UnaryOp::Plus:
+    case UnaryOp::Neg:
+      if (!T.isArithmetic())
+        return error(E->line(), "unary +/- on non-arithmetic operand");
+      E->Ty = T;
+      return true;
+    case UnaryOp::BitNot:
+      if (!T.isInteger())
+        return error(E->line(), "'~' on non-integer operand");
+      E->Ty = T;
+      return true;
+    case UnaryOp::LNot:
+      if (!T.isArithmetic())
+        return error(E->line(), "'!' on non-arithmetic operand");
+      E->Ty = QualType(Scalar::Int, T.VecWidth);
+      return true;
+    case UnaryOp::PreInc:
+    case UnaryOp::PreDec:
+    case UnaryOp::PostInc:
+    case UnaryOp::PostDec:
+      if (!isLValue(E->Operand.get()))
+        return error(E->line(), "increment of non-lvalue");
+      if (T.Pointer) {
+        E->Ty = T;
+        return true;
+      }
+      if (!T.isArithmetic() || T.isVector())
+        return error(E->line(), "increment needs a scalar operand");
+      E->Ty = T;
+      return true;
+    case UnaryOp::Deref:
+      if (!T.Pointer)
+        return error(E->line(), "dereference of non-pointer");
+      E->Ty = T.pointee();
+      return true;
+    case UnaryOp::AddrOf: {
+      if (!isLValue(E->Operand.get()))
+        return error(E->line(), "address of non-lvalue");
+      QualType PtrTy = T;
+      PtrTy.Pointer = true;
+      // Address space: if taking the address of a global buffer element,
+      // the result points into that buffer's space.
+      if (const auto *IE = dyn_cast<IndexExpr>(E->Operand.get()))
+        PtrTy.AS = IE->Base->Ty.AS;
+      E->Ty = PtrTy;
+      return true;
+    }
+    }
+    return error(E->line(), "unknown unary operator");
+  }
+
+  bool checkIndex(IndexExpr *E) {
+    if (!checkExpr(E->Base.get()) || !checkExpr(E->Index.get()))
+      return false;
+    if (!E->Base->Ty.Pointer)
+      return error(E->line(), "subscript of non-pointer value");
+    if (!E->Index->Ty.isInteger() || E->Index->Ty.isVector())
+      return error(E->line(), "array index must be a scalar integer");
+    QualType Elem = E->Base->Ty.pointee();
+    Elem.AS = E->Base->Ty.AS;
+    E->Ty = Elem;
+    return true;
+  }
+
+  bool checkMember(MemberExpr *E) {
+    if (!checkExpr(E->Base.get()))
+      return false;
+    const QualType &T = E->Base->Ty;
+    if (!T.isVector())
+      return error(E->line(),
+                   "member access on non-vector value (user-defined types "
+                   "are not supported)");
+    if (!resolveSwizzle(E, T))
+      return error(E->line(),
+                   "invalid vector component '" + E->Component + "'");
+    uint8_t Width = static_cast<uint8_t>(E->Lanes.size());
+    E->Ty = QualType(T.S, Width == 1 ? 1 : Width);
+    return true;
+  }
+
+  /// Fills E->Lanes from the component spelling; returns false when the
+  /// spelling is invalid for a vector of type \p T.
+  bool resolveSwizzle(MemberExpr *E, const QualType &T) {
+    const std::string &C = E->Component;
+    E->Lanes.clear();
+    int W = T.VecWidth;
+
+    auto XyzwLane = [&](char Ch) -> int {
+      switch (Ch) {
+      case 'x': return 0;
+      case 'y': return 1;
+      case 'z': return 2;
+      case 'w': return 3;
+      default: return -1;
+      }
+    };
+
+    // lo / hi / even / odd halves.
+    if (C == "lo" || C == "hi" || C == "even" || C == "odd") {
+      int Half = W / 2;
+      if (Half < 1)
+        return false;
+      for (int I = 0; I < Half; ++I) {
+        int Lane;
+        if (C == "lo")
+          Lane = I;
+        else if (C == "hi")
+          Lane = Half + I;
+        else if (C == "even")
+          Lane = 2 * I;
+        else
+          Lane = 2 * I + 1;
+        E->Lanes.push_back(static_cast<uint8_t>(Lane));
+      }
+      return true;
+    }
+
+    // sN / sNM... hex-indexed components.
+    if ((C[0] == 's' || C[0] == 'S') && C.size() >= 2) {
+      for (size_t I = 1; I < C.size(); ++I) {
+        char Ch = C[I];
+        int Lane;
+        if (Ch >= '0' && Ch <= '9')
+          Lane = Ch - '0';
+        else if (Ch >= 'a' && Ch <= 'f')
+          Lane = 10 + (Ch - 'a');
+        else if (Ch >= 'A' && Ch <= 'F')
+          Lane = 10 + (Ch - 'A');
+        else
+          return false;
+        if (Lane >= W)
+          return false;
+        E->Lanes.push_back(static_cast<uint8_t>(Lane));
+      }
+      return E->Lanes.size() == 1 || E->Lanes.size() == 2 ||
+             E->Lanes.size() == 3 || E->Lanes.size() == 4 ||
+             E->Lanes.size() == 8 || E->Lanes.size() == 16;
+    }
+
+    // xyzw swizzles.
+    for (char Ch : C) {
+      int Lane = XyzwLane(Ch);
+      if (Lane < 0 || Lane >= W)
+        return false;
+      E->Lanes.push_back(static_cast<uint8_t>(Lane));
+    }
+    return E->Lanes.size() >= 1 && E->Lanes.size() <= 4;
+  }
+
+  bool checkCall(CallExpr *E) {
+    for (auto &Arg : E->Args)
+      if (!checkExpr(Arg.get()))
+        return false;
+
+    if (auto Builtin = lookupBuiltin(E->Callee)) {
+      E->IsBuiltin = true;
+      int Arity = static_cast<int>(E->Args.size());
+      if (Arity < Builtin->MinArity || Arity > Builtin->MaxArity)
+        return error(E->line(), formatString("wrong number of arguments to "
+                                             "'%s'",
+                                             E->Callee.c_str()));
+      return typeBuiltinCall(E, *Builtin);
+    }
+
+    auto It = Functions.find(E->Callee);
+    if (It == Functions.end())
+      return error(E->line(),
+                   "call to undeclared function '" + E->Callee + "'");
+    FunctionDecl *Callee = It->second;
+    if (Callee->IsKernel)
+      return error(E->line(), "kernels cannot be called from device code");
+    if (Callee->Params.size() != E->Args.size())
+      return error(E->line(), formatString("'%s' expects %zu arguments, got "
+                                           "%zu",
+                                           E->Callee.c_str(),
+                                           Callee->Params.size(),
+                                           E->Args.size()));
+    for (size_t I = 0; I < E->Args.size(); ++I) {
+      const QualType &Want = Callee->Params[I].Ty;
+      const QualType &Got = E->Args[I]->Ty;
+      if (Want.Pointer != Got.Pointer)
+        return error(E->Args[I]->line(), "pointer/value argument mismatch");
+      if (!Want.Pointer && Want.isArithmetic() &&
+          unifyArithmetic(Want, Got).isVoid())
+        return error(E->Args[I]->line(), "incompatible argument type");
+    }
+    if (CurrentFunction)
+      CallGraph[CurrentFunction->Name].insert(Callee->Name);
+    E->Ty = Callee->ReturnTy;
+    return true;
+  }
+
+  bool typeBuiltinCall(CallExpr *E, const BuiltinInfo &Info) {
+    auto ArgTy = [&](size_t I) -> const QualType & { return E->Args[I]->Ty; };
+
+    switch (Info.Op) {
+    case BuiltinOp::GetGlobalId:
+    case BuiltinOp::GetLocalId:
+    case BuiltinOp::GetGroupId:
+    case BuiltinOp::GetGlobalSize:
+    case BuiltinOp::GetLocalSize:
+    case BuiltinOp::GetNumGroups:
+      if (!ArgTy(0).isInteger())
+        return error(E->line(), "work-item query needs an integer dimension");
+      E->Ty = QualType(Scalar::UInt);
+      return true;
+    case BuiltinOp::GetWorkDim:
+      E->Ty = QualType(Scalar::UInt);
+      return true;
+
+    case BuiltinOp::Barrier:
+    case BuiltinOp::MemFence:
+      E->Ty = QualType(Scalar::Void);
+      return true;
+
+    // Unary float math: integers promote to float.
+    case BuiltinOp::Sin: case BuiltinOp::Cos: case BuiltinOp::Tan:
+    case BuiltinOp::Asin: case BuiltinOp::Acos: case BuiltinOp::Atan:
+    case BuiltinOp::Sinh: case BuiltinOp::Cosh: case BuiltinOp::Tanh:
+    case BuiltinOp::Exp: case BuiltinOp::Exp2: case BuiltinOp::Log:
+    case BuiltinOp::Log2: case BuiltinOp::Log10: case BuiltinOp::Sqrt:
+    case BuiltinOp::Rsqrt: case BuiltinOp::Cbrt: case BuiltinOp::Fabs:
+    case BuiltinOp::Floor: case BuiltinOp::Ceil: case BuiltinOp::Round:
+    case BuiltinOp::Trunc: case BuiltinOp::Sign: {
+      if (!ArgTy(0).isArithmetic())
+        return error(E->line(), "math builtin on non-arithmetic operand");
+      Scalar S = ArgTy(0).S == Scalar::Double ? Scalar::Double : Scalar::Float;
+      E->Ty = QualType(S, ArgTy(0).VecWidth);
+      return true;
+    }
+
+    case BuiltinOp::Pow: case BuiltinOp::Fmod: case BuiltinOp::Atan2:
+    case BuiltinOp::Fmin: case BuiltinOp::Fmax: case BuiltinOp::Hypot:
+    case BuiltinOp::Step: case BuiltinOp::Fdim: {
+      QualType U = unifyArithmetic(ArgTy(0), ArgTy(1));
+      if (U.isVoid())
+        return error(E->line(), "incompatible math builtin operands");
+      Scalar S = U.S == Scalar::Double ? Scalar::Double : Scalar::Float;
+      E->Ty = QualType(S, U.VecWidth);
+      return true;
+    }
+
+    case BuiltinOp::Clamp: case BuiltinOp::Mix: case BuiltinOp::Fma:
+    case BuiltinOp::Mad: case BuiltinOp::Smoothstep: {
+      QualType U = unifyArithmetic(unifyArithmetic(ArgTy(0), ArgTy(1)),
+                                   ArgTy(2));
+      if (U.isVoid())
+        return error(E->line(), "incompatible math builtin operands");
+      E->Ty = U;
+      return true;
+    }
+
+    case BuiltinOp::Abs:
+      if (!ArgTy(0).isArithmetic())
+        return error(E->line(), "abs on non-arithmetic operand");
+      E->Ty = ArgTy(0);
+      return true;
+    case BuiltinOp::Min: case BuiltinOp::Max:
+    case BuiltinOp::Mul24: case BuiltinOp::Rotate: {
+      QualType U = unifyArithmetic(ArgTy(0), ArgTy(1));
+      if (U.isVoid())
+        return error(E->line(), "incompatible builtin operands");
+      E->Ty = U;
+      return true;
+    }
+    case BuiltinOp::Mad24: {
+      QualType U = unifyArithmetic(unifyArithmetic(ArgTy(0), ArgTy(1)),
+                                   ArgTy(2));
+      if (U.isVoid())
+        return error(E->line(), "incompatible builtin operands");
+      E->Ty = U;
+      return true;
+    }
+
+    case BuiltinOp::Dot: {
+      QualType U = unifyArithmetic(ArgTy(0), ArgTy(1));
+      if (U.isVoid())
+        return error(E->line(), "incompatible dot operands");
+      E->Ty = QualType(U.S == Scalar::Double ? Scalar::Double : Scalar::Float);
+      return true;
+    }
+    case BuiltinOp::Length:
+      if (!ArgTy(0).isArithmetic())
+        return error(E->line(), "length on non-arithmetic operand");
+      E->Ty = QualType(Scalar::Float);
+      return true;
+    case BuiltinOp::Distance: {
+      QualType U = unifyArithmetic(ArgTy(0), ArgTy(1));
+      if (U.isVoid())
+        return error(E->line(), "incompatible distance operands");
+      E->Ty = QualType(Scalar::Float);
+      return true;
+    }
+    case BuiltinOp::Normalize:
+      if (!ArgTy(0).isArithmetic())
+        return error(E->line(), "normalize on non-arithmetic operand");
+      E->Ty = QualType(Scalar::Float, ArgTy(0).VecWidth);
+      return true;
+    case BuiltinOp::Cross: {
+      if (ArgTy(0).VecWidth != 3 && ArgTy(0).VecWidth != 4)
+        return error(E->line(), "cross requires 3- or 4-vectors");
+      QualType U = unifyArithmetic(ArgTy(0), ArgTy(1));
+      if (U.isVoid())
+        return error(E->line(), "incompatible cross operands");
+      E->Ty = QualType(Scalar::Float, ArgTy(0).VecWidth);
+      return true;
+    }
+
+    case BuiltinOp::Select: {
+      QualType U = unifyArithmetic(ArgTy(0), ArgTy(1));
+      if (U.isVoid() || !ArgTy(2).isArithmetic())
+        return error(E->line(), "incompatible select operands");
+      E->Ty = U;
+      return true;
+    }
+    case BuiltinOp::IsNan: case BuiltinOp::IsInf:
+    case BuiltinOp::Any: case BuiltinOp::All:
+      if (!ArgTy(0).isArithmetic())
+        return error(E->line(), "relational builtin on non-arithmetic value");
+      E->Ty = QualType(Scalar::Int);
+      return true;
+
+    case BuiltinOp::Convert: {
+      const QualType &Target = Info.ConvertTarget;
+      if (!ArgTy(0).isArithmetic())
+        return error(E->line(), "convert on non-arithmetic value");
+      if (ArgTy(0).VecWidth != Target.VecWidth && ArgTy(0).VecWidth != 1)
+        return error(E->line(), "convert changes vector width");
+      E->Ty = Target;
+      return true;
+    }
+
+    case BuiltinOp::VLoad: {
+      if (!ArgTy(0).isInteger())
+        return error(E->line(), "vload offset must be an integer");
+      if (!ArgTy(1).Pointer || ArgTy(1).pointee().isVector())
+        return error(E->line(), "vload needs a scalar-element pointer");
+      E->Ty = QualType(ArgTy(1).S, static_cast<uint8_t>(Info.VectorWidth));
+      return true;
+    }
+    case BuiltinOp::VStore: {
+      if (ArgTy(0).VecWidth != Info.VectorWidth)
+        return error(E->line(), "vstore value width mismatch");
+      if (!ArgTy(1).isInteger())
+        return error(E->line(), "vstore offset must be an integer");
+      if (!ArgTy(2).Pointer || ArgTy(2).pointee().isVector())
+        return error(E->line(), "vstore needs a scalar-element pointer");
+      E->Ty = QualType(Scalar::Void);
+      return true;
+    }
+
+    case BuiltinOp::AtomicAdd: case BuiltinOp::AtomicSub:
+    case BuiltinOp::AtomicMin: case BuiltinOp::AtomicMax:
+    case BuiltinOp::AtomicXchg: {
+      if (!ArgTy(0).Pointer || !ArgTy(0).pointee().isInteger())
+        return error(E->line(), "atomic needs an integer pointer");
+      if (!ArgTy(1).isInteger())
+        return error(E->line(), "atomic operand must be an integer");
+      E->Ty = ArgTy(0).pointee();
+      return true;
+    }
+    case BuiltinOp::AtomicInc: case BuiltinOp::AtomicDec: {
+      if (!ArgTy(0).Pointer || !ArgTy(0).pointee().isInteger())
+        return error(E->line(), "atomic needs an integer pointer");
+      E->Ty = ArgTy(0).pointee();
+      return true;
+    }
+    }
+    return error(E->line(), "unhandled builtin");
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Statements
+  //===--------------------------------------------------------------------===//
+
+  bool checkStmt(Stmt *S) {
+    switch (S->kind()) {
+    case Stmt::Kind::Compound: {
+      auto *CS = cast<CompoundStmt>(S);
+      pushScope();
+      for (auto &Child : CS->Body)
+        if (!checkStmt(Child.get())) {
+          popScope();
+          return false;
+        }
+      popScope();
+      return true;
+    }
+    case Stmt::Kind::Decl:
+      return checkDecl(cast<DeclStmt>(S));
+    case Stmt::Kind::Expr:
+      return checkExpr(cast<ExprStmt>(S)->E.get());
+    case Stmt::Kind::If: {
+      auto *IS = cast<IfStmt>(S);
+      if (!checkExpr(IS->Cond.get()))
+        return false;
+      if (!IS->Cond->Ty.isArithmetic() && !IS->Cond->Ty.Pointer)
+        return error(S->line(), "if condition must be arithmetic");
+      if (!checkStmt(IS->Then.get()))
+        return false;
+      if (IS->Else && !checkStmt(IS->Else.get()))
+        return false;
+      return true;
+    }
+    case Stmt::Kind::For: {
+      auto *FS = cast<ForStmt>(S);
+      pushScope();
+      bool Ok = true;
+      if (FS->Init)
+        Ok = checkStmt(FS->Init.get());
+      if (Ok && FS->Cond) {
+        Ok = checkExpr(FS->Cond.get());
+        if (Ok && !FS->Cond->Ty.isArithmetic())
+          Ok = error(S->line(), "for condition must be arithmetic");
+      }
+      if (Ok && FS->Step)
+        Ok = checkExpr(FS->Step.get());
+      if (Ok)
+        Ok = checkStmt(FS->Body.get());
+      popScope();
+      return Ok;
+    }
+    case Stmt::Kind::While: {
+      auto *WS = cast<WhileStmt>(S);
+      if (!checkExpr(WS->Cond.get()))
+        return false;
+      if (!WS->Cond->Ty.isArithmetic())
+        return error(S->line(), "while condition must be arithmetic");
+      return checkStmt(WS->Body.get());
+    }
+    case Stmt::Kind::Do: {
+      auto *DS = cast<DoStmt>(S);
+      if (!checkStmt(DS->Body.get()))
+        return false;
+      if (!checkExpr(DS->Cond.get()))
+        return false;
+      if (!DS->Cond->Ty.isArithmetic())
+        return error(S->line(), "do-while condition must be arithmetic");
+      return true;
+    }
+    case Stmt::Kind::Return: {
+      auto *RS = cast<ReturnStmt>(S);
+      assert(CurrentFunction && "return outside function");
+      if (RS->Value) {
+        if (!checkExpr(RS->Value.get()))
+          return false;
+        if (CurrentFunction->ReturnTy.isVoid())
+          return error(S->line(), "void function returns a value");
+        if (!RS->Value->Ty.isArithmetic())
+          return error(S->line(), "unsupported return value type");
+      } else if (!CurrentFunction->ReturnTy.isVoid()) {
+        return error(S->line(), "non-void function returns nothing");
+      }
+      return true;
+    }
+    case Stmt::Kind::Break:
+    case Stmt::Kind::Continue:
+    case Stmt::Kind::Empty:
+      return true;
+    }
+    return error(S->line(), "unknown statement kind");
+  }
+
+  bool checkDecl(DeclStmt *D) {
+    QualType Ty = D->Ty;
+    if (D->ArraySize > 0) {
+      // Arrays decay to pointers of the declared address space.
+      if (Ty.Pointer)
+        return error(D->line(), "arrays of pointers are not supported");
+      Ty.Pointer = true;
+      if (Ty.AS == AddrSpace::Constant)
+        return error(D->line(), "local __constant arrays are not supported");
+    } else if (Ty.AS == AddrSpace::Local) {
+      // A non-array __local scalar is legal OpenCL; model it as a
+      // single-element array.
+      if (!Ty.Pointer) {
+        D->ArraySize = 1;
+        Ty.Pointer = true;
+      }
+    }
+
+    if (D->Init) {
+      if (D->ArraySize > 0)
+        return error(D->line(), "array declarations cannot have initialisers");
+      if (!checkExpr(D->Init.get()))
+        return false;
+      if (Ty.Pointer) {
+        if (!D->Init->Ty.Pointer)
+          return error(D->line(), "initialising pointer from non-pointer");
+      } else if (!D->Init->Ty.isArithmetic()) {
+        return error(D->line(), "unsupported initialiser type");
+      } else if (D->Init->Ty.VecWidth != Ty.VecWidth &&
+                 D->Init->Ty.VecWidth != 1) {
+        return error(D->line(), "vector width mismatch in initialiser");
+      }
+    }
+
+    VarInfo Info;
+    Info.Ty = Ty;
+    Info.IsArray = D->ArraySize > 0;
+    return declare(D->line(), D->Name, Info);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Functions / program
+  //===--------------------------------------------------------------------===//
+
+  bool checkFunction(FunctionDecl *F) {
+    CurrentFunction = F;
+    pushScope();
+    for (const ParamDecl &Param : F->Params) {
+      if (Param.Name.empty()) {
+        popScope();
+        return error(F->Line, "unnamed parameter in '" + F->Name + "'");
+      }
+      if (F->IsKernel && Param.Ty.isVector() && Param.Ty.Pointer &&
+          Param.Ty.VecWidth > 16) {
+        popScope();
+        return error(F->Line, "unsupported parameter type");
+      }
+      VarInfo Info;
+      Info.Ty = Param.Ty;
+      if (!declare(F->Line, Param.Name, Info)) {
+        popScope();
+        return false;
+      }
+    }
+    bool Ok = checkStmt(F->Body.get());
+    popScope();
+    CurrentFunction = nullptr;
+    return Ok;
+  }
+
+  /// DFS cycle check over the user-function call graph.
+  bool hasRecursion() {
+    enum class Mark { White, Grey, Black };
+    std::unordered_map<std::string, Mark> Marks;
+    for (auto &F : P.Functions)
+      Marks[F->Name] = Mark::White;
+
+    // Iterative DFS with an explicit stack.
+    for (auto &F : P.Functions) {
+      if (Marks[F->Name] != Mark::White)
+        continue;
+      std::vector<std::pair<std::string, bool>> Stack;
+      Stack.push_back({F->Name, false});
+      while (!Stack.empty()) {
+        auto [Name, Done] = Stack.back();
+        Stack.pop_back();
+        if (Done) {
+          Marks[Name] = Mark::Black;
+          continue;
+        }
+        if (Marks[Name] == Mark::Grey)
+          continue;
+        Marks[Name] = Mark::Grey;
+        Stack.push_back({Name, true});
+        for (const std::string &Callee : CallGraph[Name]) {
+          if (Marks[Callee] == Mark::Grey)
+            return true;
+          if (Marks[Callee] == Mark::White)
+            Stack.push_back({Callee, false});
+        }
+      }
+    }
+    return false;
+  }
+
+public:
+  Status runImpl() {
+    // Register functions first so forward calls resolve.
+    for (auto &F : P.Functions) {
+      if (Functions.count(F->Name))
+        return Status::error(formatString("line %d: redefinition of "
+                                          "function '%s'",
+                                          F->Line, F->Name.c_str()));
+      Functions[F->Name] = F.get();
+    }
+
+    // File-scope constants live in the outermost scope.
+    pushScope();
+    for (auto &GC : P.Constants) {
+      if (GC.Init && !checkExpr(GC.Init.get()))
+        return Status::error(Diagnostic);
+      VarInfo Info;
+      Info.Ty = GC.Ty;
+      if (!declare(0, GC.Name, Info))
+        return Status::error(Diagnostic);
+    }
+
+    for (auto &F : P.Functions) {
+      if (!checkFunction(F.get())) {
+        popScope();
+        return Status::error(Diagnostic);
+      }
+    }
+    popScope();
+
+    if (hasRecursion())
+      return Status::error("recursive functions are not supported");
+    return Status();
+  }
+};
+
+} // namespace
+
+Status Sema::run() { return runImpl(); }
+
+Status ocl::analyze(Program &P) {
+  Sema S(P);
+  return S.run();
+}

@@ -1,0 +1,45 @@
+//===- ocl/Sema.h - Semantic analysis for OpenCL C ---------------*- C++ -*-===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Semantic analysis: name resolution, type checking and type annotation
+/// of a parsed Program. Sema writes the computed type into each Expr node
+/// (Expr::Ty) so later passes (bytecode compiler, feature extractor)
+/// never re-derive types.
+///
+/// This pass is the second half of the "compile" oracle used by the
+/// rejection filter; undeclared identifiers — the dominant failure mode
+/// for GitHub-mined device code isolated from its host project (section
+/// 4.1 of the paper) — are diagnosed here.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLGEN_OCL_SEMA_H
+#define CLGEN_OCL_SEMA_H
+
+#include "ocl/Ast.h"
+#include "support/Result.h"
+
+namespace clgen {
+namespace ocl {
+
+/// Type-checks \p P in place. On success every Expr has a valid type; on
+/// failure the Status carries a "line N: message" diagnostic and the AST
+/// must be considered unusable.
+Status analyze(Program &P);
+
+/// The usual arithmetic conversion rank; higher rank wins in a binary
+/// operation. Exposed for reuse by the bytecode compiler.
+int conversionRank(Scalar S);
+
+/// Computes the common type of two arithmetic operands, including
+/// scalar-to-vector broadcast. Returns Void type when incompatible.
+QualType unifyArithmetic(const QualType &A, const QualType &B);
+
+} // namespace ocl
+} // namespace clgen
+
+#endif // CLGEN_OCL_SEMA_H

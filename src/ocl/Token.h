@@ -1,0 +1,99 @@
+//===- ocl/Token.h - Token definitions for OpenCL C -------------*- C++ -*-===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds produced by the OpenCL C lexer. The lexer runs after the
+/// preprocessor, so tokens never contain preprocessor directives.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLGEN_OCL_TOKEN_H
+#define CLGEN_OCL_TOKEN_H
+
+#include <string>
+
+namespace clgen {
+namespace ocl {
+
+enum class TokenKind {
+  Eof,
+  Identifier,
+  Keyword,    // Control-flow / declaration keywords (if, for, return, ...).
+  IntLiteral, // Includes hex and character literals (value resolved).
+  FloatLiteral,
+  StringLiteral,
+  // Punctuation and operators.
+  LParen,     // (
+  RParen,     // )
+  LBrace,     // {
+  RBrace,     // }
+  LBracket,   // [
+  RBracket,   // ]
+  Semi,       // ;
+  Comma,      // ,
+  Dot,        // .
+  Arrow,      // ->
+  Plus,       // +
+  Minus,      // -
+  Star,       // *
+  Slash,      // /
+  Percent,    // %
+  Amp,        // &
+  Pipe,       // |
+  Caret,      // ^
+  Tilde,      // ~
+  Exclaim,    // !
+  Question,   // ?
+  Colon,      // :
+  Less,       // <
+  Greater,    // >
+  LessEqual,  // <=
+  GreaterEqual, // >=
+  EqualEqual, // ==
+  ExclaimEqual, // !=
+  AmpAmp,     // &&
+  PipePipe,   // ||
+  LessLess,   // <<
+  GreaterGreater, // >>
+  Equal,      // =
+  PlusEqual,  // +=
+  MinusEqual, // -=
+  StarEqual,  // *=
+  SlashEqual, // /=
+  PercentEqual, // %=
+  AmpEqual,   // &=
+  PipeEqual,  // |=
+  CaretEqual, // ^=
+  LessLessEqual,       // <<=
+  GreaterGreaterEqual, // >>=
+  PlusPlus,   // ++
+  MinusMinus, // --
+  Unknown,
+};
+
+/// A single lexed token. \p Text always holds the exact source spelling;
+/// literal values are parsed on demand by the parser.
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  std::string Text;
+  /// 1-based line of the token start, for diagnostics.
+  int Line = 0;
+  /// 1-based column of the token start, for diagnostics.
+  int Column = 0;
+
+  bool is(TokenKind K) const { return Kind == K; }
+  bool isKeyword(const char *KW) const {
+    return Kind == TokenKind::Keyword && Text == KW;
+  }
+};
+
+/// Returns a human-readable spelling for diagnostics ("'<='", "identifier").
+std::string tokenKindName(TokenKind Kind);
+
+} // namespace ocl
+} // namespace clgen
+
+#endif // CLGEN_OCL_TOKEN_H

@@ -1,0 +1,110 @@
+//===- ocl/Type.cpp - OpenCL C type representation --------------------------===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ocl/Type.h"
+
+#include <unordered_map>
+
+using namespace clgen;
+using namespace clgen::ocl;
+
+size_t QualType::elementSizeBytes() const {
+  size_t Base = 0;
+  switch (S) {
+  case Scalar::Void: Base = 0; break;
+  case Scalar::Bool:
+  case Scalar::Char:
+  case Scalar::UChar: Base = 1; break;
+  case Scalar::Short:
+  case Scalar::UShort:
+  case Scalar::Half: Base = 2; break;
+  case Scalar::Int:
+  case Scalar::UInt:
+  case Scalar::Float: Base = 4; break;
+  case Scalar::Long:
+  case Scalar::ULong:
+  case Scalar::Double: Base = 8; break;
+  }
+  return Base * VecWidth;
+}
+
+std::optional<QualType> ocl::builtinTypeByName(std::string_view Name) {
+  static const std::unordered_map<std::string_view, Scalar> ScalarNames = {
+      {"void", Scalar::Void},     {"bool", Scalar::Bool},
+      {"char", Scalar::Char},     {"uchar", Scalar::UChar},
+      {"short", Scalar::Short},   {"ushort", Scalar::UShort},
+      {"int", Scalar::Int},       {"uint", Scalar::UInt},
+      {"long", Scalar::Long},     {"ulong", Scalar::ULong},
+      {"float", Scalar::Float},   {"double", Scalar::Double},
+      {"half", Scalar::Half},     {"size_t", Scalar::ULong},
+      {"ptrdiff_t", Scalar::Long},
+  };
+
+  // Exact scalar name?
+  auto It = ScalarNames.find(Name);
+  if (It != ScalarNames.end())
+    return QualType(It->second);
+
+  // Vector form: <scalar><width> where width in {2,3,4,8,16}.
+  size_t Split = Name.size();
+  while (Split > 0 &&
+         Name[Split - 1] >= '0' && Name[Split - 1] <= '9')
+    --Split;
+  if (Split == Name.size() || Split == 0)
+    return std::nullopt;
+  std::string_view Base = Name.substr(0, Split);
+  std::string_view WidthStr = Name.substr(Split);
+  auto BaseIt = ScalarNames.find(Base);
+  if (BaseIt == ScalarNames.end())
+    return std::nullopt;
+  int Width = 0;
+  for (char C : WidthStr)
+    Width = Width * 10 + (C - '0');
+  if (Width != 2 && Width != 3 && Width != 4 && Width != 8 && Width != 16)
+    return std::nullopt;
+  if (BaseIt->second == Scalar::Void || BaseIt->second == Scalar::Bool)
+    return std::nullopt;
+  return QualType(BaseIt->second, static_cast<uint8_t>(Width));
+}
+
+std::string ocl::scalarTypeName(Scalar S, uint8_t VecWidth) {
+  const char *Base = "void";
+  switch (S) {
+  case Scalar::Void: Base = "void"; break;
+  case Scalar::Bool: Base = "bool"; break;
+  case Scalar::Char: Base = "char"; break;
+  case Scalar::UChar: Base = "uchar"; break;
+  case Scalar::Short: Base = "short"; break;
+  case Scalar::UShort: Base = "ushort"; break;
+  case Scalar::Int: Base = "int"; break;
+  case Scalar::UInt: Base = "uint"; break;
+  case Scalar::Long: Base = "long"; break;
+  case Scalar::ULong: Base = "ulong"; break;
+  case Scalar::Float: Base = "float"; break;
+  case Scalar::Double: Base = "double"; break;
+  case Scalar::Half: Base = "half"; break;
+  }
+  std::string Name = Base;
+  if (VecWidth > 1)
+    Name += std::to_string(VecWidth);
+  return Name;
+}
+
+std::string ocl::typeName(const QualType &T) {
+  std::string Name;
+  switch (T.AS) {
+  case AddrSpace::Global: Name += "__global "; break;
+  case AddrSpace::Local: Name += "__local "; break;
+  case AddrSpace::Constant: Name += "__constant "; break;
+  case AddrSpace::Private: break;
+  }
+  if (T.Const)
+    Name += "const ";
+  Name += scalarTypeName(T.S, T.VecWidth);
+  if (T.Pointer)
+    Name += "*";
+  return Name;
+}

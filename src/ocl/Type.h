@@ -1,0 +1,112 @@
+//===- ocl/Type.h - OpenCL C type representation -----------------*- C++ -*-===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Value-semantics type representation for the OpenCL C subset: scalar
+/// kinds, vector widths (2/3/4/8/16), pointers with address-space
+/// qualifiers, and const-ness. User-defined aggregates are intentionally
+/// unsupported: the paper's synthesizer only considers scalars and arrays
+/// as kernel inputs (section 6.2), and content files that use irregular
+/// types are rejected by the filter, exactly as with the authors' pipeline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLGEN_OCL_TYPE_H
+#define CLGEN_OCL_TYPE_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace clgen {
+namespace ocl {
+
+enum class Scalar : uint8_t {
+  Void,
+  Bool,
+  Char,
+  UChar,
+  Short,
+  UShort,
+  Int,
+  UInt,
+  Long,
+  ULong,
+  Float,
+  Double,
+  Half,
+};
+
+enum class AddrSpace : uint8_t {
+  Private,  // Default for locals and scalar params.
+  Global,   // __global pointer params.
+  Local,    // __local pointers / arrays (work-group shared).
+  Constant, // __constant pointers / globals.
+};
+
+/// A (possibly vector, possibly pointer) qualified OpenCL type.
+struct QualType {
+  Scalar S = Scalar::Void;
+  /// 1 for scalars; 2, 3, 4, 8 or 16 for vector types.
+  uint8_t VecWidth = 1;
+  bool Pointer = false;
+  AddrSpace AS = AddrSpace::Private;
+  bool Const = false;
+
+  QualType() = default;
+  QualType(Scalar S, uint8_t VecWidth = 1) : S(S), VecWidth(VecWidth) {}
+
+  bool isVoid() const { return S == Scalar::Void && !Pointer; }
+  bool isVector() const { return VecWidth > 1; }
+  bool isInteger() const {
+    return S >= Scalar::Bool && S <= Scalar::ULong && !Pointer;
+  }
+  bool isFloating() const {
+    return (S == Scalar::Float || S == Scalar::Double || S == Scalar::Half) &&
+           !Pointer;
+  }
+  bool isSignedInteger() const {
+    return !Pointer && (S == Scalar::Char || S == Scalar::Short ||
+                        S == Scalar::Int || S == Scalar::Long);
+  }
+  bool isArithmetic() const { return isInteger() || isFloating(); }
+
+  /// The scalar element type (drops vector width and pointer-ness).
+  QualType element() const { return QualType(S); }
+
+  /// The pointee type of a pointer (keeps vector width).
+  QualType pointee() const {
+    QualType T(S, VecWidth);
+    return T;
+  }
+
+  /// Size in bytes of one element of this type (pointers report the size of
+  /// the pointee element so buffer sizing works naturally).
+  size_t elementSizeBytes() const;
+
+  bool operator==(const QualType &O) const {
+    return S == O.S && VecWidth == O.VecWidth && Pointer == O.Pointer &&
+           AS == O.AS;
+  }
+  bool operator!=(const QualType &O) const { return !(*this == O); }
+};
+
+/// Returns the type named by \p Name ("float4", "uint", ...), or nullopt if
+/// \p Name is not a builtin type name.
+std::optional<QualType> builtinTypeByName(std::string_view Name);
+
+/// Renders \p T in OpenCL source syntax, e.g. "__global float4*" or
+/// "const int".
+std::string typeName(const QualType &T);
+
+/// Renders only the scalar/vector part, e.g. "float4".
+std::string scalarTypeName(Scalar S, uint8_t VecWidth = 1);
+
+} // namespace ocl
+} // namespace clgen
+
+#endif // CLGEN_OCL_TYPE_H

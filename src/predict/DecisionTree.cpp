@@ -1,0 +1,175 @@
+//===- predict/DecisionTree.cpp - CART decision tree --------------------------===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "predict/DecisionTree.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace clgen;
+using namespace clgen::predict;
+
+namespace {
+
+double giniImpurity(size_t Ones, size_t Total) {
+  if (Total == 0)
+    return 0.0;
+  double P = static_cast<double>(Ones) / static_cast<double>(Total);
+  return 2.0 * P * (1.0 - P);
+}
+
+} // namespace
+
+void DecisionTree::fit(const std::vector<std::vector<double>> &X,
+                       const std::vector<int> &Y) {
+  assert(X.size() == Y.size() && "row/label count mismatch");
+  Nodes.clear();
+  if (X.empty()) {
+    Node Root;
+    Root.Leaf = true;
+    Root.Label = 0;
+    Nodes.push_back(Root);
+    return;
+  }
+  std::vector<size_t> Rows(X.size());
+  for (size_t I = 0; I < X.size(); ++I)
+    Rows[I] = I;
+  build(X, Y, Rows, 0);
+}
+
+int DecisionTree::build(const std::vector<std::vector<double>> &X,
+                        const std::vector<int> &Y,
+                        std::vector<size_t> &Rows, int Depth) {
+  size_t Ones = 0;
+  for (size_t R : Rows)
+    Ones += Y[R] == 1;
+
+  int NodeIndex = static_cast<int>(Nodes.size());
+  Nodes.emplace_back();
+  {
+    Node &N = Nodes.back();
+    N.Label = Ones * 2 >= Rows.size() ? 1 : 0;
+    N.Probability = Rows.empty()
+                        ? 0.0
+                        : static_cast<double>(Ones) /
+                              static_cast<double>(Rows.size());
+  }
+
+  bool Pure = Ones == 0 || Ones == Rows.size();
+  if (Pure || Depth >= Opts.MaxDepth || Rows.size() < Opts.MinSamplesSplit)
+    return NodeIndex;
+
+  // Exhaustive best-split search: for each feature, sort rows by value
+  // and scan thresholds between distinct values.
+  size_t Width = X[Rows[0]].size();
+  double BestGain = 1e-12;
+  int BestFeature = -1;
+  double BestThreshold = 0.0;
+
+  double ParentImpurity = giniImpurity(Ones, Rows.size());
+  std::vector<size_t> Sorted = Rows;
+
+  for (size_t F = 0; F < Width; ++F) {
+    std::sort(Sorted.begin(), Sorted.end(), [&](size_t A, size_t B) {
+      if (X[A][F] != X[B][F])
+        return X[A][F] < X[B][F];
+      return A < B;
+    });
+    size_t LeftOnes = 0;
+    for (size_t I = 1; I < Sorted.size(); ++I) {
+      LeftOnes += Y[Sorted[I - 1]] == 1;
+      if (X[Sorted[I]][F] == X[Sorted[I - 1]][F])
+        continue;
+      size_t LeftCount = I;
+      size_t RightCount = Sorted.size() - I;
+      if (LeftCount < Opts.MinSamplesLeaf || RightCount < Opts.MinSamplesLeaf)
+        continue;
+      size_t RightOnes = Ones - LeftOnes;
+      double Impurity =
+          (static_cast<double>(LeftCount) * giniImpurity(LeftOnes, LeftCount) +
+           static_cast<double>(RightCount) *
+               giniImpurity(RightOnes, RightCount)) /
+          static_cast<double>(Sorted.size());
+      double Gain = ParentImpurity - Impurity;
+      if (Gain > BestGain) {
+        BestGain = Gain;
+        BestFeature = static_cast<int>(F);
+        BestThreshold = 0.5 * (X[Sorted[I]][F] + X[Sorted[I - 1]][F]);
+      }
+    }
+  }
+
+  if (BestFeature < 0)
+    return NodeIndex;
+
+  std::vector<size_t> LeftRows, RightRows;
+  for (size_t R : Rows) {
+    if (X[R][BestFeature] < BestThreshold)
+      LeftRows.push_back(R);
+    else
+      RightRows.push_back(R);
+  }
+  if (LeftRows.empty() || RightRows.empty())
+    return NodeIndex;
+
+  int Left = build(X, Y, LeftRows, Depth + 1);
+  int Right = build(X, Y, RightRows, Depth + 1);
+  Node &N = Nodes[NodeIndex];
+  N.Leaf = false;
+  N.Feature = BestFeature;
+  N.Threshold = BestThreshold;
+  N.Left = Left;
+  N.Right = Right;
+  return NodeIndex;
+}
+
+const DecisionTree::Node &
+DecisionTree::leafFor(const std::vector<double> &X) const {
+  assert(trained() && "predict before fit");
+  const Node *N = &Nodes[0];
+  while (!N->Leaf) {
+    assert(static_cast<size_t>(N->Feature) < X.size());
+    N = X[N->Feature] < N->Threshold ? &Nodes[N->Left] : &Nodes[N->Right];
+  }
+  return *N;
+}
+
+int DecisionTree::predict(const std::vector<double> &X) const {
+  return leafFor(X).Label;
+}
+
+double DecisionTree::predictProbability(const std::vector<double> &X) const {
+  return leafFor(X).Probability;
+}
+
+std::string
+DecisionTree::dump(const std::vector<std::string> &FeatureNames) const {
+  std::string Out;
+  // Iterative preorder walk with explicit depth.
+  std::vector<std::pair<int, int>> Stack = {{0, 0}};
+  while (!Stack.empty()) {
+    auto [Index, Depth] = Stack.back();
+    Stack.pop_back();
+    const Node &N = Nodes[Index];
+    Out += std::string(static_cast<size_t>(Depth) * 2, ' ');
+    if (N.Leaf) {
+      Out += formatString("leaf: class %d (p1=%.2f)\n", N.Label,
+                          N.Probability);
+      continue;
+    }
+    std::string Name =
+        static_cast<size_t>(N.Feature) < FeatureNames.size()
+            ? FeatureNames[N.Feature]
+            : formatString("f%d", N.Feature);
+    Out += formatString("%s < %.4g ?\n", Name.c_str(), N.Threshold);
+    Stack.push_back({N.Right, Depth + 1});
+    Stack.push_back({N.Left, Depth + 1});
+  }
+  return Out;
+}

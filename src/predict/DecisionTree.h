@@ -1,0 +1,77 @@
+//===- predict/DecisionTree.h - CART decision tree ---------------*- C++ -*-===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small CART-style decision-tree classifier (binary splits on feature
+/// thresholds, Gini impurity). The Grewe et al. model is "a decision tree
+/// constructed with supervised learning over a combination of static and
+/// dynamic kernel features" (section 7.1); this is a faithful,
+/// dependency-free stand-in for the C4.5 tree the original paper used.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLGEN_PREDICT_DECISIONTREE_H
+#define CLGEN_PREDICT_DECISIONTREE_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace clgen {
+namespace predict {
+
+struct TreeOptions {
+  int MaxDepth = 10;
+  size_t MinSamplesLeaf = 2;
+  size_t MinSamplesSplit = 4;
+};
+
+/// Binary classifier over dense double feature vectors.
+class DecisionTree {
+public:
+  explicit DecisionTree(TreeOptions Opts = TreeOptions()) : Opts(Opts) {}
+
+  /// Fits the tree. \p X is row-major (one vector per example); \p Y
+  /// holds 0/1 class labels. All rows must have equal width.
+  void fit(const std::vector<std::vector<double>> &X,
+           const std::vector<int> &Y);
+
+  /// Predicts the class of one example. Must be trained first.
+  int predict(const std::vector<double> &X) const;
+
+  /// Fraction of class-1 training examples in the leaf \p X falls into.
+  double predictProbability(const std::vector<double> &X) const;
+
+  size_t nodeCount() const { return Nodes.size(); }
+  bool trained() const { return !Nodes.empty(); }
+
+  /// Text rendering of the tree (tests, debugging).
+  std::string dump(const std::vector<std::string> &FeatureNames = {}) const;
+
+private:
+  struct Node {
+    bool Leaf = true;
+    int Feature = -1;
+    double Threshold = 0.0;
+    int Left = -1;  // Feature < Threshold.
+    int Right = -1; // Feature >= Threshold.
+    int Label = 0;
+    double Probability = 0.0; // P(label == 1) among training rows here.
+  };
+
+  TreeOptions Opts;
+  std::vector<Node> Nodes;
+
+  int build(const std::vector<std::vector<double>> &X,
+            const std::vector<int> &Y, std::vector<size_t> &Rows,
+            int Depth);
+  const Node &leafFor(const std::vector<double> &X) const;
+};
+
+} // namespace predict
+} // namespace clgen
+
+#endif // CLGEN_PREDICT_DECISIONTREE_H

@@ -1,0 +1,135 @@
+//===- predict/Evaluation.cpp - Model training & evaluation -------------------===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "predict/Evaluation.h"
+
+#include "support/Stats.h"
+
+#include <cassert>
+#include <map>
+
+using namespace clgen;
+using namespace clgen::predict;
+
+std::vector<double> predict::featureVector(const Observation &O,
+                                           FeatureSetKind Kind) {
+  switch (Kind) {
+  case FeatureSetKind::Grewe:
+    return features::greweFeatureVector(O.Raw);
+  case FeatureSetKind::Extended:
+    return features::extendedFeatureVector(O.Raw);
+  }
+  return {};
+}
+
+std::vector<int>
+predict::trainAndPredict(const std::vector<Observation> &Train,
+                         const std::vector<Observation> &Test,
+                         FeatureSetKind Kind, TreeOptions Opts) {
+  std::vector<std::vector<double>> X;
+  std::vector<int> Y;
+  X.reserve(Train.size());
+  Y.reserve(Train.size());
+  for (const Observation &O : Train) {
+    X.push_back(featureVector(O, Kind));
+    Y.push_back(O.label());
+  }
+  DecisionTree Tree(Opts);
+  Tree.fit(X, Y);
+  std::vector<int> Out;
+  Out.reserve(Test.size());
+  for (const Observation &O : Test)
+    Out.push_back(Tree.predict(featureVector(O, Kind)));
+  return Out;
+}
+
+int predict::staticBestDevice(const std::vector<Observation> &Obs) {
+  double CpuTotal = 0.0, GpuTotal = 0.0;
+  for (const Observation &O : Obs) {
+    CpuTotal += O.CpuTime;
+    GpuTotal += O.GpuTime;
+  }
+  return GpuTotal < CpuTotal ? 1 : 0;
+}
+
+double predict::performanceRelativeToOracle(
+    const std::vector<Observation> &Obs,
+    const std::vector<int> &Predictions) {
+  assert(Obs.size() == Predictions.size());
+  if (Obs.empty())
+    return 0.0;
+  std::vector<double> Ratios;
+  Ratios.reserve(Obs.size());
+  for (size_t I = 0; I < Obs.size(); ++I)
+    Ratios.push_back(Obs[I].oracleTime() / Obs[I].timeFor(Predictions[I]));
+  return geomean(Ratios);
+}
+
+std::vector<double>
+predict::perObservationSpeedup(const std::vector<Observation> &Obs,
+                               const std::vector<int> &Predictions,
+                               int StaticLabel) {
+  assert(Obs.size() == Predictions.size());
+  std::vector<double> Speedups;
+  Speedups.reserve(Obs.size());
+  for (size_t I = 0; I < Obs.size(); ++I)
+    Speedups.push_back(Obs[I].timeFor(StaticLabel) /
+                       Obs[I].timeFor(Predictions[I]));
+  return Speedups;
+}
+
+double predict::speedupOverStatic(const std::vector<Observation> &Obs,
+                                  const std::vector<int> &Predictions,
+                                  int StaticLabel) {
+  if (Obs.empty())
+    return 0.0;
+  return geomean(perObservationSpeedup(Obs, Predictions, StaticLabel));
+}
+
+double predict::accuracy(const std::vector<Observation> &Obs,
+                         const std::vector<int> &Predictions) {
+  assert(Obs.size() == Predictions.size());
+  if (Obs.empty())
+    return 0.0;
+  size_t Correct = 0;
+  for (size_t I = 0; I < Obs.size(); ++I)
+    Correct += Obs[I].label() == Predictions[I];
+  return static_cast<double>(Correct) / static_cast<double>(Obs.size());
+}
+
+CrossValidationResult
+predict::leaveOneBenchmarkOut(const std::vector<Observation> &Obs,
+                              const std::vector<Observation> &ExtraTraining,
+                              FeatureSetKind Kind, TreeOptions Opts) {
+  CrossValidationResult Result;
+  Result.Predictions.assign(Obs.size(), 0);
+
+  // Group observation indices by benchmark.
+  std::map<std::string, std::vector<size_t>> Groups;
+  for (size_t I = 0; I < Obs.size(); ++I)
+    Groups[Obs[I].Suite + "/" + Obs[I].Benchmark].push_back(I);
+
+  for (const auto &[Group, TestIdx] : Groups) {
+    std::vector<Observation> Train;
+    Train.reserve(Obs.size() + ExtraTraining.size());
+    for (size_t I = 0; I < Obs.size(); ++I) {
+      const std::string Key = Obs[I].Suite + "/" + Obs[I].Benchmark;
+      if (Key != Group)
+        Train.push_back(Obs[I]);
+    }
+    Train.insert(Train.end(), ExtraTraining.begin(), ExtraTraining.end());
+
+    std::vector<Observation> Test;
+    Test.reserve(TestIdx.size());
+    for (size_t I : TestIdx)
+      Test.push_back(Obs[I]);
+
+    std::vector<int> Preds = trainAndPredict(Train, Test, Kind, Opts);
+    for (size_t K = 0; K < TestIdx.size(); ++K)
+      Result.Predictions[TestIdx[K]] = Preds[K];
+  }
+  return Result;
+}

@@ -1,0 +1,107 @@
+//===- predict/Evaluation.h - Model training & evaluation --------*- C++ -*-===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The experimental harness of section 7.2: observations are (kernel,
+/// dataset) pairs with measured CPU/GPU runtimes; models are evaluated
+/// with leave-one-benchmark-out cross-validation (train on all other
+/// benchmarks, predict every kernel+dataset of the excluded one);
+/// synthetic benchmarks can be added to the training side of every fold
+/// but are never tested on.
+///
+/// Metrics:
+///  - performance relative to oracle (Table 1): geometric-mean ratio of
+///    oracle runtime to predicted-mapping runtime (1.0 = always optimal);
+///  - speedup over a static single-device baseline (Figures 7/8).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLGEN_PREDICT_EVALUATION_H
+#define CLGEN_PREDICT_EVALUATION_H
+
+#include "features/Features.h"
+#include "predict/DecisionTree.h"
+
+#include <string>
+#include <vector>
+
+namespace clgen {
+namespace predict {
+
+/// One benchmarking observation: a kernel + dataset with both runtimes.
+struct Observation {
+  std::string Suite;
+  std::string Benchmark; // e.g. "FT"; cross-validation group key.
+  std::string Kernel;    // Kernel function name.
+  std::string Dataset;   // e.g. "A" for NPB class A.
+  features::RawFeatures Raw;
+  double CpuTime = 0.0;
+  double GpuTime = 0.0;
+
+  int label() const { return GpuTime < CpuTime ? 1 : 0; } // 1 = GPU.
+  double oracleTime() const { return GpuTime < CpuTime ? GpuTime : CpuTime; }
+  double timeFor(int Label) const { return Label == 1 ? GpuTime : CpuTime; }
+  std::string qualifiedName() const {
+    return Dataset.empty() ? Benchmark : Benchmark + "." + Dataset;
+  }
+};
+
+enum class FeatureSetKind {
+  Grewe,    // F1..F4 (the CGO'13 model).
+  Extended, // F1..F4 + raw + branch (section 8.2).
+};
+
+/// Materialises the feature vector for \p O under the chosen layout.
+std::vector<double> featureVector(const Observation &O, FeatureSetKind Kind);
+
+/// Trains a decision tree on \p Train and returns per-observation
+/// predicted labels for \p Test.
+std::vector<int> trainAndPredict(const std::vector<Observation> &Train,
+                                 const std::vector<Observation> &Test,
+                                 FeatureSetKind Kind,
+                                 TreeOptions Opts = TreeOptions());
+
+/// The label (0 = CPU, 1 = GPU) minimising total runtime across \p Obs:
+/// the "best single-device mapping" baseline of section 8.1.
+int staticBestDevice(const std::vector<Observation> &Obs);
+
+/// Geometric mean over observations of oracle/predicted runtime.
+double performanceRelativeToOracle(const std::vector<Observation> &Obs,
+                                   const std::vector<int> &Predictions);
+
+/// Geometric mean over observations of static-baseline/predicted runtime.
+double speedupOverStatic(const std::vector<Observation> &Obs,
+                         const std::vector<int> &Predictions,
+                         int StaticLabel);
+
+/// Per-observation speedup of predicted mapping over the static baseline.
+std::vector<double> perObservationSpeedup(const std::vector<Observation> &Obs,
+                                          const std::vector<int> &Predictions,
+                                          int StaticLabel);
+
+/// Classification accuracy.
+double accuracy(const std::vector<Observation> &Obs,
+                const std::vector<int> &Predictions);
+
+/// Result of a leave-one-benchmark-out run: predictions aligned with the
+/// input observation order.
+struct CrossValidationResult {
+  std::vector<int> Predictions;
+};
+
+/// Leave-one-benchmark-out cross-validation over \p Obs. For each
+/// distinct Benchmark, trains on all observations of other benchmarks
+/// plus \p ExtraTraining (e.g. synthetic benchmarks), then predicts the
+/// held-out benchmark's observations.
+CrossValidationResult
+leaveOneBenchmarkOut(const std::vector<Observation> &Obs,
+                     const std::vector<Observation> &ExtraTraining,
+                     FeatureSetKind Kind, TreeOptions Opts = TreeOptions());
+
+} // namespace predict
+} // namespace clgen
+
+#endif // CLGEN_PREDICT_EVALUATION_H

@@ -1,0 +1,123 @@
+//===- predict/Pca.cpp - Principal component analysis -------------------------===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "predict/Pca.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+using namespace clgen;
+using namespace clgen::predict;
+
+std::vector<double> PcaResult::project(const std::vector<double> &X,
+                                       size_t K) const {
+  assert(X.size() == Mean.size() && "dimension mismatch");
+  K = std::min(K, Components.size());
+  std::vector<double> Out(K, 0.0);
+  for (size_t C = 0; C < K; ++C) {
+    double Dot = 0.0;
+    for (size_t F = 0; F < X.size(); ++F)
+      Dot += Components[C][F] * ((X[F] - Mean[F]) / Scale[F]);
+    Out[C] = Dot;
+  }
+  return Out;
+}
+
+PcaResult predict::fitPca(const std::vector<std::vector<double>> &X) {
+  PcaResult R;
+  assert(X.size() >= 2 && "PCA needs at least two rows");
+  size_t N = X.size();
+  size_t D = X[0].size();
+
+  // Standardise columns.
+  R.Mean.assign(D, 0.0);
+  R.Scale.assign(D, 1.0);
+  for (const auto &Row : X)
+    for (size_t F = 0; F < D; ++F)
+      R.Mean[F] += Row[F];
+  for (size_t F = 0; F < D; ++F)
+    R.Mean[F] /= static_cast<double>(N);
+  for (size_t F = 0; F < D; ++F) {
+    double Var = 0.0;
+    for (const auto &Row : X)
+      Var += (Row[F] - R.Mean[F]) * (Row[F] - R.Mean[F]);
+    Var /= static_cast<double>(N - 1);
+    R.Scale[F] = Var > 1e-30 ? std::sqrt(Var) : 1.0;
+  }
+
+  // Covariance of the standardised data.
+  std::vector<std::vector<double>> Cov(D, std::vector<double>(D, 0.0));
+  for (const auto &Row : X) {
+    for (size_t A = 0; A < D; ++A) {
+      double ZA = (Row[A] - R.Mean[A]) / R.Scale[A];
+      for (size_t B = A; B < D; ++B) {
+        double ZB = (Row[B] - R.Mean[B]) / R.Scale[B];
+        Cov[A][B] += ZA * ZB;
+      }
+    }
+  }
+  for (size_t A = 0; A < D; ++A)
+    for (size_t B = A; B < D; ++B) {
+      Cov[A][B] /= static_cast<double>(N - 1);
+      Cov[B][A] = Cov[A][B];
+    }
+
+  // Jacobi rotations.
+  std::vector<std::vector<double>> V(D, std::vector<double>(D, 0.0));
+  for (size_t I = 0; I < D; ++I)
+    V[I][I] = 1.0;
+  for (int Sweep = 0; Sweep < 64; ++Sweep) {
+    double Off = 0.0;
+    for (size_t A = 0; A < D; ++A)
+      for (size_t B = A + 1; B < D; ++B)
+        Off += Cov[A][B] * Cov[A][B];
+    if (Off < 1e-20)
+      break;
+    for (size_t P = 0; P < D; ++P) {
+      for (size_t Q = P + 1; Q < D; ++Q) {
+        if (std::fabs(Cov[P][Q]) < 1e-15)
+          continue;
+        double Theta = (Cov[Q][Q] - Cov[P][P]) / (2.0 * Cov[P][Q]);
+        double T = (Theta >= 0 ? 1.0 : -1.0) /
+                   (std::fabs(Theta) + std::sqrt(Theta * Theta + 1.0));
+        double C = 1.0 / std::sqrt(T * T + 1.0);
+        double S = T * C;
+        for (size_t I = 0; I < D; ++I) {
+          double Aip = Cov[I][P], Aiq = Cov[I][Q];
+          Cov[I][P] = C * Aip - S * Aiq;
+          Cov[I][Q] = S * Aip + C * Aiq;
+        }
+        for (size_t I = 0; I < D; ++I) {
+          double Api = Cov[P][I], Aqi = Cov[Q][I];
+          Cov[P][I] = C * Api - S * Aqi;
+          Cov[Q][I] = S * Api + C * Aqi;
+        }
+        for (size_t I = 0; I < D; ++I) {
+          double Vip = V[I][P], Viq = V[I][Q];
+          V[I][P] = C * Vip - S * Viq;
+          V[I][Q] = S * Vip + C * Viq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs by decreasing eigenvalue.
+  std::vector<size_t> Order(D);
+  std::iota(Order.begin(), Order.end(), 0);
+  std::sort(Order.begin(), Order.end(),
+            [&](size_t A, size_t B) { return Cov[A][A] > Cov[B][B]; });
+
+  R.Components.resize(D, std::vector<double>(D, 0.0));
+  R.ExplainedVariance.resize(D);
+  for (size_t K = 0; K < D; ++K) {
+    R.ExplainedVariance[K] = Cov[Order[K]][Order[K]];
+    for (size_t F = 0; F < D; ++F)
+      R.Components[K][F] = V[F][Order[K]];
+  }
+  return R;
+}

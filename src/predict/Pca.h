@@ -1,0 +1,47 @@
+//===- predict/Pca.h - Principal component analysis --------------*- C++ -*-===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// PCA via Jacobi eigendecomposition of the (standardised) covariance
+/// matrix. Used to reproduce Figure 3: "We used Principle Component
+/// Analysis to reduce the multi-dimensional feature space to aid
+/// visualization."
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLGEN_PREDICT_PCA_H
+#define CLGEN_PREDICT_PCA_H
+
+#include <cstddef>
+#include <vector>
+
+namespace clgen {
+namespace predict {
+
+struct PcaResult {
+  /// Row-major component matrix: Components[k] is the k-th principal
+  /// axis (unit length) in feature space, ordered by decreasing variance.
+  std::vector<std::vector<double>> Components;
+  /// Eigenvalues (explained variance), same order.
+  std::vector<double> ExplainedVariance;
+  /// Column means and standard deviations of the training data (for
+  /// projecting new points).
+  std::vector<double> Mean;
+  std::vector<double> Scale;
+
+  /// Projects one example onto the first \p K components.
+  std::vector<double> project(const std::vector<double> &X,
+                              size_t K = 2) const;
+};
+
+/// Fits PCA to row-major data \p X (standardising each column first).
+/// Requires at least 2 rows; constant columns get unit scale.
+PcaResult fitPca(const std::vector<std::vector<double>> &X);
+
+} // namespace predict
+} // namespace clgen
+
+#endif // CLGEN_PREDICT_PCA_H

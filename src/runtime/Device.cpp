@@ -1,0 +1,97 @@
+//===- runtime/Device.cpp - Simulated CPU/GPU device models ------------------===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Parameter calibration notes. The numbers below are synthetic but chosen
+// so the simulated platforms reproduce the qualitative behaviour of the
+// paper's testbeds:
+//  - the CPU is a 4-core 3.6 GHz part with 8-wide SIMD (32 effective
+//    lanes); strided access defeats vectorisation (higher uncoalesced
+//    cost) but there is no divergence penalty and no transfer cost;
+//  - both GPUs have thousands of lanes and cheap local memory, pay
+//    heavily for uncoalesced access and divergence, and move data over
+//    PCIe;
+//  - the AMD system models a slower interconnect and higher launch
+//    overhead than the NVIDIA one, which biases the AMD platform towards
+//    CPU execution exactly as in the paper (the best static mapping is
+//    CPU-only on AMD and GPU-only on NVIDIA, section 8.1).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Device.h"
+
+using namespace clgen;
+using namespace clgen::runtime;
+
+DeviceModel runtime::intelI7_3820() {
+  DeviceModel D;
+  D.Name = "Intel Core i7-3820";
+  D.Kind = DeviceKind::Cpu;
+  D.FrequencyGHz = 3.6;
+  D.ParallelLanes = 32.0; // 4 cores x 8-wide AVX.
+  D.ComputeOpCost = 1.0;
+  D.MathCallCost = 8.0;
+  D.CoalescedAccessCost = 2.0;
+  D.UncoalescedAccessCost = 6.0; // Cache miss + defeats vectorisation.
+  D.LocalAccessCost = 2.0;       // No dedicated scratchpad: plain memory.
+  D.PrivateAccessCost = 1.0;
+  D.BranchCost = 1.0;
+  D.DivergencePenalty = 0.0; // Scalar cores do not diverge.
+  D.AtomicCost = 12.0;
+  D.BarrierCost = 24.0; // Software barrier.
+  D.TransferGBPerSec = 0.0; // Zero-copy: data is already in host memory.
+  D.LaunchOverheadUs = 5.0;
+  return D;
+}
+
+DeviceModel runtime::amdTahiti7970() {
+  DeviceModel D;
+  D.Name = "AMD Tahiti 7970";
+  D.Kind = DeviceKind::Gpu;
+  D.FrequencyGHz = 1.0;
+  D.ParallelLanes = 2048.0;
+  D.ComputeOpCost = 1.0;
+  D.MathCallCost = 4.0;
+  D.CoalescedAccessCost = 4.0;
+  D.UncoalescedAccessCost = 40.0;
+  D.LocalAccessCost = 1.0;
+  D.PrivateAccessCost = 1.0;
+  D.BranchCost = 2.0;
+  D.DivergencePenalty = 8.0;
+  D.AtomicCost = 24.0;
+  D.BarrierCost = 8.0;
+  D.TransferGBPerSec = 2.5;
+  D.LaunchOverheadUs = 40.0;
+  return D;
+}
+
+DeviceModel runtime::nvidiaGtx970() {
+  DeviceModel D;
+  D.Name = "NVIDIA GTX 970";
+  D.Kind = DeviceKind::Gpu;
+  D.FrequencyGHz = 1.05;
+  D.ParallelLanes = 1664.0;
+  D.ComputeOpCost = 1.0;
+  D.MathCallCost = 4.0;
+  D.CoalescedAccessCost = 3.5;
+  D.UncoalescedAccessCost = 36.0;
+  D.LocalAccessCost = 1.0;
+  D.PrivateAccessCost = 1.0;
+  D.BranchCost = 2.0;
+  D.DivergencePenalty = 7.0;
+  D.AtomicCost = 20.0;
+  D.BarrierCost = 8.0;
+  D.TransferGBPerSec = 12.0;
+  D.LaunchOverheadUs = 15.0;
+  return D;
+}
+
+Platform runtime::amdPlatform() {
+  return {"AMD Tahiti 7970", intelI7_3820(), amdTahiti7970()};
+}
+
+Platform runtime::nvidiaPlatform() {
+  return {"NVIDIA GTX 970", intelI7_3820(), nvidiaGtx970()};
+}

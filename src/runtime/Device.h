@@ -1,0 +1,82 @@
+//===- runtime/Device.h - Simulated CPU/GPU device models --------*- C++ -*-===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Analytic device models standing in for the paper's experimental
+/// platforms (Table 4): an Intel Core i7-3820 CPU, an AMD Tahiti 7970 GPU
+/// and an NVIDIA GTX 970 GPU. Each model maps instrumented execution
+/// counters to an estimated runtime. The absolute numbers are synthetic;
+/// what matters for reproducing the paper is that the first-order
+/// device tradeoffs are realistic:
+///
+///  - GPUs amortise compute over massive parallelism but pay PCIe
+///    transfer costs per byte moved;
+///  - uncoalesced global accesses are disproportionately expensive on
+///    GPUs, mildly relevant on CPUs;
+///  - branch divergence serialises GPU wavefronts but is almost free on
+///    CPUs;
+///  - local memory is a GPU optimisation with no CPU benefit;
+///  - kernels with too few work-items cannot saturate a GPU.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLGEN_RUNTIME_DEVICE_H
+#define CLGEN_RUNTIME_DEVICE_H
+
+#include <string>
+
+namespace clgen {
+namespace runtime {
+
+enum class DeviceKind { Cpu, Gpu };
+
+/// Cost-model parameters for one device. Costs are cycles per event at
+/// the device frequency unless stated otherwise.
+struct DeviceModel {
+  std::string Name;
+  DeviceKind Kind = DeviceKind::Cpu;
+  double FrequencyGHz = 1.0;
+  /// Effective parallel lanes (cores x SIMD on CPU; shader ALUs on GPU).
+  double ParallelLanes = 1.0;
+  double ComputeOpCost = 1.0;
+  double MathCallCost = 4.0;
+  double CoalescedAccessCost = 1.0;
+  double UncoalescedAccessCost = 4.0;
+  double LocalAccessCost = 1.0;
+  double PrivateAccessCost = 1.0;
+  double BranchCost = 1.0;
+  /// Extra multiplier applied to all work when divergence is 1.0.
+  double DivergencePenalty = 0.0;
+  double AtomicCost = 8.0;
+  double BarrierCost = 16.0;
+  /// Host<->device copy bandwidth; 0 means no copies are needed (CPU).
+  double TransferGBPerSec = 0.0;
+  /// Fixed overhead per kernel invocation (driver stack, enqueue).
+  double LaunchOverheadUs = 0.0;
+
+  bool isGpu() const { return Kind == DeviceKind::Gpu; }
+};
+
+/// Table 4: Intel Core i7-3820 (4 cores, 3.6 GHz, 105 GFLOPS).
+DeviceModel intelI7_3820();
+/// Table 4: AMD Tahiti 7970 (2048 cores, 1000 MHz, 3.79 TFLOPS).
+DeviceModel amdTahiti7970();
+/// Table 4: NVIDIA GTX 970 (1664 cores, 1050 MHz, 3.90 TFLOPS).
+DeviceModel nvidiaGtx970();
+
+/// The two CPU-GPU systems of the paper: {CPU, AMD} and {CPU, NVIDIA}.
+struct Platform {
+  std::string Name;
+  DeviceModel Cpu;
+  DeviceModel Gpu;
+};
+Platform amdPlatform();
+Platform nvidiaPlatform();
+
+} // namespace runtime
+} // namespace clgen
+
+#endif // CLGEN_RUNTIME_DEVICE_H

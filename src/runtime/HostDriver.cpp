@@ -1,0 +1,65 @@
+//===- runtime/HostDriver.cpp - Benchmark execution driver -------------------===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/HostDriver.h"
+
+#include "vm/Compiler.h"
+
+using namespace clgen;
+using namespace clgen::runtime;
+using namespace clgen::vm;
+
+Result<Measurement> runtime::runBenchmark(const CompiledKernel &Kernel,
+                                          const Platform &P,
+                                          const DriverOptions &Opts) {
+  Rng R(Opts.Seed);
+
+  if (Opts.RunDynamicCheck) {
+    CheckOptions COpts;
+    Rng CheckRng = R.fork();
+    CheckResult CR = checkKernel(Kernel, COpts, CheckRng);
+    if (!CR.useful())
+      return Result<Measurement>::error(
+          std::string("dynamic check failed: ") +
+          checkOutcomeName(CR.Outcome) +
+          (CR.Detail.empty() ? "" : " (" + CR.Detail + ")"));
+  }
+
+  PayloadOptions POpts;
+  POpts.GlobalSize = Opts.GlobalSize;
+  POpts.LocalSize = Opts.LocalSize;
+  Payload Pl = generatePayload(Kernel, POpts, R);
+
+  LaunchConfig Config;
+  Config.GlobalSize[0] = Pl.GlobalSize;
+  Config.LocalSize[0] = Pl.LocalSize;
+  Config.MaxInstructions = Opts.MaxInstructions;
+  Config.MaxWorkGroups = Opts.MaxSimulatedGroups;
+
+  auto Run = launchKernel(Kernel, Pl.Args, Pl.Buffers, Config);
+  if (!Run.ok())
+    return Result<Measurement>::error("launch failed: " +
+                                      Run.errorMessage());
+
+  Measurement M;
+  M.Counters = Run.get();
+  M.Transfer = Pl.Transfer;
+  M.GlobalSize = Pl.GlobalSize;
+  M.LocalSize = Pl.LocalSize;
+  M.CpuTime = estimateRuntime(P.Cpu, M.Counters, M.Transfer);
+  M.GpuTime = estimateRuntime(P.Gpu, M.Counters, M.Transfer);
+  return M;
+}
+
+Result<Measurement> runtime::runBenchmark(const std::string &Source,
+                                          const Platform &P,
+                                          const DriverOptions &Opts) {
+  auto Kernel = compileFirstKernel(Source);
+  if (!Kernel.ok())
+    return Result<Measurement>::error("compile failed: " +
+                                      Kernel.errorMessage());
+  return runBenchmark(Kernel.get(), P, Opts);
+}

@@ -1,0 +1,74 @@
+//===- runtime/HostDriver.h - Benchmark execution driver ---------*- C++ -*-===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The host driver of section 5: accepts an OpenCL kernel, generates
+/// payloads of configurable size, optionally validates the kernel with
+/// the dynamic checker, executes it with instrumentation and reports
+/// per-device estimated runtimes for CPU vs. GPU mapping decisions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLGEN_RUNTIME_HOSTDRIVER_H
+#define CLGEN_RUNTIME_HOSTDRIVER_H
+
+#include "runtime/Device.h"
+#include "runtime/DynamicChecker.h"
+#include "runtime/Payload.h"
+#include "runtime/PerfModel.h"
+#include "support/Result.h"
+#include "support/Rng.h"
+#include "vm/Bytecode.h"
+#include "vm/Interpreter.h"
+
+#include <string>
+
+namespace clgen {
+namespace runtime {
+
+/// The measurements for one (kernel, dataset) pair on one platform.
+struct Measurement {
+  double CpuTime = 0.0; // Seconds.
+  double GpuTime = 0.0;
+  vm::ExecCounters Counters;
+  TransferProfile Transfer;
+  size_t GlobalSize = 0;
+  size_t LocalSize = 0;
+
+  /// True when the GPU mapping is faster.
+  bool gpuIsBest() const { return GpuTime < CpuTime; }
+  double bestTime() const { return GpuTime < CpuTime ? GpuTime : CpuTime; }
+  double timeOn(bool Gpu) const { return Gpu ? GpuTime : CpuTime; }
+};
+
+struct DriverOptions {
+  size_t GlobalSize = 64 * 1024;
+  size_t LocalSize = 64;
+  /// Run the section 5.2 dynamic checker before measuring.
+  bool RunDynamicCheck = false;
+  /// Cap simulated work-groups per launch; counters are rescaled. Keeps
+  /// large NDRanges affordable on the simulator.
+  size_t MaxSimulatedGroups = 64;
+  uint64_t MaxInstructions = 400ull * 1000 * 1000;
+  uint64_t Seed = 0xC16E5EED;
+};
+
+/// Compiles and measures \p Source's first kernel on \p P's two devices.
+/// Fails when the kernel does not compile, the launch fails, or (when
+/// enabled) the dynamic checker rejects it.
+Result<Measurement> runBenchmark(const std::string &Source,
+                                 const Platform &P,
+                                 const DriverOptions &Opts);
+
+/// Same, for an already compiled kernel.
+Result<Measurement> runBenchmark(const vm::CompiledKernel &Kernel,
+                                 const Platform &P,
+                                 const DriverOptions &Opts);
+
+} // namespace runtime
+} // namespace clgen
+
+#endif // CLGEN_RUNTIME_HOSTDRIVER_H

@@ -1,0 +1,162 @@
+//===- runtime/Payload.cpp - Rule-based payload generation -------------------===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Payload.h"
+
+#include <cmath>
+
+using namespace clgen;
+using namespace clgen::runtime;
+using namespace clgen::vm;
+
+std::vector<ArgAccess>
+runtime::analyzeBufferAccess(const CompiledKernel &Kernel) {
+  std::vector<ArgAccess> Access(Kernel.bufferParamCount());
+  for (const Instr &I : Kernel.Code) {
+    if (I.Space != MemSpace::Global)
+      continue;
+    switch (I.Op) {
+    case Opcode::LoadMem:
+    case Opcode::VLoad:
+      Access[I.Imm].Read = true;
+      break;
+    case Opcode::StoreMem:
+    case Opcode::VStore:
+      Access[I.Imm].Written = true;
+      break;
+    case Opcode::Atomic:
+      Access[I.Imm].Read = true;
+      Access[I.Imm].Written = true;
+      break;
+    default:
+      break;
+    }
+  }
+  return Access;
+}
+
+Payload Payload::clone() const { return *this; }
+
+static size_t pickLocalSize(size_t Global, size_t Requested) {
+  size_t Local = std::min(Requested, Global);
+  while (Local > 1 && Global % Local != 0)
+    --Local;
+  return std::max<size_t>(Local, 1);
+}
+
+Payload runtime::generatePayload(const CompiledKernel &Kernel,
+                                 const PayloadOptions &Opts, Rng &R) {
+  Payload P;
+  P.GlobalSize = Opts.GlobalSize;
+  P.LocalSize = pickLocalSize(Opts.GlobalSize, Opts.LocalSize);
+
+  std::vector<ArgAccess> Access = analyzeBufferAccess(Kernel);
+
+  for (const ParamInfo &Param : Kernel.Params) {
+    if (Param.IsBuffer && Param.Ty.AS == ocl::AddrSpace::Local) {
+      // Device-only buffer: no host allocation, no transfer. Sized to the
+      // work-group per standard OpenCL practice.
+      P.Args.push_back(KernelArg::localSize(P.LocalSize));
+      continue;
+    }
+    if (Param.IsBuffer) {
+      // Host buffer of Sg elements with random values.
+      uint8_t Width = Param.Ty.VecWidth;
+      BufferData B = BufferData::zeros(Opts.GlobalSize, Width);
+      bool IntElems = Param.Ty.isInteger() ||
+                      (Param.Ty.Pointer && Param.Ty.pointee().isInteger());
+      for (double &Lane : B.Data) {
+        if (IntElems && Opts.ClampIntBuffers)
+          Lane = static_cast<double>(R.bounded(Opts.GlobalSize));
+        else if (IntElems)
+          Lane = static_cast<double>(R.range(-100, 100));
+        else
+          Lane = R.uniform(-1.0, 1.0);
+      }
+      uint64_t Bytes =
+          static_cast<uint64_t>(Opts.GlobalSize) *
+          Param.Ty.pointee().elementSizeBytes();
+      const ArgAccess &A = Access[Param.BufferSlot];
+      // Host -> device for all non-write-only buffers; device -> host for
+      // all non-read-only buffers (section 5.1). A buffer that is never
+      // touched still transfers in (conservative, matches the driver).
+      bool WriteOnly = A.Written && !A.Read;
+      bool ReadOnly = A.Read && !A.Written;
+      if (!WriteOnly)
+        P.Transfer.BytesIn += Bytes;
+      if (!ReadOnly)
+        P.Transfer.BytesOut += Bytes;
+      P.Args.push_back(
+          KernelArg::buffer(static_cast<int>(P.Buffers.size())));
+      P.Buffers.push_back(std::move(B));
+      continue;
+    }
+    // Scalars: integral arguments get the value Sg; everything else is
+    // random.
+    if (Param.Ty.isInteger()) {
+      P.Args.push_back(
+          KernelArg::scalar(static_cast<double>(Opts.GlobalSize)));
+    } else {
+      P.Args.push_back(KernelArg::scalar(R.uniform(-1.0, 1.0)));
+    }
+  }
+  return P;
+}
+
+namespace {
+
+/// Indices of launch buffers that are not read-only (i.e. the kernel's
+/// outputs).
+std::vector<size_t> outputBufferIndices(const CompiledKernel &Kernel,
+                                        const Payload &P) {
+  std::vector<ArgAccess> Access = analyzeBufferAccess(Kernel);
+  std::vector<size_t> Out;
+  size_t BufferCursor = 0;
+  for (const ParamInfo &Param : Kernel.Params) {
+    if (!Param.IsBuffer || Param.Ty.AS == ocl::AddrSpace::Local)
+      continue;
+    const ArgAccess &A = Access[Param.BufferSlot];
+    bool ReadOnly = A.Read && !A.Written;
+    if (!ReadOnly)
+      Out.push_back(BufferCursor);
+    ++BufferCursor;
+  }
+  (void)P;
+  return Out;
+}
+
+bool buffersEqual(const BufferData &A, const BufferData &B, double Epsilon) {
+  if (A.Data.size() != B.Data.size())
+    return false;
+  for (size_t I = 0; I < A.Data.size(); ++I) {
+    double X = A.Data[I], Y = B.Data[I];
+    if (std::isnan(X) && std::isnan(Y))
+      continue;
+    double Mag = std::max(std::fabs(X), std::fabs(Y));
+    if (std::fabs(X - Y) > Epsilon * std::max(1.0, Mag))
+      return false;
+  }
+  return true;
+}
+
+} // namespace
+
+bool runtime::outputsEqual(const CompiledKernel &Kernel, const Payload &A,
+                           const Payload &B, double Epsilon) {
+  for (size_t Index : outputBufferIndices(Kernel, A))
+    if (!buffersEqual(A.Buffers[Index], B.Buffers[Index], Epsilon))
+      return false;
+  return true;
+}
+
+bool runtime::outputsDiffer(const CompiledKernel &Kernel,
+                            const Payload &Before, const Payload &After,
+                            double Epsilon) {
+  for (size_t Index : outputBufferIndices(Kernel, Before))
+    if (!buffersEqual(Before.Buffers[Index], After.Buffers[Index], Epsilon))
+      return true;
+  return false;
+}

@@ -1,0 +1,81 @@
+//===- runtime/Payload.h - Rule-based payload generation ---------*- C++ -*-===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implements section 5.1 of the paper: "A payload encapsulates all of
+/// the arguments of an OpenCL compute kernel." For a given global size
+/// Sg, the generator allocates host buffers of Sg elements with random
+/// values for global pointer arguments, device-only buffers of Sg
+/// elements for local pointer arguments, assigns the value Sg to
+/// integral scalar arguments, and random values to all other scalars.
+/// Host-to-device transfers are sized for all non-write-only global
+/// buffers, device-to-host for all non-read-only ones.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLGEN_RUNTIME_PAYLOAD_H
+#define CLGEN_RUNTIME_PAYLOAD_H
+
+#include "runtime/PerfModel.h"
+#include "support/Rng.h"
+#include "vm/Bytecode.h"
+#include "vm/Interpreter.h"
+
+#include <vector>
+
+namespace clgen {
+namespace runtime {
+
+/// Per-buffer-parameter access mode, derived statically from bytecode.
+struct ArgAccess {
+  bool Read = false;
+  bool Written = false;
+};
+
+/// Scans \p Kernel and reports, for each global buffer slot, whether it
+/// is read and/or written.
+std::vector<ArgAccess> analyzeBufferAccess(const vm::CompiledKernel &Kernel);
+
+/// A generated set of kernel arguments plus its transfer profile.
+struct Payload {
+  std::vector<vm::BufferData> Buffers;
+  std::vector<vm::KernelArg> Args;
+  TransferProfile Transfer;
+  size_t GlobalSize = 0;
+  size_t LocalSize = 0;
+
+  /// Returns a deep copy (buffers included).
+  Payload clone() const;
+};
+
+struct PayloadOptions {
+  size_t GlobalSize = 1024;
+  /// Work-group size; clamped to divide GlobalSize.
+  size_t LocalSize = 64;
+  /// Integer buffer contents stay in [0, IntBufferModulo) so kernels that
+  /// gather through integer buffers stay in bounds.
+  bool ClampIntBuffers = true;
+};
+
+/// Generates a payload for \p Kernel per the section 5.1 rules, drawing
+/// randomness from \p R.
+Payload generatePayload(const vm::CompiledKernel &Kernel,
+                        const PayloadOptions &Opts, Rng &R);
+
+/// Compares the non-read-only buffer contents of two executed payloads
+/// with a floating-point tolerance. Used by the dynamic checker.
+bool outputsEqual(const vm::CompiledKernel &Kernel, const Payload &A,
+                  const Payload &B, double Epsilon = 1e-6);
+
+/// Returns true when any non-read-only buffer of \p After differs from
+/// \p Before (i.e. the kernel produced output).
+bool outputsDiffer(const vm::CompiledKernel &Kernel, const Payload &Before,
+                   const Payload &After, double Epsilon = 1e-6);
+
+} // namespace runtime
+} // namespace clgen
+
+#endif // CLGEN_RUNTIME_PAYLOAD_H

@@ -1,0 +1,63 @@
+//===- runtime/PerfModel.cpp - Counter-based runtime estimation --------------===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/PerfModel.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace clgen;
+using namespace clgen::runtime;
+using namespace clgen::vm;
+
+double runtime::estimateComputeTime(const DeviceModel &Device,
+                                    const ExecCounters &Counters) {
+  uint64_t Uncoalesced =
+      Counters.globalAccesses() >= Counters.CoalescedGlobal
+          ? Counters.globalAccesses() - Counters.CoalescedGlobal
+          : 0;
+
+  double Cycles = 0.0;
+  Cycles += static_cast<double>(Counters.ComputeOps) * Device.ComputeOpCost;
+  Cycles += static_cast<double>(Counters.MathCalls) * Device.MathCallCost;
+  Cycles += static_cast<double>(Counters.CoalescedGlobal) *
+            Device.CoalescedAccessCost;
+  Cycles += static_cast<double>(Uncoalesced) * Device.UncoalescedAccessCost;
+  Cycles +=
+      static_cast<double>(Counters.LocalAccesses) * Device.LocalAccessCost;
+  Cycles += static_cast<double>(Counters.PrivateAccesses) *
+            Device.PrivateAccessCost;
+  Cycles += static_cast<double>(Counters.Branches) * Device.BranchCost;
+  Cycles += static_cast<double>(Counters.AtomicOps) * Device.AtomicCost;
+  Cycles += static_cast<double>(Counters.Barriers) * Device.BarrierCost;
+
+  // Divergence serialises SIMT execution: scale all work by the measured
+  // per-group branch divergence.
+  Cycles *= 1.0 + Counters.Divergence * Device.DivergencePenalty;
+
+  // Effective parallelism: a device only reaches its full lane count when
+  // the NDRange oversubscribes it (latency hiding); GPUs need roughly 4
+  // items per lane.
+  double Items = static_cast<double>(std::max<uint64_t>(Counters.ItemsTotal,
+                                                        1));
+  double Oversubscription = Device.isGpu() ? 4.0 : 1.0;
+  double Utilisation =
+      std::min(1.0, Items / (Device.ParallelLanes * Oversubscription));
+  double EffectiveLanes = std::max(1.0, Device.ParallelLanes * Utilisation);
+
+  return Cycles / (Device.FrequencyGHz * 1e9 * EffectiveLanes);
+}
+
+double runtime::estimateRuntime(const DeviceModel &Device,
+                                const ExecCounters &Counters,
+                                const TransferProfile &Transfer) {
+  double Time = estimateComputeTime(Device, Counters);
+  Time += Device.LaunchOverheadUs * 1e-6;
+  if (Device.TransferGBPerSec > 0.0)
+    Time += static_cast<double>(Transfer.total()) /
+            (Device.TransferGBPerSec * 1e9);
+  return Time;
+}

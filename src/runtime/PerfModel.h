@@ -1,0 +1,50 @@
+//===- runtime/PerfModel.h - Counter-based runtime estimation ----*- C++ -*-===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Converts instrumented execution counters (vm::ExecCounters) plus the
+/// data-transfer profile of a launch into an estimated wall-clock time on
+/// a DeviceModel. This is the substitute for the paper's "execution time
+/// includes both device compute time and the data transfer overheads"
+/// measurements (section 7.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLGEN_RUNTIME_PERFMODEL_H
+#define CLGEN_RUNTIME_PERFMODEL_H
+
+#include "runtime/Device.h"
+#include "vm/Interpreter.h"
+
+namespace clgen {
+namespace runtime {
+
+/// Data-movement profile of one kernel invocation.
+struct TransferProfile {
+  /// Bytes copied host -> device before the launch (non-write-only
+  /// buffers, section 5.1).
+  uint64_t BytesIn = 0;
+  /// Bytes copied device -> host after the launch (non-read-only
+  /// buffers).
+  uint64_t BytesOut = 0;
+
+  uint64_t total() const { return BytesIn + BytesOut; }
+};
+
+/// Estimated runtime of one kernel execution on \p Device, in seconds.
+double estimateRuntime(const DeviceModel &Device,
+                       const vm::ExecCounters &Counters,
+                       const TransferProfile &Transfer);
+
+/// The compute-only portion (no transfer, no launch overhead); exposed
+/// for model inspection and tests.
+double estimateComputeTime(const DeviceModel &Device,
+                           const vm::ExecCounters &Counters);
+
+} // namespace runtime
+} // namespace clgen
+
+#endif // CLGEN_RUNTIME_PERFMODEL_H

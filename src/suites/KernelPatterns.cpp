@@ -1,0 +1,534 @@
+//===- suites/KernelPatterns.cpp - GPGPU kernel pattern library ---------------===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "suites/KernelPatterns.h"
+
+#include "support/StringUtils.h"
+
+using namespace clgen;
+using namespace clgen::suites;
+
+namespace {
+
+/// The scalar/vector element type used by a style.
+std::string elemType(const PatternStyle &S) {
+  std::string Base = S.FloatData ? "float" : "int";
+  if (S.VectorWidth > 1)
+    Base += std::to_string(S.VectorWidth);
+  return Base;
+}
+
+/// Repeated arithmetic to tune compute intensity; operates on scalar or
+/// vector variable \p Var of float type.
+std::string computeChurn(const std::string &Var, int Intensity,
+                         bool FloatData) {
+  std::string Out;
+  for (int I = 0; I < Intensity; ++I) {
+    if (FloatData) {
+      Out += formatString("  %s = %s * 0.98f + 0.02f;\n", Var.c_str(),
+                          Var.c_str());
+      Out += formatString("  %s = %s + %s * %s * 0.5f;\n", Var.c_str(),
+                          Var.c_str(), Var.c_str(), Var.c_str());
+    } else {
+      Out += formatString("  %s = (%s * 3 + 7) %% 1024;\n", Var.c_str(),
+                          Var.c_str());
+    }
+  }
+  return Out;
+}
+
+/// Optional data-dependent branch block.
+std::string branchChurn(const std::string &Var, bool Enabled,
+                        bool FloatData) {
+  if (!Enabled)
+    return "";
+  if (FloatData)
+    return formatString("  if (%s > 0.5f) {\n    %s = %s - 0.25f;\n  } else "
+                        "{\n    %s = %s + 0.25f;\n  }\n",
+                        Var.c_str(), Var.c_str(), Var.c_str(), Var.c_str(),
+                        Var.c_str());
+  return formatString("  if ((%s & 1) == 0) {\n    %s = %s * 2;\n  } else "
+                      "{\n    %s = %s - 1;\n  }\n",
+                      Var.c_str(), Var.c_str(), Var.c_str(), Var.c_str(),
+                      Var.c_str());
+}
+
+} // namespace
+
+const char *suites::patternName(PatternKind Kind) {
+  switch (Kind) {
+  case PatternKind::VectorOp: return "vector-op";
+  case PatternKind::Saxpy: return "saxpy";
+  case PatternKind::Stencil1D: return "stencil-1d";
+  case PatternKind::ReductionTree: return "reduction-tree";
+  case PatternKind::SerialReduce: return "serial-reduce";
+  case PatternKind::MatMulNaive: return "matmul-naive";
+  case PatternKind::MatMulTiled: return "matmul-tiled";
+  case PatternKind::Transpose: return "transpose";
+  case PatternKind::Gather: return "gather";
+  case PatternKind::Spmv: return "spmv";
+  case PatternKind::NBody: return "nbody";
+  case PatternKind::BlackScholes: return "black-scholes";
+  case PatternKind::MonteCarlo: return "monte-carlo";
+  case PatternKind::Histogram: return "histogram";
+  case PatternKind::ScanBlock: return "scan-block";
+  case PatternKind::BinarySearch: return "binary-search";
+  case PatternKind::GraphWalk: return "graph-walk";
+  case PatternKind::DynProgRow: return "dynprog-row";
+  case PatternKind::BitonicStep: return "bitonic-step";
+  case PatternKind::Fwt: return "fwt";
+  case PatternKind::Convolution: return "convolution";
+  case PatternKind::KMeansAssign: return "kmeans-assign";
+  }
+  return "?";
+}
+
+std::vector<PatternKind> suites::allPatternKinds() {
+  return {PatternKind::VectorOp,      PatternKind::Saxpy,
+          PatternKind::Stencil1D,     PatternKind::ReductionTree,
+          PatternKind::SerialReduce,  PatternKind::MatMulNaive,
+          PatternKind::MatMulTiled,   PatternKind::Transpose,
+          PatternKind::Gather,        PatternKind::Spmv,
+          PatternKind::NBody,         PatternKind::BlackScholes,
+          PatternKind::MonteCarlo,    PatternKind::Histogram,
+          PatternKind::ScanBlock,     PatternKind::BinarySearch,
+          PatternKind::GraphWalk,     PatternKind::DynProgRow,
+          PatternKind::BitonicStep,   PatternKind::Fwt,
+          PatternKind::Convolution,   PatternKind::KMeansAssign};
+}
+
+std::string suites::renderPattern(PatternKind Kind,
+                                  const PatternStyle &Style,
+                                  const std::string &KernelName) {
+  const std::string T = elemType(Style);
+  const std::string K = KernelName;
+  const int Iters = Style.InnerIterations;
+  std::string Src;
+
+  switch (Kind) {
+  case PatternKind::VectorOp: {
+    Src = formatString(
+        "__kernel void %s(__global %s* a, __global %s* b, __global %s* c, "
+        "const int n) {\n"
+        "  int i = get_global_id(0);\n"
+        "  if (i >= n) {\n    return;\n  }\n"
+        "  %s x = a[i] + b[i] * 2.0f;\n",
+        K.c_str(), T.c_str(), T.c_str(), T.c_str(), T.c_str());
+    Src += computeChurn("x", Style.ComputeIntensity, Style.FloatData);
+    Src += branchChurn("x", Style.ExtraBranching, true);
+    Src += "  c[i] = x;\n}\n";
+    return Src;
+  }
+
+  case PatternKind::Saxpy: {
+    Src = formatString(
+        "__kernel void %s(__global %s* x, __global %s* y, float alpha, "
+        "const int n) {\n"
+        "  int i = get_global_id(0);\n"
+        "  if (i < n) {\n"
+        "    %s v = alpha * x[i] + y[i];\n",
+        K.c_str(), T.c_str(), T.c_str(), T.c_str());
+    Src += computeChurn("    v", Style.ComputeIntensity, Style.FloatData);
+    Src += "    y[i] = v;\n  }\n}\n";
+    return Src;
+  }
+
+  case PatternKind::Stencil1D: {
+    Src = formatString(
+        "__kernel void %s(__global float* in, __global float* out, "
+        "const int n) {\n"
+        "  int i = get_global_id(0);\n"
+        "  if (i >= n) {\n    return;\n  }\n"
+        "  int l = i > 0 ? i - 1 : 0;\n"
+        "  int r = i < n - 1 ? i + 1 : n - 1;\n"
+        "  float v = 0.25f * in[l] + 0.5f * in[i] + 0.25f * in[r];\n",
+        K.c_str());
+    Src += computeChurn("v", Style.ComputeIntensity, true);
+    Src += branchChurn("v", Style.ExtraBranching, true);
+    Src += "  out[i] = v;\n}\n";
+    return Src;
+  }
+
+  case PatternKind::ReductionTree: {
+    Src = formatString(
+        "__kernel void %s(__global float* in, __global float* out, "
+        "const int n) {\n"
+        "  __local float tile[64];\n"
+        "  int gid = get_global_id(0);\n"
+        "  int lid = get_local_id(0) & 63;\n"
+        "  tile[lid] = gid < n ? in[gid] : 0.0f;\n"
+        "  barrier(CLK_LOCAL_MEM_FENCE);\n"
+        "  for (int s = 32; s > 0; s = s >> 1) {\n"
+        "    if (lid < s) {\n"
+        "      tile[lid] += tile[lid + s];\n"
+        "    }\n"
+        "    barrier(CLK_LOCAL_MEM_FENCE);\n"
+        "  }\n"
+        "  if (lid == 0) {\n"
+        "    out[gid %% n] = tile[0];\n"
+        "  }\n"
+        "}\n",
+        K.c_str());
+    return Src;
+  }
+
+  case PatternKind::SerialReduce: {
+    Src = formatString(
+        "__kernel void %s(__global float* in, __global float* out, "
+        "const int n) {\n"
+        "  int i = get_global_id(0);\n"
+        "  if (i >= n) {\n    return;\n  }\n"
+        "  float s = 0.0f;\n"
+        "  for (int j = 0; j < %d; j++) {\n"
+        "    s += in[(i + j * 64) %% n];\n",
+        K.c_str(), Iters);
+    Src += computeChurn("    s", Style.ComputeIntensity, true);
+    Src += "  }\n  out[i] = s;\n}\n";
+    return Src;
+  }
+
+  case PatternKind::MatMulNaive: {
+    Src = formatString(
+        "__kernel void %s(__global float* a, __global float* b, "
+        "__global float* c, const int n) {\n"
+        "  int i = get_global_id(0);\n"
+        "  if (i >= n) {\n    return;\n  }\n"
+        "  int row = i / 64;\n"
+        "  int col = i %% 64;\n"
+        "  float acc = 0.0f;\n"
+        "  for (int k = 0; k < 64; k++) {\n"
+        "    acc += a[(row * 64 + k) %% n] * b[(k * 64 + col) %% n];\n"
+        "  }\n"
+        "  c[i] = acc;\n"
+        "}\n",
+        K.c_str());
+    return Src;
+  }
+
+  case PatternKind::MatMulTiled: {
+    Src = formatString(
+        "__kernel void %s(__global float* a, __global float* b, "
+        "__global float* c, const int n) {\n"
+        "  __local float ta[64];\n"
+        "  __local float tb[64];\n"
+        "  int i = get_global_id(0);\n"
+        "  int lid = get_local_id(0) & 63;\n"
+        "  int row = i / 64;\n"
+        "  int col = i %% 64;\n"
+        "  float acc = 0.0f;\n"
+        "  for (int t = 0; t < 8; t++) {\n"
+        "    ta[lid] = a[(row * 64 + t * 8 + lid %% 8) %% n];\n"
+        "    tb[lid] = b[((t * 8 + lid / 8) * 64 + col) %% n];\n"
+        "    barrier(CLK_LOCAL_MEM_FENCE);\n"
+        "    for (int k = 0; k < 8; k++) {\n"
+        "      acc += ta[(lid %% 8) * 8 %% 64 + k %% 8] * tb[k * 8 %% 64];\n"
+        "    }\n"
+        "    barrier(CLK_LOCAL_MEM_FENCE);\n"
+        "  }\n"
+        "  if (i < n) {\n"
+        "    c[i] = acc;\n"
+        "  }\n"
+        "}\n",
+        K.c_str());
+    return Src;
+  }
+
+  case PatternKind::Transpose: {
+    Src = formatString(
+        "__kernel void %s(__global float* in, __global float* out, "
+        "const int n) {\n"
+        "  int i = get_global_id(0);\n"
+        "  if (i >= n) {\n    return;\n  }\n"
+        "  int row = i / 64;\n"
+        "  int col = i %% 64;\n"
+        "  out[(col * 64 + row) %% n] = in[i];\n"
+        "}\n",
+        K.c_str());
+    return Src;
+  }
+
+  case PatternKind::Gather: {
+    Src = formatString(
+        "__kernel void %s(__global float* data, __global int* idx, "
+        "__global float* out, const int n) {\n"
+        "  int i = get_global_id(0);\n"
+        "  if (i >= n) {\n    return;\n  }\n"
+        "  float v = data[idx[i] %% n];\n",
+        K.c_str());
+    Src += computeChurn("v", Style.ComputeIntensity, true);
+    Src += branchChurn("v", Style.ExtraBranching, true);
+    Src += "  out[i] = v;\n}\n";
+    return Src;
+  }
+
+  case PatternKind::Spmv: {
+    Src = formatString(
+        "__kernel void %s(__global float* vals, __global int* cols, "
+        "__global float* x, __global float* y, const int n) {\n"
+        "  int row = get_global_id(0);\n"
+        "  if (row >= n) {\n    return;\n  }\n"
+        "  float sum = 0.0f;\n"
+        "  for (int j = 0; j < 8; j++) {\n"
+        "    int e = (row * 8 + j) %% n;\n"
+        "    sum += vals[e] * x[cols[e] %% n];\n"
+        "  }\n"
+        "  y[row] = sum;\n"
+        "}\n",
+        K.c_str());
+    return Src;
+  }
+
+  case PatternKind::NBody: {
+    Src = formatString(
+        "__kernel void %s(__global float* px, __global float* py, "
+        "__global float* fx, const int n) {\n"
+        "  int i = get_global_id(0);\n"
+        "  if (i >= n) {\n    return;\n  }\n"
+        "  float xi = px[i];\n"
+        "  float yi = py[i];\n"
+        "  float force = 0.0f;\n"
+        "  for (int j = 0; j < %d; j++) {\n"
+        "    float dx = px[j %% n] - xi;\n"
+        "    float dy = py[j %% n] - yi;\n"
+        "    float d2 = dx * dx + dy * dy + 0.0001f;\n"
+        "    float inv = rsqrt(d2);\n"
+        "    force += inv * inv * inv * dx;\n"
+        "  }\n"
+        "  fx[i] = force;\n"
+        "}\n",
+        K.c_str(), Iters);
+    return Src;
+  }
+
+  case PatternKind::BlackScholes: {
+    Src = formatString(
+        "__kernel void %s(__global float* price, __global float* strike, "
+        "__global float* call, __global float* put, const int n) {\n"
+        "  int i = get_global_id(0);\n"
+        "  if (i >= n) {\n    return;\n  }\n"
+        "  float s = fabs(price[i]) + 0.1f;\n"
+        "  float k = fabs(strike[i]) + 0.1f;\n"
+        "  float d1 = (log(s / k) + 0.055f) / 0.3f;\n"
+        "  float d2 = d1 - 0.3f;\n"
+        "  float nd1 = 0.5f * (1.0f + tanh(0.7978845608f * (d1 + 0.044715f "
+        "* d1 * d1 * d1)));\n"
+        "  float nd2 = 0.5f * (1.0f + tanh(0.7978845608f * (d2 + 0.044715f "
+        "* d2 * d2 * d2)));\n"
+        "  float c = s * nd1 - k * 0.951f * nd2;\n"
+        "  call[i] = c;\n"
+        "  put[i] = c - s + k * 0.951f;\n"
+        "}\n",
+        K.c_str());
+    return Src;
+  }
+
+  case PatternKind::MonteCarlo: {
+    Src = formatString(
+        "__kernel void %s(__global int* seeds, __global float* out, "
+        "const int n) {\n"
+        "  int i = get_global_id(0);\n"
+        "  if (i >= n) {\n    return;\n  }\n"
+        "  int state = seeds[i] + i + 1;\n"
+        "  float acc = 0.0f;\n"
+        "  for (int j = 0; j < %d; j++) {\n"
+        "    state = (state * 1103515245 + 12345) & 2147483647;\n"
+        "    float u = (float)(state %% 65536) / 65536.0f;\n"
+        "    acc += exp(-u * u);\n"
+        "  }\n"
+        "  out[i] = acc / %d.0f;\n"
+        "}\n",
+        K.c_str(), Iters, Iters);
+    return Src;
+  }
+
+  case PatternKind::Histogram: {
+    Src = formatString(
+        "__kernel void %s(__global int* data, __global int* hist, "
+        "const int n) {\n"
+        "  int i = get_global_id(0);\n"
+        "  if (i >= n) {\n    return;\n  }\n"
+        "  int bin = data[i] %% n;\n"
+        "  if (bin < 0) {\n    bin = -bin;\n  }\n"
+        "  atomic_add(&hist[bin], 1);\n"
+        "}\n",
+        K.c_str());
+    return Src;
+  }
+
+  case PatternKind::ScanBlock: {
+    Src = formatString(
+        "__kernel void %s(__global float* in, __global float* out, "
+        "const int n) {\n"
+        "  __local float tile[64];\n"
+        "  int gid = get_global_id(0);\n"
+        "  int lid = get_local_id(0) & 63;\n"
+        "  tile[lid] = gid < n ? in[gid] : 0.0f;\n"
+        "  barrier(CLK_LOCAL_MEM_FENCE);\n"
+        "  for (int off = 1; off < 64; off = off * 2) {\n"
+        "    float v = 0.0f;\n"
+        "    if (lid >= off) {\n"
+        "      v = tile[lid - off];\n"
+        "    }\n"
+        "    barrier(CLK_LOCAL_MEM_FENCE);\n"
+        "    tile[lid] += v;\n"
+        "    barrier(CLK_LOCAL_MEM_FENCE);\n"
+        "  }\n"
+        "  if (gid < n) {\n"
+        "    out[gid] = tile[lid];\n"
+        "  }\n"
+        "}\n",
+        K.c_str());
+    return Src;
+  }
+
+  case PatternKind::BinarySearch: {
+    Src = formatString(
+        "__kernel void %s(__global float* sorted, __global float* keys, "
+        "__global int* pos, const int n) {\n"
+        "  int i = get_global_id(0);\n"
+        "  if (i >= n) {\n    return;\n  }\n"
+        "  float key = keys[i];\n"
+        "  int lo = 0;\n"
+        "  int hi = n - 1;\n"
+        "  for (int step = 0; step < 16; step++) {\n"
+        "    int mid = (lo + hi) / 2;\n"
+        "    if (sorted[mid] < key) {\n"
+        "      lo = mid + 1;\n"
+        "    } else {\n"
+        "      hi = mid;\n"
+        "    }\n"
+        "    if (lo >= hi) {\n"
+        "      break;\n"
+        "    }\n"
+        "  }\n"
+        "  pos[i] = lo;\n"
+        "}\n",
+        K.c_str());
+    return Src;
+  }
+
+  case PatternKind::GraphWalk: {
+    Src = formatString(
+        "__kernel void %s(__global int* adj, __global int* dist, "
+        "__global int* frontier, const int n) {\n"
+        "  int i = get_global_id(0);\n"
+        "  if (i >= n) {\n    return;\n  }\n"
+        "  int v = i;\n"
+        "  int hops = 0;\n"
+        "  for (int j = 0; j < 12; j++) {\n"
+        "    int next = adj[v %% n] %% n;\n"
+        "    if (next < 0) {\n      next = -next;\n    }\n"
+        "    if (frontier[next %% n] > dist[v %% n]) {\n"
+        "      hops = hops + 1;\n"
+        "      v = next;\n"
+        "    } else {\n"
+        "      v = (v + 1) %% n;\n"
+        "    }\n"
+        "  }\n"
+        "  dist[i] = hops;\n"
+        "}\n",
+        K.c_str());
+    return Src;
+  }
+
+  case PatternKind::DynProgRow: {
+    Src = formatString(
+        "__kernel void %s(__global float* prev, __global float* cost, "
+        "__global float* next, const int n) {\n"
+        "  int i = get_global_id(0);\n"
+        "  if (i >= n) {\n    return;\n  }\n"
+        "  int l = i > 0 ? i - 1 : 0;\n"
+        "  int r = i < n - 1 ? i + 1 : n - 1;\n"
+        "  float best = prev[i];\n"
+        "  if (prev[l] < best) {\n    best = prev[l];\n  }\n"
+        "  if (prev[r] < best) {\n    best = prev[r];\n  }\n"
+        "  next[i] = best + cost[i];\n"
+        "}\n",
+        K.c_str());
+    return Src;
+  }
+
+  case PatternKind::BitonicStep: {
+    Src = formatString(
+        "__kernel void %s(__global float* data, const int n) {\n"
+        "  int i = get_global_id(0);\n"
+        "  int partner = i ^ 64;\n"
+        "  if (partner < n && i < partner) {\n"
+        "    float a = data[i];\n"
+        "    float b = data[partner];\n"
+        "    if (a > b) {\n"
+        "      data[i] = b;\n"
+        "      data[partner] = a;\n"
+        "    }\n"
+        "  }\n"
+        "}\n",
+        K.c_str());
+    return Src;
+  }
+
+  case PatternKind::Fwt: {
+    // The butterfly aliased with Listing 2's CLgen kernel in the Grewe
+    // feature space.
+    Src = formatString(
+        "__kernel void %s(__global float* t, const int n) {\n"
+        "  int i = get_global_id(0);\n"
+        "  int h = n / 2;\n"
+        "  if (i < h) {\n"
+        "    float x = t[i];\n"
+        "    float y = t[i + h];\n"
+        "    t[i] = x + y;\n"
+        "    t[i + h] = x - y;\n"
+        "  }\n"
+        "}\n",
+        K.c_str());
+    return Src;
+  }
+
+  case PatternKind::Convolution: {
+    Src = formatString(
+        "__kernel void %s(__global float* in, __global float* out, "
+        "const int n) {\n"
+        "  int i = get_global_id(0);\n"
+        "  if (i >= n) {\n    return;\n  }\n"
+        "  float acc = 0.0f;\n"
+        "  for (int j = -2; j <= 2; j++) {\n"
+        "    int p = i + j;\n"
+        "    if (p < 0) {\n      p = 0;\n    }\n"
+        "    if (p > n - 1) {\n      p = n - 1;\n    }\n"
+        "    float w = 1.0f / (1.0f + (float)(j * j));\n"
+        "    acc += in[p] * w;\n"
+        "  }\n"
+        "  out[i] = acc;\n"
+        "}\n",
+        K.c_str());
+    return Src;
+  }
+
+  case PatternKind::KMeansAssign: {
+    Src = formatString(
+        "__kernel void %s(__global float* points, __global float* "
+        "centroids, __global int* labels, const int n) {\n"
+        "  int i = get_global_id(0);\n"
+        "  if (i >= n) {\n    return;\n  }\n"
+        "  float p = points[i];\n"
+        "  int best = 0;\n"
+        "  float bestDist = 1e30f;\n"
+        "  for (int c = 0; c < 8; c++) {\n"
+        "    float d = p - centroids[c %% n];\n"
+        "    float dist = d * d;\n"
+        "    if (dist < bestDist) {\n"
+        "      bestDist = dist;\n"
+        "      best = c;\n"
+        "    }\n"
+        "  }\n"
+        "  labels[i] = best;\n"
+        "}\n",
+        K.c_str());
+    return Src;
+  }
+  }
+  return Src;
+}

@@ -1,0 +1,92 @@
+//===- suites/KernelPatterns.h - GPGPU kernel pattern library ----*- C++ -*-===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A library of classic GPGPU computational patterns used to synthesise
+/// the benchmark-suite catalogue (Table 3) and the raw GitHub-style
+/// corpus. Each generator renders parameterised OpenCL source. All
+/// generated kernels:
+///  - take their problem size from a `const int` parameter (the host
+///    driver assigns it the global size, section 5.1);
+///  - guard every global access so any payload of that size is safe;
+///  - bound inner loops with literal trip counts so simulated execution
+///    stays affordable.
+///
+/// Style knobs (vector width, local-memory usage, branchiness, compute
+/// intensity) let each suite occupy its own region of the Grewe feature
+/// space, which is what the cross-suite experiments of the paper depend
+/// on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLGEN_SUITES_KERNELPATTERNS_H
+#define CLGEN_SUITES_KERNELPATTERNS_H
+
+#include "support/Rng.h"
+
+#include <string>
+#include <vector>
+
+namespace clgen {
+namespace suites {
+
+/// Identifies one computational pattern.
+enum class PatternKind {
+  VectorOp,      // Streaming elementwise zip/map.
+  Saxpy,         // y += alpha * x.
+  Stencil1D,     // k-point neighbourhood.
+  ReductionTree, // Work-group tree reduction in local memory.
+  SerialReduce,  // Per-item serial accumulation loop.
+  MatMulNaive,   // Row x column inner product, strided loads.
+  MatMulTiled,   // Local-memory tiled matrix multiply.
+  Transpose,     // Strided permutation store.
+  Gather,        // Indirect access through an index buffer.
+  Spmv,          // Sparse matrix-vector (row pointer walk emulation).
+  NBody,         // O(k) force loop with rsqrt.
+  BlackScholes,  // Transcendental-heavy pricing formula.
+  MonteCarlo,    // Iterated pseudo-random path simulation.
+  Histogram,     // Atomic scatter increments.
+  ScanBlock,     // Work-group inclusive scan (local + barrier).
+  BinarySearch,  // Branchy divide and conquer probing.
+  GraphWalk,     // BFS-like frontier expansion, very branchy.
+  DynProgRow,    // Pathfinder-style dynamic programming row.
+  BitonicStep,   // XOR-partner compare-exchange pass.
+  Fwt,           // Fast Walsh-Hadamard butterfly (Listing 2's alias).
+  Convolution,   // Small filter window.
+  KMeansAssign,  // Distance loop + argmin branch.
+};
+
+/// Style knobs applied to a pattern.
+struct PatternStyle {
+  /// Element vector width for data buffers (1, 2, 4, 8 or 16).
+  int VectorWidth = 1;
+  /// Use local-memory staging where meaningful.
+  bool UseLocalMemory = false;
+  /// Insert extra data-dependent branching.
+  bool ExtraBranching = false;
+  /// Inner-loop trip count for looped patterns (literal in source).
+  int InnerIterations = 64;
+  /// Multiplier on arithmetic per element (unrolled in source).
+  int ComputeIntensity = 1;
+  /// Use float (true) or int (false) data.
+  bool FloatData = true;
+};
+
+/// Renders \p Kind with the given \p Style into compilable OpenCL source
+/// containing exactly one kernel named \p KernelName.
+std::string renderPattern(PatternKind Kind, const PatternStyle &Style,
+                          const std::string &KernelName);
+
+/// All pattern kinds (for sweeps and property tests).
+std::vector<PatternKind> allPatternKinds();
+
+/// Human-readable pattern name.
+const char *patternName(PatternKind Kind);
+
+} // namespace suites
+} // namespace clgen
+
+#endif // CLGEN_SUITES_KERNELPATTERNS_H

@@ -1,0 +1,98 @@
+//===- support/Result.h - Lightweight error handling ------------*- C++ -*-===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal Expected-style error handling without exceptions. A Result<T>
+/// either carries a value or a diagnostic string; Status is the void
+/// specialisation. This mirrors the role of llvm::Expected in a project
+/// that forbids exceptions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLGEN_SUPPORT_RESULT_H
+#define CLGEN_SUPPORT_RESULT_H
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace clgen {
+
+/// A value-or-error carrier. Construct with a value for success or via
+/// Result<T>::error for failure.
+template <typename T> class Result {
+public:
+  /// Success constructor (implicit so that `return Value;` works).
+  Result(T Value) : Value(std::move(Value)) {}
+
+  /// Creates a failed result carrying \p Message.
+  static Result error(std::string Message) {
+    Result R;
+    R.Message = std::move(Message);
+    return R;
+  }
+
+  /// Returns true when a value is present.
+  bool ok() const { return Value.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  /// Returns the carried value. Must only be called when ok().
+  const T &get() const {
+    assert(ok() && "accessing value of failed Result");
+    return *Value;
+  }
+  T &get() {
+    assert(ok() && "accessing value of failed Result");
+    return *Value;
+  }
+
+  /// Moves the carried value out. Must only be called when ok().
+  T take() {
+    assert(ok() && "taking value of failed Result");
+    return std::move(*Value);
+  }
+
+  /// Returns the diagnostic message. Must only be called when !ok().
+  const std::string &errorMessage() const {
+    assert(!ok() && "accessing error of successful Result");
+    return Message;
+  }
+
+private:
+  Result() = default;
+  std::optional<T> Value;
+  std::string Message;
+};
+
+/// A success-or-error outcome for operations with no payload.
+class Status {
+public:
+  /// Creates a success status.
+  Status() = default;
+
+  /// Creates a failed status carrying \p Message.
+  static Status error(std::string Message) {
+    Status S;
+    S.Failed = true;
+    S.Message = std::move(Message);
+    return S;
+  }
+
+  bool ok() const { return !Failed; }
+  explicit operator bool() const { return ok(); }
+
+  /// Returns the diagnostic message (empty on success).
+  const std::string &errorMessage() const { return Message; }
+
+private:
+  bool Failed = false;
+  std::string Message;
+};
+
+} // namespace clgen
+
+#endif // CLGEN_SUPPORT_RESULT_H

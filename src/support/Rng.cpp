@@ -1,0 +1,113 @@
+//===- support/Rng.cpp - Deterministic random number generation ----------===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Rng.h"
+
+#include <cmath>
+
+using namespace clgen;
+
+static uint64_t splitMix64(uint64_t &X) {
+  X += 0x9E3779B97F4A7C15ull;
+  uint64_t Z = X;
+  Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBull;
+  return Z ^ (Z >> 31);
+}
+
+static uint64_t rotl(uint64_t X, int K) { return (X << K) | (X >> (64 - K)); }
+
+Rng::Rng(uint64_t Seed) {
+  // Seed the full 256-bit state through SplitMix64 as recommended by the
+  // xoshiro authors; this avoids the all-zero state for any seed.
+  for (uint64_t &Word : State)
+    Word = splitMix64(Seed);
+}
+
+uint64_t Rng::next() {
+  uint64_t Result = rotl(State[1] * 5, 7) * 9;
+  uint64_t T = State[1] << 17;
+  State[2] ^= State[0];
+  State[3] ^= State[1];
+  State[1] ^= State[2];
+  State[0] ^= State[3];
+  State[2] ^= T;
+  State[3] = rotl(State[3], 45);
+  return Result;
+}
+
+uint64_t Rng::bounded(uint64_t Bound) {
+  assert(Bound != 0 && "bound must be nonzero");
+  // Rejection sampling: discard the biased tail of the 64-bit range.
+  uint64_t Threshold = -Bound % Bound;
+  for (;;) {
+    uint64_t Value = next();
+    if (Value >= Threshold)
+      return Value % Bound;
+  }
+}
+
+int64_t Rng::range(int64_t Lo, int64_t Hi) {
+  assert(Lo <= Hi && "empty range");
+  return Lo + static_cast<int64_t>(
+                  bounded(static_cast<uint64_t>(Hi - Lo) + 1));
+}
+
+double Rng::uniform() {
+  // 53 high bits give a uniform double in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double Lo, double Hi) { return Lo + (Hi - Lo) * uniform(); }
+
+double Rng::gaussian() {
+  if (HasSpareGaussian) {
+    HasSpareGaussian = false;
+    return SpareGaussian;
+  }
+  double U, V, S;
+  do {
+    U = uniform(-1.0, 1.0);
+    V = uniform(-1.0, 1.0);
+    S = U * U + V * V;
+  } while (S >= 1.0 || S == 0.0);
+  double Factor = std::sqrt(-2.0 * std::log(S) / S);
+  SpareGaussian = V * Factor;
+  HasSpareGaussian = true;
+  return U * Factor;
+}
+
+double Rng::gaussian(double Mean, double Stddev) {
+  return Mean + Stddev * gaussian();
+}
+
+bool Rng::chance(double P) {
+  if (P <= 0.0)
+    return false;
+  if (P >= 1.0)
+    return true;
+  return uniform() < P;
+}
+
+size_t Rng::weighted(const std::vector<double> &Weights) {
+  assert(!Weights.empty() && "weighted pick needs at least one weight");
+  double Total = 0.0;
+  for (double W : Weights) {
+    assert(W >= 0.0 && "weights must be nonnegative");
+    Total += W;
+  }
+  assert(Total > 0.0 && "weights must not all be zero");
+  double Target = uniform() * Total;
+  double Running = 0.0;
+  for (size_t I = 0; I < Weights.size(); ++I) {
+    Running += Weights[I];
+    if (Target < Running)
+      return I;
+  }
+  return Weights.size() - 1;
+}
+
+Rng Rng::fork() { return Rng(next() ^ 0xD1B54A32D192ED03ull); }

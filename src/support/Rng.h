@@ -1,0 +1,93 @@
+//===- support/Rng.h - Deterministic random number generation --*- C++ -*-===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fast, fully deterministic random number generator used across
+/// the entire project so that every experiment is reproducible from a seed.
+/// The engine is xoshiro256** seeded through SplitMix64, which has good
+/// statistical quality and trivially serialisable state.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLGEN_SUPPORT_RNG_H
+#define CLGEN_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace clgen {
+
+/// Deterministic pseudo random number generator (xoshiro256**).
+class Rng {
+public:
+  /// Creates a generator from a 64-bit seed. Two generators built from the
+  /// same seed produce identical streams on every platform.
+  explicit Rng(uint64_t Seed = 0x9E3779B97F4A7C15ull);
+
+  /// Returns the next raw 64-bit value.
+  uint64_t next();
+
+  /// Returns a uniformly distributed integer in [0, Bound). \p Bound must be
+  /// nonzero. Uses rejection sampling to avoid modulo bias.
+  uint64_t bounded(uint64_t Bound);
+
+  /// Returns a uniformly distributed integer in [Lo, Hi] inclusive.
+  int64_t range(int64_t Lo, int64_t Hi);
+
+  /// Returns a double uniformly distributed in [0, 1).
+  double uniform();
+
+  /// Returns a double uniformly distributed in [Lo, Hi).
+  double uniform(double Lo, double Hi);
+
+  /// Returns a sample from the standard normal distribution
+  /// (Marsaglia polar method).
+  double gaussian();
+
+  /// Returns a normal sample with the given mean and standard deviation.
+  double gaussian(double Mean, double Stddev);
+
+  /// Returns true with probability \p P.
+  bool chance(double P);
+
+  /// Returns a reference to a uniformly chosen element of \p Items.
+  template <typename T> const T &pick(const std::vector<T> &Items) {
+    assert(!Items.empty() && "cannot pick from an empty vector");
+    return Items[bounded(Items.size())];
+  }
+
+  /// Returns an index drawn from the (unnormalised) weight vector
+  /// \p Weights. All weights must be nonnegative and their sum positive.
+  size_t weighted(const std::vector<double> &Weights);
+
+  /// Fisher-Yates shuffles \p Items in place.
+  template <typename T> void shuffle(std::vector<T> &Items) {
+    if (Items.size() < 2)
+      return;
+    for (size_t I = Items.size() - 1; I > 0; --I) {
+      size_t J = bounded(I + 1);
+      T Tmp = std::move(Items[I]);
+      Items[I] = std::move(Items[J]);
+      Items[J] = std::move(Tmp);
+    }
+  }
+
+  /// Splits off an independent generator. The child stream is a pure
+  /// function of the parent state, so forked pipelines stay deterministic.
+  Rng fork();
+
+private:
+  uint64_t State[4];
+  bool HasSpareGaussian = false;
+  double SpareGaussian = 0.0;
+};
+
+} // namespace clgen
+
+#endif // CLGEN_SUPPORT_RNG_H

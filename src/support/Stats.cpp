@@ -1,0 +1,79 @@
+//===- support/Stats.cpp - Summary statistics ------------------------------===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace clgen;
+
+double clgen::mean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double Sum = 0.0;
+  for (double V : Values)
+    Sum += V;
+  return Sum / static_cast<double>(Values.size());
+}
+
+double clgen::stdev(const std::vector<double> &Values) {
+  if (Values.size() < 2)
+    return 0.0;
+  double M = mean(Values);
+  double SumSq = 0.0;
+  for (double V : Values)
+    SumSq += (V - M) * (V - M);
+  return std::sqrt(SumSq / static_cast<double>(Values.size() - 1));
+}
+
+double clgen::geomean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double LogSum = 0.0;
+  for (double V : Values) {
+    assert(V > 0.0 && "geomean requires positive values");
+    LogSum += std::log(V);
+  }
+  return std::exp(LogSum / static_cast<double>(Values.size()));
+}
+
+double clgen::median(std::vector<double> Values) {
+  if (Values.empty())
+    return 0.0;
+  std::sort(Values.begin(), Values.end());
+  size_t N = Values.size();
+  if (N % 2 == 1)
+    return Values[N / 2];
+  return 0.5 * (Values[N / 2 - 1] + Values[N / 2]);
+}
+
+double clgen::percentile(std::vector<double> Values, double P) {
+  if (Values.empty())
+    return 0.0;
+  assert(P >= 0.0 && P <= 100.0 && "percentile out of range");
+  std::sort(Values.begin(), Values.end());
+  if (Values.size() == 1)
+    return Values[0];
+  double Rank = P / 100.0 * static_cast<double>(Values.size() - 1);
+  size_t Lo = static_cast<size_t>(Rank);
+  size_t Hi = std::min(Lo + 1, Values.size() - 1);
+  double Frac = Rank - static_cast<double>(Lo);
+  return Values[Lo] * (1.0 - Frac) + Values[Hi] * Frac;
+}
+
+double clgen::minOf(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  return *std::min_element(Values.begin(), Values.end());
+}
+
+double clgen::maxOf(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  return *std::max_element(Values.begin(), Values.end());
+}

@@ -1,0 +1,45 @@
+//===- support/Stats.h - Summary statistics ---------------------*- C++ -*-===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Summary statistics used by the experiment harnesses: arithmetic and
+/// geometric means, standard deviation, median and percentiles.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLGEN_SUPPORT_STATS_H
+#define CLGEN_SUPPORT_STATS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace clgen {
+
+/// Arithmetic mean. Returns 0 for an empty vector.
+double mean(const std::vector<double> &Values);
+
+/// Sample standard deviation (N-1 denominator). Returns 0 when fewer than
+/// two values are given.
+double stdev(const std::vector<double> &Values);
+
+/// Geometric mean. All values must be positive. Returns 0 for an empty
+/// vector.
+double geomean(const std::vector<double> &Values);
+
+/// Median (average of middle pair for even sizes). Returns 0 for an empty
+/// vector.
+double median(std::vector<double> Values);
+
+/// Linear-interpolated percentile, \p P in [0, 100].
+double percentile(std::vector<double> Values, double P);
+
+/// Minimum / maximum. Both return 0 for an empty vector.
+double minOf(const std::vector<double> &Values);
+double maxOf(const std::vector<double> &Values);
+
+} // namespace clgen
+
+#endif // CLGEN_SUPPORT_STATS_H

@@ -1,0 +1,115 @@
+//===- support/StringUtils.cpp - String helpers ---------------------------===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringUtils.h"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+
+using namespace clgen;
+
+std::vector<std::string> clgen::splitString(std::string_view Text, char Sep) {
+  std::vector<std::string> Parts;
+  size_t Start = 0;
+  for (size_t I = 0; I <= Text.size(); ++I) {
+    if (I == Text.size() || Text[I] == Sep) {
+      Parts.emplace_back(Text.substr(Start, I - Start));
+      Start = I + 1;
+    }
+  }
+  return Parts;
+}
+
+std::vector<std::string> clgen::splitLines(std::string_view Text) {
+  std::vector<std::string> Lines = splitString(Text, '\n');
+  if (!Lines.empty() && Lines.back().empty())
+    Lines.pop_back();
+  return Lines;
+}
+
+std::string_view clgen::trim(std::string_view Text) {
+  size_t Begin = 0;
+  size_t End = Text.size();
+  while (Begin < End && std::isspace(static_cast<unsigned char>(Text[Begin])))
+    ++Begin;
+  while (End > Begin &&
+         std::isspace(static_cast<unsigned char>(Text[End - 1])))
+    --End;
+  return Text.substr(Begin, End - Begin);
+}
+
+std::string clgen::joinStrings(const std::vector<std::string> &Parts,
+                               std::string_view Sep) {
+  std::string Out;
+  for (size_t I = 0; I < Parts.size(); ++I) {
+    if (I != 0)
+      Out += Sep;
+    Out += Parts[I];
+  }
+  return Out;
+}
+
+bool clgen::startsWith(std::string_view Text, std::string_view Prefix) {
+  return Text.size() >= Prefix.size() &&
+         Text.substr(0, Prefix.size()) == Prefix;
+}
+
+bool clgen::endsWith(std::string_view Text, std::string_view Suffix) {
+  return Text.size() >= Suffix.size() &&
+         Text.substr(Text.size() - Suffix.size()) == Suffix;
+}
+
+std::string clgen::replaceAll(std::string Text, std::string_view From,
+                              std::string_view To) {
+  if (From.empty())
+    return Text;
+  size_t Pos = 0;
+  while ((Pos = Text.find(From, Pos)) != std::string::npos) {
+    Text.replace(Pos, From.size(), To);
+    Pos += To.size();
+  }
+  return Text;
+}
+
+size_t clgen::countNonBlankLines(std::string_view Text) {
+  size_t Count = 0;
+  for (const std::string &Line : splitLines(Text))
+    if (!trim(Line).empty())
+      ++Count;
+  return Count;
+}
+
+std::string clgen::sequentialName(size_t Index, bool Uppercase) {
+  // The series is a, b, ..., z, aa, ab, ... which is a bijective base-26
+  // numbering.
+  std::string Name;
+  size_t N = Index + 1;
+  while (N > 0) {
+    size_t Digit = (N - 1) % 26;
+    Name.insert(Name.begin(),
+                static_cast<char>((Uppercase ? 'A' : 'a') + Digit));
+    N = (N - 1) / 26;
+  }
+  return Name;
+}
+
+std::string clgen::formatString(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list ArgsCopy;
+  va_copy(ArgsCopy, Args);
+  int Size = std::vsnprintf(nullptr, 0, Fmt, Args);
+  va_end(Args);
+  if (Size < 0) {
+    va_end(ArgsCopy);
+    return std::string();
+  }
+  std::string Out(static_cast<size_t>(Size), '\0');
+  std::vsnprintf(Out.data(), Out.size() + 1, Fmt, ArgsCopy);
+  va_end(ArgsCopy);
+  return Out;
+}

@@ -1,0 +1,61 @@
+//===- support/StringUtils.h - String helpers -------------------*- C++ -*-===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small string helpers shared by the frontend, the corpus pipeline and the
+/// bench harnesses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLGEN_SUPPORT_STRINGUTILS_H
+#define CLGEN_SUPPORT_STRINGUTILS_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace clgen {
+
+/// Splits \p Text on \p Sep. Empty fields are kept.
+std::vector<std::string> splitString(std::string_view Text, char Sep);
+
+/// Splits \p Text into lines, treating a trailing newline as terminating the
+/// last line rather than opening an empty one.
+std::vector<std::string> splitLines(std::string_view Text);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view Text);
+
+/// Joins \p Parts with \p Sep between consecutive elements.
+std::string joinStrings(const std::vector<std::string> &Parts,
+                        std::string_view Sep);
+
+/// Returns true if \p Text begins with \p Prefix.
+bool startsWith(std::string_view Text, std::string_view Prefix);
+
+/// Returns true if \p Text ends with \p Suffix.
+bool endsWith(std::string_view Text, std::string_view Suffix);
+
+/// Replaces every occurrence of \p From in \p Text with \p To.
+std::string replaceAll(std::string Text, std::string_view From,
+                       std::string_view To);
+
+/// Counts the lines of \p Text (number of newline-separated segments with at
+/// least one non-whitespace character).
+size_t countNonBlankLines(std::string_view Text);
+
+/// Returns the name for the Nth identifier in the rewriter's sequential
+/// series: 0 -> "a", 25 -> "z", 26 -> "aa" ... (lowercase) or "A", "AA", ...
+/// when \p Uppercase is set. This is the naming scheme of section 4.1.
+std::string sequentialName(size_t Index, bool Uppercase);
+
+/// printf-style formatting into a std::string.
+std::string formatString(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace clgen
+
+#endif // CLGEN_SUPPORT_STRINGUTILS_H

@@ -1,0 +1,86 @@
+//===- support/Table.cpp - ASCII tables and bar charts --------------------===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace clgen;
+
+void TextTable::setHeader(std::vector<std::string> Names) {
+  assert(Rows.empty() && "header must be set before rows are added");
+  Header = std::move(Names);
+}
+
+void TextTable::addRow(std::vector<std::string> Cells) {
+  assert(Cells.size() == Header.size() && "row width mismatch");
+  Rows.push_back(std::move(Cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<size_t> Widths(Header.size(), 0);
+  for (size_t C = 0; C < Header.size(); ++C)
+    Widths[C] = Header[C].size();
+  for (const auto &Row : Rows)
+    for (size_t C = 0; C < Row.size(); ++C)
+      Widths[C] = std::max(Widths[C], Row[C].size());
+
+  auto RenderRow = [&](const std::vector<std::string> &Cells) {
+    std::string Line;
+    for (size_t C = 0; C < Cells.size(); ++C) {
+      Line += Cells[C];
+      if (C + 1 < Cells.size())
+        Line += std::string(Widths[C] - Cells[C].size() + 2, ' ');
+    }
+    Line += '\n';
+    return Line;
+  };
+
+  std::string Out = RenderRow(Header);
+  size_t RuleWidth = 0;
+  for (size_t C = 0; C < Widths.size(); ++C)
+    RuleWidth += Widths[C] + (C + 1 < Widths.size() ? 2 : 0);
+  Out += std::string(RuleWidth, '-') + "\n";
+  for (const auto &Row : Rows)
+    Out += RenderRow(Row);
+  return Out;
+}
+
+void BarChart::addBar(std::string Label, double Value, std::string Detail) {
+  Bars.push_back({std::move(Label), Value, std::move(Detail)});
+}
+
+std::string BarChart::render() const {
+  std::string Out = Title + "\n";
+  double MaxValue = 0.0;
+  size_t MaxLabel = 0;
+  for (const Bar &B : Bars) {
+    MaxValue = std::max(MaxValue, B.Value);
+    MaxLabel = std::max(MaxLabel, B.Label.size());
+  }
+  for (const Bar &B : Bars) {
+    size_t Len =
+        MaxValue > 0.0
+            ? static_cast<size_t>(B.Value / MaxValue *
+                                  static_cast<double>(Width))
+            : 0;
+    Out += formatString("  %-*s |%s%s %.2f", static_cast<int>(MaxLabel),
+                        B.Label.c_str(), std::string(Len, '#').c_str(),
+                        std::string(Width - Len, ' ').c_str(), B.Value);
+    if (!B.Detail.empty())
+      Out += "  " + B.Detail;
+    Out += '\n';
+  }
+  return Out;
+}
+
+std::string clgen::sectionBanner(const std::string &Title) {
+  std::string Rule(Title.size() + 6, '=');
+  return "\n" + Rule + "\n== " + Title + " ==\n" + Rule + "\n";
+}

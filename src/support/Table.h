@@ -1,0 +1,69 @@
+//===- support/Table.h - ASCII tables and bar charts ------------*- C++ -*-===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Rendering helpers for the benchmark harnesses. Every table and figure of
+/// the paper is regenerated as text: tables as aligned ASCII grids, figures
+/// as labelled horizontal bar charts or (x, y) series dumps.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLGEN_SUPPORT_TABLE_H
+#define CLGEN_SUPPORT_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace clgen {
+
+/// An ASCII table with a header row and aligned columns.
+class TextTable {
+public:
+  /// Sets the column headers; must be called before adding rows.
+  void setHeader(std::vector<std::string> Names);
+
+  /// Appends one row. The number of cells must match the header width.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Renders the table with column alignment and a separator rule under the
+  /// header.
+  std::string render() const;
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+/// A horizontal bar chart: one labelled bar per entry, scaled so the
+/// largest value spans \p Width characters.
+class BarChart {
+public:
+  explicit BarChart(std::string Title, size_t Width = 50)
+      : Title(std::move(Title)), Width(Width) {}
+
+  /// Appends a bar. \p Detail (optional) is printed after the value.
+  void addBar(std::string Label, double Value, std::string Detail = "");
+
+  std::string render() const;
+
+private:
+  struct Bar {
+    std::string Label;
+    double Value;
+    std::string Detail;
+  };
+  std::string Title;
+  size_t Width;
+  std::vector<Bar> Bars;
+};
+
+/// Prints a section banner used by the bench binaries, e.g.
+/// "== Figure 7a: ... ==".
+std::string sectionBanner(const std::string &Title);
+
+} // namespace clgen
+
+#endif // CLGEN_SUPPORT_TABLE_H

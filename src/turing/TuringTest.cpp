@@ -1,0 +1,108 @@
+//===- turing/TuringTest.cpp - Simulated human-or-machine panel ---------------===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "turing/TuringTest.h"
+
+#include "support/Stats.h"
+
+#include <algorithm>
+
+using namespace clgen;
+using namespace clgen::turing;
+
+double turing::clsmithTellScore(const std::string &Source) {
+  // The kernels shown to judges are style-normalised (identifiers are
+  // renamed, comments stripped), so the detectable tells are structural
+  // — exactly the ones the paper's participants reported.
+  double Score = 0.0;
+
+  // Tell 1 (the paper's example): the only input is a single ulong
+  // pointer.
+  if (Source.find("__global ulong*") != std::string::npos ||
+      Source.find("__global ulong *") != std::string::npos)
+    Score += 4.0;
+
+  // Tell 2: deep parenthesis nesting from generated expression trees.
+  int Depth = 0, MaxDepth = 0;
+  for (char C : Source) {
+    if (C == '(')
+      MaxDepth = std::max(MaxDepth, ++Depth);
+    if (C == ')')
+      --Depth;
+  }
+  if (MaxDepth >= 7)
+    Score += 2.5 + 0.5 * (MaxDepth - 7);
+
+  // Tell 3: checksum folding — long runs of xor-assignments.
+  size_t XorCount = 0;
+  size_t Pos = 0;
+  while ((Pos = Source.find(" ^ ", Pos)) != std::string::npos) {
+    ++XorCount;
+    Pos += 3;
+  }
+  if (XorCount >= 8)
+    Score += 2.5;
+
+  // Tell 4: density of large magic integer constants.
+  size_t BigConstants = 0;
+  for (size_t I = 0; I + 6 < Source.size(); ++I) {
+    bool AllDigits = true;
+    for (size_t J = 0; J < 7; ++J)
+      AllDigits &= Source[I + J] >= '0' && Source[I + J] <= '9';
+    if (AllDigits) {
+      ++BigConstants;
+      I += 7;
+    }
+  }
+  if (BigConstants >= 4)
+    Score += 2.0;
+  return Score;
+}
+
+PanelResult turing::runPanel(const std::vector<std::string> &HumanPool,
+                             const std::vector<std::string> &MachinePool,
+                             model::LanguageModel &ReferenceModel,
+                             const PanelOptions &Opts) {
+  PanelResult Result;
+  Rng R(Opts.Seed);
+
+  // Baseline naturalness: calibrate the decision threshold on the human
+  // pool's own distribution (judges know what OpenCL usually looks
+  // like).
+  std::vector<double> HumanBits;
+  for (const std::string &K : HumanPool)
+    HumanBits.push_back(ReferenceModel.bitsPerChar(K));
+  double Threshold = mean(HumanBits) + 2.0 * stdev(HumanBits);
+
+  for (int P = 0; P < Opts.Participants; ++P) {
+    double JudgeBias = R.gaussian(0.0, Opts.JudgeNoise);
+    int Correct = 0;
+    for (int K = 0; K < Opts.KernelsPerParticipant; ++K) {
+      bool IsMachine = R.chance(0.5);
+      const std::string &Kernel =
+          IsMachine ? MachinePool[R.bounded(MachinePool.size())]
+                    : HumanPool[R.bounded(HumanPool.size())];
+      double Bits = ReferenceModel.bitsPerChar(Kernel);
+      double Tells = clsmithTellScore(Kernel);
+      double PerKernelNoise = R.gaussian(0.0, Opts.JudgeNoise * 0.6);
+      bool JudgedMachine =
+          Bits + Tells + PerKernelNoise > Threshold + JudgeBias;
+      if (JudgedMachine == IsMachine) {
+        ++Correct;
+      } else if (IsMachine) {
+        ++Result.FalseNegatives;
+      } else {
+        ++Result.FalsePositives;
+      }
+    }
+    Result.Accuracies.push_back(
+        static_cast<double>(Correct) /
+        static_cast<double>(Opts.KernelsPerParticipant));
+  }
+  Result.MeanAccuracy = mean(Result.Accuracies);
+  Result.StdevAccuracy = stdev(Result.Accuracies);
+  return Result;
+}

@@ -1,0 +1,71 @@
+//===- turing/TuringTest.h - Simulated human-or-machine panel ----*- C++ -*-===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Simulates the qualitative evaluation of section 6.1: a double-blind
+/// panel of volunteer OpenCL developers judging whether kernels were
+/// written by a human or a machine. Fifteen participants saw ten kernels
+/// each; ten participants judged CLgen output (scoring 52% — chance),
+/// five formed a control group judging CLSmith output (96%, with zero
+/// false positives).
+///
+/// Substitution: human judges are unavailable, so each simulated judge
+/// scores a kernel by (a) its naturalness under a reference language
+/// model trained on the human corpus (bits per character) and (b)
+/// CLSmith "tells" (single ulong result buffer, p_NN/l_NN identifiers,
+/// magic hex constants), with per-judge threshold noise. The mechanism
+/// matches the paper's observation: the control group wins on obvious
+/// tells, while CLgen code is statistically indistinguishable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLGEN_TURING_TURINGTEST_H
+#define CLGEN_TURING_TURINGTEST_H
+
+#include "model/LanguageModel.h"
+#include "support/Rng.h"
+
+#include <string>
+#include <vector>
+
+namespace clgen {
+namespace turing {
+
+struct PanelOptions {
+  int Participants = 10;
+  int KernelsPerParticipant = 10;
+  /// Std-dev of per-judge threshold noise (bits/char).
+  double JudgeNoise = 0.025;
+  uint64_t Seed = 0x7E57;
+};
+
+struct PanelResult {
+  /// Per-participant accuracy in [0, 1].
+  std::vector<double> Accuracies;
+  double MeanAccuracy = 0.0;
+  double StdevAccuracy = 0.0;
+  /// Machine kernels labelled human / human kernels labelled machine.
+  int FalseNegatives = 0;
+  int FalsePositives = 0;
+};
+
+/// Machine-made "tell" score for one kernel (0 = none). Exposed for
+/// tests and the feature-audit example.
+double clsmithTellScore(const std::string &Source);
+
+/// Runs one panel: each participant sees a random half/half mix of
+/// \p HumanPool and \p MachinePool (already style-normalised, as in the
+/// paper) and labels each kernel. \p ReferenceModel must have been
+/// trained on human code.
+PanelResult runPanel(const std::vector<std::string> &HumanPool,
+                     const std::vector<std::string> &MachinePool,
+                     model::LanguageModel &ReferenceModel,
+                     const PanelOptions &Opts = PanelOptions());
+
+} // namespace turing
+} // namespace clgen
+
+#endif // CLGEN_TURING_TURINGTEST_H

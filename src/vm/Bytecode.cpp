@@ -1,0 +1,206 @@
+//===- vm/Bytecode.cpp - bytecode verification and disassembly --------------===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Bytecode.h"
+
+#include "support/StringUtils.h"
+
+using namespace clgen;
+using namespace clgen::vm;
+
+static const char *opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::LoadConst: return "ldc";
+  case Opcode::Mov: return "mov";
+  case Opcode::BinOp: return "bin";
+  case Opcode::UnOp: return "un";
+  case Opcode::Cast: return "cast";
+  case Opcode::Broadcast: return "bcast";
+  case Opcode::Swizzle: return "swz";
+  case Opcode::InsertLanes: return "ins";
+  case Opcode::BuildVec: return "bvec";
+  case Opcode::LoadMem: return "ld";
+  case Opcode::StoreMem: return "st";
+  case Opcode::VLoad: return "vld";
+  case Opcode::VStore: return "vst";
+  case Opcode::CallB: return "call";
+  case Opcode::Atomic: return "atom";
+  case Opcode::Jmp: return "jmp";
+  case Opcode::Jz: return "jz";
+  case Opcode::Jnz: return "jnz";
+  case Opcode::Barrier: return "bar";
+  case Opcode::Halt: return "halt";
+  }
+  return "?";
+}
+
+static const char *spaceName(MemSpace S) {
+  switch (S) {
+  case MemSpace::Global: return "g";
+  case MemSpace::Local: return "l";
+  case MemSpace::Private: return "p";
+  }
+  return "?";
+}
+
+std::string vm::verifyKernel(const CompiledKernel &K) {
+  auto CheckReg = [&](uint16_t R) { return R < K.RegisterCount; };
+  size_t GlobalSlots = K.bufferParamCount();
+
+  for (size_t I = 0; I < K.Code.size(); ++I) {
+    const Instr &In = K.Code[I];
+    auto Bad = [&](const char *What) {
+      return formatString("instr %zu (%s): %s", I, opcodeName(In.Op), What);
+    };
+    switch (In.Op) {
+    case Opcode::LoadConst:
+      if (!CheckReg(In.Dst))
+        return Bad("dst register out of range");
+      if (In.Imm < 0 || static_cast<size_t>(In.Imm) >= K.Consts.size())
+        return Bad("constant index out of range");
+      break;
+    case Opcode::Mov:
+    case Opcode::UnOp:
+    case Opcode::Cast:
+    case Opcode::Broadcast:
+      if (!CheckReg(In.Dst) || !CheckReg(In.A))
+        return Bad("register out of range");
+      break;
+    case Opcode::BinOp:
+      if (!CheckReg(In.Dst) || !CheckReg(In.A) || !CheckReg(In.B))
+        return Bad("register out of range");
+      break;
+    case Opcode::Swizzle:
+    case Opcode::InsertLanes:
+      if (!CheckReg(In.Dst))
+        return Bad("register out of range");
+      if (In.Imm < 0 || static_cast<size_t>(In.Imm) >= K.Masks.size())
+        return Bad("mask index out of range");
+      for (uint8_t Lane : K.Masks[In.Imm])
+        if (Lane >= 16)
+          return Bad("mask lane out of range");
+      break;
+    case Opcode::BuildVec:
+    case Opcode::CallB:
+      if (!CheckReg(In.Dst))
+        return Bad("register out of range");
+      if (In.Imm < 0 || static_cast<size_t>(In.Imm) >= K.ArgLists.size())
+        return Bad("arg list index out of range");
+      for (uint16_t R : K.ArgLists[In.Imm])
+        if (!CheckReg(R))
+          return Bad("arg register out of range");
+      break;
+    case Opcode::LoadMem:
+    case Opcode::StoreMem:
+    case Opcode::VLoad:
+    case Opcode::VStore:
+    case Opcode::Atomic: {
+      if (!CheckReg(In.A) || !CheckReg(In.B) || !CheckReg(In.Dst))
+        return Bad("register out of range");
+      size_t SlotLimit = 0;
+      switch (In.Space) {
+      case MemSpace::Global: SlotLimit = GlobalSlots; break;
+      case MemSpace::Local: SlotLimit = K.LocalBuffers.size(); break;
+      case MemSpace::Private: SlotLimit = K.PrivateBuffers.size(); break;
+      }
+      if (In.Imm < 0 || static_cast<size_t>(In.Imm) >= SlotLimit)
+        return Bad("buffer slot out of range");
+      break;
+    }
+    case Opcode::Jmp:
+    case Opcode::Jz:
+    case Opcode::Jnz:
+      if (!CheckReg(In.A))
+        return Bad("register out of range");
+      if (In.Imm < 0 || static_cast<size_t>(In.Imm) > K.Code.size())
+        return Bad("jump target out of range");
+      break;
+    case Opcode::Barrier:
+    case Opcode::Halt:
+      break;
+    }
+  }
+
+  if (K.Code.empty() || K.Code.back().Op != Opcode::Halt)
+    return "kernel does not end with halt";
+  return std::string();
+}
+
+std::string vm::disassemble(const CompiledKernel &K) {
+  std::string Out = formatString("kernel %s: %zu instrs, %u regs, %zu "
+                                 "consts, %zu global slots, %zu local, %zu "
+                                 "private\n",
+                                 K.Name.c_str(), K.Code.size(),
+                                 K.RegisterCount, K.Consts.size(),
+                                 K.bufferParamCount(), K.LocalBuffers.size(),
+                                 K.PrivateBuffers.size());
+  for (size_t I = 0; I < K.Code.size(); ++I) {
+    const Instr &In = K.Code[I];
+    Out += formatString("%4zu  %-6s", I, opcodeName(In.Op));
+    switch (In.Op) {
+    case Opcode::LoadConst:
+      Out += formatString("r%u <- c%d (%.6g)", In.Dst, In.Imm,
+                          K.Consts[In.Imm].x());
+      break;
+    case Opcode::Mov:
+      Out += formatString("r%u <- r%u", In.Dst, In.A);
+      break;
+    case Opcode::BinOp:
+      Out += formatString("r%u <- r%u op%u r%u", In.Dst, In.A, In.Aux, In.B);
+      break;
+    case Opcode::UnOp:
+    case Opcode::Cast:
+      Out += formatString("r%u <- op%u r%u", In.Dst, In.Aux, In.A);
+      break;
+    case Opcode::Broadcast:
+      Out += formatString("r%u <- splat(r%u, %u)", In.Dst, In.A, In.B);
+      break;
+    case Opcode::Swizzle:
+    case Opcode::InsertLanes:
+      Out += formatString("r%u <- r%u mask%d", In.Dst,
+                          In.Op == Opcode::Swizzle ? In.A : In.B, In.Imm);
+      break;
+    case Opcode::BuildVec:
+    case Opcode::CallB:
+      Out += formatString("r%u <- fn%u args%d", In.Dst, In.Aux, In.Imm);
+      break;
+    case Opcode::LoadMem:
+      Out += formatString("r%u <- %s[%d][r%u]%s", In.Dst,
+                          spaceName(In.Space), In.Imm, In.A,
+                          In.Coalesced ? " (coalesced)" : "");
+      break;
+    case Opcode::StoreMem:
+      Out += formatString("%s[%d][r%u] <- r%u%s", spaceName(In.Space),
+                          In.Imm, In.A, In.B,
+                          In.Coalesced ? " (coalesced)" : "");
+      break;
+    case Opcode::VLoad:
+      Out += formatString("r%u <- %s[%d][r%u..+%u]", In.Dst,
+                          spaceName(In.Space), In.Imm, In.A, In.WidthField);
+      break;
+    case Opcode::VStore:
+      Out += formatString("%s[%d][r%u..+%u] <- r%u", spaceName(In.Space),
+                          In.Imm, In.A, In.WidthField, In.B);
+      break;
+    case Opcode::Atomic:
+      Out += formatString("r%u <- atomic%u %s[%d][r%u], r%u", In.Dst,
+                          In.Aux, spaceName(In.Space), In.Imm, In.A, In.B);
+      break;
+    case Opcode::Jmp:
+      Out += formatString("-> %d", In.Imm);
+      break;
+    case Opcode::Jz:
+    case Opcode::Jnz:
+      Out += formatString("r%u -> %d", In.A, In.Imm);
+      break;
+    case Opcode::Barrier:
+    case Opcode::Halt:
+      break;
+    }
+    Out += '\n';
+  }
+  return Out;
+}

@@ -1,0 +1,183 @@
+//===- tests/corpus/CorpusTest.cpp - shim / filter / corpus tests -------------===//
+
+#include "corpus/Corpus.h"
+
+#include "corpus/RejectionFilter.h"
+#include "corpus/ShimHeader.h"
+#include "githubsim/GithubSim.h"
+
+#include <gtest/gtest.h>
+
+using namespace clgen;
+using namespace clgen::corpus;
+
+//===----------------------------------------------------------------------===//
+// Rejection filter (section 4.1)
+//===----------------------------------------------------------------------===//
+
+TEST(RejectionFilterTest, AcceptsValidKernel) {
+  FilterResult R = filterContentFile(
+      "__kernel void k(__global float* a, const int n) {\n"
+      "  int i = get_global_id(0);\n"
+      "  if (i < n) { a[i] *= 2.0f; }\n"
+      "}\n");
+  EXPECT_TRUE(R.Accepted) << R.Detail;
+  ASSERT_EQ(R.Kernels.size(), 1u);
+  EXPECT_GE(R.Kernels[0].staticInstructionCount(), 3u);
+}
+
+TEST(RejectionFilterTest, RejectsSyntaxError) {
+  FilterResult R = filterContentFile("__kernel void k(__global float* a");
+  EXPECT_FALSE(R.Accepted);
+  EXPECT_EQ(R.Reason, RejectionReason::Syntax);
+}
+
+TEST(RejectionFilterTest, RejectsUndeclaredIdentifier) {
+  FilterResult R = filterContentFile(
+      "__kernel void k(__global float* a) {\n"
+      "  a[get_global_id(0)] = TOTALLY_UNKNOWN_NAME;\n"
+      "}\n");
+  EXPECT_FALSE(R.Accepted);
+  EXPECT_EQ(R.Reason, RejectionReason::Semantic);
+  EXPECT_NE(R.Detail.find("TOTALLY_UNKNOWN_NAME"), std::string::npos);
+}
+
+TEST(RejectionFilterTest, RejectsBelowInstructionFloor) {
+  FilterResult R = filterContentFile("__kernel void k() {}");
+  EXPECT_FALSE(R.Accepted);
+  EXPECT_EQ(R.Reason, RejectionReason::TooFewInstructions);
+}
+
+TEST(RejectionFilterTest, RejectsFileWithoutKernel) {
+  FilterResult R = filterContentFile(
+      "float helper(float x) { return x * 2.0f; }\n");
+  EXPECT_FALSE(R.Accepted);
+  EXPECT_EQ(R.Reason, RejectionReason::NoKernel);
+}
+
+TEST(RejectionFilterTest, ShimRepairsKnownIdentifiers) {
+  const char *Src =
+      "__kernel void k(__global FLOAT_T* buf, const int n) {\n"
+      "  int i = get_global_id(0);\n"
+      "  if (i < n && i < WG_SIZE) { buf[i] = buf[i] * ALPHA; }\n"
+      "}\n";
+  FilterOptions NoShim;
+  NoShim.UseShim = false;
+  EXPECT_FALSE(filterContentFile(Src, NoShim).Accepted);
+  FilterOptions WithShim;
+  EXPECT_TRUE(filterContentFile(Src, WithShim).Accepted);
+}
+
+TEST(RejectionFilterTest, ShimDoesNotBreakValidFiles) {
+  const char *Src =
+      "__kernel void k(__global float* a, const int count) {\n"
+      "  int idx = get_global_id(0);\n"
+      "  if (idx < count) { a[idx] += 1.0f; }\n"
+      "}\n";
+  EXPECT_TRUE(filterContentFile(Src, FilterOptions()).Accepted);
+  FilterOptions NoShim;
+  NoShim.UseShim = false;
+  EXPECT_TRUE(filterContentFile(Src, NoShim).Accepted);
+}
+
+TEST(RejectionFilterTest, MultiKernelFileCompilesAllKernels) {
+  FilterResult R = filterContentFile(
+      "__kernel void a(__global float* x, const int n) {\n"
+      "  int i = get_global_id(0);\n"
+      "  if (i < n) { x[i] += 1.0f; }\n"
+      "}\n"
+      "__kernel void b(__global float* x, const int n) {\n"
+      "  int i = get_global_id(0);\n"
+      "  if (i < n) { x[i] *= 3.0f; }\n"
+      "}\n");
+  EXPECT_TRUE(R.Accepted);
+  EXPECT_EQ(R.Kernels.size(), 2u);
+}
+
+TEST(ShimHeaderTest, ParsesStandalone) {
+  // The shim itself must preprocess + parse cleanly.
+  FilterResult R = filterContentFile(
+      shimHeaderText() +
+      "\n__kernel void k(__global FLOAT_T* a, const int n) {\n"
+      "  int i = get_global_id(0);\n"
+      "  if (i < n) { a[i] = (FLOAT_T)(i) * EPSILON; }\n"
+      "}\n");
+  EXPECT_TRUE(R.Accepted) << R.Detail;
+}
+
+//===----------------------------------------------------------------------===//
+// Corpus assembly
+//===----------------------------------------------------------------------===//
+
+TEST(CorpusTest, StatsAddUp) {
+  githubsim::GithubSimOptions Opts;
+  Opts.FileCount = 300;
+  auto Files = githubsim::mineGithub(Opts);
+  Corpus C = buildCorpus(Files);
+  EXPECT_EQ(C.Stats.FilesIn, 300u);
+  EXPECT_EQ(C.Stats.FilesAccepted + C.Stats.FilesRejected, 300u);
+  size_t ByReason = 0;
+  for (size_t N : C.Stats.RejectionsByReason)
+    ByReason += N;
+  EXPECT_EQ(ByReason, C.Stats.FilesRejected);
+  EXPECT_GT(C.Stats.KernelCount, C.Stats.FilesAccepted / 2);
+}
+
+TEST(CorpusTest, ShimLowersDiscardRate) {
+  githubsim::GithubSimOptions Opts;
+  Opts.FileCount = 400;
+  auto Files = githubsim::mineGithub(Opts);
+  CorpusOptions NoShim;
+  NoShim.Filter.UseShim = false;
+  Corpus C0 = buildCorpus(Files, NoShim);
+  Corpus C1 = buildCorpus(Files);
+  // Paper: 40% -> 32%.
+  EXPECT_GT(C0.Stats.discardRate(), C1.Stats.discardRate());
+  EXPECT_NEAR(C0.Stats.discardRate(), 0.40, 0.06);
+  EXPECT_NEAR(C1.Stats.discardRate(), 0.32, 0.06);
+}
+
+TEST(CorpusTest, RewritingShrinksVocabulary) {
+  githubsim::GithubSimOptions Opts;
+  Opts.FileCount = 300;
+  auto Files = githubsim::mineGithub(Opts);
+  Corpus C = buildCorpus(Files);
+  // Paper: 84% identifier vocabulary reduction.
+  EXPECT_GT(C.Stats.vocabularyReduction(), 0.5);
+  EXPECT_LT(C.Stats.VocabularyAfter, C.Stats.VocabularyBefore);
+}
+
+TEST(CorpusTest, EntriesAreNormalisedAndCompilable) {
+  githubsim::GithubSimOptions Opts;
+  Opts.FileCount = 150;
+  auto Files = githubsim::mineGithub(Opts);
+  Corpus C = buildCorpus(Files);
+  ASSERT_FALSE(C.Entries.empty());
+  FilterOptions NoShim;
+  NoShim.UseShim = false;
+  for (const std::string &Entry : C.Entries) {
+    // Normalised entries compile without the shim and contain no
+    // comments or preprocessor directives.
+    EXPECT_TRUE(filterContentFile(Entry, NoShim).Accepted) << Entry;
+    EXPECT_EQ(Entry.find("/*"), std::string::npos);
+    EXPECT_EQ(Entry.find("//"), std::string::npos);
+    EXPECT_EQ(Entry.find('#'), std::string::npos);
+  }
+}
+
+TEST(CorpusTest, EntriesAreDeduplicated) {
+  githubsim::GithubSimOptions Opts;
+  Opts.FileCount = 300;
+  auto Files = githubsim::mineGithub(Opts);
+  Corpus C = buildCorpus(Files);
+  std::set<std::string> Unique(C.Entries.begin(), C.Entries.end());
+  EXPECT_EQ(Unique.size(), C.Entries.size());
+}
+
+TEST(CorpusTest, DeterministicForSeed) {
+  githubsim::GithubSimOptions Opts;
+  Opts.FileCount = 100;
+  auto A = buildCorpus(githubsim::mineGithub(Opts));
+  auto B = buildCorpus(githubsim::mineGithub(Opts));
+  EXPECT_EQ(A.Entries, B.Entries);
+}

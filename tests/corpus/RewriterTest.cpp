@@ -1,0 +1,195 @@
+//===- tests/corpus/RewriterTest.cpp - rewriter + behaviour preservation ------===//
+
+#include "corpus/Rewriter.h"
+
+#include "ocl/Preprocessor.h"
+#include "suites/KernelPatterns.h"
+#include "vm/Compiler.h"
+#include "vm/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+using namespace clgen;
+using namespace clgen::corpus;
+
+namespace {
+
+std::string rewriteOk(const std::string &Src) {
+  auto Pre = ocl::preprocess(Src);
+  EXPECT_TRUE(Pre.ok()) << Pre.errorMessage();
+  auto R = rewriteSource(Pre.get());
+  EXPECT_TRUE(R.ok()) << (R.ok() ? "" : R.errorMessage());
+  return R.ok() ? R.get() : "";
+}
+
+} // namespace
+
+TEST(RewriterTest, PaperFigure5EndToEnd) {
+  // The exact content file of Figure 5a must rewrite to the shape of
+  // Figure 5b.
+  std::string Out = rewriteOk(
+      "#define DTYPE float\n"
+      "#define ALPHA(a) 3.5f * a\n"
+      "inline DTYPE ax(DTYPE x) { return ALPHA(x); }\n"
+      "\n"
+      "__kernel void saxpy(/* SAXPY kernel */\n"
+      "                    __global DTYPE* input1,\n"
+      "                    __global DTYPE* input2,\n"
+      "                    const int nelem) {\n"
+      "  unsigned int idx = get_global_id(0);\n"
+      "  // = ax + y\n"
+      "  if (idx < nelem) {\n"
+      "    input2[idx] += ax(input1[idx]); }}\n");
+  EXPECT_NE(Out.find("inline float A(float a) {"), std::string::npos)
+      << Out;
+  EXPECT_NE(Out.find("__kernel void B(__global float* b, __global float* "
+                     "c, const int d) {"),
+            std::string::npos)
+      << Out;
+  EXPECT_NE(Out.find("c[e] += A(b[e]);"), std::string::npos) << Out;
+  // Macros and comments are gone.
+  EXPECT_EQ(Out.find("DTYPE"), std::string::npos);
+  EXPECT_EQ(Out.find("SAXPY"), std::string::npos);
+}
+
+TEST(RewriterTest, BuiltinsSurviveRenaming) {
+  std::string Out = rewriteOk(
+      "__kernel void work(__global float* data, const int total) {\n"
+      "  int tid = get_global_id(0);\n"
+      "  if (tid < total) { data[tid] = sqrt(fabs(data[tid])); }\n"
+      "  barrier(CLK_GLOBAL_MEM_FENCE);\n"
+      "}\n");
+  EXPECT_NE(Out.find("get_global_id(0)"), std::string::npos);
+  EXPECT_NE(Out.find("sqrt("), std::string::npos);
+  EXPECT_NE(Out.find("fabs("), std::string::npos);
+  EXPECT_NE(Out.find("CLK_GLOBAL_MEM_FENCE"), std::string::npos);
+  // User identifiers are renamed.
+  EXPECT_EQ(Out.find("data"), std::string::npos);
+  EXPECT_EQ(Out.find("tid"), std::string::npos);
+}
+
+TEST(RewriterTest, AppearanceOrderNaming) {
+  std::string Out = rewriteOk(
+      "__kernel void f(__global int* first, __global int* second) {\n"
+      "  int third = get_global_id(0);\n"
+      "  second[third] = first[third];\n"
+      "}\n");
+  EXPECT_NE(Out.find("__kernel void A(__global int* a, __global int* b)"),
+            std::string::npos)
+      << Out;
+  EXPECT_NE(Out.find("int c = get_global_id(0);"), std::string::npos);
+}
+
+TEST(RewriterTest, ShadowedVariablesGetDistinctNames) {
+  std::string Out = rewriteOk(
+      "__kernel void f(__global int* buf, const int n) {\n"
+      "  int x = 1;\n"
+      "  if (n > 0) {\n"
+      "    int x = 2;\n"
+      "    buf[0] = x;\n"
+      "  }\n"
+      "  buf[1] = x;\n"
+      "}\n");
+  // Outer x -> c, inner x -> d (a, b are the params).
+  EXPECT_NE(Out.find("int c = 1;"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("int d = 2;"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("a[0] = d;"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("a[1] = c;"), std::string::npos) << Out;
+}
+
+TEST(RewriterTest, RewriteIsIdempotent) {
+  const char *Src = "__kernel void A(__global float* a, const int b) {\n"
+                    "  int c = get_global_id(0);\n"
+                    "  if (c < b) { a[c] *= 2.0f; }\n"
+                    "}\n";
+  std::string Once = rewriteOk(Src);
+  std::string Twice = rewriteOk(Once);
+  EXPECT_EQ(Once, Twice);
+}
+
+TEST(RewriterTest, VocabularyCount) {
+  // "int" is a type name, lexed as an identifier token.
+  EXPECT_EQ(identifierVocabularySize("int alpha = beta + alpha;"), 3u);
+  EXPECT_EQ(identifierVocabularySize(""), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Property: rewriting preserves behaviour. "unlike prior work, our
+// rewrite method preserves program behavior" (section 4.1). Every
+// pattern kernel is executed on identical payloads before and after
+// rewriting; outputs must match bit for bit.
+//===----------------------------------------------------------------------===//
+
+class RewritePreservation
+    : public ::testing::TestWithParam<suites::PatternKind> {};
+
+TEST_P(RewritePreservation, OutputsIdenticalAfterRewrite) {
+  suites::PatternStyle Style;
+  Style.ComputeIntensity = 2;
+  Style.ExtraBranching = true;
+  std::string Original =
+      suites::renderPattern(GetParam(), Style, "prop_kernel");
+  std::string Rewritten = rewriteOk(Original);
+  ASSERT_FALSE(Rewritten.empty());
+
+  auto KOrig = vm::compileFirstKernel(Original);
+  auto KNew = vm::compileFirstKernel(Rewritten);
+  ASSERT_TRUE(KOrig.ok()) << KOrig.errorMessage();
+  ASSERT_TRUE(KNew.ok()) << KNew.errorMessage();
+
+  // Identical payloads for both variants.
+  const size_t N = 256;
+  auto MakeBuffers = [&](const vm::CompiledKernel &K) {
+    Rng R(777);
+    std::vector<vm::BufferData> Bufs;
+    std::vector<vm::KernelArg> Args;
+    for (const auto &P : K.Params) {
+      if (P.IsBuffer && P.Ty.AS == ocl::AddrSpace::Local) {
+        Args.push_back(vm::KernelArg::localSize(64));
+        continue;
+      }
+      if (P.IsBuffer) {
+        vm::BufferData B = vm::BufferData::zeros(N, P.Ty.VecWidth);
+        bool IsInt = P.Ty.pointee().isInteger();
+        for (double &L : B.Data)
+          L = IsInt ? static_cast<double>(R.bounded(N)) : R.uniform(-1, 1);
+        Args.push_back(
+            vm::KernelArg::buffer(static_cast<int>(Bufs.size())));
+        Bufs.push_back(std::move(B));
+        continue;
+      }
+      Args.push_back(P.Ty.isInteger()
+                         ? vm::KernelArg::scalar(static_cast<double>(N))
+                         : vm::KernelArg::scalar(0.5));
+    }
+    return std::make_pair(Bufs, Args);
+  };
+
+  auto [BufsA, ArgsA] = MakeBuffers(KOrig.get());
+  auto [BufsB, ArgsB] = MakeBuffers(KNew.get());
+  vm::LaunchConfig Config;
+  Config.GlobalSize[0] = N;
+  Config.LocalSize[0] = 64;
+  auto RA = vm::launchKernel(KOrig.get(), ArgsA, BufsA, Config);
+  auto RB = vm::launchKernel(KNew.get(), ArgsB, BufsB, Config);
+  ASSERT_TRUE(RA.ok()) << RA.errorMessage();
+  ASSERT_TRUE(RB.ok()) << RB.errorMessage();
+
+  ASSERT_EQ(BufsA.size(), BufsB.size());
+  for (size_t I = 0; I < BufsA.size(); ++I)
+    EXPECT_EQ(BufsA[I].Data, BufsB[I].Data) << "buffer " << I;
+  // Dynamic behaviour (instruction counts) is also preserved.
+  EXPECT_EQ(RA.get().GlobalLoads, RB.get().GlobalLoads);
+  EXPECT_EQ(RA.get().Branches, RB.get().Branches);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPatterns, RewritePreservation,
+    ::testing::ValuesIn(suites::allPatternKinds()),
+    [](const ::testing::TestParamInfo<suites::PatternKind> &Info) {
+      std::string Name = suites::patternName(Info.param);
+      for (char &C : Name)
+        if (C == '-')
+          C = '_';
+      return Name;
+    });

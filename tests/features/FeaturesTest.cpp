@@ -1,0 +1,144 @@
+//===- tests/features/FeaturesTest.cpp - feature extraction tests -------------===//
+
+#include "features/Features.h"
+
+#include "vm/Compiler.h"
+
+#include <gtest/gtest.h>
+
+using namespace clgen;
+using namespace clgen::features;
+
+namespace {
+
+StaticFeatures featuresOf(const std::string &Src) {
+  auto R = vm::compileFirstKernel(Src);
+  EXPECT_TRUE(R.ok()) << (R.ok() ? "" : R.errorMessage());
+  return extractStaticFeatures(R.get());
+}
+
+} // namespace
+
+TEST(FeaturesTest, CountsGlobalAccesses) {
+  StaticFeatures F = featuresOf(
+      "__kernel void k(__global float* a, __global float* b, const int n)"
+      " {\n"
+      "  int i = get_global_id(0);\n"
+      "  if (i < n) { b[i] = a[i] + a[i + 1]; }\n"
+      "}\n");
+  EXPECT_EQ(F.Mem, 3);       // Two loads + one store.
+  EXPECT_EQ(F.Coalesced, 3); // All gid-affine stride 1.
+  EXPECT_EQ(F.LocalMem, 0);
+  EXPECT_EQ(F.Branches, 1);
+}
+
+TEST(FeaturesTest, CountsLocalAccesses) {
+  StaticFeatures F = featuresOf(
+      "__kernel void k(__global float* a) {\n"
+      "  __local float t[64];\n"
+      "  int l = get_local_id(0) & 63;\n"
+      "  t[l] = a[get_global_id(0)];\n"
+      "  barrier(CLK_LOCAL_MEM_FENCE);\n"
+      "  a[get_global_id(0)] = t[63 - l];\n"
+      "}\n");
+  EXPECT_EQ(F.LocalMem, 2);
+  EXPECT_EQ(F.Mem, 2);
+}
+
+TEST(FeaturesTest, BranchCountMatchesControlFlow) {
+  StaticFeatures F = featuresOf(
+      "__kernel void k(__global float* a, const int n) {\n"
+      "  int i = get_global_id(0);\n"
+      "  if (i >= n) { return; }\n"
+      "  for (int j = 0; j < 4; j++) {\n"
+      "    if (a[i] > 0.5f) { a[i] -= 0.1f; }\n"
+      "  }\n"
+      "}\n");
+  EXPECT_EQ(F.Branches, 3); // Guard, loop condition, inner if.
+}
+
+TEST(FeaturesTest, UncoalescedStrided) {
+  StaticFeatures F = featuresOf(
+      "__kernel void k(__global float* a, __global float* b, const int n)"
+      " {\n"
+      "  int i = get_global_id(0);\n"
+      "  if (i < n) { b[i] = a[(i * 64) % n]; }\n"
+      "}\n");
+  EXPECT_EQ(F.Mem, 2);
+  EXPECT_EQ(F.Coalesced, 1); // Only the store.
+}
+
+TEST(FeaturesTest, GreweCombinedFeatures) {
+  RawFeatures Raw;
+  Raw.Static.Comp = 10;
+  Raw.Static.Mem = 5;
+  Raw.Static.LocalMem = 2;
+  Raw.Static.Coalesced = 4;
+  Raw.TransferBytes = 300;
+  Raw.WgSize = 100;
+  auto V = greweFeatureVector(Raw);
+  ASSERT_EQ(V.size(), 4u);
+  EXPECT_DOUBLE_EQ(V[0], 300.0 / 15.0); // F1 transfer/(comp+mem).
+  EXPECT_DOUBLE_EQ(V[1], 4.0 / 5.0);    // F2 coalesced/mem.
+  EXPECT_DOUBLE_EQ(V[2], (2.0 / 5.0) * 100.0); // F3.
+  EXPECT_DOUBLE_EQ(V[3], 10.0 / 5.0);   // F4 comp/mem.
+}
+
+TEST(FeaturesTest, CombinedFeaturesGuardDivisionByZero) {
+  RawFeatures Raw; // All zeros.
+  auto V = greweFeatureVector(Raw);
+  for (double X : V)
+    EXPECT_DOUBLE_EQ(X, 0.0);
+}
+
+TEST(FeaturesTest, ExtendedVectorLayout) {
+  RawFeatures Raw;
+  Raw.Static.Comp = 7;
+  Raw.Static.Branches = 3;
+  Raw.TransferBytes = 64;
+  Raw.WgSize = 32;
+  auto V = extendedFeatureVector(Raw);
+  ASSERT_EQ(V.size(), 11u);
+  EXPECT_DOUBLE_EQ(V[4], 7.0);   // Raw comp.
+  EXPECT_DOUBLE_EQ(V[8], 64.0);  // Transfer.
+  EXPECT_DOUBLE_EQ(V[9], 32.0);  // WgSize.
+  EXPECT_DOUBLE_EQ(V[10], 3.0);  // Branches.
+  EXPECT_EQ(extendedFeatureNames().size(), 11u);
+  EXPECT_EQ(greweFeatureNames().size(), 4u);
+}
+
+TEST(FeaturesTest, FeatureKeyEquality) {
+  // The paper's Listing 2: two structurally different kernels, identical
+  // Table-2a features, separated only by the branch count.
+  StaticFeatures A = featuresOf(
+      "__kernel void a(__global float* a, __global float* b,\n"
+      "                __global float* c, const int d) {\n"
+      "  int e = get_global_id(0);\n"
+      "  if (e < 4 && e < d) {\n"
+      "    c[e] = a[e] + b[e];\n"
+      "    a[e] = b[e] + 1.0f;\n"
+      "  }\n"
+      "}\n");
+  EXPECT_EQ(A.key()[0], A.Comp);
+  EXPECT_EQ(A.keyNoBranch().size(), 4u);
+  EXPECT_EQ(A.key().size(), 5u);
+  // keyNoBranch ignores branches; key includes them.
+  StaticFeatures B = A;
+  B.Branches += 2;
+  EXPECT_EQ(A.keyNoBranch(), B.keyNoBranch());
+  EXPECT_NE(A.key(), B.key());
+}
+
+TEST(FeaturesTest, MathBuiltinsCountAsCompute) {
+  StaticFeatures WithMath = featuresOf(
+      "__kernel void k(__global float* a, const int n) {\n"
+      "  int i = get_global_id(0);\n"
+      "  if (i < n) { a[i] = sqrt(a[i]) + sin(a[i]); }\n"
+      "}\n");
+  StaticFeatures NoMath = featuresOf(
+      "__kernel void k(__global float* a, const int n) {\n"
+      "  int i = get_global_id(0);\n"
+      "  if (i < n) { a[i] = a[i]; }\n"
+      "}\n");
+  EXPECT_GT(WithMath.Comp, NoMath.Comp);
+}

@@ -1,0 +1,208 @@
+//===- tests/model/ModelTest.cpp - vocabulary / n-gram / LSTM tests -----------===//
+
+#include "model/LstmModel.h"
+#include "model/NGramModel.h"
+#include "model/Vocabulary.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace clgen;
+using namespace clgen::model;
+
+//===----------------------------------------------------------------------===//
+// Vocabulary
+//===----------------------------------------------------------------------===//
+
+TEST(VocabularyTest, RoundTrip) {
+  Vocabulary V = Vocabulary::fromText("abc{}");
+  EXPECT_EQ(V.size(), 6u); // Sentinel + 5 chars.
+  std::string Text = "cab{}";
+  EXPECT_EQ(V.decode(V.encode(Text)), Text);
+}
+
+TEST(VocabularyTest, SentinelIsZeroAndTerminatesDecode) {
+  Vocabulary V = Vocabulary::fromText("xy");
+  std::vector<int> Ids = {V.idOf('x'), Vocabulary::EndOfText, V.idOf('y')};
+  EXPECT_EQ(V.decode(Ids), "x");
+}
+
+TEST(VocabularyTest, UnseenCharsMapToSentinel) {
+  Vocabulary V = Vocabulary::fromText("ab");
+  EXPECT_EQ(V.idOf('z'), Vocabulary::EndOfText);
+}
+
+//===----------------------------------------------------------------------===//
+// NGramModel
+//===----------------------------------------------------------------------===//
+
+TEST(NGramModelTest, DistributionSumsToOne) {
+  NGramModel M;
+  M.train({"abcabcabc"});
+  M.reset();
+  double Sum = 0.0;
+  for (double P : M.nextDistribution())
+    Sum += P;
+  EXPECT_NEAR(Sum, 1.0, 1e-9);
+}
+
+TEST(NGramModelTest, LearnsDeterministicSequence) {
+  NGramModel M;
+  M.train({"abababababababab"});
+  M.reset();
+  M.observeText("ab");
+  auto Dist = M.nextDistribution();
+  // After "ab", 'a' must dominate.
+  int IdA = M.vocabulary().idOf('a');
+  int IdB = M.vocabulary().idOf('b');
+  EXPECT_GT(Dist[IdA], 0.8);
+  EXPECT_GT(Dist[IdA], 10.0 * Dist[IdB]);
+}
+
+TEST(NGramModelTest, BacksOffForUnseenContext) {
+  NGramOptions Opts;
+  Opts.Order = 5;
+  NGramModel M(Opts);
+  M.train({"aaab"});
+  M.reset();
+  M.observeText("zzzz"); // Unseen context: falls back to unigram-ish.
+  auto Dist = M.nextDistribution();
+  int IdA = M.vocabulary().idOf('a');
+  EXPECT_GT(Dist[IdA], 0.1); // 'a' dominates the unigram counts.
+}
+
+TEST(NGramModelTest, ContextWindowIsBounded) {
+  NGramOptions Opts;
+  Opts.Order = 3;
+  NGramModel M(Opts);
+  M.train({"xyxyxy"});
+  M.reset();
+  // Feeding a long prefix must not grow the rolling context unboundedly
+  // (would throw off lookups); behaviourally: prediction after a long
+  // prefix equals prediction after just the last Order-1 chars.
+  M.observeText("xyxyxyxyxyxyxyxyxy");
+  auto DistLong = M.nextDistribution();
+  M.reset();
+  M.observeText("xy");
+  auto DistShort = M.nextDistribution();
+  for (size_t I = 0; I < DistLong.size(); ++I)
+    EXPECT_NEAR(DistLong[I], DistShort[I], 1e-12);
+}
+
+TEST(NGramModelTest, EndOfTextLearnedAtKernelBoundaries) {
+  NGramModel M;
+  std::vector<std::string> Entries(8, "k{}");
+  M.train(Entries);
+  M.reset();
+  M.observeText("k{}");
+  auto Dist = M.nextDistribution();
+  EXPECT_GT(Dist[Vocabulary::EndOfText], 0.5);
+}
+
+TEST(NGramModelTest, BitsPerCharLowerForInDistributionText) {
+  NGramModel M;
+  M.train({"__kernel void A(__global float* a) {\n  a[0] = 1.0f;\n}\n"});
+  double InDist =
+      M.bitsPerChar("__kernel void A(__global float* a) {\n");
+  double OffDist = M.bitsPerChar("qqqq zzzz wwww!!!");
+  EXPECT_LT(InDist, OffDist);
+}
+
+//===----------------------------------------------------------------------===//
+// LstmModel
+//===----------------------------------------------------------------------===//
+
+TEST(LstmModelTest, ParameterCountMatchesArchitecture) {
+  LstmOptions Opts;
+  Opts.Layers = 2;
+  Opts.HiddenSize = 16;
+  Opts.Epochs = 0;
+  LstmModel M(Opts);
+  M.train({"abc"});
+  size_t V = M.vocabulary().size();
+  size_t H = 16;
+  size_t Expected = (4 * H * (V + H) + 4 * H) + // Layer 0.
+                    (4 * H * (H + H) + 4 * H) + // Layer 1.
+                    (V * H + V);                // Output.
+  EXPECT_EQ(M.parameterCount(), Expected);
+}
+
+TEST(LstmModelTest, DistributionSumsToOne) {
+  LstmOptions Opts;
+  Opts.Epochs = 1;
+  Opts.HiddenSize = 16;
+  LstmModel M(Opts);
+  M.train({"abcabc"});
+  M.reset();
+  M.observe(1);
+  double Sum = 0.0;
+  for (double P : M.nextDistribution())
+    Sum += P;
+  EXPECT_NEAR(Sum, 1.0, 1e-5);
+}
+
+TEST(LstmModelTest, TrainingReducesLoss) {
+  LstmOptions Opts;
+  Opts.Layers = 1;
+  Opts.HiddenSize = 24;
+  Opts.Epochs = 12;
+  Opts.SequenceLength = 16;
+  Opts.LearningRate = 0.1f;
+  LstmModel M(Opts);
+  std::vector<double> Losses;
+  M.train({"abababababababababababababababab"},
+          [&](int, double Loss) { Losses.push_back(Loss); });
+  ASSERT_GE(Losses.size(), 2u);
+  EXPECT_LT(Losses.back(), Losses.front() * 0.8);
+}
+
+TEST(LstmModelTest, LearnsAlternatingSequence) {
+  LstmOptions Opts;
+  Opts.Layers = 1;
+  Opts.HiddenSize = 24;
+  Opts.Epochs = 80;
+  Opts.SequenceLength = 16;
+  Opts.LearningRate = 0.1f;
+  Opts.DecayEveryEpochs = 50;
+  LstmModel M(Opts);
+  std::string Text;
+  for (int I = 0; I < 64; ++I)
+    Text += "ab";
+  M.train({Text});
+  M.reset();
+  M.observeText("abab");
+  auto Dist = M.nextDistribution();
+  int IdA = M.vocabulary().idOf('a');
+  EXPECT_GT(Dist[IdA], 0.8);
+}
+
+TEST(LstmModelTest, GradientsMatchFiniteDifferences) {
+  LstmOptions Opts;
+  Opts.Layers = 2;
+  Opts.HiddenSize = 6;
+  Opts.Epochs = 0;
+  Opts.SequenceLength = 8;
+  LstmModel M(Opts);
+  M.train({"abcbacbbca"});
+  std::vector<int> Seq;
+  for (char C : std::string("abcba"))
+    Seq.push_back(M.vocabulary().idOf(C));
+  double MaxRelError = M.gradientCheck(Seq, 32);
+  EXPECT_LT(MaxRelError, 0.05) << "BPTT gradient mismatch";
+}
+
+TEST(LstmModelTest, StatefulGenerationIsDeterministic) {
+  LstmOptions Opts;
+  Opts.Epochs = 2;
+  Opts.HiddenSize = 16;
+  LstmModel M(Opts);
+  M.train({"xyzxyzxyz"});
+  M.reset();
+  M.observeText("xy");
+  auto D1 = M.nextDistribution();
+  M.reset();
+  M.observeText("xy");
+  auto D2 = M.nextDistribution();
+  EXPECT_EQ(D1, D2);
+}

@@ -1,0 +1,141 @@
+//===- tests/ocl/LexerTest.cpp - lexer unit tests ----------------------------===//
+
+#include "ocl/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace clgen;
+using namespace clgen::ocl;
+
+namespace {
+
+std::vector<Token> lexNoEof(const std::string &Src) {
+  auto Tokens = lex(Src);
+  EXPECT_FALSE(Tokens.empty());
+  EXPECT_TRUE(Tokens.back().is(TokenKind::Eof));
+  Tokens.pop_back();
+  return Tokens;
+}
+
+} // namespace
+
+TEST(LexerTest, EmptyInputYieldsEof) {
+  auto Tokens = lex("");
+  ASSERT_EQ(Tokens.size(), 1u);
+  EXPECT_TRUE(Tokens[0].is(TokenKind::Eof));
+}
+
+TEST(LexerTest, IdentifiersAndKeywords) {
+  auto Tokens = lexNoEof("__kernel void foo if hotel");
+  ASSERT_EQ(Tokens.size(), 5u);
+  EXPECT_TRUE(Tokens[0].isKeyword("__kernel"));
+  // "void" is a type name, not a reserved keyword.
+  EXPECT_TRUE(Tokens[1].is(TokenKind::Identifier));
+  EXPECT_TRUE(Tokens[2].is(TokenKind::Identifier));
+  EXPECT_TRUE(Tokens[3].isKeyword("if"));
+  EXPECT_TRUE(Tokens[4].is(TokenKind::Identifier));
+}
+
+TEST(LexerTest, IntegerLiterals) {
+  auto Tokens = lexNoEof("0 42 0x1F 7u 9UL");
+  ASSERT_EQ(Tokens.size(), 5u);
+  for (const Token &T : Tokens)
+    EXPECT_TRUE(T.is(TokenKind::IntLiteral)) << T.Text;
+  EXPECT_EQ(Tokens[2].Text, "0x1F");
+}
+
+TEST(LexerTest, FloatLiterals) {
+  auto Tokens = lexNoEof("1.0 3.5f .25 1e10 2.5e-3f 7f");
+  ASSERT_EQ(Tokens.size(), 6u);
+  for (const Token &T : Tokens)
+    EXPECT_TRUE(T.is(TokenKind::FloatLiteral)) << T.Text;
+}
+
+TEST(LexerTest, IntegerThenDotDistinguishedFromFloat) {
+  // Member access on a vector: "v.x" must not lex ".x" as a float.
+  auto Tokens = lexNoEof("v.x");
+  ASSERT_EQ(Tokens.size(), 3u);
+  EXPECT_TRUE(Tokens[0].is(TokenKind::Identifier));
+  EXPECT_TRUE(Tokens[1].is(TokenKind::Dot));
+  EXPECT_TRUE(Tokens[2].is(TokenKind::Identifier));
+}
+
+TEST(LexerTest, OperatorsMaximalMunch) {
+  auto Tokens = lexNoEof("<<= << <= < >>= >> >= > == = != ! && & || |");
+  std::vector<TokenKind> Want = {
+      TokenKind::LessLessEqual, TokenKind::LessLess, TokenKind::LessEqual,
+      TokenKind::Less, TokenKind::GreaterGreaterEqual,
+      TokenKind::GreaterGreater, TokenKind::GreaterEqual, TokenKind::Greater,
+      TokenKind::EqualEqual, TokenKind::Equal, TokenKind::ExclaimEqual,
+      TokenKind::Exclaim, TokenKind::AmpAmp, TokenKind::Amp,
+      TokenKind::PipePipe, TokenKind::Pipe};
+  ASSERT_EQ(Tokens.size(), Want.size());
+  for (size_t I = 0; I < Want.size(); ++I)
+    EXPECT_EQ(Tokens[I].Kind, Want[I]) << I;
+}
+
+TEST(LexerTest, IncrementDecrementAndCompound) {
+  auto Tokens = lexNoEof("i++ --j x += 2");
+  ASSERT_EQ(Tokens.size(), 7u);
+  EXPECT_TRUE(Tokens[1].is(TokenKind::PlusPlus));
+  EXPECT_TRUE(Tokens[2].is(TokenKind::MinusMinus));
+  EXPECT_TRUE(Tokens[5].is(TokenKind::PlusEqual));
+}
+
+TEST(LexerTest, LineCommentsSkipped) {
+  auto Tokens = lexNoEof("a // comment here\nb");
+  ASSERT_EQ(Tokens.size(), 2u);
+  EXPECT_EQ(Tokens[0].Text, "a");
+  EXPECT_EQ(Tokens[1].Text, "b");
+}
+
+TEST(LexerTest, BlockCommentsSkipped) {
+  auto Tokens = lexNoEof("a /* multi\nline */ b");
+  ASSERT_EQ(Tokens.size(), 2u);
+  EXPECT_EQ(Tokens[1].Line, 2);
+}
+
+TEST(LexerTest, LineAndColumnTracking) {
+  auto Tokens = lexNoEof("a\n  b");
+  ASSERT_EQ(Tokens.size(), 2u);
+  EXPECT_EQ(Tokens[0].Line, 1);
+  EXPECT_EQ(Tokens[1].Line, 2);
+  EXPECT_EQ(Tokens[1].Column, 3);
+}
+
+TEST(LexerTest, CharLiteralBecomesIntValue) {
+  auto Tokens = lexNoEof("'A' '\\n'");
+  ASSERT_EQ(Tokens.size(), 2u);
+  EXPECT_TRUE(Tokens[0].is(TokenKind::IntLiteral));
+  EXPECT_EQ(Tokens[0].Text, "65");
+  EXPECT_EQ(Tokens[1].Text, "10");
+}
+
+TEST(LexerTest, StringLiteral) {
+  auto Tokens = lexNoEof("\"hello \\\" world\"");
+  ASSERT_EQ(Tokens.size(), 1u);
+  EXPECT_TRUE(Tokens[0].is(TokenKind::StringLiteral));
+}
+
+TEST(LexerTest, UnterminatedStringIsUnknown) {
+  auto Tokens = lexNoEof("\"oops\nnext");
+  ASSERT_GE(Tokens.size(), 1u);
+  EXPECT_TRUE(Tokens[0].is(TokenKind::Unknown));
+}
+
+TEST(LexerTest, StrayCharacterIsUnknown) {
+  auto Tokens = lexNoEof("a @ b");
+  ASSERT_EQ(Tokens.size(), 3u);
+  EXPECT_TRUE(Tokens[1].is(TokenKind::Unknown));
+}
+
+TEST(LexerTest, RealKernelSnippet) {
+  const char *Src =
+      "__kernel void A(__global float* a, const int b) {\n"
+      "  int i = get_global_id(0);\n"
+      "  if (i < b) { a[i] *= 2.0f; }\n"
+      "}\n";
+  auto Tokens = lexNoEof(Src);
+  EXPECT_GT(Tokens.size(), 30u);
+  EXPECT_TRUE(Tokens[0].isKeyword("__kernel"));
+}

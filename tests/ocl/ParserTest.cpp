@@ -1,0 +1,264 @@
+//===- tests/ocl/ParserTest.cpp - parser unit tests --------------------------===//
+
+#include "ocl/Parser.h"
+
+#include "ocl/Casting.h"
+
+#include <gtest/gtest.h>
+
+using namespace clgen;
+using namespace clgen::ocl;
+
+namespace {
+
+std::unique_ptr<Program> parseOk(const std::string &Src) {
+  auto R = parseProgram(Src);
+  EXPECT_TRUE(R.ok()) << (R.ok() ? "" : R.errorMessage());
+  if (!R.ok())
+    return nullptr;
+  return R.take();
+}
+
+} // namespace
+
+TEST(ParserTest, MinimalKernel) {
+  auto P = parseOk("__kernel void A(__global float* a) { a[0] = 1.0f; }");
+  ASSERT_TRUE(P);
+  ASSERT_EQ(P->Functions.size(), 1u);
+  EXPECT_TRUE(P->Functions[0]->IsKernel);
+  EXPECT_EQ(P->Functions[0]->Name, "A");
+  ASSERT_EQ(P->Functions[0]->Params.size(), 1u);
+  EXPECT_TRUE(P->Functions[0]->Params[0].Ty.Pointer);
+  EXPECT_EQ(P->Functions[0]->Params[0].Ty.AS, AddrSpace::Global);
+}
+
+TEST(ParserTest, KernelWithoutUnderscores) {
+  auto P = parseOk("kernel void K(global int* x) { x[0] = 1; }");
+  ASSERT_TRUE(P);
+  EXPECT_TRUE(P->Functions[0]->IsKernel);
+}
+
+TEST(ParserTest, HelperFunction) {
+  auto P = parseOk("inline float f(float x) { return x * 2.0f; }");
+  ASSERT_TRUE(P);
+  EXPECT_FALSE(P->Functions[0]->IsKernel);
+  EXPECT_TRUE(P->Functions[0]->IsInline);
+  EXPECT_EQ(P->Functions[0]->ReturnTy.S, Scalar::Float);
+}
+
+TEST(ParserTest, VectorTypes) {
+  auto P = parseOk("__kernel void A(__global float4* a, int8 b) {}");
+  ASSERT_TRUE(P);
+  EXPECT_EQ(P->Functions[0]->Params[0].Ty.VecWidth, 4);
+  EXPECT_EQ(P->Functions[0]->Params[1].Ty.VecWidth, 8);
+  EXPECT_EQ(P->Functions[0]->Params[1].Ty.S, Scalar::Int);
+}
+
+TEST(ParserTest, UnsignedSpellings) {
+  auto P = parseOk("__kernel void A(unsigned int a, unsigned b, uint c) {}");
+  ASSERT_TRUE(P);
+  for (const auto &Param : P->Functions[0]->Params)
+    EXPECT_EQ(Param.Ty.S, Scalar::UInt);
+}
+
+TEST(ParserTest, Typedef) {
+  auto P = parseOk("typedef float FLOAT_T;\n"
+                   "__kernel void A(__global FLOAT_T* a) { a[0] = 0.5f; }");
+  ASSERT_TRUE(P);
+  EXPECT_EQ(P->Functions[0]->Params[0].Ty.S, Scalar::Float);
+}
+
+TEST(ParserTest, ControlFlowStatements) {
+  auto P = parseOk(
+      "__kernel void A(__global int* a, int n) {\n"
+      "  for (int i = 0; i < n; i++) {\n"
+      "    if (i % 2 == 0) { a[i] = i; } else { a[i] = -i; }\n"
+      "  }\n"
+      "  int j = 0;\n"
+      "  while (j < n) { j++; }\n"
+      "  do { j--; } while (j > 0);\n"
+      "}");
+  ASSERT_TRUE(P);
+  const auto &Body = P->Functions[0]->Body->Body;
+  EXPECT_TRUE(isa<ForStmt>(Body[0].get()));
+  EXPECT_TRUE(isa<WhileStmt>(Body[2].get()));
+  EXPECT_TRUE(isa<DoStmt>(Body[3].get()));
+}
+
+TEST(ParserTest, MultiDeclaratorStatement) {
+  auto P = parseOk("__kernel void A(int n) { int i = 0, j = 1, k; }");
+  ASSERT_TRUE(P);
+  // Grouped into a compound of three DeclStmts.
+  const auto *CS = dyn_cast<CompoundStmt>(P->Functions[0]->Body->Body[0].get());
+  ASSERT_TRUE(CS);
+  EXPECT_EQ(CS->Body.size(), 3u);
+}
+
+TEST(ParserTest, LocalArrayDeclaration) {
+  auto P = parseOk("__kernel void A(int n) { __local float tile[16 * 16]; }");
+  ASSERT_TRUE(P);
+  const auto *DS = dyn_cast<DeclStmt>(P->Functions[0]->Body->Body[0].get());
+  ASSERT_TRUE(DS);
+  EXPECT_EQ(DS->ArraySize, 256);
+  EXPECT_EQ(DS->Ty.AS, AddrSpace::Local);
+}
+
+TEST(ParserTest, PrivateArrayDeclaration) {
+  auto P = parseOk("__kernel void A(int n) { float acc[8]; }");
+  ASSERT_TRUE(P);
+  const auto *DS = dyn_cast<DeclStmt>(P->Functions[0]->Body->Body[0].get());
+  ASSERT_TRUE(DS);
+  EXPECT_EQ(DS->ArraySize, 8);
+}
+
+TEST(ParserTest, VectorLiteralAndSwizzle) {
+  auto P = parseOk("__kernel void A(__global float4* a) {\n"
+                   "  float4 v = (float4)(1.0f, 2.0f, 3.0f, 4.0f);\n"
+                   "  float s = v.x + v.s3 + a[0].w;\n"
+                   "  float2 h = v.lo;\n"
+                   "}");
+  ASSERT_TRUE(P);
+}
+
+TEST(ParserTest, ScalarCast) {
+  auto P = parseOk("__kernel void A(float x) { int i = (int)x; }");
+  ASSERT_TRUE(P);
+  const auto *DS = dyn_cast<DeclStmt>(P->Functions[0]->Body->Body[0].get());
+  ASSERT_TRUE(DS);
+  EXPECT_TRUE(isa<CastExpr>(DS->Init.get()));
+}
+
+TEST(ParserTest, TernaryAndPrecedence) {
+  auto P = parseOk("__kernel void A(int a, int b) {\n"
+                   "  int c = a > b ? a : b;\n"
+                   "  int d = a + b * 2 - (a << 1 | b & 3);\n"
+                   "}");
+  ASSERT_TRUE(P);
+}
+
+TEST(ParserTest, AssignmentAssociatesRight) {
+  auto P = parseOk("__kernel void A(int a) { int b; int c; b = c = a; }");
+  ASSERT_TRUE(P);
+  const auto *ES = dyn_cast<ExprStmt>(P->Functions[0]->Body->Body[2].get());
+  ASSERT_TRUE(ES);
+  const auto *BE = dyn_cast<BinaryExpr>(ES->E.get());
+  ASSERT_TRUE(BE);
+  EXPECT_EQ(BE->Op, BinaryOp::Assign);
+  EXPECT_TRUE(isa<BinaryExpr>(BE->Rhs.get()));
+}
+
+TEST(ParserTest, PointerDerefExpression) {
+  auto P = parseOk("__kernel void A(__global float* a, int i) {\n"
+                   "  *(a + i) = 1.0f;\n"
+                   "}");
+  ASSERT_TRUE(P);
+}
+
+TEST(ParserTest, GlobalConstant) {
+  auto P = parseOk("__constant float Pi = 3.14159f;\n"
+                   "__kernel void A(__global float* a) { a[0] = Pi; }");
+  ASSERT_TRUE(P);
+  ASSERT_EQ(P->Constants.size(), 1u);
+  EXPECT_EQ(P->Constants[0].Name, "Pi");
+}
+
+TEST(ParserTest, AttributeSkipped) {
+  auto P = parseOk(
+      "__kernel __attribute__((reqd_work_group_size(64, 1, 1)))\n"
+      "void A(__global int* a) { a[0] = 1; }");
+  ASSERT_TRUE(P);
+  EXPECT_TRUE(P->Functions[0]->IsKernel);
+}
+
+TEST(ParserTest, PrototypeIgnoredDefinitionKept) {
+  auto P = parseOk("float helper(float x);\n"
+                   "float helper(float x) { return x; }");
+  ASSERT_TRUE(P);
+  EXPECT_EQ(P->Functions.size(), 1u);
+}
+
+TEST(ParserTest, SizeofEvaluatesToConstant) {
+  auto P = parseOk("__kernel void A(int n) { int s = sizeof(float4); }");
+  ASSERT_TRUE(P);
+  const auto *DS = dyn_cast<DeclStmt>(P->Functions[0]->Body->Body[0].get());
+  const auto *IL = dyn_cast<IntLiteralExpr>(DS->Init.get());
+  ASSERT_TRUE(IL);
+  EXPECT_EQ(IL->Value, 16);
+}
+
+// --- Rejection cases (mirroring the rejection filter's diet) ---
+
+TEST(ParserTest, RejectsStruct) {
+  EXPECT_FALSE(parseProgram("struct S { int x; };").ok());
+}
+
+TEST(ParserTest, RejectsSwitch) {
+  EXPECT_FALSE(
+      parseProgram("__kernel void A(int n) { switch (n) { } }").ok());
+}
+
+TEST(ParserTest, RejectsGoto) {
+  EXPECT_FALSE(
+      parseProgram("__kernel void A(int n) { goto end; end: ; }").ok());
+}
+
+TEST(ParserTest, RejectsMultiLevelPointer) {
+  EXPECT_FALSE(parseProgram("__kernel void A(__global float** a) {}").ok());
+}
+
+TEST(ParserTest, RejectsUnterminatedBlock) {
+  EXPECT_FALSE(parseProgram("__kernel void A(int n) { if (n) {").ok());
+}
+
+TEST(ParserTest, RejectsTruncatedFile) {
+  EXPECT_FALSE(parseProgram("__kernel void A(__global flo").ok());
+}
+
+TEST(ParserTest, RejectsArrayInitialiser) {
+  EXPECT_FALSE(
+      parseProgram("__kernel void A() { float w[2] = {1.0f, 2.0f}; }").ok());
+}
+
+TEST(ParserTest, DiagnosticCarriesLineNumber) {
+  auto R = parseProgram("__kernel void A(int n) {\n  n +;\n}");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.errorMessage().find("line 2"), std::string::npos)
+      << R.errorMessage();
+}
+
+TEST(ParserTest, PaperFigure6bKernel) {
+  // Verbatim kernel from Figure 6b of the paper.
+  auto P = parseOk(
+      "__kernel void A(__global float* a,\n"
+      "                __global float* b,\n"
+      "                __global float* c,\n"
+      "                const int d) {\n"
+      "  int e = get_global_id(0);\n"
+      "  if (e >= d) {\n"
+      "    return;\n"
+      "  }\n"
+      "  c[e] = a[e] + b[e] + 2 * a[e] + b[e] + 4;\n"
+      "}");
+  ASSERT_TRUE(P);
+  EXPECT_EQ(P->Functions[0]->Params.size(), 4u);
+}
+
+TEST(ParserTest, PaperFigure6cKernel) {
+  // The float16 partial-reduction kernel from Figure 6c (types fixed so
+  // that a is a float16 buffer, which is what the code implies).
+  auto P = parseOk(
+      "__kernel void A(__global float16* a, __global float* b,\n"
+      "                __global float* c, const int d) {\n"
+      "  unsigned int e = get_global_id(0);\n"
+      "  float16 f = (float16)(0.0);\n"
+      "  for (unsigned int g = 0; g < d; g++) {\n"
+      "    float16 h = a[g];\n"
+      "    f.s0 += h.s0;\n"
+      "    f.s1 += h.s1;\n"
+      "    f.sA += h.sA;\n"
+      "    f.sF += h.sF;\n"
+      "  }\n"
+      "  b[e] = f.s0 + f.s1 + f.sA + f.sF;\n"
+      "}");
+  ASSERT_TRUE(P);
+}

@@ -1,0 +1,153 @@
+//===- tests/ocl/PreprocessorTest.cpp - preprocessor tests -------------------===//
+
+#include "ocl/Preprocessor.h"
+
+#include <gtest/gtest.h>
+
+using namespace clgen;
+using namespace clgen::ocl;
+
+TEST(PreprocessorTest, StripLineComments) {
+  EXPECT_EQ(stripComments("a // c\nb"), "a \nb");
+}
+
+TEST(PreprocessorTest, StripBlockCommentsPreservesNewlines) {
+  std::string Out = stripComments("a/*x\ny*/b");
+  EXPECT_NE(Out.find('\n'), std::string::npos);
+  EXPECT_EQ(Out.find('x'), std::string::npos);
+}
+
+TEST(PreprocessorTest, CommentInsideStringSurvives) {
+  std::string Out = stripComments("\"no // comment\"");
+  EXPECT_NE(Out.find("//"), std::string::npos);
+}
+
+TEST(PreprocessorTest, ObjectMacroExpansion) {
+  auto R = preprocess("#define N 128\nint x = N;\n");
+  ASSERT_TRUE(R.ok()) << R.errorMessage();
+  EXPECT_NE(R.get().find("int x = 128;"), std::string::npos);
+}
+
+TEST(PreprocessorTest, FunctionMacroExpansion) {
+  auto R = preprocess("#define SQ(x) ((x)*(x))\nint y = SQ(a+1);\n");
+  ASSERT_TRUE(R.ok()) << R.errorMessage();
+  EXPECT_NE(R.get().find("(((a+1))*((a+1)))"), std::string::npos);
+}
+
+TEST(PreprocessorTest, PaperFigure5Macros) {
+  // The exact macros from Figure 5a of the paper.
+  const char *Src =
+      "#define DTYPE float\n"
+      "#define ALPHA(a) 3.5f * a\n"
+      "inline DTYPE ax(DTYPE x) { return ALPHA(x); }\n";
+  auto R = preprocess(Src);
+  ASSERT_TRUE(R.ok()) << R.errorMessage();
+  EXPECT_NE(R.get().find("inline float ax(float x)"), std::string::npos);
+  EXPECT_NE(R.get().find("3.5f * (x)"), std::string::npos);
+}
+
+TEST(PreprocessorTest, NestedMacros) {
+  auto R = preprocess("#define A B\n#define B 3\nint x = A;\n");
+  ASSERT_TRUE(R.ok());
+  EXPECT_NE(R.get().find("int x = 3;"), std::string::npos);
+}
+
+TEST(PreprocessorTest, SelfReferentialMacroDoesNotHang) {
+  auto R = preprocess("#define X X\nint X;\n");
+  ASSERT_TRUE(R.ok());
+  EXPECT_NE(R.get().find("int X;"), std::string::npos);
+}
+
+TEST(PreprocessorTest, UndefRemovesMacro) {
+  auto R = preprocess("#define N 1\n#undef N\nint x = N;\n");
+  ASSERT_TRUE(R.ok());
+  EXPECT_NE(R.get().find("int x = N;"), std::string::npos);
+}
+
+TEST(PreprocessorTest, IfdefTakenAndNotTaken) {
+  auto R = preprocess("#define GPU 1\n#ifdef GPU\nint a;\n#endif\n"
+                      "#ifdef CPU\nint b;\n#endif\n");
+  ASSERT_TRUE(R.ok());
+  EXPECT_NE(R.get().find("int a;"), std::string::npos);
+  EXPECT_EQ(R.get().find("int b;"), std::string::npos);
+}
+
+TEST(PreprocessorTest, IfndefElse) {
+  auto R = preprocess("#ifndef W\nint a;\n#else\nint b;\n#endif\n");
+  ASSERT_TRUE(R.ok());
+  EXPECT_NE(R.get().find("int a;"), std::string::npos);
+  EXPECT_EQ(R.get().find("int b;"), std::string::npos);
+}
+
+TEST(PreprocessorTest, IfExpressionArithmetic) {
+  auto R = preprocess("#define V 3\n#if V >= 2 && V < 10\nint yes;\n#endif\n");
+  ASSERT_TRUE(R.ok());
+  EXPECT_NE(R.get().find("int yes;"), std::string::npos);
+}
+
+TEST(PreprocessorTest, IfDefinedOperator) {
+  auto R = preprocess("#define F\n#if defined(F) && !defined(G)\n"
+                      "int yes;\n#endif\n");
+  ASSERT_TRUE(R.ok());
+  EXPECT_NE(R.get().find("int yes;"), std::string::npos);
+}
+
+TEST(PreprocessorTest, ElifChain) {
+  auto R = preprocess("#define V 2\n#if V == 1\nint a;\n#elif V == 2\n"
+                      "int b;\n#else\nint c;\n#endif\n");
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.get().find("int a;"), std::string::npos);
+  EXPECT_NE(R.get().find("int b;"), std::string::npos);
+  EXPECT_EQ(R.get().find("int c;"), std::string::npos);
+}
+
+TEST(PreprocessorTest, UnterminatedIfIsError) {
+  auto R = preprocess("#ifdef X\nint a;\n");
+  EXPECT_FALSE(R.ok());
+}
+
+TEST(PreprocessorTest, IncludeResolvesFromMap) {
+  PreprocessOptions Opts;
+  Opts.Includes["shim.h"] = "typedef float FLOAT_T;\n";
+  auto R = preprocess("#include \"shim.h\"\nFLOAT_T x;\n", Opts);
+  ASSERT_TRUE(R.ok());
+  EXPECT_NE(R.get().find("typedef float FLOAT_T;"), std::string::npos);
+}
+
+TEST(PreprocessorTest, UnknownIncludeSkipped) {
+  auto R = preprocess("#include <missing_project_header.h>\nint x;\n");
+  ASSERT_TRUE(R.ok());
+  EXPECT_NE(R.get().find("int x;"), std::string::npos);
+}
+
+TEST(PreprocessorTest, MacrosInsideInactiveBlockIgnored) {
+  auto R = preprocess("#ifdef NOPE\n#define N 9\n#endif\nint x = N;\n");
+  ASSERT_TRUE(R.ok());
+  EXPECT_NE(R.get().find("int x = N;"), std::string::npos);
+}
+
+TEST(PreprocessorTest, LineContinuation) {
+  auto R = preprocess("#define LONG a + \\\n  b\nint x = LONG;\n");
+  ASSERT_TRUE(R.ok());
+  EXPECT_NE(R.get().find("a +"), std::string::npos);
+  EXPECT_NE(R.get().find("b"), std::string::npos);
+}
+
+TEST(PreprocessorTest, PragmaIgnored) {
+  auto R = preprocess("#pragma OPENCL EXTENSION cl_khr_fp64 : enable\nint x;\n");
+  ASSERT_TRUE(R.ok());
+  EXPECT_NE(R.get().find("int x;"), std::string::npos);
+}
+
+TEST(PreprocessorTest, PredefinedMacros) {
+  PreprocessOptions Opts;
+  Opts.Predefined.push_back({"WG_SIZE", "128"});
+  auto R = preprocess("int n = WG_SIZE;\n", Opts);
+  ASSERT_TRUE(R.ok());
+  EXPECT_NE(R.get().find("int n = 128;"), std::string::npos);
+}
+
+TEST(PreprocessorTest, ErrorDirectiveInActiveBlockFails) {
+  EXPECT_FALSE(preprocess("#error bad\n").ok());
+  EXPECT_TRUE(preprocess("#ifdef NO\n#error bad\n#endif\n").ok());
+}

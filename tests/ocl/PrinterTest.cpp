@@ -1,0 +1,136 @@
+//===- tests/ocl/PrinterTest.cpp - AST printer tests -------------------------===//
+
+#include "ocl/AstPrinter.h"
+
+#include "ocl/Parser.h"
+#include "ocl/Sema.h"
+
+#include <gtest/gtest.h>
+
+using namespace clgen;
+using namespace clgen::ocl;
+
+namespace {
+
+std::string reprint(const std::string &Src) {
+  auto R = parseProgram(Src);
+  EXPECT_TRUE(R.ok()) << (R.ok() ? "" : R.errorMessage());
+  if (!R.ok())
+    return "";
+  return printProgram(*R.get());
+}
+
+} // namespace
+
+TEST(PrinterTest, CanonicalKernelLayout) {
+  std::string Out = reprint(
+      "__kernel void A(__global float*a,const int b){int i=get_global_id(0);"
+      "if(i<b){a[i]*=2.0f;}}");
+  EXPECT_EQ(Out,
+            "__kernel void A(__global float* a, const int b) {\n"
+            "  int i = get_global_id(0);\n"
+            "  if (i < b) {\n"
+            "    a[i] *= 2.0f;\n"
+            "  }\n"
+            "}\n");
+}
+
+TEST(PrinterTest, RoundTripIsFixpoint) {
+  // print(parse(print(parse(x)))) == print(parse(x)): the canonical form
+  // is stable, which the corpus dedup relies on.
+  const char *Src =
+      "__kernel void K(__global float4* v, __global float* o, int n) {\n"
+      "  float4 acc = (float4)(0.0f);\n"
+      "  for (int i = 0; i < n; ++i) {\n"
+      "    acc += v[i] * 2.0f;\n"
+      "  }\n"
+      "  o[get_global_id(0)] = acc.x + acc.y + acc.z + acc.w;\n"
+      "}\n";
+  std::string Once = reprint(Src);
+  std::string Twice = reprint(Once);
+  EXPECT_EQ(Once, Twice);
+}
+
+TEST(PrinterTest, BracesAlwaysInserted) {
+  std::string Out = reprint("__kernel void A(int n, __global int* o) {"
+                            " if (n) o[0] = 1; else o[0] = 2; }");
+  EXPECT_NE(Out.find("if (n) {"), std::string::npos);
+  EXPECT_NE(Out.find("} else {"), std::string::npos);
+}
+
+TEST(PrinterTest, MinimalParenthesesRespectPrecedence) {
+  std::string Out = reprint(
+      "__kernel void A(int a, int b, __global int* o) {"
+      " o[0] = (a + b) * 2; o[1] = a + b * 2; }");
+  EXPECT_NE(Out.find("(a + b) * 2"), std::string::npos);
+  EXPECT_NE(Out.find("a + b * 2;"), std::string::npos);
+}
+
+TEST(PrinterTest, PreservesSemantics_ParensForShiftInAdd) {
+  std::string Out = reprint("__kernel void A(int a, __global int* o) {"
+                            " o[0] = (a << 2) + 1; }");
+  EXPECT_NE(Out.find("(a << 2) + 1"), std::string::npos);
+}
+
+TEST(PrinterTest, FloatLiteralFormats) {
+  std::string Out = reprint("__kernel void A(__global float* o) {"
+                            " o[0] = 3.5f; o[1] = 2.0f; o[2] = 1e-3f; }");
+  EXPECT_NE(Out.find("3.5f"), std::string::npos);
+  // A whole-valued float keeps a decimal point.
+  EXPECT_NE(Out.find("2f") != std::string::npos ||
+                Out.find("2.0f") != std::string::npos,
+            false);
+  EXPECT_EQ(Out.find("= 2f"), std::string::npos);
+}
+
+TEST(PrinterTest, VectorLiteralPrinted) {
+  std::string Out = reprint("__kernel void A(__global float4* o) {"
+                            " o[0] = (float4)(1.0f, 2.0f, 3.0f, 4.0f); }");
+  EXPECT_NE(Out.find("(float4)(1.0f, 2.0f, 3.0f, 4.0f)"), std::string::npos);
+}
+
+TEST(PrinterTest, LocalArrayDeclaration) {
+  std::string Out = reprint("__kernel void A(int n) {"
+                            " __local float t[64]; }");
+  EXPECT_NE(Out.find("__local float t[64];"), std::string::npos);
+}
+
+TEST(PrinterTest, GlobalConstantPrinted) {
+  std::string Out = reprint("__constant float Pi = 3.5f;\n"
+                            "__kernel void A(__global float* o) {"
+                            " o[0] = Pi; }");
+  EXPECT_NE(Out.find("__constant float Pi = 3.5f;"), std::string::npos);
+}
+
+TEST(PrinterTest, PaperFigure5RewriteShape) {
+  // After preprocessing+rewriting, Figure 5b of the paper shows this
+  // canonical shape; check the printer produces the same layout for the
+  // already-renamed program.
+  std::string Out = reprint(
+      "inline float A(float a) { return 3.5f * a; }\n"
+      "__kernel void B(__global float* b, __global float* c, const int d) {\n"
+      "  unsigned int e = get_global_id(0);\n"
+      "  if (e < d) { c[e] += A(b[e]); }\n"
+      "}\n");
+  EXPECT_NE(Out.find("inline float A(float a) {"), std::string::npos);
+  EXPECT_NE(
+      Out.find(
+          "__kernel void B(__global float* b, __global float* c, const int "
+          "d) {"),
+      std::string::npos);
+  EXPECT_NE(Out.find("c[e] += A(b[e]);"), std::string::npos);
+}
+
+TEST(PrinterTest, TernaryPrinted) {
+  std::string Out = reprint("__kernel void A(int a, int b, __global int* o)"
+                            " { o[0] = a > b ? a : b; }");
+  EXPECT_NE(Out.find("a > b ? a : b"), std::string::npos);
+}
+
+TEST(PrinterTest, DoWhilePrinted) {
+  std::string Out = reprint("__kernel void A(int n, __global int* o) {"
+                            " int i = 0; do { i++; } while (i < n);"
+                            " o[0] = i; }");
+  EXPECT_NE(Out.find("do {"), std::string::npos);
+  EXPECT_NE(Out.find("} while (i < n);"), std::string::npos);
+}

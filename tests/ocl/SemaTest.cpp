@@ -1,0 +1,301 @@
+//===- tests/ocl/SemaTest.cpp - semantic analysis tests ----------------------===//
+
+#include "ocl/Sema.h"
+
+#include "ocl/Casting.h"
+#include "ocl/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace clgen;
+using namespace clgen::ocl;
+
+namespace {
+
+/// Parses and analyzes; returns the program on success, null on failure.
+std::unique_ptr<Program> compileOk(const std::string &Src) {
+  auto R = parseProgram(Src);
+  EXPECT_TRUE(R.ok()) << (R.ok() ? "" : R.errorMessage());
+  if (!R.ok())
+    return nullptr;
+  auto P = R.take();
+  Status S = analyze(*P);
+  EXPECT_TRUE(S.ok()) << S.errorMessage();
+  if (!S.ok())
+    return nullptr;
+  return P;
+}
+
+/// Parses (must succeed) then expects sema failure.
+std::string semaError(const std::string &Src) {
+  auto R = parseProgram(Src);
+  EXPECT_TRUE(R.ok()) << (R.ok() ? "" : R.errorMessage());
+  if (!R.ok())
+    return "(parse failed)";
+  auto P = R.take();
+  Status S = analyze(*P);
+  EXPECT_FALSE(S.ok());
+  return S.ok() ? "" : S.errorMessage();
+}
+
+} // namespace
+
+TEST(SemaTest, TypesSimpleKernel) {
+  auto P = compileOk("__kernel void A(__global float* a, const int n) {\n"
+                     "  int i = get_global_id(0);\n"
+                     "  if (i < n) a[i] = a[i] * 2.0f;\n"
+                     "}");
+  ASSERT_TRUE(P);
+}
+
+TEST(SemaTest, UndeclaredIdentifierDiagnosed) {
+  std::string Err = semaError(
+      "__kernel void A(__global float* a) { a[0] = missing; }");
+  EXPECT_NE(Err.find("undeclared identifier 'missing'"), std::string::npos)
+      << Err;
+}
+
+TEST(SemaTest, UndeclaredShimTypeConstantDiagnosed) {
+  // WG_SIZE is exactly the class of identifier the shim header provides.
+  std::string Err = semaError(
+      "__kernel void A(__global float* a) { int i = WG_SIZE; }");
+  EXPECT_NE(Err.find("WG_SIZE"), std::string::npos);
+}
+
+TEST(SemaTest, BinaryPromotionIntFloat) {
+  auto P = compileOk("__kernel void A(__global float* a, int n) {\n"
+                     "  a[0] = n + 1.5f;\n"
+                     "}");
+  ASSERT_TRUE(P);
+  // The store's RHS must have been promoted to float.
+  const auto *ES =
+      dyn_cast<ExprStmt>(P->Functions[0]->Body->Body[0].get());
+  const auto *Assign = dyn_cast<BinaryExpr>(ES->E.get());
+  EXPECT_EQ(Assign->Rhs->Ty.S, Scalar::Float);
+}
+
+TEST(SemaTest, VectorScalarBroadcast) {
+  auto P = compileOk("__kernel void A(__global float4* a) {\n"
+                     "  a[0] = a[0] * 2.0f;\n"
+                     "}");
+  ASSERT_TRUE(P);
+}
+
+TEST(SemaTest, VectorWidthMismatchRejected) {
+  std::string Err = semaError(
+      "__kernel void A(float4 a, float2 b) { float4 c = a + b; }");
+  EXPECT_NE(Err.find("vector"), std::string::npos);
+}
+
+TEST(SemaTest, SwizzleTyping) {
+  auto P = compileOk("__kernel void A(float4 v, __global float* out) {\n"
+                     "  out[0] = v.x;\n"
+                     "  out[1] = v.w;\n"
+                     "  float2 d = v.xy;\n"
+                     "  float2 h = v.hi;\n"
+                     "  float s = v.s3;\n"
+                     "}");
+  ASSERT_TRUE(P);
+}
+
+TEST(SemaTest, SwizzleOutOfRangeRejected) {
+  std::string Err = semaError("__kernel void A(float2 v, __global float* o)"
+                              " { o[0] = v.z; }");
+  EXPECT_NE(Err.find("component"), std::string::npos);
+}
+
+TEST(SemaTest, MemberOnScalarRejected) {
+  std::string Err =
+      semaError("__kernel void A(float v, __global float* o) { o[0] = v.x; }");
+  EXPECT_NE(Err.find("non-vector"), std::string::npos);
+}
+
+TEST(SemaTest, BuiltinWorkItemFunctions) {
+  auto P = compileOk("__kernel void A(__global uint* a) {\n"
+                     "  a[get_global_id(0)] = get_local_id(0) +\n"
+                     "      get_group_id(0) * get_local_size(0);\n"
+                     "}");
+  ASSERT_TRUE(P);
+}
+
+TEST(SemaTest, BuiltinMathTyping) {
+  auto P = compileOk("__kernel void A(__global float* a, int n) {\n"
+                     "  a[0] = sqrt(2.0f) + pow(a[1], 2.0f) + fabs(a[2]);\n"
+                     "  a[1] = sqrt((float)n);\n"
+                     "}");
+  ASSERT_TRUE(P);
+}
+
+TEST(SemaTest, BuiltinArityChecked) {
+  std::string Err =
+      semaError("__kernel void A(__global float* a) { a[0] = sqrt(); }");
+  EXPECT_NE(Err.find("arguments"), std::string::npos);
+}
+
+TEST(SemaTest, UnknownFunctionRejected) {
+  std::string Err = semaError(
+      "__kernel void A(__global float* a) { a[0] = my_helper(1.0f); }");
+  EXPECT_NE(Err.find("my_helper"), std::string::npos);
+}
+
+TEST(SemaTest, UserFunctionCallTyped) {
+  auto P = compileOk("float twice(float x) { return x * 2.0f; }\n"
+                     "__kernel void A(__global float* a) {\n"
+                     "  a[0] = twice(a[1]);\n"
+                     "}");
+  ASSERT_TRUE(P);
+}
+
+TEST(SemaTest, ForwardCallAllowed) {
+  auto P = compileOk("__kernel void A(__global float* a) { a[0] = f(a[1]); }\n"
+                     "float f(float x) { return x + 1.0f; }");
+  ASSERT_TRUE(P);
+}
+
+TEST(SemaTest, DirectRecursionRejected) {
+  std::string Err =
+      semaError("int f(int x) { return f(x - 1); }\n"
+                "__kernel void A(__global int* a) { a[0] = f(3); }");
+  EXPECT_NE(Err.find("recursive"), std::string::npos);
+}
+
+TEST(SemaTest, MutualRecursionRejected) {
+  std::string Err = semaError(
+      "int g(int x);\n"
+      "int f(int x) { return g(x); }\n"
+      "int g(int x) { return f(x); }\n"
+      "__kernel void A(__global int* a) { a[0] = f(1); }");
+  EXPECT_NE(Err.find("recursive"), std::string::npos);
+}
+
+TEST(SemaTest, KernelCallRejected) {
+  std::string Err = semaError(
+      "__kernel void B(__global int* a) { a[0] = 1; }\n"
+      "__kernel void A(__global int* a) { B(a); }");
+  EXPECT_NE(Err.find("kernel"), std::string::npos);
+}
+
+TEST(SemaTest, AssignToRValueRejected) {
+  std::string Err =
+      semaError("__kernel void A(int n) { n + 1 = 4; }");
+  EXPECT_NE(Err.find("lvalue"), std::string::npos);
+}
+
+TEST(SemaTest, SubscriptNonPointerRejected) {
+  std::string Err =
+      semaError("__kernel void A(int n) { int x = n[0]; }");
+  EXPECT_NE(Err.find("non-pointer"), std::string::npos);
+}
+
+TEST(SemaTest, PointerArithmeticTyped) {
+  auto P = compileOk("__kernel void A(__global float* a, int i) {\n"
+                     "  *(a + i) = 1.0f;\n"
+                     "  __global float* p = a + 4;\n"
+                     "  p[i] = 2.0f;\n"
+                     "}");
+  ASSERT_TRUE(P);
+}
+
+TEST(SemaTest, BitwiseOnFloatRejected) {
+  std::string Err = semaError("__kernel void A(float x, __global float* o)"
+                              " { o[0] = x & 1; }");
+  EXPECT_NE(Err.find("non-integer"), std::string::npos);
+}
+
+TEST(SemaTest, BarrierIsVoid) {
+  auto P = compileOk("__kernel void A(__global float* a) {\n"
+                     "  barrier(CLK_LOCAL_MEM_FENCE);\n"
+                     "  a[0] = 1.0f;\n"
+                     "}");
+  ASSERT_TRUE(P);
+}
+
+TEST(SemaTest, LocalArrayUsableAsPointer) {
+  auto P = compileOk("__kernel void A(__global float* a, int n) {\n"
+                     "  __local float tile[64];\n"
+                     "  int l = get_local_id(0);\n"
+                     "  tile[l] = a[l];\n"
+                     "  barrier(CLK_LOCAL_MEM_FENCE);\n"
+                     "  a[l] = tile[63 - l];\n"
+                     "}");
+  ASSERT_TRUE(P);
+}
+
+TEST(SemaTest, AtomicOnGlobalIntPointer) {
+  auto P = compileOk("__kernel void A(__global int* hist, int v) {\n"
+                     "  atomic_add(&hist[v], 1);\n"
+                     "  atomic_inc(&hist[0]);\n"
+                     "}");
+  ASSERT_TRUE(P);
+}
+
+TEST(SemaTest, AtomicOnFloatRejected) {
+  std::string Err = semaError("__kernel void A(__global float* a)"
+                              " { atomic_add(&a[0], 1); }");
+  EXPECT_NE(Err.find("integer"), std::string::npos);
+}
+
+TEST(SemaTest, ConvertFamilyTyped) {
+  auto P = compileOk("__kernel void A(float4 v, __global int4* o) {\n"
+                     "  o[0] = convert_int4(v);\n"
+                     "}");
+  ASSERT_TRUE(P);
+}
+
+TEST(SemaTest, VloadVstoreTyped) {
+  auto P = compileOk("__kernel void A(__global float* a) {\n"
+                     "  float4 v = vload4(0, a);\n"
+                     "  vstore4(v * 2.0f, 1, a);\n"
+                     "}");
+  ASSERT_TRUE(P);
+}
+
+TEST(SemaTest, RedefinitionInSameScopeRejected) {
+  std::string Err =
+      semaError("__kernel void A(int n) { int x = 1; float x = 2.0f; }");
+  EXPECT_NE(Err.find("redefinition"), std::string::npos);
+}
+
+TEST(SemaTest, ShadowingInNestedScopeAllowed) {
+  auto P = compileOk("__kernel void A(int n) {\n"
+                     "  int x = 1;\n"
+                     "  if (n) { float x = 2.0f; }\n"
+                     "}");
+  ASSERT_TRUE(P);
+}
+
+TEST(SemaTest, GlobalConstantVisible) {
+  auto P = compileOk("__constant float Scale = 2.0f;\n"
+                     "__kernel void A(__global float* a) { a[0] *= Scale; }");
+  ASSERT_TRUE(P);
+}
+
+TEST(SemaTest, ReturnTypeChecked) {
+  std::string Err = semaError("float f(float x) { return; }\n"
+                              "__kernel void A(__global float* a)"
+                              " { a[0] = f(a[0]); }");
+  EXPECT_NE(Err.find("return"), std::string::npos);
+}
+
+TEST(SemaTest, VoidFunctionReturningValueRejected) {
+  std::string Err =
+      semaError("__kernel void A(__global float* a) { return 1; }");
+  EXPECT_NE(Err.find("void"), std::string::npos);
+}
+
+TEST(SemaTest, PaperListing2Kernel) {
+  // Listing 2 from the paper: indistinguishable from FWT in the Grewe
+  // feature space. Note `e < c` compares an int against a pointer in the
+  // original paper listing; the published kernel relies on the C rule that
+  // this is a (questionable but accepted-by-compilers) comparison. Our
+  // stricter subset requires the corrected `e < d`.
+  auto P = compileOk("__kernel void A(__global float* a, __global float* b,\n"
+                     "                __global float* c, const int d) {\n"
+                     "  int e = get_global_id(0);\n"
+                     "  if (e < 4 && e < d) {\n"
+                     "    c[e] = a[e] + b[e];\n"
+                     "    a[e] = b[e] + 1;\n"
+                     "  }\n"
+                     "}");
+  ASSERT_TRUE(P);
+}

@@ -1,0 +1,263 @@
+//===- tests/predict/PredictTest.cpp - decision tree / PCA / evaluation -------===//
+
+#include "predict/DecisionTree.h"
+#include "predict/Evaluation.h"
+#include "predict/Pca.h"
+
+#include "support/Rng.h"
+#include "support/StringUtils.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace clgen;
+using namespace clgen::predict;
+
+//===----------------------------------------------------------------------===//
+// DecisionTree
+//===----------------------------------------------------------------------===//
+
+TEST(DecisionTreeTest, LearnsAxisAlignedSplit) {
+  std::vector<std::vector<double>> X;
+  std::vector<int> Y;
+  for (int I = 0; I < 50; ++I) {
+    X.push_back({static_cast<double>(I), 0.0});
+    Y.push_back(I < 25 ? 0 : 1);
+  }
+  DecisionTree T;
+  T.fit(X, Y);
+  EXPECT_EQ(T.predict({10.0, 0.0}), 0);
+  EXPECT_EQ(T.predict({40.0, 0.0}), 1);
+}
+
+TEST(DecisionTreeTest, LearnsConjunctionWithDepth) {
+  // Label = (A > 0.5) && (B > 0.5): needs two levels of splits. (XOR is
+  // not greedily learnable by CART: the first split has zero Gini gain.)
+  std::vector<std::vector<double>> X;
+  std::vector<int> Y;
+  for (double A : {0.0, 0.3, 0.7, 1.0})
+    for (double B : {0.0, 0.3, 0.7, 1.0})
+      for (int Rep = 0; Rep < 3; ++Rep) {
+        X.push_back({A, B});
+        Y.push_back(A > 0.5 && B > 0.5 ? 1 : 0);
+      }
+  TreeOptions Opts;
+  Opts.MinSamplesLeaf = 1;
+  Opts.MinSamplesSplit = 2;
+  DecisionTree T(Opts);
+  T.fit(X, Y);
+  EXPECT_EQ(T.predict({0.2, 0.9}), 0);
+  EXPECT_EQ(T.predict({0.9, 0.2}), 0);
+  EXPECT_EQ(T.predict({0.9, 0.9}), 1);
+  EXPECT_EQ(T.predict({0.1, 0.1}), 0);
+}
+
+TEST(DecisionTreeTest, PureLabelsYieldSingleLeaf) {
+  std::vector<std::vector<double>> X = {{1.0}, {2.0}, {3.0}};
+  std::vector<int> Y = {1, 1, 1};
+  DecisionTree T;
+  T.fit(X, Y);
+  EXPECT_EQ(T.nodeCount(), 1u);
+  EXPECT_EQ(T.predict({9.0}), 1);
+  EXPECT_DOUBLE_EQ(T.predictProbability({9.0}), 1.0);
+}
+
+TEST(DecisionTreeTest, MaxDepthLimitsGrowth) {
+  Rng R(5);
+  std::vector<std::vector<double>> X;
+  std::vector<int> Y;
+  for (int I = 0; I < 200; ++I) {
+    X.push_back({R.uniform(), R.uniform()});
+    Y.push_back(R.chance(0.5) ? 1 : 0);
+  }
+  TreeOptions Shallow;
+  Shallow.MaxDepth = 2;
+  DecisionTree TS(Shallow);
+  TS.fit(X, Y);
+  TreeOptions Deep;
+  Deep.MaxDepth = 12;
+  DecisionTree TD(Deep);
+  TD.fit(X, Y);
+  EXPECT_LE(TS.nodeCount(), 7u);
+  EXPECT_GT(TD.nodeCount(), TS.nodeCount());
+}
+
+TEST(DecisionTreeTest, EmptyTrainingPredictsClassZero) {
+  DecisionTree T;
+  T.fit({}, {});
+  EXPECT_EQ(T.predict({1.0, 2.0}), 0);
+}
+
+TEST(DecisionTreeTest, DumpShowsStructure) {
+  std::vector<std::vector<double>> X = {{0.0}, {1.0}, {2.0}, {3.0}};
+  std::vector<int> Y = {0, 0, 1, 1};
+  TreeOptions Opts;
+  Opts.MinSamplesLeaf = 1;
+  Opts.MinSamplesSplit = 2;
+  DecisionTree T(Opts);
+  T.fit(X, Y);
+  std::string Dump = T.dump({"size"});
+  EXPECT_NE(Dump.find("size <"), std::string::npos);
+  EXPECT_NE(Dump.find("leaf"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// PCA
+//===----------------------------------------------------------------------===//
+
+TEST(PcaTest, RecoversDominantDirection) {
+  // Points along the diagonal y = x with small noise: PC1 must align
+  // with (1,1)/sqrt(2).
+  Rng R(3);
+  std::vector<std::vector<double>> X;
+  for (int I = 0; I < 200; ++I) {
+    double T = R.gaussian();
+    X.push_back({T + 0.01 * R.gaussian(), T + 0.01 * R.gaussian()});
+  }
+  auto P = fitPca(X);
+  double C0 = std::fabs(P.Components[0][0]);
+  double C1 = std::fabs(P.Components[0][1]);
+  EXPECT_NEAR(C0, C1, 0.05);
+  EXPECT_GT(P.ExplainedVariance[0], 10.0 * P.ExplainedVariance[1]);
+}
+
+TEST(PcaTest, ComponentsAreOrthonormal) {
+  Rng R(11);
+  std::vector<std::vector<double>> X;
+  for (int I = 0; I < 100; ++I)
+    X.push_back({R.uniform(), R.uniform() * 2, R.uniform() * 3,
+                 R.gaussian()});
+  auto P = fitPca(X);
+  for (size_t A = 0; A < P.Components.size(); ++A) {
+    for (size_t B = A; B < P.Components.size(); ++B) {
+      double Dot = 0.0;
+      for (size_t F = 0; F < P.Components[A].size(); ++F)
+        Dot += P.Components[A][F] * P.Components[B][F];
+      EXPECT_NEAR(Dot, A == B ? 1.0 : 0.0, 1e-6);
+    }
+  }
+}
+
+TEST(PcaTest, ConstantColumnHandled) {
+  std::vector<std::vector<double>> X = {
+      {1.0, 5.0}, {2.0, 5.0}, {3.0, 5.0}};
+  auto P = fitPca(X);
+  auto Proj = P.project({2.0, 5.0}, 2);
+  EXPECT_EQ(Proj.size(), 2u);
+  EXPECT_TRUE(std::isfinite(Proj[0]));
+}
+
+TEST(PcaTest, ProjectionCentersData) {
+  std::vector<std::vector<double>> X = {
+      {10.0, 1.0}, {12.0, 2.0}, {14.0, 3.0}, {16.0, 4.0}};
+  auto P = fitPca(X);
+  // The mean point projects to the origin.
+  auto Proj = P.project({13.0, 2.5}, 2);
+  EXPECT_NEAR(Proj[0], 0.0, 1e-9);
+  EXPECT_NEAR(Proj[1], 0.0, 1e-9);
+}
+
+//===----------------------------------------------------------------------===//
+// Evaluation harness
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+Observation makeObs(const std::string &Bench, double F1, double Cpu,
+                    double Gpu, const std::string &Dataset = "") {
+  Observation O;
+  O.Suite = "test";
+  O.Benchmark = Bench;
+  O.Dataset = Dataset;
+  O.Raw.Static.Comp = F1;
+  O.Raw.Static.Mem = 1;
+  O.CpuTime = Cpu;
+  O.GpuTime = Gpu;
+  return O;
+}
+
+} // namespace
+
+TEST(EvaluationTest, LabelsAndOracle) {
+  Observation O = makeObs("x", 1, 2.0, 1.0);
+  EXPECT_EQ(O.label(), 1);
+  EXPECT_DOUBLE_EQ(O.oracleTime(), 1.0);
+  EXPECT_DOUBLE_EQ(O.timeFor(0), 2.0);
+}
+
+TEST(EvaluationTest, StaticBestDevice) {
+  std::vector<Observation> Obs = {makeObs("a", 1, 1.0, 3.0),
+                                  makeObs("b", 2, 1.0, 3.0),
+                                  makeObs("c", 3, 5.0, 1.0)};
+  EXPECT_EQ(staticBestDevice(Obs), 0); // CPU total 7 < GPU total 7... 7=7
+  Obs.push_back(makeObs("d", 4, 0.5, 3.0));
+  EXPECT_EQ(staticBestDevice(Obs), 0);
+}
+
+TEST(EvaluationTest, PerfectPredictionsScoreOne) {
+  std::vector<Observation> Obs = {makeObs("a", 1, 1.0, 2.0),
+                                  makeObs("b", 2, 3.0, 1.0)};
+  std::vector<int> Perfect = {0, 1};
+  EXPECT_DOUBLE_EQ(performanceRelativeToOracle(Obs, Perfect), 1.0);
+  EXPECT_DOUBLE_EQ(accuracy(Obs, Perfect), 1.0);
+}
+
+TEST(EvaluationTest, WrongPredictionsScoreBelowOne) {
+  std::vector<Observation> Obs = {makeObs("a", 1, 1.0, 4.0)};
+  std::vector<int> Wrong = {1};
+  EXPECT_DOUBLE_EQ(performanceRelativeToOracle(Obs, Wrong), 0.25);
+}
+
+TEST(EvaluationTest, SpeedupOverStatic) {
+  // Static CPU; predictions pick GPU where it is 2x faster.
+  std::vector<Observation> Obs = {makeObs("a", 1, 2.0, 1.0),
+                                  makeObs("b", 2, 2.0, 1.0)};
+  std::vector<int> Preds = {1, 1};
+  EXPECT_DOUBLE_EQ(speedupOverStatic(Obs, Preds, 0), 2.0);
+}
+
+TEST(EvaluationTest, LeaveOneBenchmarkOutSeparatesGroups) {
+  // Two benchmarks occupying the same feature point with opposite
+  // labels: LOO must fail (no information), proving the fold really
+  // excludes the held-out group.
+  std::vector<Observation> Obs;
+  for (int I = 0; I < 6; ++I)
+    Obs.push_back(makeObs("gpuish", 5.0, 2.0, 1.0,
+                          formatString("d%d", I)));
+  for (int I = 0; I < 6; ++I)
+    Obs.push_back(makeObs("cpuish", 5.0, 1.0, 2.0,
+                          formatString("d%d", I)));
+  auto CV = leaveOneBenchmarkOut(Obs, {}, FeatureSetKind::Grewe);
+  // Each fold trains on the opposite-labelled twin: accuracy 0.
+  EXPECT_DOUBLE_EQ(accuracy(Obs, CV.Predictions), 0.0);
+}
+
+TEST(EvaluationTest, ExtraTrainingInformsFolds) {
+  // Same setup, but synthetic observations at the same feature point
+  // carry the right label for one group's region (distinct F1 values).
+  std::vector<Observation> Obs;
+  for (int I = 0; I < 6; ++I)
+    Obs.push_back(makeObs("gpuish", 10.0, 2.0, 1.0,
+                          formatString("d%d", I)));
+  for (int I = 0; I < 6; ++I)
+    Obs.push_back(makeObs("cpuish", 1.0, 1.0, 2.0,
+                          formatString("d%d", I)));
+  std::vector<Observation> Synthetic;
+  for (int I = 0; I < 8; ++I) {
+    Synthetic.push_back(makeObs(formatString("syn%d", I),
+                                I < 4 ? 9.5 : 1.5, I < 4 ? 2.0 : 1.0,
+                                I < 4 ? 1.0 : 2.0));
+  }
+  auto Without = leaveOneBenchmarkOut(Obs, {}, FeatureSetKind::Grewe);
+  auto With = leaveOneBenchmarkOut(Obs, Synthetic, FeatureSetKind::Grewe);
+  EXPECT_GT(accuracy(Obs, With.Predictions),
+            accuracy(Obs, Without.Predictions));
+  EXPECT_DOUBLE_EQ(accuracy(Obs, With.Predictions), 1.0);
+}
+
+TEST(EvaluationTest, FeatureVectorKindsDiffer) {
+  Observation O = makeObs("x", 3, 1.0, 2.0);
+  EXPECT_EQ(featureVector(O, FeatureSetKind::Grewe).size(), 4u);
+  EXPECT_EQ(featureVector(O, FeatureSetKind::Extended).size(), 11u);
+}

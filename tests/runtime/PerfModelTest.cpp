@@ -1,0 +1,121 @@
+//===- tests/runtime/PerfModelTest.cpp - device/perf model tests --------------===//
+
+#include "runtime/PerfModel.h"
+
+#include "runtime/Device.h"
+
+#include <gtest/gtest.h>
+
+using namespace clgen;
+using namespace clgen::runtime;
+using namespace clgen::vm;
+
+namespace {
+
+ExecCounters counters(uint64_t Items, uint64_t ComputePerItem,
+                      uint64_t CoalescedPerItem,
+                      uint64_t UncoalescedPerItem) {
+  ExecCounters C;
+  C.ItemsTotal = Items;
+  C.ItemsExecuted = Items;
+  C.ComputeOps = Items * ComputePerItem;
+  C.GlobalLoads = Items * (CoalescedPerItem + UncoalescedPerItem);
+  C.CoalescedGlobal = Items * CoalescedPerItem;
+  return C;
+}
+
+} // namespace
+
+TEST(DeviceModelTest, Table4Platforms) {
+  EXPECT_EQ(intelI7_3820().Kind, DeviceKind::Cpu);
+  EXPECT_EQ(amdTahiti7970().Kind, DeviceKind::Gpu);
+  EXPECT_EQ(nvidiaGtx970().Kind, DeviceKind::Gpu);
+  EXPECT_GT(amdTahiti7970().ParallelLanes, intelI7_3820().ParallelLanes);
+  // The CPU is zero-copy; the GPUs pay PCIe.
+  EXPECT_EQ(intelI7_3820().TransferGBPerSec, 0.0);
+  EXPECT_GT(nvidiaGtx970().TransferGBPerSec,
+            amdTahiti7970().TransferGBPerSec);
+}
+
+TEST(PerfModelTest, MoreWorkTakesLonger) {
+  DeviceModel Cpu = intelI7_3820();
+  double T1 = estimateComputeTime(Cpu, counters(1024, 10, 2, 0));
+  double T2 = estimateComputeTime(Cpu, counters(1024, 100, 2, 0));
+  EXPECT_GT(T2, T1);
+}
+
+TEST(PerfModelTest, GpuWinsComputeHeavyParallel) {
+  // Large parallel compute-bound workload: GPU must win on raw compute.
+  ExecCounters C = counters(1 << 20, 400, 2, 0);
+  double CpuT = estimateComputeTime(intelI7_3820(), C);
+  double GpuT = estimateComputeTime(amdTahiti7970(), C);
+  EXPECT_LT(GpuT, CpuT);
+}
+
+TEST(PerfModelTest, TransferCanFlipTheDecision) {
+  // Streaming kernel: tiny compute, large transfer. The GPU compute win
+  // is wiped out by PCIe cost.
+  ExecCounters C = counters(1 << 20, 6, 3, 0);
+  TransferProfile Transfer;
+  Transfer.BytesIn = 8ull << 20;
+  Transfer.BytesOut = 4ull << 20;
+  double CpuT = estimateRuntime(intelI7_3820(), C, Transfer);
+  double GpuT = estimateRuntime(amdTahiti7970(), C, Transfer);
+  EXPECT_LT(CpuT, GpuT);
+  // Without the transfer the GPU would have won.
+  EXPECT_LT(estimateComputeTime(amdTahiti7970(), C),
+            estimateComputeTime(intelI7_3820(), C));
+}
+
+TEST(PerfModelTest, UncoalescedHurtsGpuMore) {
+  ExecCounters Coalesced = counters(1 << 18, 10, 4, 0);
+  ExecCounters Strided = counters(1 << 18, 10, 0, 4);
+  double GpuPenalty = estimateComputeTime(amdTahiti7970(), Strided) /
+                      estimateComputeTime(amdTahiti7970(), Coalesced);
+  double CpuPenalty = estimateComputeTime(intelI7_3820(), Strided) /
+                      estimateComputeTime(intelI7_3820(), Coalesced);
+  EXPECT_GT(GpuPenalty, CpuPenalty);
+}
+
+TEST(PerfModelTest, DivergencePenalisesGpuOnly) {
+  ExecCounters C = counters(1 << 18, 50, 2, 0);
+  C.Branches = C.ItemsTotal * 4;
+  ExecCounters Divergent = C;
+  Divergent.Divergence = 1.0;
+  EXPECT_GT(estimateComputeTime(amdTahiti7970(), Divergent),
+            2.0 * estimateComputeTime(amdTahiti7970(), C));
+  EXPECT_DOUBLE_EQ(estimateComputeTime(intelI7_3820(), Divergent),
+                   estimateComputeTime(intelI7_3820(), C));
+}
+
+TEST(PerfModelTest, SmallNDRangeUnderusesGpu) {
+  // 128 items cannot fill 2048 lanes: per-item time rises sharply.
+  ExecCounters Small = counters(128, 100, 2, 0);
+  ExecCounters Large = counters(1 << 20, 100, 2, 0);
+  double SmallPerItem = estimateComputeTime(amdTahiti7970(), Small) / 128;
+  double LargePerItem =
+      estimateComputeTime(amdTahiti7970(), Large) / (1 << 20);
+  EXPECT_GT(SmallPerItem, 10.0 * LargePerItem);
+}
+
+TEST(PerfModelTest, LaunchOverheadIncluded) {
+  ExecCounters C = counters(1, 1, 0, 0);
+  double T = estimateRuntime(amdTahiti7970(), C, {});
+  EXPECT_GE(T, amdTahiti7970().LaunchOverheadUs * 1e-6);
+}
+
+TEST(PerfModelTest, LocalMemoryCheapOnGpu) {
+  ExecCounters C = counters(1 << 18, 10, 2, 0);
+  ExecCounters WithLocal = C;
+  WithLocal.LocalAccesses = C.ItemsTotal * 8;
+  double GpuExtra = estimateComputeTime(amdTahiti7970(), WithLocal) -
+                    estimateComputeTime(amdTahiti7970(), C);
+  double CpuExtra = estimateComputeTime(intelI7_3820(), WithLocal) -
+                    estimateComputeTime(intelI7_3820(), C);
+  // Per-access local cost is lower on the GPU even before dividing by
+  // the (much larger) parallelism.
+  EXPECT_LT(GpuExtra * amdTahiti7970().ParallelLanes /
+                intelI7_3820().ParallelLanes,
+            CpuExtra * 100.0);
+}
+

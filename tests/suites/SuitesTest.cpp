@@ -1,0 +1,185 @@
+//===- tests/suites/SuitesTest.cpp - patterns / catalogue / runner ------------===//
+
+#include "suites/Catalogue.h"
+
+#include "runtime/DynamicChecker.h"
+#include "suites/Runner.h"
+#include "vm/Compiler.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace clgen;
+using namespace clgen::suites;
+
+//===----------------------------------------------------------------------===//
+// Pattern library: property sweep over every pattern kind.
+//===----------------------------------------------------------------------===//
+
+class PatternProperty : public ::testing::TestWithParam<PatternKind> {};
+
+TEST_P(PatternProperty, CompilesAndDoesUsefulWork) {
+  PatternStyle Style;
+  std::string Src = renderPattern(GetParam(), Style, "prop");
+  auto K = vm::compileFirstKernel(Src);
+  ASSERT_TRUE(K.ok()) << patternName(GetParam()) << ": "
+                      << K.errorMessage() << "\n"
+                      << Src;
+  EXPECT_GE(K.get().staticInstructionCount(), 3u);
+
+  // Every pattern must survive the section 5.2 dynamic checker: this is
+  // a strong property (output produced, input sensitive, deterministic,
+  // no out-of-bounds access, terminates).
+  Rng R(2024);
+  runtime::CheckOptions Opts;
+  Opts.GlobalSize = 256;
+  Opts.LocalSize = 64;
+  auto CR = runtime::checkKernel(K.get(), Opts, R);
+  EXPECT_TRUE(CR.useful()) << patternName(GetParam()) << ": "
+                           << runtime::checkOutcomeName(CR.Outcome) << " "
+                           << CR.Detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPatterns, PatternProperty, ::testing::ValuesIn(allPatternKinds()),
+    [](const ::testing::TestParamInfo<PatternKind> &Info) {
+      std::string Name = patternName(Info.param);
+      for (char &C : Name)
+        if (C == '-')
+          C = '_';
+      return Name;
+    });
+
+TEST(PatternTest, StyleKnobsChangeFeatures) {
+  PatternStyle Lean, Heavy;
+  Heavy.ComputeIntensity = 5;
+  std::string SrcLean = renderPattern(PatternKind::VectorOp, Lean, "k");
+  std::string SrcHeavy = renderPattern(PatternKind::VectorOp, Heavy, "k");
+  auto KLean = vm::compileFirstKernel(SrcLean);
+  auto KHeavy = vm::compileFirstKernel(SrcHeavy);
+  ASSERT_TRUE(KLean.ok());
+  ASSERT_TRUE(KHeavy.ok());
+  EXPECT_GT(KHeavy.get().staticInstructionCount(),
+            KLean.get().staticInstructionCount());
+}
+
+TEST(PatternTest, BranchKnobAddsBranches) {
+  PatternStyle Plain, Branchy;
+  Branchy.ExtraBranching = true;
+  auto KPlain = vm::compileFirstKernel(
+      renderPattern(PatternKind::Gather, Plain, "k"));
+  auto KBranchy = vm::compileFirstKernel(
+      renderPattern(PatternKind::Gather, Branchy, "k"));
+  ASSERT_TRUE(KPlain.ok());
+  ASSERT_TRUE(KBranchy.ok());
+  EXPECT_GT(KBranchy.get().BranchSites, KPlain.get().BranchSites);
+}
+
+//===----------------------------------------------------------------------===//
+// Catalogue: Table 3 invariants.
+//===----------------------------------------------------------------------===//
+
+TEST(CatalogueTest, MatchesTable3Counts) {
+  auto Catalogue = buildCatalogue();
+  EXPECT_EQ(Catalogue.size(), 256u);
+  auto Summary = catalogueSummary(Catalogue);
+  ASSERT_EQ(Summary.size(), 7u);
+  int Benchmarks = 0;
+  std::map<std::string, std::pair<int, int>> Expected = {
+      {"NPB", {7, 114}},     {"Rodinia", {14, 31}},
+      {"NVIDIA SDK", {6, 12}}, {"AMD SDK", {12, 16}},
+      {"Parboil", {6, 8}},   {"PolyBench", {14, 27}},
+      {"SHOC", {12, 48}}};
+  for (const auto &Row : Summary) {
+    EXPECT_EQ(Row.Benchmarks, Expected[Row.Name].first) << Row.Name;
+    EXPECT_EQ(Row.Kernels, Expected[Row.Name].second) << Row.Name;
+    Benchmarks += Row.Benchmarks;
+  }
+  EXPECT_EQ(Benchmarks, 71);
+}
+
+TEST(CatalogueTest, EveryKernelCompiles) {
+  for (const auto &BK : buildCatalogue()) {
+    auto K = vm::compileFirstKernel(BK.Source);
+    EXPECT_TRUE(K.ok()) << BK.Suite << "/" << BK.KernelName << ": "
+                        << K.errorMessage();
+  }
+}
+
+TEST(CatalogueTest, NpbDatasetsMatchFigure7Columns) {
+  auto Npb = buildSuite("NPB");
+  std::set<std::string> Columns;
+  for (const auto &BK : Npb)
+    for (const auto &DS : BK.Datasets)
+      Columns.insert(BK.Benchmark + "." + DS.Name);
+  // 32 columns as in Figure 7 (e.g. no FT.C, no EP.S, no BT.C).
+  EXPECT_EQ(Columns.size(), 32u);
+  EXPECT_TRUE(Columns.count("CG.C"));
+  EXPECT_FALSE(Columns.count("FT.C"));
+  EXPECT_FALSE(Columns.count("EP.S"));
+  EXPECT_FALSE(Columns.count("BT.C"));
+}
+
+TEST(CatalogueTest, DeterministicConstruction) {
+  auto A = buildCatalogue();
+  auto B = buildCatalogue();
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I < A.size(); ++I)
+    EXPECT_EQ(A[I].Source, B[I].Source);
+}
+
+TEST(CatalogueTest, SuitesHaveDistinctStyles) {
+  // NPB is the local-memory suite; PolyBench uses none.
+  int NpbLocal = 0, PolyLocal = 0;
+  for (const auto &BK : buildSuite("NPB"))
+    NpbLocal += BK.Source.find("__local") != std::string::npos;
+  for (const auto &BK : buildSuite("PolyBench"))
+    PolyLocal += BK.Source.find("__local") != std::string::npos;
+  EXPECT_GT(NpbLocal, 20);
+  EXPECT_EQ(PolyLocal, 0);
+}
+
+TEST(CatalogueTest, SurveyDataCoversSevenSuites) {
+  auto Survey = gpgpuSurvey();
+  EXPECT_GE(Survey.size(), 7u);
+  // Sorted descending as in the figure.
+  for (size_t I = 1; I < Survey.size(); ++I)
+    EXPECT_GE(Survey[I - 1].AvgBenchmarksPerPaper,
+              Survey[I].AvgBenchmarksPerPaper);
+}
+
+//===----------------------------------------------------------------------===//
+// Runner
+//===----------------------------------------------------------------------===//
+
+TEST(RunnerTest, MeasuresEveryDataset) {
+  auto Parboil = buildSuite("Parboil");
+  size_t ExpectedObs = 0;
+  for (const auto &BK : Parboil)
+    ExpectedObs += BK.Datasets.size();
+  RunnerOptions Opts;
+  Opts.MaxSimulatedGroups = 4;
+  auto Obs = measureCatalogue(Parboil, runtime::amdPlatform(), Opts);
+  EXPECT_EQ(Obs.size(), ExpectedObs);
+  for (const auto &O : Obs) {
+    EXPECT_GT(O.CpuTime, 0.0);
+    EXPECT_GT(O.GpuTime, 0.0);
+    EXPECT_GT(O.Raw.WgSize, 0.0);
+    EXPECT_GT(O.Raw.TransferBytes, 0.0);
+    EXPECT_EQ(O.Suite, "Parboil");
+  }
+}
+
+TEST(RunnerTest, LabelsVaryAcrossCatalogue) {
+  RunnerOptions Opts;
+  Opts.MaxSimulatedGroups = 4;
+  auto Obs = measureCatalogue(buildSuite("NPB"), runtime::nvidiaPlatform(),
+                              Opts);
+  int Gpu = 0;
+  for (const auto &O : Obs)
+    Gpu += O.label();
+  // Mixed labels are required for the mapping task to be non-trivial.
+  EXPECT_GT(Gpu, 0);
+  EXPECT_LT(Gpu, static_cast<int>(Obs.size()));
+}

@@ -1,0 +1,127 @@
+//===- tests/support/RngTest.cpp - Rng unit tests ---------------------------===//
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace clgen;
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I < 64; ++I)
+    Same += A.next() == B.next();
+  EXPECT_LT(Same, 4);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng R(7);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(R.bounded(17), 17u);
+}
+
+TEST(RngTest, BoundedCoversRange) {
+  Rng R(7);
+  std::set<uint64_t> Seen;
+  for (int I = 0; I < 500; ++I)
+    Seen.insert(R.bounded(8));
+  EXPECT_EQ(Seen.size(), 8u);
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng R(3);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I < 2000; ++I) {
+    int64_t V = R.range(-2, 2);
+    EXPECT_GE(V, -2);
+    EXPECT_LE(V, 2);
+    SawLo |= V == -2;
+    SawHi |= V == 2;
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(RngTest, UniformWithinUnitInterval) {
+  Rng R(11);
+  double Sum = 0.0;
+  for (int I = 0; I < 10000; ++I) {
+    double U = R.uniform();
+    ASSERT_GE(U, 0.0);
+    ASSERT_LT(U, 1.0);
+    Sum += U;
+  }
+  EXPECT_NEAR(Sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng R(13);
+  double Sum = 0.0, SumSq = 0.0;
+  const int N = 20000;
+  for (int I = 0; I < N; ++I) {
+    double G = R.gaussian();
+    Sum += G;
+    SumSq += G * G;
+  }
+  EXPECT_NEAR(Sum / N, 0.0, 0.03);
+  EXPECT_NEAR(SumSq / N, 1.0, 0.05);
+}
+
+TEST(RngTest, ChanceEdgeCases) {
+  Rng R(5);
+  EXPECT_FALSE(R.chance(0.0));
+  EXPECT_TRUE(R.chance(1.0));
+  int Hits = 0;
+  for (int I = 0; I < 10000; ++I)
+    Hits += R.chance(0.25);
+  EXPECT_NEAR(Hits / 10000.0, 0.25, 0.03);
+}
+
+TEST(RngTest, WeightedZeroWeightNeverPicked) {
+  Rng R(9);
+  std::vector<double> Weights = {1.0, 0.0, 3.0};
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_NE(R.weighted(Weights), 1u);
+}
+
+TEST(RngTest, WeightedProportions) {
+  Rng R(9);
+  std::vector<double> Weights = {1.0, 3.0};
+  int Count1 = 0;
+  for (int I = 0; I < 10000; ++I)
+    Count1 += R.weighted(Weights) == 1;
+  EXPECT_NEAR(Count1 / 10000.0, 0.75, 0.03);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng R(21);
+  std::vector<int> V = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto Sorted = V;
+  R.shuffle(V);
+  std::sort(V.begin(), V.end());
+  EXPECT_EQ(V, Sorted);
+}
+
+TEST(RngTest, ForkIndependentButDeterministic) {
+  Rng A(99), B(99);
+  Rng FA = A.fork(), FB = B.fork();
+  for (int I = 0; I < 10; ++I)
+    EXPECT_EQ(FA.next(), FB.next());
+}
+
+TEST(RngTest, PickReturnsElement) {
+  Rng R(1);
+  std::vector<int> V = {10, 20, 30};
+  for (int I = 0; I < 50; ++I) {
+    int P = R.pick(V);
+    EXPECT_TRUE(P == 10 || P == 20 || P == 30);
+  }
+}

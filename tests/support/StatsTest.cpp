@@ -1,0 +1,40 @@
+//===- tests/support/StatsTest.cpp - statistics tests -----------------------===//
+
+#include "support/Stats.h"
+
+#include <gtest/gtest.h>
+
+using namespace clgen;
+
+TEST(StatsTest, MeanBasic) {
+  EXPECT_DOUBLE_EQ(mean({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(StatsTest, StdevKnownValue) {
+  // Sample stdev of {2,4,4,4,5,5,7,9} is 2.138...
+  EXPECT_NEAR(stdev({2, 4, 4, 4, 5, 5, 7, 9}), 2.13809, 1e-4);
+  EXPECT_DOUBLE_EQ(stdev({5}), 0.0);
+}
+
+TEST(StatsTest, GeomeanKnownValue) {
+  EXPECT_NEAR(geomean({1, 4}), 2.0, 1e-12);
+  EXPECT_NEAR(geomean({2, 8}), 4.0, 1e-12);
+}
+
+TEST(StatsTest, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median({3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4, 1, 2, 3}), 2.5);
+}
+
+TEST(StatsTest, PercentileEndpoints) {
+  std::vector<double> V = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(V, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(V, 100), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(V, 50), 25.0);
+}
+
+TEST(StatsTest, MinMax) {
+  EXPECT_DOUBLE_EQ(minOf({3, -1, 2}), -1.0);
+  EXPECT_DOUBLE_EQ(maxOf({3, -1, 2}), 3.0);
+}

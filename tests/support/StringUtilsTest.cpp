@@ -1,0 +1,71 @@
+//===- tests/support/StringUtilsTest.cpp - string helper tests --------------===//
+
+#include "support/StringUtils.h"
+
+#include <gtest/gtest.h>
+
+using namespace clgen;
+
+TEST(StringUtilsTest, SplitBasic) {
+  auto Parts = splitString("a,b,c", ',');
+  ASSERT_EQ(Parts.size(), 3u);
+  EXPECT_EQ(Parts[0], "a");
+  EXPECT_EQ(Parts[2], "c");
+}
+
+TEST(StringUtilsTest, SplitKeepsEmptyFields) {
+  auto Parts = splitString("a,,c,", ',');
+  ASSERT_EQ(Parts.size(), 4u);
+  EXPECT_EQ(Parts[1], "");
+  EXPECT_EQ(Parts[3], "");
+}
+
+TEST(StringUtilsTest, SplitLinesDropsTrailingNewlineField) {
+  auto Lines = splitLines("x\ny\n");
+  ASSERT_EQ(Lines.size(), 2u);
+  EXPECT_EQ(Lines[1], "y");
+}
+
+TEST(StringUtilsTest, TrimBothEnds) {
+  EXPECT_EQ(trim("  hi \t\n"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(StringUtilsTest, JoinRoundTripsSplit) {
+  std::vector<std::string> Parts = {"x", "y", "z"};
+  EXPECT_EQ(joinStrings(Parts, "::"), "x::y::z");
+}
+
+TEST(StringUtilsTest, StartsEndsWith) {
+  EXPECT_TRUE(startsWith("__kernel void", "__kernel"));
+  EXPECT_FALSE(startsWith("ker", "kernel"));
+  EXPECT_TRUE(endsWith("file.cl", ".cl"));
+  EXPECT_FALSE(endsWith("cl", "file.cl"));
+}
+
+TEST(StringUtilsTest, ReplaceAllNonOverlapping) {
+  EXPECT_EQ(replaceAll("aaa", "aa", "b"), "ba");
+  EXPECT_EQ(replaceAll("x+y+z", "+", " + "), "x + y + z");
+}
+
+TEST(StringUtilsTest, CountNonBlankLines) {
+  EXPECT_EQ(countNonBlankLines("a\n\n  \nb\n"), 2u);
+  EXPECT_EQ(countNonBlankLines(""), 0u);
+}
+
+TEST(StringUtilsTest, SequentialNamesMatchPaperSeries) {
+  // The paper's identifier series: a, b, ..., z, aa, ab, ...
+  EXPECT_EQ(sequentialName(0, false), "a");
+  EXPECT_EQ(sequentialName(25, false), "z");
+  EXPECT_EQ(sequentialName(26, false), "aa");
+  EXPECT_EQ(sequentialName(27, false), "ab");
+  EXPECT_EQ(sequentialName(26 + 26 * 26, false), "aaa");
+  EXPECT_EQ(sequentialName(0, true), "A");
+  EXPECT_EQ(sequentialName(28, true), "AC");
+}
+
+TEST(StringUtilsTest, FormatString) {
+  EXPECT_EQ(formatString("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(formatString("%.2f", 1.005), "1.00");
+}

@@ -1,0 +1,43 @@
+//===- tests/support/TableTest.cpp - table renderer tests -------------------===//
+
+#include "support/Table.h"
+
+#include <gtest/gtest.h>
+
+using namespace clgen;
+
+TEST(TableTest, RendersAlignedColumns) {
+  TextTable T;
+  T.setHeader({"name", "value"});
+  T.addRow({"x", "1"});
+  T.addRow({"longer", "22"});
+  std::string Out = T.render();
+  EXPECT_NE(Out.find("name"), std::string::npos);
+  EXPECT_NE(Out.find("longer"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(Out.find("---"), std::string::npos);
+  // All data rows appear after the header.
+  EXPECT_LT(Out.find("name"), Out.find("x"));
+}
+
+TEST(TableTest, BarChartScalesToWidth) {
+  BarChart C("title", 10);
+  C.addBar("a", 1.0);
+  C.addBar("b", 2.0);
+  std::string Out = C.render();
+  // The largest bar spans the full width.
+  EXPECT_NE(Out.find("##########"), std::string::npos);
+  EXPECT_NE(Out.find("title"), std::string::npos);
+}
+
+TEST(TableTest, BarChartHandlesAllZeros) {
+  BarChart C("z", 10);
+  C.addBar("a", 0.0);
+  std::string Out = C.render();
+  EXPECT_EQ(Out.find('#'), std::string::npos);
+}
+
+TEST(TableTest, SectionBanner) {
+  std::string B = sectionBanner("Figure 7");
+  EXPECT_NE(B.find("== Figure 7 =="), std::string::npos);
+}

@@ -1,0 +1,556 @@
+//===- tests/vm/InterpreterTest.cpp - execution engine tests -----------------===//
+
+#include "vm/Interpreter.h"
+
+#include "vm/Compiler.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace clgen;
+using namespace clgen::vm;
+
+namespace {
+
+CompiledKernel compile(const std::string &Src) {
+  auto R = compileFirstKernel(Src);
+  EXPECT_TRUE(R.ok()) << (R.ok() ? "" : R.errorMessage());
+  return R.ok() ? R.take() : CompiledKernel();
+}
+
+LaunchConfig config1D(size_t Global, size_t Local) {
+  LaunchConfig C;
+  C.GlobalSize[0] = Global;
+  C.LocalSize[0] = Local;
+  return C;
+}
+
+BufferData iota(size_t N) {
+  BufferData B = BufferData::zeros(N, 1);
+  for (size_t I = 0; I < N; ++I)
+    B.Data[I] = static_cast<double>(I);
+  return B;
+}
+
+} // namespace
+
+TEST(InterpreterTest, VectorScale) {
+  CompiledKernel K = compile(
+      "__kernel void A(__global float* a) {\n"
+      "  int i = get_global_id(0);\n"
+      "  a[i] = a[i] * 2.0f;\n"
+      "}");
+  std::vector<BufferData> Bufs = {iota(16)};
+  auto R = launchKernel(K, {KernelArg::buffer(0)}, Bufs, config1D(16, 4));
+  ASSERT_TRUE(R.ok()) << R.errorMessage();
+  for (size_t I = 0; I < 16; ++I)
+    EXPECT_DOUBLE_EQ(Bufs[0].Data[I], 2.0 * I);
+}
+
+TEST(InterpreterTest, SaxpyWithScalarArgs) {
+  CompiledKernel K = compile(
+      "__kernel void A(__global float* x, __global float* y, float alpha,\n"
+      "                const int n) {\n"
+      "  int i = get_global_id(0);\n"
+      "  if (i < n) { y[i] += alpha * x[i]; }\n"
+      "}");
+  std::vector<BufferData> Bufs = {iota(8), iota(8)};
+  auto R = launchKernel(K,
+                        {KernelArg::buffer(0), KernelArg::buffer(1),
+                         KernelArg::scalar(3.0), KernelArg::scalar(8)},
+                        Bufs, config1D(8, 8));
+  ASSERT_TRUE(R.ok()) << R.errorMessage();
+  for (size_t I = 0; I < 8; ++I)
+    EXPECT_DOUBLE_EQ(Bufs[1].Data[I], I + 3.0 * I);
+}
+
+TEST(InterpreterTest, GuardPreventsOutOfBounds) {
+  // Classic `if (i < n) return;` guard: items beyond n do nothing. The
+  // short-circuit must prevent the OOB read in the second conjunct.
+  CompiledKernel K = compile(
+      "__kernel void A(__global float* a, const int n) {\n"
+      "  int i = get_global_id(0);\n"
+      "  if (i < n && a[i] > 0.0f) { a[i] = -a[i]; }\n"
+      "}");
+  std::vector<BufferData> Bufs = {iota(4)}; // Only 4 elements, 8 items.
+  auto R = launchKernel(K, {KernelArg::buffer(0), KernelArg::scalar(4)},
+                        Bufs, config1D(8, 4));
+  ASSERT_TRUE(R.ok()) << R.errorMessage();
+  EXPECT_DOUBLE_EQ(Bufs[0].Data[3], -3.0);
+}
+
+TEST(InterpreterTest, OutOfBoundsDetected) {
+  CompiledKernel K = compile(
+      "__kernel void A(__global float* a) {\n"
+      "  a[get_global_id(0) + 100] = 1.0f;\n"
+      "}");
+  std::vector<BufferData> Bufs = {iota(4)};
+  auto R = launchKernel(K, {KernelArg::buffer(0)}, Bufs, config1D(4, 4));
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.errorMessage().find("out-of-bounds"), std::string::npos);
+}
+
+TEST(InterpreterTest, ForLoopReduction) {
+  CompiledKernel K = compile(
+      "__kernel void A(__global float* a, __global float* o, const int n) {\n"
+      "  float s = 0.0f;\n"
+      "  for (int i = 0; i < n; i++) { s += a[i]; }\n"
+      "  o[get_global_id(0)] = s;\n"
+      "}");
+  std::vector<BufferData> Bufs = {iota(10), BufferData::zeros(1, 1)};
+  auto R = launchKernel(
+      K, {KernelArg::buffer(0), KernelArg::buffer(1), KernelArg::scalar(10)},
+      Bufs, config1D(1, 1));
+  ASSERT_TRUE(R.ok()) << R.errorMessage();
+  EXPECT_DOUBLE_EQ(Bufs[1].Data[0], 45.0);
+}
+
+TEST(InterpreterTest, WhileAndDoWhile) {
+  CompiledKernel K = compile(
+      "__kernel void A(__global int* o, const int n) {\n"
+      "  int i = 0;\n"
+      "  int count = 0;\n"
+      "  while (i < n) { i += 2; count++; }\n"
+      "  do { count++; } while (0);\n"
+      "  o[get_global_id(0)] = count;\n"
+      "}");
+  std::vector<BufferData> Bufs = {BufferData::zeros(1, 1)};
+  auto R = launchKernel(K, {KernelArg::buffer(0), KernelArg::scalar(10)},
+                        Bufs, config1D(1, 1));
+  ASSERT_TRUE(R.ok()) << R.errorMessage();
+  EXPECT_DOUBLE_EQ(Bufs[0].Data[0], 6.0);
+}
+
+TEST(InterpreterTest, BreakAndContinue) {
+  CompiledKernel K = compile(
+      "__kernel void A(__global int* o) {\n"
+      "  int s = 0;\n"
+      "  for (int i = 0; i < 100; i++) {\n"
+      "    if (i == 5) { break; }\n"
+      "    if (i % 2 == 0) { continue; }\n"
+      "    s += i;\n"
+      "  }\n"
+      "  o[0] = s;\n"
+      "}");
+  std::vector<BufferData> Bufs = {BufferData::zeros(1, 1)};
+  auto R = launchKernel(K, {KernelArg::buffer(0)}, Bufs, config1D(1, 1));
+  ASSERT_TRUE(R.ok()) << R.errorMessage();
+  EXPECT_DOUBLE_EQ(Bufs[0].Data[0], 1.0 + 3.0); // 1 + 3 = 4.
+}
+
+TEST(InterpreterTest, EarlyReturnGuard) {
+  CompiledKernel K = compile(
+      "__kernel void A(__global float* a, const int n) {\n"
+      "  int i = get_global_id(0);\n"
+      "  if (i >= n) { return; }\n"
+      "  a[i] = 7.0f;\n"
+      "}");
+  std::vector<BufferData> Bufs = {iota(4)};
+  auto R = launchKernel(K, {KernelArg::buffer(0), KernelArg::scalar(2)},
+                        Bufs, config1D(4, 4));
+  ASSERT_TRUE(R.ok()) << R.errorMessage();
+  EXPECT_DOUBLE_EQ(Bufs[0].Data[0], 7.0);
+  EXPECT_DOUBLE_EQ(Bufs[0].Data[1], 7.0);
+  EXPECT_DOUBLE_EQ(Bufs[0].Data[2], 2.0);
+  EXPECT_DOUBLE_EQ(Bufs[0].Data[3], 3.0);
+}
+
+TEST(InterpreterTest, LocalMemoryReverseWithBarrier) {
+  CompiledKernel K = compile(
+      "__kernel void A(__global float* a) {\n"
+      "  __local float tile[8];\n"
+      "  int l = get_local_id(0);\n"
+      "  int g = get_global_id(0);\n"
+      "  tile[l] = a[g];\n"
+      "  barrier(CLK_LOCAL_MEM_FENCE);\n"
+      "  a[g] = tile[7 - l];\n"
+      "}");
+  std::vector<BufferData> Bufs = {iota(16)};
+  auto R = launchKernel(K, {KernelArg::buffer(0)}, Bufs, config1D(16, 8));
+  ASSERT_TRUE(R.ok()) << R.errorMessage();
+  // Each group of 8 is reversed.
+  EXPECT_DOUBLE_EQ(Bufs[0].Data[0], 7.0);
+  EXPECT_DOUBLE_EQ(Bufs[0].Data[7], 0.0);
+  EXPECT_DOUBLE_EQ(Bufs[0].Data[8], 15.0);
+  EXPECT_DOUBLE_EQ(Bufs[0].Data[15], 8.0);
+}
+
+TEST(InterpreterTest, DriverSizedLocalPointer) {
+  CompiledKernel K = compile(
+      "__kernel void A(__global float* a, __local float* tmp) {\n"
+      "  int l = get_local_id(0);\n"
+      "  tmp[l] = a[get_global_id(0)] * 10.0f;\n"
+      "  barrier(CLK_LOCAL_MEM_FENCE);\n"
+      "  a[get_global_id(0)] = tmp[l];\n"
+      "}");
+  std::vector<BufferData> Bufs = {iota(8)};
+  auto R = launchKernel(K, {KernelArg::buffer(0), KernelArg::localSize(8)},
+                        Bufs, config1D(8, 4));
+  ASSERT_TRUE(R.ok()) << R.errorMessage();
+  EXPECT_DOUBLE_EQ(Bufs[0].Data[5], 50.0);
+}
+
+TEST(InterpreterTest, BarrierDivergenceDetected) {
+  CompiledKernel K = compile(
+      "__kernel void A(__global float* a) {\n"
+      "  int l = get_local_id(0);\n"
+      "  if (l < 2) { barrier(CLK_LOCAL_MEM_FENCE); }\n"
+      "  a[get_global_id(0)] = 1.0f;\n"
+      "}");
+  std::vector<BufferData> Bufs = {iota(4)};
+  auto R = launchKernel(K, {KernelArg::buffer(0)}, Bufs, config1D(4, 4));
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.errorMessage().find("barrier divergence"), std::string::npos);
+}
+
+TEST(InterpreterTest, InstructionBudgetTimeout) {
+  CompiledKernel K = compile(
+      "__kernel void A(__global float* a) {\n"
+      "  while (1) { a[0] += 1.0f; }\n"
+      "}");
+  std::vector<BufferData> Bufs = {iota(1)};
+  LaunchConfig C = config1D(1, 1);
+  C.MaxInstructions = 10000;
+  auto R = launchKernel(K, {KernelArg::buffer(0)}, Bufs, C);
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.errorMessage().find("timeout"), std::string::npos);
+}
+
+TEST(InterpreterTest, AtomicHistogram) {
+  CompiledKernel K = compile(
+      "__kernel void A(__global int* hist, __global int* data) {\n"
+      "  int v = data[get_global_id(0)];\n"
+      "  atomic_add(&hist[v], 1);\n"
+      "}");
+  BufferData Data = BufferData::zeros(8, 1);
+  double Vals[8] = {0, 1, 1, 2, 2, 2, 3, 0};
+  for (int I = 0; I < 8; ++I)
+    Data.Data[I] = Vals[I];
+  std::vector<BufferData> Bufs = {BufferData::zeros(4, 1), Data};
+  auto R = launchKernel(K, {KernelArg::buffer(0), KernelArg::buffer(1)},
+                        Bufs, config1D(8, 4));
+  ASSERT_TRUE(R.ok()) << R.errorMessage();
+  EXPECT_DOUBLE_EQ(Bufs[0].Data[0], 2.0);
+  EXPECT_DOUBLE_EQ(Bufs[0].Data[1], 2.0);
+  EXPECT_DOUBLE_EQ(Bufs[0].Data[2], 3.0);
+  EXPECT_DOUBLE_EQ(Bufs[0].Data[3], 1.0);
+}
+
+TEST(InterpreterTest, VectorTypesAndSwizzles) {
+  CompiledKernel K = compile(
+      "__kernel void A(__global float4* v, __global float* o) {\n"
+      "  int i = get_global_id(0);\n"
+      "  float4 x = v[i];\n"
+      "  x.w = 100.0f;\n"
+      "  v[i] = x * 2.0f;\n"
+      "  o[i] = x.x + x.y + x.z + x.w;\n"
+      "}");
+  BufferData V = BufferData::zeros(2, 4);
+  for (int I = 0; I < 8; ++I)
+    V.Data[I] = I; // Element 0 = (0,1,2,3), element 1 = (4,5,6,7).
+  std::vector<BufferData> Bufs = {V, BufferData::zeros(2, 1)};
+  auto R = launchKernel(K, {KernelArg::buffer(0), KernelArg::buffer(1)},
+                        Bufs, config1D(2, 2));
+  ASSERT_TRUE(R.ok()) << R.errorMessage();
+  EXPECT_DOUBLE_EQ(Bufs[1].Data[0], 0 + 1 + 2 + 100.0);
+  EXPECT_DOUBLE_EQ(Bufs[0].Data[3], 200.0); // (x.w=100) * 2.
+  EXPECT_DOUBLE_EQ(Bufs[0].Data[4], 8.0);
+}
+
+TEST(InterpreterTest, VectorLiteralBroadcastAndBuild) {
+  CompiledKernel K = compile(
+      "__kernel void A(__global float4* o) {\n"
+      "  o[0] = (float4)(1.0f, 2.0f, 3.0f, 4.0f);\n"
+      "  o[1] = (float4)(9.0f);\n"
+      "}");
+  std::vector<BufferData> Bufs = {BufferData::zeros(2, 4)};
+  auto R = launchKernel(K, {KernelArg::buffer(0)}, Bufs, config1D(1, 1));
+  ASSERT_TRUE(R.ok()) << R.errorMessage();
+  EXPECT_DOUBLE_EQ(Bufs[0].Data[1], 2.0);
+  EXPECT_DOUBLE_EQ(Bufs[0].Data[4], 9.0);
+  EXPECT_DOUBLE_EQ(Bufs[0].Data[7], 9.0);
+}
+
+TEST(InterpreterTest, MathBuiltins) {
+  CompiledKernel K = compile(
+      "__kernel void A(__global float* o) {\n"
+      "  o[0] = sqrt(16.0f);\n"
+      "  o[1] = pow(2.0f, 10.0f);\n"
+      "  o[2] = fabs(-3.5f);\n"
+      "  o[3] = fmin(2.0f, 7.0f);\n"
+      "  o[4] = clamp(5.0f, 0.0f, 3.0f);\n"
+      "  o[5] = mad(2.0f, 3.0f, 4.0f);\n"
+      "  o[6] = exp(0.0f);\n"
+      "  o[7] = floor(2.9f);\n"
+      "}");
+  std::vector<BufferData> Bufs = {BufferData::zeros(8, 1)};
+  auto R = launchKernel(K, {KernelArg::buffer(0)}, Bufs, config1D(1, 1));
+  ASSERT_TRUE(R.ok()) << R.errorMessage();
+  EXPECT_DOUBLE_EQ(Bufs[0].Data[0], 4.0);
+  EXPECT_DOUBLE_EQ(Bufs[0].Data[1], 1024.0);
+  EXPECT_DOUBLE_EQ(Bufs[0].Data[2], 3.5);
+  EXPECT_DOUBLE_EQ(Bufs[0].Data[3], 2.0);
+  EXPECT_DOUBLE_EQ(Bufs[0].Data[4], 3.0);
+  EXPECT_DOUBLE_EQ(Bufs[0].Data[5], 10.0);
+  EXPECT_DOUBLE_EQ(Bufs[0].Data[6], 1.0);
+  EXPECT_DOUBLE_EQ(Bufs[0].Data[7], 2.0);
+}
+
+TEST(InterpreterTest, DotAndGeometric) {
+  CompiledKernel K = compile(
+      "__kernel void A(__global float4* v, __global float* o) {\n"
+      "  o[0] = dot(v[0], v[1]);\n"
+      "  o[1] = length(v[0]);\n"
+      "}");
+  BufferData V = BufferData::zeros(2, 4);
+  double Vals[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  for (int I = 0; I < 8; ++I)
+    V.Data[I] = Vals[I];
+  std::vector<BufferData> Bufs = {V, BufferData::zeros(2, 1)};
+  auto R = launchKernel(K, {KernelArg::buffer(0), KernelArg::buffer(1)},
+                        Bufs, config1D(1, 1));
+  ASSERT_TRUE(R.ok()) << R.errorMessage();
+  EXPECT_DOUBLE_EQ(Bufs[1].Data[0], 5.0 + 12.0 + 21.0 + 32.0);
+  EXPECT_NEAR(Bufs[1].Data[1], std::sqrt(30.0), 1e-9);
+}
+
+TEST(InterpreterTest, UserFunctionInlining) {
+  CompiledKernel K = compile(
+      "float square(float x) { return x * x; }\n"
+      "float poly(float x) { return square(x) + 2.0f * x + 1.0f; }\n"
+      "__kernel void A(__global float* a) {\n"
+      "  int i = get_global_id(0);\n"
+      "  a[i] = poly(a[i]);\n"
+      "}");
+  std::vector<BufferData> Bufs = {iota(4)};
+  auto R = launchKernel(K, {KernelArg::buffer(0)}, Bufs, config1D(4, 4));
+  ASSERT_TRUE(R.ok()) << R.errorMessage();
+  for (int I = 0; I < 4; ++I)
+    EXPECT_DOUBLE_EQ(Bufs[0].Data[I], (I + 1.0) * (I + 1.0));
+}
+
+TEST(InterpreterTest, FunctionWithEarlyReturn) {
+  CompiledKernel K = compile(
+      "float relu(float x) { if (x < 0.0f) { return 0.0f; } return x; }\n"
+      "__kernel void A(__global float* a) {\n"
+      "  int i = get_global_id(0);\n"
+      "  a[i] = relu(a[i] - 2.0f);\n"
+      "}");
+  std::vector<BufferData> Bufs = {iota(4)};
+  auto R = launchKernel(K, {KernelArg::buffer(0)}, Bufs, config1D(4, 4));
+  ASSERT_TRUE(R.ok()) << R.errorMessage();
+  EXPECT_DOUBLE_EQ(Bufs[0].Data[0], 0.0);
+  EXPECT_DOUBLE_EQ(Bufs[0].Data[1], 0.0);
+  EXPECT_DOUBLE_EQ(Bufs[0].Data[2], 0.0);
+  EXPECT_DOUBLE_EQ(Bufs[0].Data[3], 1.0);
+}
+
+TEST(InterpreterTest, PointerArithmeticAndDeref) {
+  CompiledKernel K = compile(
+      "__kernel void A(__global float* a, const int n) {\n"
+      "  __global float* p = a + 2;\n"
+      "  p[0] = 50.0f;\n"
+      "  *(a + 1) = 10.0f;\n"
+      "}");
+  std::vector<BufferData> Bufs = {iota(4)};
+  auto R = launchKernel(K, {KernelArg::buffer(0), KernelArg::scalar(4)},
+                        Bufs, config1D(1, 1));
+  ASSERT_TRUE(R.ok()) << R.errorMessage();
+  EXPECT_DOUBLE_EQ(Bufs[0].Data[1], 10.0);
+  EXPECT_DOUBLE_EQ(Bufs[0].Data[2], 50.0);
+}
+
+TEST(InterpreterTest, PrivateArrayAccumulator) {
+  CompiledKernel K = compile(
+      "__kernel void A(__global float* a, const int n) {\n"
+      "  float acc[4];\n"
+      "  for (int i = 0; i < 4; i++) { acc[i] = 0.0f; }\n"
+      "  for (int i = 0; i < n; i++) { acc[i % 4] += a[i]; }\n"
+      "  for (int i = 0; i < 4; i++) { a[i] = acc[i]; }\n"
+      "}");
+  std::vector<BufferData> Bufs = {iota(8)};
+  auto R = launchKernel(K, {KernelArg::buffer(0), KernelArg::scalar(8)},
+                        Bufs, config1D(1, 1));
+  ASSERT_TRUE(R.ok()) << R.errorMessage();
+  EXPECT_DOUBLE_EQ(Bufs[0].Data[0], 0.0 + 4.0);
+  EXPECT_DOUBLE_EQ(Bufs[0].Data[1], 1.0 + 5.0);
+}
+
+TEST(InterpreterTest, VloadVstore) {
+  CompiledKernel K = compile(
+      "__kernel void A(__global float* a) {\n"
+      "  float4 v = vload4(0, a);\n"
+      "  vstore4(v * 3.0f, 1, a);\n"
+      "}");
+  std::vector<BufferData> Bufs = {iota(8)};
+  auto R = launchKernel(K, {KernelArg::buffer(0)}, Bufs, config1D(1, 1));
+  ASSERT_TRUE(R.ok()) << R.errorMessage();
+  EXPECT_DOUBLE_EQ(Bufs[0].Data[4], 0.0);
+  EXPECT_DOUBLE_EQ(Bufs[0].Data[5], 3.0);
+  EXPECT_DOUBLE_EQ(Bufs[0].Data[7], 9.0);
+}
+
+TEST(InterpreterTest, IntegerSemantics) {
+  CompiledKernel K = compile(
+      "__kernel void A(__global int* o) {\n"
+      "  o[0] = 7 / 2;\n"
+      "  o[1] = 7 % 3;\n"
+      "  o[2] = 1 << 4;\n"
+      "  o[3] = 255 & 15;\n"
+      "  o[4] = (int)(char)200;\n" // Wraps to -56.
+      "  o[5] = -7 / 2;\n"         // Truncates toward zero.
+      "}");
+  std::vector<BufferData> Bufs = {BufferData::zeros(6, 1)};
+  auto R = launchKernel(K, {KernelArg::buffer(0)}, Bufs, config1D(1, 1));
+  ASSERT_TRUE(R.ok()) << R.errorMessage();
+  EXPECT_DOUBLE_EQ(Bufs[0].Data[0], 3.0);
+  EXPECT_DOUBLE_EQ(Bufs[0].Data[1], 1.0);
+  EXPECT_DOUBLE_EQ(Bufs[0].Data[2], 16.0);
+  EXPECT_DOUBLE_EQ(Bufs[0].Data[3], 15.0);
+  EXPECT_DOUBLE_EQ(Bufs[0].Data[4], -56.0);
+  EXPECT_DOUBLE_EQ(Bufs[0].Data[5], -3.0);
+}
+
+TEST(InterpreterTest, TernaryAndIncrements) {
+  CompiledKernel K = compile(
+      "__kernel void A(__global int* o, int n) {\n"
+      "  int i = 5;\n"
+      "  o[0] = i++;\n"
+      "  o[1] = i;\n"
+      "  o[2] = ++i;\n"
+      "  o[3] = n > 3 ? 100 : 200;\n"
+      "}");
+  std::vector<BufferData> Bufs = {BufferData::zeros(4, 1)};
+  auto R = launchKernel(K, {KernelArg::buffer(0), KernelArg::scalar(4)},
+                        Bufs, config1D(1, 1));
+  ASSERT_TRUE(R.ok()) << R.errorMessage();
+  EXPECT_DOUBLE_EQ(Bufs[0].Data[0], 5.0);
+  EXPECT_DOUBLE_EQ(Bufs[0].Data[1], 6.0);
+  EXPECT_DOUBLE_EQ(Bufs[0].Data[2], 7.0);
+  EXPECT_DOUBLE_EQ(Bufs[0].Data[3], 100.0);
+}
+
+TEST(InterpreterTest, CountersTrackAccessClasses) {
+  CompiledKernel K = compile(
+      "__kernel void A(__global float* a, __global float* b, int n) {\n"
+      "  int i = get_global_id(0);\n"
+      "  b[i] = a[i] + a[i * 2 % n];\n"
+      "}");
+  std::vector<BufferData> Bufs = {iota(64), BufferData::zeros(32, 1)};
+  auto R = launchKernel(
+      K, {KernelArg::buffer(0), KernelArg::buffer(1), KernelArg::scalar(64)},
+      Bufs, config1D(32, 8));
+  ASSERT_TRUE(R.ok()) << R.errorMessage();
+  const ExecCounters &C = R.get();
+  EXPECT_EQ(C.GlobalLoads, 64u);  // 2 loads x 32 items.
+  EXPECT_EQ(C.GlobalStores, 32u); // 1 store x 32 items.
+  // Coalesced: load a[i] and store b[i]; the strided load is not.
+  EXPECT_EQ(C.CoalescedGlobal, 64u);
+  EXPECT_EQ(C.ItemsTotal, 32u);
+  EXPECT_EQ(C.ItemsExecuted, 32u);
+}
+
+TEST(InterpreterTest, DivergenceMeasured) {
+  // Half the items in each group take the branch: maximal divergence.
+  CompiledKernel K = compile(
+      "__kernel void A(__global float* a) {\n"
+      "  int i = get_global_id(0);\n"
+      "  if (i % 2 == 0) { a[i] = a[i] * 2.0f; } else { a[i] = 0.0f; }\n"
+      "}");
+  std::vector<BufferData> Bufs = {iota(64)};
+  auto R = launchKernel(K, {KernelArg::buffer(0)}, Bufs, config1D(64, 16));
+  ASSERT_TRUE(R.ok()) << R.errorMessage();
+  EXPECT_GT(R.get().Divergence, 0.9);
+
+  CompiledKernel K2 = compile(
+      "__kernel void A(__global float* a, int n) {\n"
+      "  int i = get_global_id(0);\n"
+      "  if (n > 0) { a[i] = 1.0f; }\n"
+      "}");
+  std::vector<BufferData> Bufs2 = {iota(64)};
+  auto R2 = launchKernel(K2, {KernelArg::buffer(0), KernelArg::scalar(5)},
+                         Bufs2, config1D(64, 16));
+  ASSERT_TRUE(R2.ok());
+  EXPECT_LT(R2.get().Divergence, 0.01);
+}
+
+TEST(InterpreterTest, GroupSamplingScalesCounters) {
+  CompiledKernel K = compile(
+      "__kernel void A(__global float* a) {\n"
+      "  int i = get_global_id(0);\n"
+      "  a[i] = a[i] + 1.0f;\n"
+      "}");
+  std::vector<BufferData> Full = {iota(1024)};
+  auto RFull =
+      launchKernel(K, {KernelArg::buffer(0)}, Full, config1D(1024, 32));
+  ASSERT_TRUE(RFull.ok());
+
+  std::vector<BufferData> Sampled = {iota(1024)};
+  LaunchConfig C = config1D(1024, 32);
+  C.MaxWorkGroups = 8; // Of 32 groups.
+  auto RSampled = launchKernel(K, {KernelArg::buffer(0)}, Sampled, C);
+  ASSERT_TRUE(RSampled.ok());
+  // Scaled counters approximate the full run.
+  EXPECT_NEAR(static_cast<double>(RSampled.get().GlobalLoads),
+              static_cast<double>(RFull.get().GlobalLoads), 64.0);
+  EXPECT_EQ(RSampled.get().ItemsExecuted, 256u);
+  EXPECT_EQ(RSampled.get().ItemsTotal, 1024u);
+}
+
+TEST(InterpreterTest, TwoDimensionalNDRange) {
+  CompiledKernel K = compile(
+      "__kernel void A(__global float* m, const int w) {\n"
+      "  int x = get_global_id(0);\n"
+      "  int y = get_global_id(1);\n"
+      "  m[y * w + x] = x * 10 + y;\n"
+      "}");
+  std::vector<BufferData> Bufs = {BufferData::zeros(16, 1)};
+  LaunchConfig C;
+  C.WorkDim = 2;
+  C.GlobalSize[0] = 4;
+  C.GlobalSize[1] = 4;
+  C.LocalSize[0] = 2;
+  C.LocalSize[1] = 2;
+  auto R = launchKernel(K, {KernelArg::buffer(0), KernelArg::scalar(4)},
+                        Bufs, C);
+  ASSERT_TRUE(R.ok()) << R.errorMessage();
+  EXPECT_DOUBLE_EQ(Bufs[0].Data[0], 0.0);
+  EXPECT_DOUBLE_EQ(Bufs[0].Data[4 * 2 + 3], 32.0); // x=3,y=2.
+}
+
+TEST(InterpreterTest, DeterministicAcrossRuns) {
+  CompiledKernel K = compile(
+      "__kernel void A(__global float* a, __global int* c) {\n"
+      "  int i = get_global_id(0);\n"
+      "  atomic_add(&c[0], 1);\n"
+      "  a[i] = sin((float)i) * c[0];\n"
+      "}");
+  std::vector<BufferData> B1 = {iota(32), BufferData::zeros(1, 1)};
+  std::vector<BufferData> B2 = {iota(32), BufferData::zeros(1, 1)};
+  auto R1 = launchKernel(K, {KernelArg::buffer(0), KernelArg::buffer(1)},
+                         B1, config1D(32, 8));
+  auto R2 = launchKernel(K, {KernelArg::buffer(0), KernelArg::buffer(1)},
+                         B2, config1D(32, 8));
+  ASSERT_TRUE(R1.ok());
+  ASSERT_TRUE(R2.ok());
+  EXPECT_EQ(B1[0].Data, B2[0].Data);
+}
+
+TEST(InterpreterTest, ArgumentMismatchReported) {
+  CompiledKernel K = compile(
+      "__kernel void A(__global float* a, int n) { a[0] = n; }");
+  std::vector<BufferData> Bufs = {iota(4)};
+  auto R = launchKernel(K, {KernelArg::buffer(0)}, Bufs, config1D(1, 1));
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.errorMessage().find("arguments"), std::string::npos);
+}
+
+TEST(InterpreterTest, GlobalSizeMustDivide) {
+  CompiledKernel K = compile(
+      "__kernel void A(__global float* a) { a[0] = 1.0f; }");
+  std::vector<BufferData> Bufs = {iota(4)};
+  LaunchConfig C = config1D(10, 4);
+  auto R = launchKernel(K, {KernelArg::buffer(0)}, Bufs, C);
+  ASSERT_FALSE(R.ok());
+}
