@@ -7,8 +7,10 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "clgen/Pipeline.h"
 #include "clgen/Sampler.h"
 #include "features/Features.h"
+#include "githubsim/GithubSim.h"
 #include "model/LstmModel.h"
 #include "model/NGramModel.h"
 #include "ocl/Parser.h"
@@ -27,6 +29,19 @@ const std::string &sampleSource() {
   static const std::string Src = suites::renderPattern(
       suites::PatternKind::NBody, suites::PatternStyle(), "bench_kernel");
   return Src;
+}
+
+/// Shared trained pipeline for the synthesis benchmarks (the standard
+/// experiment configuration; trained once).
+core::ClgenPipeline &benchPipeline() {
+  static core::ClgenPipeline P = [] {
+    githubsim::GithubSimOptions GOpts;
+    GOpts.FileCount = 400;
+    core::PipelineOptions POpts;
+    POpts.NGram.Order = 14;
+    return core::ClgenPipeline::train(githubsim::mineGithub(GOpts), POpts);
+  }();
+  return P;
 }
 
 void BM_ParseAndSema(benchmark::State &State) {
@@ -98,17 +113,62 @@ BENCHMARK(BM_NGramSampleChar);
 void BM_LstmStep(benchmark::State &State) {
   model::LstmOptions Opts;
   Opts.Epochs = 1;
-  Opts.HiddenSize = 64;
+  Opts.HiddenSize = static_cast<int>(State.range(0));
   model::LstmModel Model(Opts);
   Model.train({sampleSource().substr(0, 512)});
   Model.reset();
+  std::vector<double> Dist;
   for (auto _ : State) {
     Model.observe(1);
-    auto Dist = Model.nextDistribution();
+    Model.nextDistributionInto(Dist);
     benchmark::DoNotOptimize(Dist[0]);
   }
 }
-BENCHMARK(BM_LstmStep);
+BENCHMARK(BM_LstmStep)->ArgName("H")->Arg(64)->Arg(128)->Arg(256);
+
+void BM_SampleKernel(benchmark::State &State) {
+  auto &Pipeline = benchPipeline();
+  std::string Seed = core::ArgSpec::figure6().seedText();
+  core::SampleOptions SOpts;
+  SOpts.Temperature = 0.5;
+  Rng Base(0x5A117);
+  uint64_t Attempt = 0;
+  size_t Chars = 0;
+  for (auto _ : State) {
+    Rng R = Base.split(Attempt++);
+    auto S = core::sampleKernel(Pipeline.languageModel(), Seed, SOpts, R);
+    Chars += S ? S->size() : SOpts.MaxLength;
+    benchmark::DoNotOptimize(S.has_value());
+  }
+  State.counters["chars/s"] = benchmark::Counter(
+      static_cast<double>(Chars), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SampleKernel)->Unit(benchmark::kMicrosecond);
+
+void BM_SynthesizeBatch(benchmark::State &State) {
+  auto &Pipeline = benchPipeline();
+  core::SynthesisOptions SOpts;
+  SOpts.TargetKernels = 8;
+  SOpts.MaxAttempts = 4000;
+  SOpts.Sampling.Temperature = 0.5;
+  SOpts.Workers = static_cast<unsigned>(State.range(0));
+  uint64_t Round = 0;
+  size_t Accepted = 0;
+  for (auto _ : State) {
+    SOpts.Seed = 0xC17E9 + Round++; // Fresh batch per iteration.
+    auto R = Pipeline.synthesize(SOpts);
+    Accepted += R.Kernels.size();
+    benchmark::DoNotOptimize(R.Stats.Attempts);
+  }
+  State.counters["kernels/s"] = benchmark::Counter(
+      static_cast<double>(Accepted), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SynthesizeBatch)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 } // namespace
 

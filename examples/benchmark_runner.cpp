@@ -11,7 +11,10 @@
 #include "runtime/HostDriver.h"
 #include "vm/Compiler.h"
 
+#include <chrono>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 using namespace clgen;
 
@@ -92,5 +95,40 @@ int main() {
             "__kernel void broken(__global float* a) {\n"
             "  a[get_global_id(0)] = MISSING_CONSTANT;\n"
             "}\n");
+
+  // Batched measurement: the driver fans a kernel set across a worker
+  // pool (results deterministic and index-aligned regardless of worker
+  // count) — the consumer side of the parallel synthesis engine.
+  std::printf("=== batched measurement (worker pool) ===\n");
+  std::vector<vm::CompiledKernel> Batch;
+  const char *Variants[] = {"a[i] = a[i] * 2.0f;", "a[i] = a[i] + 7.0f;",
+                            "a[i] = a[i] * a[i];", "a[i] = -a[i];"};
+  for (const char *Body : Variants) {
+    std::string Src = "__kernel void v(__global float* a, const int n) {\n"
+                      "  int i = get_global_id(0);\n"
+                      "  if (i < n) { " +
+                      std::string(Body) +
+                      " }\n"
+                      "}\n";
+    Batch.push_back(vm::compileFirstKernel(Src).take());
+  }
+  runtime::DriverOptions BatchOpts;
+  BatchOpts.GlobalSize = 16384;
+  auto T0 = std::chrono::steady_clock::now();
+  auto Results =
+      runtime::runBenchmarkBatch(Batch, runtime::amdPlatform(), BatchOpts);
+  auto T1 = std::chrono::steady_clock::now();
+  for (size_t I = 0; I < Results.size(); ++I) {
+    if (!Results[I].ok()) {
+      std::printf("kernel %zu: %s\n", I, Results[I].errorMessage().c_str());
+      continue;
+    }
+    std::printf("kernel %zu: CPU %.3f ms vs GPU %.3f ms -> %s\n", I,
+                Results[I].get().CpuTime * 1e3,
+                Results[I].get().GpuTime * 1e3,
+                Results[I].get().gpuIsBest() ? "GPU" : "CPU");
+  }
+  std::printf("batch wall time: %.1f ms\n",
+              std::chrono::duration<double, std::milli>(T1 - T0).count());
   return 0;
 }

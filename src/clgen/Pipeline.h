@@ -47,7 +47,9 @@ public:
   static ClgenPipeline train(const std::vector<corpus::ContentFile> &Files,
                              const PipelineOptions &Opts = PipelineOptions());
 
-  /// Synthesizes benchmarks with the trained model.
+  /// Synthesizes benchmarks with the trained model. Set
+  /// SynthesisOptions::Workers to fan candidate sampling out across a
+  /// thread pool; results are bit-identical for every worker count.
   SynthesisResult synthesize(const SynthesisOptions &Opts);
 
   const corpus::Corpus &corpus() const { return TrainingCorpus; }

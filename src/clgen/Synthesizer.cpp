@@ -3,22 +3,71 @@
 // Part of the CLgen reproduction. MIT license.
 //
 //===----------------------------------------------------------------------===//
+//
+// Parallel batched synthesis. Candidate generation (model sampling +
+// rejection filter + normalisation) is a pure function of the candidate's
+// attempt index: attempt i samples from the counter-keyed RNG stream
+// split(i) on a per-worker model clone, so any number of workers computes
+// the same candidate set. The accept stage then walks candidates in
+// attempt order, which pins deduplication and the stop point; output is
+// bit-identical across worker counts, including the serial path.
+//
+//===----------------------------------------------------------------------===//
 
 #include "clgen/Synthesizer.h"
 
 #include "corpus/Rewriter.h"
 #include "ocl/AstPrinter.h"
+#include "support/ThreadPool.h"
 
 #include <unordered_set>
 
 using namespace clgen;
 using namespace clgen::core;
 
+namespace {
+
+/// Outcome of one candidate attempt, produced on a worker.
+struct Candidate {
+  enum class Status { Incomplete, Rejected, Complete };
+  Status S = Status::Incomplete;
+  std::string Normalised;
+  vm::CompiledKernel Kernel;
+};
+
+/// The per-attempt pipeline stage: sample -> filter -> normalise. Pure
+/// given (model parameters, seed text, options, RNG stream); runs
+/// concurrently on per-worker model clones.
+Candidate produceCandidate(model::LanguageModel &Model,
+                           const std::string &Seed,
+                           const SampleOptions &Sampling,
+                           const corpus::FilterOptions &FilterOpts, Rng R) {
+  Candidate C;
+  std::optional<std::string> Sample = sampleKernel(Model, Seed, Sampling, R);
+  if (!Sample)
+    return C;
+  corpus::FilterResult FR = corpus::filterContentFile(*Sample, FilterOpts);
+  if (!FR.Accepted) {
+    C.S = Candidate::Status::Rejected;
+    return C;
+  }
+  // Normalise (the sample is near-normal already, but renaming +
+  // canonical printing makes deduplication exact) and keep the first
+  // kernel.
+  corpus::renameIdentifiers(*FR.Prog);
+  C.Normalised = ocl::printProgram(*FR.Prog);
+  C.Kernel = std::move(FR.Kernels.front());
+  C.S = Candidate::Status::Complete;
+  return C;
+}
+
+} // namespace
+
 SynthesisResult core::synthesizeKernels(model::LanguageModel &Model,
                                         const SynthesisOptions &Opts) {
   SynthesisResult Result;
   SynthesisStats &Stats = Result.Stats;
-  Rng R(Opts.Seed);
+  Rng Base(Opts.Seed);
 
   std::string Seed =
       Opts.Spec ? Opts.Spec->seedText() : freeModeSeed();
@@ -32,37 +81,80 @@ SynthesisResult core::synthesizeKernels(model::LanguageModel &Model,
 
   std::unordered_set<std::string> Dedup;
 
-  while (Result.Kernels.size() < Opts.TargetKernels &&
-         Stats.Attempts < MaxAttempts) {
+  // In-order accept stage; returns false once the target is reached.
+  auto Consume = [&](Candidate &C) {
     ++Stats.Attempts;
-    std::optional<std::string> Sample =
-        sampleKernel(Model, Seed, Opts.Sampling, R);
-    if (!Sample) {
+    switch (C.S) {
+    case Candidate::Status::Incomplete:
       ++Stats.IncompleteSamples;
-      continue;
-    }
-
-    corpus::FilterResult FR = corpus::filterContentFile(*Sample, FilterOpts);
-    if (!FR.Accepted) {
+      return true;
+    case Candidate::Status::Rejected:
       ++Stats.RejectedByFilter;
-      continue;
+      return true;
+    case Candidate::Status::Complete:
+      break;
     }
-
-    // Normalise (the sample is near-normal already, but renaming +
-    // canonical printing makes deduplication exact) and keep the first
-    // kernel.
-    corpus::renameIdentifiers(*FR.Prog);
-    std::string Normalised = ocl::printProgram(*FR.Prog);
-    if (!Dedup.insert(Normalised).second) {
+    if (!Dedup.insert(C.Normalised).second) {
       ++Stats.Duplicates;
-      continue;
+      return true;
     }
-
     SynthesizedKernel SK;
-    SK.Source = std::move(Normalised);
-    SK.Kernel = std::move(FR.Kernels.front());
+    SK.Source = std::move(C.Normalised);
+    SK.Kernel = std::move(C.Kernel);
     Result.Kernels.push_back(std::move(SK));
     ++Stats.Accepted;
+    return Result.Kernels.size() < Opts.TargetKernels;
+  };
+
+  size_t Workers = ThreadPool::resolveWorkerCount(Opts.Workers);
+
+  // Per-worker model clones keep stateful generation thread-private.
+  std::vector<std::unique_ptr<model::LanguageModel>> Clones;
+  if (Workers > 1) {
+    for (size_t W = 0; W < Workers; ++W) {
+      std::unique_ptr<model::LanguageModel> C = Model.clone();
+      if (!C) {
+        Clones.clear();
+        Workers = 1; // Model not cloneable: fall back to serial.
+        break;
+      }
+      Clones.push_back(std::move(C));
+    }
+  }
+
+  if (Workers == 1) {
+    for (size_t Attempt = 0;
+         Result.Kernels.size() < Opts.TargetKernels &&
+         Attempt < MaxAttempts;
+         ++Attempt) {
+      Candidate C = produceCandidate(Model, Seed, Opts.Sampling, FilterOpts,
+                                     Base.split(Attempt));
+      if (!Consume(C))
+        break;
+    }
+    return Result;
+  }
+
+  ThreadPool Pool(Workers);
+  size_t WaveSize =
+      Opts.WaveSize > 0 ? Opts.WaveSize : std::max<size_t>(Workers * 4, 16);
+  std::vector<Candidate> Wave;
+
+  size_t NextAttempt = 0;
+  bool Done = Result.Kernels.size() >= Opts.TargetKernels;
+  while (!Done && NextAttempt < MaxAttempts) {
+    size_t Count = std::min(WaveSize, MaxAttempts - NextAttempt);
+    Wave.clear();
+    Wave.resize(Count);
+    Pool.parallelFor(0, Count, [&](size_t Worker, size_t I) {
+      Wave[I] = produceCandidate(*Clones[Worker], Seed, Opts.Sampling,
+                                 FilterOpts, Base.split(NextAttempt + I));
+    });
+    // Candidates past the stop point are speculative surplus: dropped
+    // without touching the stats, exactly as if they were never sampled.
+    for (size_t I = 0; I < Count && !Done; ++I)
+      Done = !Consume(Wave[I]);
+    NextAttempt += Count;
   }
   return Result;
 }

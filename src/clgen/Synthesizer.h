@@ -35,6 +35,18 @@ struct SynthesisOptions {
   std::optional<ArgSpec> Spec = ArgSpec::figure6();
   SampleOptions Sampling;
   uint64_t Seed = 0xC17E9;
+  /// Worker threads sampling + filtering candidates (1 = serial in the
+  /// calling thread, 0 = hardware concurrency). Results are bit-identical
+  /// for every worker count: each candidate attempt draws from its own
+  /// counter-keyed RNG stream (Rng::split of the attempt index) and the
+  /// accept/dedupe stage consumes candidates in attempt order, so
+  /// scheduling can never reorder outputs. Requires the model to support
+  /// clone(); models that do not are sampled serially.
+  unsigned Workers = 1;
+  /// Candidate attempts dispatched per parallel wave (0 = auto). Larger
+  /// waves amortise fan-out overhead but speculate further past the
+  /// target; speculative surplus is discarded, never counted.
+  size_t WaveSize = 0;
 };
 
 struct SynthesizedKernel {

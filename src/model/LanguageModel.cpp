@@ -13,6 +13,10 @@ using namespace clgen::model;
 
 LanguageModel::~LanguageModel() = default;
 
+void LanguageModel::nextDistributionInto(std::vector<double> &Dist) {
+  Dist = nextDistribution();
+}
+
 void LanguageModel::observeText(const std::string &Text) {
   const Vocabulary &V = vocabulary();
   for (char C : Text)

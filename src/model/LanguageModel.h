@@ -41,6 +41,19 @@ public:
   /// to 1 and has vocabulary().size() entries.
   virtual std::vector<double> nextDistribution() = 0;
 
+  /// Allocation-free variant for sampling hot loops: writes the next
+  /// distribution into \p Dist (resized to vocabulary().size()).
+  /// Subclasses override this to avoid building a fresh vector per
+  /// token; the default delegates to nextDistribution().
+  virtual void nextDistributionInto(std::vector<double> &Dist);
+
+  /// Returns an independent deep copy carrying the trained parameters
+  /// (generation state need not be preserved). Parallel samplers give
+  /// each worker its own clone so stateful generation never shares
+  /// mutable state across threads. Returns nullptr when the model is not
+  /// cloneable, in which case callers must fall back to serial sampling.
+  virtual std::unique_ptr<LanguageModel> clone() const { return nullptr; }
+
   /// Convenience: feed a whole string.
   void observeText(const std::string &Text);
 

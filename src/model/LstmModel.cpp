@@ -3,6 +3,21 @@
 // Part of the CLgen reproduction. MIT license.
 //
 //===----------------------------------------------------------------------===//
+//
+// Matrix kernels. Weights are stored input-major (see LstmModel.h), so
+// all four primitive operations used by the forward AND backward pass
+// walk contiguous memory in their inner loop:
+//
+//   forward gates   : gemvTAcc  (A[4H]  += sum_i x[i] * WT[i][4H])
+//   forward logits  : gemvAcc   (y[r]   += dot(W[r][C], x))
+//   backward dH     : gemvAcc   (dH[i]  += dot(WT[i][4H], dA))
+//   weight gradients: outerAccRows (G[i][4H] += x[i] * dA[4H])
+//
+// Rows are blocked 2-4 at a time so loads of the shared operand are
+// reused from registers, and every pointer is __restrict-qualified so
+// the compiler can vectorize without aliasing checks.
+//
+//===----------------------------------------------------------------------===//
 
 #include "model/LstmModel.h"
 
@@ -16,45 +31,75 @@ namespace {
 
 float sigmoidf(float X) { return 1.0f / (1.0f + std::exp(-X)); }
 
-/// y += W[Rows x Cols] * x.
-void matVecAcc(const std::vector<float> &W, const float *X, int Rows,
-               int Cols, float *Y) {
-  for (int R = 0; R < Rows; ++R) {
-    const float *Row = W.data() + static_cast<size_t>(R) * Cols;
-    float Sum = 0.0f;
-    for (int C = 0; C < Cols; ++C)
-      Sum += Row[C] * X[C];
-    Y[R] += Sum;
-  }
+/// y[0..N) += a * x[0..N).
+inline void axpy(float A, const float *__restrict X, float *__restrict Y,
+                 int N) {
+  for (int I = 0; I < N; ++I)
+    Y[I] += A * X[I];
 }
 
-/// y += W^T * x, where W is [Rows x Cols] and x has Rows entries.
-void matTVecAcc(const std::vector<float> &W, const float *X, int Rows,
-                int Cols, float *Y) {
-  for (int R = 0; R < Rows; ++R) {
-    const float *Row = W.data() + static_cast<size_t>(R) * Cols;
-    float XR = X[R];
-    if (XR == 0.0f)
-      continue;
-    for (int C = 0; C < Cols; ++C)
-      Y[C] += Row[C] * XR;
-  }
+/// dot(a, b) over N contiguous floats.
+inline float dotRow(const float *__restrict A, const float *__restrict B,
+                    int N) {
+  float Sum = 0.0f;
+  for (int I = 0; I < N; ++I)
+    Sum += A[I] * B[I];
+  return Sum;
 }
 
-/// dW += outer(dy, x) for W [Rows x Cols].
-void outerAcc(std::vector<float> &DW, const float *DY, const float *X,
-              int Rows, int Cols) {
-  for (int R = 0; R < Rows; ++R) {
-    float D = DY[R];
-    if (D == 0.0f)
-      continue;
-    float *Row = DW.data() + static_cast<size_t>(R) * Cols;
-    for (int C = 0; C < Cols; ++C)
-      Row[C] += D * X[C];
+/// y[r] += dot(W row r, x) for W[Rows x Cols]; rows blocked in pairs so
+/// each load of x serves two accumulators.
+void gemvAcc(const float *__restrict W, const float *__restrict X, int Rows,
+             int Cols, float *__restrict Y) {
+  int R = 0;
+  for (; R + 2 <= Rows; R += 2) {
+    const float *__restrict W0 = W + static_cast<size_t>(R) * Cols;
+    const float *__restrict W1 = W0 + Cols;
+    float S0 = 0.0f, S1 = 0.0f;
+    for (int C = 0; C < Cols; ++C) {
+      S0 += W0[C] * X[C];
+      S1 += W1[C] * X[C];
+    }
+    Y[R] += S0;
+    Y[R + 1] += S1;
   }
+  if (R < Rows)
+    Y[R] += dotRow(W + static_cast<size_t>(R) * Cols, X, Cols);
+}
+
+/// y[0..Cols) += sum_r x[r] * W[r][0..Cols) for W[Rows x Cols]; rows
+/// blocked in fours so y stays in registers/cache across the fused
+/// updates, with a skip for all-zero coefficient quads.
+void gemvTAcc(const float *__restrict W, const float *__restrict X, int Rows,
+              int Cols, float *__restrict Y) {
+  int R = 0;
+  for (; R + 4 <= Rows; R += 4) {
+    float X0 = X[R], X1 = X[R + 1], X2 = X[R + 2], X3 = X[R + 3];
+    if (X0 == 0.0f && X1 == 0.0f && X2 == 0.0f && X3 == 0.0f)
+      continue;
+    const float *__restrict W0 = W + static_cast<size_t>(R) * Cols;
+    const float *__restrict W1 = W0 + Cols;
+    const float *__restrict W2 = W1 + Cols;
+    const float *__restrict W3 = W2 + Cols;
+    for (int C = 0; C < Cols; ++C)
+      Y[C] += X0 * W0[C] + X1 * W1[C] + X2 * W2[C] + X3 * W3[C];
+  }
+  for (; R < Rows; ++R)
+    if (X[R] != 0.0f)
+      axpy(X[R], W + static_cast<size_t>(R) * Cols, Y, Cols);
+}
+
+/// G[r][0..Cols) += x[r] * d[0..Cols) for G[Rows x Cols].
+void outerAccRows(float *__restrict G, const float *__restrict X,
+                  const float *__restrict D, int Rows, int Cols) {
+  for (int R = 0; R < Rows; ++R)
+    if (X[R] != 0.0f)
+      axpy(X[R], D, G + static_cast<size_t>(R) * Cols, Cols);
 }
 
 void softmaxInPlace(std::vector<float> &Logits) {
+  if (Logits.empty())
+    return;
   float Max = Logits[0];
   for (float L : Logits)
     Max = std::max(Max, L);
@@ -69,15 +114,15 @@ void softmaxInPlace(std::vector<float> &Logits) {
 
 } // namespace
 
-/// Per-chunk forward cache for BPTT.
+/// Per-chunk forward cache for BPTT. Layer inputs are not stored
+/// separately: the input of layer L at step t IS H[t][L-1].
 struct LstmModel::Tape {
   // Indexed [t][layer].
-  std::vector<std::vector<std::vector<float>>> Gates; // 4H pre-activations
-                                                      // post-nonlinearity:
+  std::vector<std::vector<std::vector<float>>> Gates; // 4H post-nonlinearity
+                                                      // gate activations:
                                                       // [i f g o].
   std::vector<std::vector<std::vector<float>>> C;     // Cell states.
   std::vector<std::vector<std::vector<float>>> H;     // Hidden states.
-  std::vector<std::vector<std::vector<float>>> X;     // Layer inputs.
   std::vector<std::vector<float>> Probs;              // Softmax outputs.
   std::vector<int> Inputs;                            // Token ids per step.
 };
@@ -92,13 +137,19 @@ void LstmModel::initParameters() {
     Layers[L].In = In;
     float ScaleX = 1.0f / std::sqrt(static_cast<float>(In));
     float ScaleH = 1.0f / std::sqrt(static_cast<float>(H));
-    Layers[L].Wx.assign(static_cast<size_t>(4 * H) * In, 0.0f);
-    Layers[L].Wh.assign(static_cast<size_t>(4 * H) * H, 0.0f);
+    Layers[L].WxT.assign(static_cast<size_t>(In) * 4 * H, 0.0f);
+    Layers[L].WhT.assign(static_cast<size_t>(H) * 4 * H, 0.0f);
     Layers[L].B.assign(4 * H, 0.0f);
-    for (float &W : Layers[L].Wx)
-      W = static_cast<float>(R.gaussian(0.0, ScaleX));
-    for (float &W : Layers[L].Wh)
-      W = static_cast<float>(R.gaussian(0.0, ScaleH));
+    // Draw in gate-major order (the logical W[4H x In] layout) so a given
+    // seed produces the same model as before the transposed storage.
+    for (int G = 0; G < 4 * H; ++G)
+      for (int I = 0; I < In; ++I)
+        Layers[L].WxT[static_cast<size_t>(I) * 4 * H + G] =
+            static_cast<float>(R.gaussian(0.0, ScaleX));
+    for (int G = 0; G < 4 * H; ++G)
+      for (int I = 0; I < H; ++I)
+        Layers[L].WhT[static_cast<size_t>(I) * 4 * H + G] =
+            static_cast<float>(R.gaussian(0.0, ScaleH));
     // Forget-gate bias starts positive (standard trick for gradient
     // flow).
     for (int I = H; I < 2 * H; ++I)
@@ -114,8 +165,12 @@ void LstmModel::initParameters() {
 size_t LstmModel::parameterCount() const {
   size_t N = Wy.size() + By.size();
   for (const Layer &L : Layers)
-    N += L.Wx.size() + L.Wh.size() + L.B.size();
+    N += L.WxT.size() + L.WhT.size() + L.B.size();
   return N;
+}
+
+std::unique_ptr<LanguageModel> LstmModel::clone() const {
+  return std::make_unique<LstmModel>(*this);
 }
 
 void LstmModel::reset() {
@@ -129,38 +184,37 @@ void LstmModel::stepState(int TokenId,
                           std::vector<std::vector<float>> &CState,
                           std::vector<float> *LogitsOut) {
   int H = Opts.HiddenSize;
-  std::vector<float> Input;
+  std::vector<float> &A = ScratchA;
   for (int L = 0; L < Opts.Layers; ++L) {
     Layer &Lay = Layers[L];
-    std::vector<float> A(4 * H, 0.0f);
-    for (int I = 0; I < 4 * H; ++I)
-      A[I] = Lay.B[I];
+    A.assign(Lay.B.begin(), Lay.B.end());
     if (L == 0) {
-      // One-hot input: add column TokenId of Wx.
-      for (int RIdx = 0; RIdx < 4 * H; ++RIdx)
-        A[RIdx] += Lay.Wx[static_cast<size_t>(RIdx) * Lay.In + TokenId];
+      // One-hot input: the embedding row of WxT, contiguous.
+      axpy(1.0f, Lay.WxT.data() + static_cast<size_t>(TokenId) * 4 * H,
+           A.data(), 4 * H);
     } else {
-      matVecAcc(Lay.Wx, Input.data(), 4 * H, Lay.In, A.data());
+      gemvTAcc(Lay.WxT.data(), HState[L - 1].data(), Lay.In, 4 * H,
+               A.data());
     }
-    matVecAcc(Lay.Wh, HState[L].data(), 4 * H, H, A.data());
-    std::vector<float> NewH(H), NewC(H);
+    gemvTAcc(Lay.WhT.data(), HState[L].data(), H, 4 * H, A.data());
+    // In-place state update: each element of C/H depends only on its own
+    // previous value, which is read before being overwritten.
+    float *__restrict CL = CState[L].data();
+    float *__restrict HL = HState[L].data();
+    const float *__restrict AP = A.data();
     for (int I = 0; I < H; ++I) {
-      float Gi = sigmoidf(A[I]);
-      float Gf = sigmoidf(A[H + I]);
-      float Gg = std::tanh(A[2 * H + I]);
-      float Go = sigmoidf(A[3 * H + I]);
-      NewC[I] = Gi * Gg + Gf * CState[L][I];
-      NewH[I] = Go * std::tanh(NewC[I]);
+      float Gi = sigmoidf(AP[I]);
+      float Gf = sigmoidf(AP[H + I]);
+      float Gg = std::tanh(AP[2 * H + I]);
+      float Go = sigmoidf(AP[3 * H + I]);
+      CL[I] = Gi * Gg + Gf * CL[I];
+      HL[I] = Go * std::tanh(CL[I]);
     }
-    CState[L] = NewC;
-    HState[L] = NewH;
-    Input = NewH;
   }
   if (LogitsOut) {
-    LogitsOut->assign(V, 0.0f);
-    for (int I = 0; I < V; ++I)
-      (*LogitsOut)[I] = By[I];
-    matVecAcc(Wy, HState[Opts.Layers - 1].data(), V, H, LogitsOut->data());
+    LogitsOut->assign(By.begin(), By.end());
+    gemvAcc(Wy.data(), HState[Opts.Layers - 1].data(), V, H,
+            LogitsOut->data());
   }
 }
 
@@ -171,18 +225,22 @@ void LstmModel::observe(int TokenId) {
 }
 
 std::vector<double> LstmModel::nextDistribution() {
+  std::vector<double> Dist;
+  nextDistributionInto(Dist);
+  return Dist;
+}
+
+void LstmModel::nextDistributionInto(std::vector<double> &Dist) {
   if (StateH.empty())
     reset();
   int H = Opts.HiddenSize;
-  std::vector<float> Logits(V, 0.0f);
-  for (int I = 0; I < V; ++I)
-    Logits[I] = By[I];
-  matVecAcc(Wy, StateH[Opts.Layers - 1].data(), V, H, Logits.data());
+  std::vector<float> &Logits = ScratchLogits;
+  Logits.assign(By.begin(), By.end());
+  gemvAcc(Wy.data(), StateH[Opts.Layers - 1].data(), V, H, Logits.data());
   softmaxInPlace(Logits);
-  std::vector<double> Dist(V);
+  Dist.resize(V);
   for (int I = 0; I < V; ++I)
     Dist[I] = Logits[I];
-  return Dist;
 }
 
 double LstmModel::trainChunk(const std::vector<int> &Tokens, size_t Begin,
@@ -199,12 +257,12 @@ double LstmModel::trainChunk(const std::vector<int> &Tokens, size_t Begin,
   Tp.Gates.resize(T);
   Tp.C.resize(T);
   Tp.H.resize(T);
-  Tp.X.resize(T);
   Tp.Probs.resize(T);
   Tp.Inputs.resize(T);
 
   std::vector<std::vector<float>> HPrev = HState, CPrev = CState;
   double LossBits = 0.0;
+  std::vector<float> A(4 * H);
 
   // ---- Forward ----
   for (int Step = 0; Step < T; ++Step) {
@@ -214,45 +272,45 @@ double LstmModel::trainChunk(const std::vector<int> &Tokens, size_t Begin,
     Tp.Gates[Step].resize(Opts.Layers);
     Tp.C[Step].resize(Opts.Layers);
     Tp.H[Step].resize(Opts.Layers);
-    Tp.X[Step].resize(Opts.Layers);
 
-    std::vector<float> Input;
     for (int L = 0; L < Opts.Layers; ++L) {
       Layer &Lay = Layers[L];
-      std::vector<float> A(Lay.B);
+      A.assign(Lay.B.begin(), Lay.B.end());
       if (L == 0) {
-        for (int RIdx = 0; RIdx < 4 * H; ++RIdx)
-          A[RIdx] += Lay.Wx[static_cast<size_t>(RIdx) * Lay.In + TokenId];
+        axpy(1.0f, Lay.WxT.data() + static_cast<size_t>(TokenId) * 4 * H,
+             A.data(), 4 * H);
       } else {
-        Tp.X[Step][L] = Input;
-        matVecAcc(Lay.Wx, Input.data(), 4 * H, Lay.In, A.data());
+        gemvTAcc(Lay.WxT.data(), Tp.H[Step][L - 1].data(), Lay.In, 4 * H,
+                 A.data());
       }
       const std::vector<float> &HIn =
           Step == 0 ? HPrev[L] : Tp.H[Step - 1][L];
       const std::vector<float> &CIn =
           Step == 0 ? CPrev[L] : Tp.C[Step - 1][L];
-      matVecAcc(Lay.Wh, HIn.data(), 4 * H, H, A.data());
+      gemvTAcc(Lay.WhT.data(), HIn.data(), H, 4 * H, A.data());
       std::vector<float> Gate(4 * H), NewC(H), NewH(H);
+      const float *__restrict AP = A.data();
+      const float *__restrict CP = CIn.data();
       for (int I = 0; I < H; ++I) {
-        float Gi = sigmoidf(A[I]);
-        float Gf = sigmoidf(A[H + I]);
-        float Gg = std::tanh(A[2 * H + I]);
-        float Go = sigmoidf(A[3 * H + I]);
+        float Gi = sigmoidf(AP[I]);
+        float Gf = sigmoidf(AP[H + I]);
+        float Gg = std::tanh(AP[2 * H + I]);
+        float Go = sigmoidf(AP[3 * H + I]);
         Gate[I] = Gi;
         Gate[H + I] = Gf;
         Gate[2 * H + I] = Gg;
         Gate[3 * H + I] = Go;
-        NewC[I] = Gi * Gg + Gf * CIn[I];
+        NewC[I] = Gi * Gg + Gf * CP[I];
         NewH[I] = Go * std::tanh(NewC[I]);
       }
       Tp.Gates[Step][L] = std::move(Gate);
       Tp.C[Step][L] = std::move(NewC);
-      Tp.H[Step][L] = NewH;
-      Input = std::move(NewH);
+      Tp.H[Step][L] = std::move(NewH);
     }
 
     std::vector<float> Logits(By);
-    matVecAcc(Wy, Tp.H[Step][Opts.Layers - 1].data(), V, H, Logits.data());
+    gemvAcc(Wy.data(), Tp.H[Step][Opts.Layers - 1].data(), V, H,
+            Logits.data());
     softmaxInPlace(Logits);
     LossBits += -std::log2(std::max(Logits[Target], 1e-12f));
     Tp.Probs[Step] = std::move(Logits);
@@ -262,8 +320,8 @@ double LstmModel::trainChunk(const std::vector<int> &Tokens, size_t Begin,
   std::vector<Layer> Grads(Opts.Layers);
   for (int L = 0; L < Opts.Layers; ++L) {
     Grads[L].In = Layers[L].In;
-    Grads[L].Wx.assign(Layers[L].Wx.size(), 0.0f);
-    Grads[L].Wh.assign(Layers[L].Wh.size(), 0.0f);
+    Grads[L].WxT.assign(Layers[L].WxT.size(), 0.0f);
+    Grads[L].WhT.assign(Layers[L].WhT.size(), 0.0f);
     Grads[L].B.assign(Layers[L].B.size(), 0.0f);
   }
   std::vector<float> GWy(Wy.size(), 0.0f), GBy(By.size(), 0.0f);
@@ -273,6 +331,7 @@ double LstmModel::trainChunk(const std::vector<int> &Tokens, size_t Begin,
                                      std::vector<float>(H, 0.0f));
   std::vector<std::vector<float>> DC(Opts.Layers,
                                      std::vector<float>(H, 0.0f));
+  std::vector<float> DA(4 * H), DHPrev(H);
 
   for (int Step = T - 1; Step >= 0; --Step) {
     int Target = Tokens[Begin + Step + 1];
@@ -281,10 +340,12 @@ double LstmModel::trainChunk(const std::vector<int> &Tokens, size_t Begin,
     std::vector<float> DY = Tp.Probs[Step];
     DY[Target] -= 1.0f;
 
-    outerAcc(GWy, DY.data(), Tp.H[Step][Opts.Layers - 1].data(), V, H);
+    outerAccRows(GWy.data(), DY.data(), Tp.H[Step][Opts.Layers - 1].data(),
+                 V, H);
     for (int I = 0; I < V; ++I)
       GBy[I] += DY[I];
-    matTVecAcc(Wy, DY.data(), V, H, DH[Opts.Layers - 1].data());
+    // dH_last += Wy^T * dy: fused column accumulation over Wy's rows.
+    gemvTAcc(Wy.data(), DY.data(), V, H, DH[Opts.Layers - 1].data());
 
     for (int L = Opts.Layers - 1; L >= 0; --L) {
       const std::vector<float> &Gate = Tp.Gates[Step][L];
@@ -294,7 +355,6 @@ double LstmModel::trainChunk(const std::vector<int> &Tokens, size_t Begin,
       const std::vector<float> &HIn =
           Step == 0 ? HPrev[L] : Tp.H[Step - 1][L];
 
-      std::vector<float> DA(4 * H, 0.0f);
       for (int I = 0; I < H; ++I) {
         float Gi = Gate[I], Gf = Gate[H + I], Gg = Gate[2 * H + I],
               Go = Gate[3 * H + I];
@@ -312,29 +372,35 @@ double LstmModel::trainChunk(const std::vector<int> &Tokens, size_t Begin,
         DC[L][I] = DCI * Gf; // To t-1.
       }
 
-      // Parameter gradients.
+      // Parameter gradients (all contiguous row updates).
       if (L == 0) {
         int TokenId = Tp.Inputs[Step];
-        for (int RIdx = 0; RIdx < 4 * H; ++RIdx)
-          Grads[L].Wx[static_cast<size_t>(RIdx) * Layers[L].In + TokenId] +=
-              DA[RIdx];
+        axpy(1.0f, DA.data(),
+             Grads[L].WxT.data() + static_cast<size_t>(TokenId) * 4 * H,
+             4 * H);
       } else {
-        outerAcc(Grads[L].Wx, DA.data(), Tp.X[Step][L].data(), 4 * H,
-                 Layers[L].In);
+        outerAccRows(Grads[L].WxT.data(), Tp.H[Step][L - 1].data(),
+                     DA.data(), Layers[L].In, 4 * H);
       }
-      outerAcc(Grads[L].Wh, DA.data(), HIn.data(), 4 * H, H);
+      outerAccRows(Grads[L].WhT.data(), HIn.data(), DA.data(), H, 4 * H);
       for (int I = 0; I < 4 * H; ++I)
         Grads[L].B[I] += DA[I];
 
-      // Propagate to h at t-1 (same layer) and to the layer below.
-      std::vector<float> DHPrev(H, 0.0f);
-      matTVecAcc(Layers[L].Wh, DA.data(), 4 * H, H, DHPrev.data());
-      DH[L] = std::move(DHPrev);
-      if (L > 0) {
-        matTVecAcc(Layers[L].Wx, DA.data(), 4 * H, Layers[L].In,
-                   DH[L - 1].data());
-      }
+      // Propagate to h at t-1 (same layer) and to the layer below; with
+      // the input-major layout both are contiguous row dot products.
+      std::fill(DHPrev.begin(), DHPrev.end(), 0.0f);
+      gemvAcc(Layers[L].WhT.data(), DA.data(), H, 4 * H, DHPrev.data());
+      DH[L] = DHPrev;
+      if (L > 0)
+        gemvAcc(Layers[L].WxT.data(), DA.data(), Layers[L].In, 4 * H,
+                DH[L - 1].data());
     }
+  }
+
+  if (CaptureGrads) {
+    CapturedLayerGrads = Grads;
+    CapturedGWy = GWy;
+    CapturedGBy = GBy;
   }
 
   // ---- Clip and apply ----
@@ -344,8 +410,8 @@ double LstmModel::trainChunk(const std::vector<int> &Tokens, size_t Begin,
       Norm2 += static_cast<double>(X) * X;
   };
   for (const Layer &G : Grads) {
-    AccumNorm(G.Wx);
-    AccumNorm(G.Wh);
+    AccumNorm(G.WxT);
+    AccumNorm(G.WhT);
     AccumNorm(G.B);
   }
   AccumNorm(GWy);
@@ -361,8 +427,8 @@ double LstmModel::trainChunk(const std::vector<int> &Tokens, size_t Begin,
       W[I] -= Step * G[I];
   };
   for (int L = 0; L < Opts.Layers; ++L) {
-    Apply(Layers[L].Wx, Grads[L].Wx);
-    Apply(Layers[L].Wh, Grads[L].Wh);
+    Apply(Layers[L].WxT, Grads[L].WxT);
+    Apply(Layers[L].WhT, Grads[L].WhT);
     Apply(Layers[L].B, Grads[L].B);
   }
   Apply(Wy, GWy);
@@ -423,8 +489,8 @@ double LstmModel::sequenceLoss(const std::vector<int> &Tokens) {
       Opts.Layers, std::vector<float>(Opts.HiddenSize, 0.0f));
   std::vector<std::vector<float>> CState = HState;
   double Bits = 0.0;
+  std::vector<float> Logits;
   for (size_t Step = 0; Step + 1 < Tokens.size(); ++Step) {
-    std::vector<float> Logits;
     stepState(Tokens[Step], HState, CState, &Logits);
     softmaxInPlace(Logits);
     Bits += -std::log2(std::max(Logits[Tokens[Step + 1]], 1e-12f));
@@ -435,43 +501,23 @@ double LstmModel::sequenceLoss(const std::vector<int> &Tokens) {
 double LstmModel::gradientCheck(const std::vector<int> &Tokens,
                                 int SampleCount) {
   assert(V > 0 && "train or init before gradientCheck");
-  // Analytic gradients via a zero-lr "training" pass would mutate
-  // parameters; instead, compute them by running trainChunk with Lr==0 is
-  // not possible (it applies updates scaled by Lr, which is 0 -> no
-  // mutation). Exploit that: run with Lr = 0 to fill nothing... we need
-  // the raw gradients. Simplest robust approach: finite differences of
-  // sequenceLoss against an analytic directional derivative obtained from
-  // a tiny SGD step.
-  //
-  // Procedure per sampled parameter p:
-  //   g_analytic ~= (loss(p) - loss(p - lr*g)) / (lr*g)  is circular, so
-  // we instead verify that a small SGD step decreases the loss in
-  // proportion to ||g||^2, and check central differences directly on a
-  // few parameters by brute force.
+  // Capture the raw analytic gradients from a zero-lr BPTT pass (no
+  // parameter mutation), then compare against central differences of
+  // sequenceLoss on a random parameter sample.
   double MaxRelError = 0.0;
   Rng R(123);
   const float Eps = 1e-2f;
 
-  // Brute-force central differences on sampled parameters, against the
-  // analytic gradient recovered from a single unit-lr update on a copy.
-  // Save parameters.
-  auto SavedLayers = Layers;
-  auto SavedWy = Wy;
-  auto SavedBy = By;
-
-  // Recover analytic gradient: apply one step with Lr = 1, no clipping.
-  float SavedClip = Opts.GradClip;
-  Opts.GradClip = 1e30f;
+  CaptureGrads = true;
   std::vector<std::vector<float>> HState(
       Opts.Layers, std::vector<float>(Opts.HiddenSize, 0.0f));
   std::vector<std::vector<float>> CState = HState;
   int T = static_cast<int>(Tokens.size()) - 1;
-  trainChunk(Tokens, 0, Tokens.size(), HState, CState, 1.0f);
-  Opts.GradClip = SavedClip;
+  trainChunk(Tokens, 0, Tokens.size(), HState, CState, 0.0f);
+  CaptureGrads = false;
 
-  // gradient = (old - new) * T   (trainChunk divides by T).
   struct Sample {
-    int Kind; // 0 Wx, 1 Wh, 2 B, 3 Wy, 4 By.
+    int Kind; // 0 WxT, 1 WhT, 2 B, 3 Wy, 4 By.
     int LayerIdx;
     size_t Offset;
     double Analytic;
@@ -481,33 +527,29 @@ double LstmModel::gradientCheck(const std::vector<int> &Tokens,
     Sample S;
     S.Kind = static_cast<int>(R.bounded(5));
     S.LayerIdx = static_cast<int>(R.bounded(Layers.size()));
-    auto Pick = [&](const std::vector<float> &Old,
-                    const std::vector<float> &New) {
-      S.Offset = R.bounded(Old.size());
-      S.Analytic = (static_cast<double>(Old[S.Offset]) - New[S.Offset]) * T;
+    auto Pick = [&](const std::vector<float> &Grad) {
+      S.Offset = R.bounded(Grad.size());
+      S.Analytic = Grad[S.Offset];
     };
     switch (S.Kind) {
-    case 0: Pick(SavedLayers[S.LayerIdx].Wx, Layers[S.LayerIdx].Wx); break;
-    case 1: Pick(SavedLayers[S.LayerIdx].Wh, Layers[S.LayerIdx].Wh); break;
-    case 2: Pick(SavedLayers[S.LayerIdx].B, Layers[S.LayerIdx].B); break;
-    case 3: Pick(SavedWy, Wy); break;
-    case 4: Pick(SavedBy, By); break;
+    case 0: Pick(CapturedLayerGrads[S.LayerIdx].WxT); break;
+    case 1: Pick(CapturedLayerGrads[S.LayerIdx].WhT); break;
+    case 2: Pick(CapturedLayerGrads[S.LayerIdx].B); break;
+    case 3: Pick(CapturedGWy); break;
+    case 4: Pick(CapturedGBy); break;
     }
     Samples.push_back(S);
   }
 
-  // Restore and evaluate central differences (loss reported in bits;
-  // convert the analytic nat-scale gradient to bits).
-  Layers = SavedLayers;
-  Wy = SavedWy;
-  By = SavedBy;
+  // Evaluate central differences (loss reported in bits; convert the
+  // analytic nat-scale gradient to bits).
   const double Ln2 = 0.6931471805599453;
 
   for (const Sample &S : Samples) {
     auto Ref = [&]() -> float & {
       switch (S.Kind) {
-      case 0: return Layers[S.LayerIdx].Wx[S.Offset];
-      case 1: return Layers[S.LayerIdx].Wh[S.Offset];
+      case 0: return Layers[S.LayerIdx].WxT[S.Offset];
+      case 1: return Layers[S.LayerIdx].WhT[S.Offset];
       case 2: return Layers[S.LayerIdx].B[S.Offset];
       case 3: return Wy[S.Offset];
       default: return By[S.Offset];
@@ -520,7 +562,10 @@ double LstmModel::gradientCheck(const std::vector<int> &Tokens,
     double LossMinus = sequenceLoss(Tokens) * T;
     Ref() = Saved;
     double Numeric = (LossPlus - LossMinus) / (2.0 * Eps) * Ln2;
-    double Denom = std::max(1e-4, std::fabs(Numeric) + std::fabs(S.Analytic));
+    // The float32 forward pass quantizes the loss at ~1e-6, so the
+    // central difference carries ~1e-5 of absolute noise; the floor
+    // keeps noise-level gradients from dominating the relative error.
+    double Denom = std::max(1e-3, std::fabs(Numeric) + std::fabs(S.Analytic));
     double RelError = std::fabs(Numeric - S.Analytic) / Denom;
     MaxRelError = std::max(MaxRelError, RelError);
   }

@@ -18,6 +18,13 @@
 /// SGD with the paper's decay schedule. Gradients are verified against
 /// finite differences in the test suite.
 ///
+/// Performance: weights are stored input-major ("transposed" relative to
+/// the usual W[4H x In] math notation) so that every matrix kernel in
+/// both the forward and backward pass runs a contiguous,
+/// auto-vectorizable inner loop over the fused 4-gate dimension, and the
+/// one-hot layer-0 input reduces to an embedding-row lookup. See
+/// LstmModel.cpp for the blocked kernels.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CLGEN_MODEL_LSTMMODEL_H
@@ -59,6 +66,8 @@ public:
   void reset() override;
   void observe(int TokenId) override;
   std::vector<double> nextDistribution() override;
+  void nextDistributionInto(std::vector<double> &Dist) override;
+  std::unique_ptr<LanguageModel> clone() const override;
 
   /// Total trainable parameter count (the paper's model has 17M).
   size_t parameterCount() const;
@@ -76,9 +85,12 @@ private:
   Vocabulary Vocab;
   int V = 0; // Vocabulary size.
 
-  /// Parameters per layer: Wx[4H x In], Wh[4H x H], B[4H].
+  /// Parameters per layer, stored input-major for contiguous access:
+  /// WxT[In x 4H] (row i = input unit i's weights to all gates, so the
+  /// one-hot layer-0 input is a single contiguous row), WhT[H x 4H],
+  /// B[4H]. Gate order within a 4H row block: [i f g o].
   struct Layer {
-    std::vector<float> Wx, Wh, B;
+    std::vector<float> WxT, WhT, B;
     int In = 0;
   };
   std::vector<Layer> Layers;
@@ -87,8 +99,20 @@ private:
   /// Generation state.
   std::vector<std::vector<float>> StateH, StateC;
 
+  /// Reused step scratch (gate pre-activations / logits); generation and
+  /// loss evaluation allocate nothing per token.
+  std::vector<float> ScratchA, ScratchLogits;
+
   /// Scratch for BPTT (see LstmModel.cpp).
   struct Tape;
+
+  /// When set, trainChunk copies its raw (unclipped, unscaled) gradients
+  /// here; gradientCheck reads them directly instead of reconstructing
+  /// them from a parameter delta, which loses them to float cancellation
+  /// for near-zero entries.
+  bool CaptureGrads = false;
+  std::vector<Layer> CapturedLayerGrads;
+  std::vector<float> CapturedGWy, CapturedGBy;
 
   void initParameters();
   /// One forward step from (H,C) with input vector X (size In of layer

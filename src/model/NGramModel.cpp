@@ -16,13 +16,15 @@ void NGramModel::train(const std::vector<std::string> &Entries) {
   for (const std::string &E : Entries)
     All += E;
   Vocab = Vocabulary::fromText(All);
-  Counts.clear();
+  ContextCounts Building;
   for (const std::string &E : Entries)
-    addSequence(E);
+    addSequence(Building, E);
+  Counts = std::make_shared<const ContextCounts>(std::move(Building));
   reset();
 }
 
-void NGramModel::addSequence(const std::string &Entry) {
+void NGramModel::addSequence(ContextCounts &Building,
+                             const std::string &Entry) const {
   // Token stream: entry characters followed by the sentinel. Contexts are
   // built over raw characters; the sentinel uses '\0' which cannot occur
   // inside entries.
@@ -38,7 +40,7 @@ void NGramModel::addSequence(const std::string &Entry) {
       if (static_cast<size_t>(L) > I)
         break;
       std::string Ctx = Stream.substr(I - L, L);
-      Counts[Ctx][NextId] += 1;
+      Building[Ctx][NextId] += 1;
     }
   }
 }
@@ -55,17 +57,25 @@ void NGramModel::observe(int TokenId) {
 }
 
 std::vector<double> NGramModel::nextDistribution() {
+  std::vector<double> Dist;
+  nextDistributionInto(Dist);
+  return Dist;
+}
+
+void NGramModel::nextDistributionInto(std::vector<double> &Dist) {
   size_t V = Vocab.size();
-  std::vector<double> Dist(V, 0.0);
+  Dist.assign(V, 0.0);
 
   // Walk from the longest available context down to the unigram level,
   // taking the first context with any observations, discounted by
-  // BackoffAlpha per skipped level.
+  // BackoffAlpha per skipped level. Lookups are string_views over the
+  // rolling context buffer: the hot sampling loop never allocates.
   double Scale = 1.0;
-  for (size_t Skip = 0; Skip <= Context.size(); ++Skip) {
-    std::string Ctx = Context.substr(Skip);
-    auto It = Counts.find(Ctx);
-    if (It == Counts.end() || It->second.empty()) {
+  double ContextMass = 0.0; // Probability mass placed by the match.
+  std::string_view Full(Context);
+  for (size_t Skip = 0; Counts && Skip <= Full.size(); ++Skip) {
+    auto It = Counts->find(Full.substr(Skip));
+    if (It == Counts->end() || It->second.empty()) {
       Scale *= Opts.BackoffAlpha;
       continue;
     }
@@ -74,17 +84,20 @@ std::vector<double> NGramModel::nextDistribution() {
       Total += Count;
     for (const auto &[Id, Count] : It->second)
       Dist[Id] += Scale * static_cast<double>(Count) / Total;
+    ContextMass = Scale;
     break;
   }
 
-  // Unigram smoothing floor so every token has nonzero probability.
+  // Unigram smoothing floor so every token has nonzero probability. The
+  // pre-normalisation sum is known analytically (matched backoff mass
+  // plus total smoothing mass), so flooring and normalising fuse into
+  // one pass.
   double Floor = Opts.UnigramSmoothing / static_cast<double>(V);
-  double Sum = 0.0;
-  for (double &P : Dist) {
-    P += Floor;
-    Sum += P;
-  }
+  double InvSum = 1.0 / (ContextMass + Opts.UnigramSmoothing);
   for (double &P : Dist)
-    P /= Sum;
-  return Dist;
+    P = (P + Floor) * InvSum;
+}
+
+std::unique_ptr<LanguageModel> NGramModel::clone() const {
+  return std::make_unique<NGramModel>(*this);
 }

@@ -24,11 +24,25 @@
 #include "model/LanguageModel.h"
 
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 namespace clgen {
 namespace model {
+
+/// Transparent string hashing so context lookups run on string_views of
+/// the rolling context buffer — the sampling hot loop performs zero
+/// allocations per character.
+struct StringHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view S) const {
+    return std::hash<std::string_view>{}(S);
+  }
+  size_t operator()(const std::string &S) const {
+    return std::hash<std::string_view>{}(S);
+  }
+};
 
 struct NGramOptions {
   /// Model order: context length = Order - 1 characters.
@@ -41,6 +55,12 @@ struct NGramOptions {
 
 class NGramModel : public LanguageModel {
 public:
+  /// Context string -> (next-token id -> count). The empty context holds
+  /// unigram counts. Transparent hashing allows string_view lookups.
+  using ContextCounts =
+      std::unordered_map<std::string, std::unordered_map<int, uint32_t>,
+                         StringHash, std::equal_to<>>;
+
   explicit NGramModel(NGramOptions Opts = NGramOptions()) : Opts(Opts) {}
 
   /// Trains on corpus entries (each a normalised kernel). Entries are
@@ -53,20 +73,22 @@ public:
   void reset() override;
   void observe(int TokenId) override;
   std::vector<double> nextDistribution() override;
+  void nextDistributionInto(std::vector<double> &Dist) override;
+  std::unique_ptr<LanguageModel> clone() const override;
 
   /// Number of distinct contexts stored (all orders).
-  size_t contextCount() const { return Counts.size(); }
+  size_t contextCount() const { return Counts ? Counts->size() : 0; }
 
 private:
   NGramOptions Opts;
   Vocabulary Vocab;
-  /// Context string -> (next-token id -> count). The empty context holds
-  /// unigram counts.
-  std::unordered_map<std::string, std::unordered_map<int, uint32_t>> Counts;
+  /// Immutable once trained and shared between clones, so per-worker
+  /// model copies cost O(1) instead of duplicating the count table.
+  std::shared_ptr<const ContextCounts> Counts;
   /// Rolling context of the last Order-1 token ids (as chars).
   std::string Context;
 
-  void addSequence(const std::string &Entry);
+  void addSequence(ContextCounts &Building, const std::string &Entry) const;
 };
 
 } // namespace model

@@ -6,7 +6,10 @@
 
 #include "runtime/HostDriver.h"
 
+#include "support/ThreadPool.h"
 #include "vm/Compiler.h"
+
+#include <algorithm>
 
 using namespace clgen;
 using namespace clgen::runtime;
@@ -62,4 +65,29 @@ Result<Measurement> runtime::runBenchmark(const std::string &Source,
     return Result<Measurement>::error("compile failed: " +
                                       Kernel.errorMessage());
   return runBenchmark(Kernel.get(), P, Opts);
+}
+
+std::vector<Result<Measurement>>
+runtime::runBenchmarkBatch(const std::vector<CompiledKernel> &Kernels,
+                           const Platform &P, const DriverOptions &Opts,
+                           unsigned Workers) {
+  std::vector<Result<Measurement>> Out(
+      Kernels.size(), Result<Measurement>::error("not measured"));
+  Rng Base(Opts.Seed);
+  auto MeasureOne = [&](size_t I) {
+    DriverOptions KernelOpts = Opts;
+    KernelOpts.Seed = Base.split(I).next();
+    Out[I] = runBenchmark(Kernels[I], P, KernelOpts);
+  };
+  size_t N =
+      std::min(ThreadPool::resolveWorkerCount(Workers), Kernels.size());
+  if (N <= 1 || Kernels.size() <= 1) {
+    for (size_t I = 0; I < Kernels.size(); ++I)
+      MeasureOne(I);
+    return Out;
+  }
+  ThreadPool Pool(N);
+  Pool.parallelFor(0, Kernels.size(),
+                   [&](size_t, size_t I) { MeasureOne(I); });
+  return Out;
 }

@@ -68,6 +68,17 @@ Result<Measurement> runBenchmark(const vm::CompiledKernel &Kernel,
                                  const Platform &P,
                                  const DriverOptions &Opts);
 
+/// Measures a batch of kernels, fanned out across a worker pool so
+/// driver-side execution keeps pace with the parallel synthesizer
+/// (\p Workers: 1 = serial, 0 = hardware concurrency). Results are
+/// index-aligned with \p Kernels and deterministic regardless of worker
+/// count: kernel i derives its payload RNG by splitting \p Opts.Seed
+/// with stream id i.
+std::vector<Result<Measurement>>
+runBenchmarkBatch(const std::vector<vm::CompiledKernel> &Kernels,
+                  const Platform &P, const DriverOptions &Opts,
+                  unsigned Workers = 0);
+
 } // namespace runtime
 } // namespace clgen
 

@@ -111,3 +111,15 @@ size_t Rng::weighted(const std::vector<double> &Weights) {
 }
 
 Rng Rng::fork() { return Rng(next() ^ 0xD1B54A32D192ED03ull); }
+
+Rng Rng::split(uint64_t StreamId) const {
+  // Fold the full 256-bit state and the stream counter through SplitMix64.
+  // Every word participates so children of distinct parents differ, and
+  // the multiplicative spread of StreamId decorrelates adjacent ids.
+  uint64_t X = StreamId * 0xA24BAED4963EE407ull + 0x9E3779B97F4A7C15ull;
+  for (uint64_t Word : State) {
+    X ^= Word;
+    X = splitMix64(X);
+  }
+  return Rng(X);
+}

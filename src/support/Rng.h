@@ -80,7 +80,16 @@ public:
 
   /// Splits off an independent generator. The child stream is a pure
   /// function of the parent state, so forked pipelines stay deterministic.
+  /// Advances the parent stream; see split() for a non-advancing variant.
   Rng fork();
+
+  /// Returns the counter-keyed child stream \p StreamId. The child is a
+  /// pure function of (current state, StreamId) and the parent is NOT
+  /// advanced, so split(0), split(1), ... are mutually independent
+  /// streams that can be claimed in any order — the foundation of the
+  /// parallel synthesis engine's determinism: worker scheduling cannot
+  /// change what any stream produces.
+  Rng split(uint64_t StreamId) const;
 
 private:
   uint64_t State[4];

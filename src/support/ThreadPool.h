@@ -1,0 +1,97 @@
+//===- support/ThreadPool.h - Work-stealing thread pool ----------*- C++ -*-===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size worker pool with per-worker work-stealing task deques,
+/// built for the parallel synthesis engine. Design points:
+///
+///  - Each worker owns a deque; it pushes/pops at the back (LIFO, cache
+///    friendly) and steals from the front of a victim's deque (FIFO, takes
+///    the oldest — largest — chunks first).
+///  - `parallelFor` hands every task its worker index, so callers can keep
+///    per-worker state (model clones, scratch buffers) without locking.
+///  - Exceptions thrown by tasks are captured and rethrown on the calling
+///    thread once the batch has drained, so failures propagate instead of
+///    terminating.
+///  - Determinism is the caller's job: the pool makes no ordering promises
+///    beyond "every task runs exactly once"; callers key results by task
+///    index and consume them in index order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLGEN_SUPPORT_THREADPOOL_H
+#define CLGEN_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace clgen {
+
+/// Fixed pool of worker threads with work stealing.
+class ThreadPool {
+public:
+  /// A task receives the index (0-based) of the worker executing it.
+  using Task = std::function<void(size_t Worker)>;
+
+  /// Creates \p Workers threads. 0 means hardware concurrency (at least
+  /// 1).
+  explicit ThreadPool(size_t Workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  size_t workerCount() const { return Queues.size(); }
+
+  /// Runs \p Fn(Worker, Index) for every Index in [Begin, End), fanned
+  /// out across the pool, and blocks until all iterations finished. The
+  /// first exception thrown by any iteration is rethrown here after the
+  /// batch drains. Runs inline when the pool has one worker or the range
+  /// has one element (no queueing overhead).
+  void parallelFor(size_t Begin, size_t End,
+                   const std::function<void(size_t Worker, size_t Index)> &Fn);
+
+  /// Clamps a requested worker count: 0 -> hardware concurrency,
+  /// otherwise the request itself (callers cap further as needed).
+  static size_t resolveWorkerCount(size_t Requested);
+
+private:
+  struct WorkerQueue {
+    std::mutex Mutex;
+    std::deque<Task> Deque;
+  };
+
+  /// One queue per worker; tasks are distributed round-robin by submit
+  /// order and rebalanced by stealing.
+  std::vector<std::unique_ptr<WorkerQueue>> Queues;
+  std::vector<std::thread> Threads;
+
+  std::mutex StateMutex;
+  std::condition_variable WorkAvailable;
+  std::condition_variable BatchDone;
+  size_t PendingTasks = 0;
+  /// Bumped on every submission; workers re-scan the queues whenever it
+  /// moves past the value they saw before going idle (prevents lost
+  /// wakeups between an empty scan and the wait).
+  uint64_t SubmitEpoch = 0;
+  bool ShuttingDown = false;
+  std::exception_ptr FirstError;
+
+  void workerLoop(size_t Worker);
+  bool popOrSteal(size_t Worker, Task &Out);
+  void runTask(size_t Worker, Task &T);
+};
+
+} // namespace clgen
+
+#endif // CLGEN_SUPPORT_THREADPOOL_H

@@ -10,7 +10,6 @@
 #include "support/StringUtils.h"
 
 #include <cmath>
-#include <unordered_map>
 
 using namespace clgen;
 using namespace clgen::ocl;
@@ -100,7 +99,9 @@ struct BranchStats {
 /// Shared (per work-group) execution resources.
 struct GroupContext {
   std::vector<std::vector<double>> LocalBuffers;
-  std::unordered_map<int32_t, BranchStats> BranchSites;
+  /// Dense per-site stats, indexed by the launch-time branch-site table
+  /// (no hashing on the instruction dispatch path).
+  std::vector<BranchStats> BranchSites;
 };
 
 /// One work-item's machine state (only materialised for barrier kernels).
@@ -113,13 +114,25 @@ struct ItemState {
   size_t Lid[3] = {0, 0, 0};
 };
 
+/// Reusable per-thread execution scratch: group context, item states and
+/// their register/buffer storage survive across work-groups AND across
+/// launches (thread_local in launchKernel), so steady-state execution
+/// allocates nothing per group.
+struct ExecScratch {
+  GroupContext Group;
+  ItemState Single;
+  std::vector<ItemState> States;
+};
+
 enum class StepOutcome { Continue, AtBarrier, Halted, Error };
 
 class Engine {
 public:
   Engine(const CompiledKernel &K, const std::vector<KernelArg> &Args,
-         std::vector<BufferData> &Buffers, const LaunchConfig &Config)
-      : K(K), Args(Args), Buffers(Buffers), Config(Config) {}
+         std::vector<BufferData> &Buffers, const LaunchConfig &Config,
+         ExecScratch &Scratch)
+      : K(K), Args(Args), Buffers(Buffers), Config(Config),
+        Scratch(Scratch) {}
 
   Result<ExecCounters> run();
 
@@ -128,6 +141,7 @@ private:
   const std::vector<KernelArg> &Args;
   std::vector<BufferData> &Buffers;
   const LaunchConfig &Config;
+  ExecScratch &Scratch;
   ExecCounters C;
   std::string Error;
   /// Param slot -> launch buffer index.
@@ -136,6 +150,10 @@ private:
   std::vector<size_t> LocalParamSizes;
   /// Scalar param preloads.
   std::vector<std::pair<uint16_t, Value>> ScalarPreloads;
+  /// Pc of a conditional branch -> dense branch-site index, resolved
+  /// once at launch so the dispatch loop never touches a hash map.
+  std::vector<int32_t> BranchSiteOf;
+  int BranchSiteCount = 0;
   size_t GroupCount[3] = {1, 1, 1};
   size_t GroupId[3] = {0, 0, 0};
 
@@ -311,7 +329,7 @@ private:
     case Opcode::Jnz: {
       ++C.Branches;
       bool Taken = (S.Regs[I.A].x() == 0.0) == (I.Op == Opcode::Jz);
-      BranchStats &BS = G.BranchSites[static_cast<int32_t>(S.Pc)];
+      BranchStats &BS = G.BranchSites[BranchSiteOf[S.Pc]];
       BS.Total += 1;
       BS.Taken += Taken;
       if (Taken) {
@@ -696,10 +714,14 @@ private:
     S.Lid[0] = LidX;
     S.Lid[1] = LidY;
     S.Lid[2] = LidZ;
-    S.PrivBuffers.clear();
-    S.PrivBuffers.reserve(K.PrivateBuffers.size());
-    for (const PrivateBufferInfo &PB : K.PrivateBuffers)
-      S.PrivBuffers.emplace_back(PB.Elements * PB.ElemWidth, 0.0);
+    // Reuse the private-buffer allocations across items/groups/launches;
+    // assign() zeroes in place once the geometry matches.
+    S.PrivBuffers.resize(K.PrivateBuffers.size());
+    for (size_t BI = 0; BI < K.PrivateBuffers.size(); ++BI) {
+      const PrivateBufferInfo &PB = K.PrivateBuffers[BI];
+      S.PrivBuffers[BI].assign(
+          static_cast<size_t>(PB.Elements) * PB.ElemWidth, 0.0);
+    }
     for (const auto &[Reg, V] : ScalarPreloads)
       S.Regs[Reg] = V;
   }
@@ -718,16 +740,18 @@ private:
            LZ = Config.LocalSize[2];
     size_t GroupItems = LX * LY * LZ;
 
-    // Allocate local buffers for this group.
-    G.LocalBuffers.clear();
+    // Fresh local memory for this group, reusing prior allocations.
+    G.LocalBuffers.resize(K.LocalBuffers.size());
     for (size_t BI = 0; BI < K.LocalBuffers.size(); ++BI) {
       const LocalBufferInfo &LB = K.LocalBuffers[BI];
       size_t Elems = LB.Elements > 0 ? static_cast<size_t>(LB.Elements)
                                      : LocalParamSizes[BI];
       if (Elems == 0)
         Elems = GroupItems; // Sensible default for driver-sized buffers.
-      G.LocalBuffers.emplace_back(Elems * LB.ElemWidth, 0.0);
+      G.LocalBuffers[BI].assign(Elems * LB.ElemWidth, 0.0);
     }
+    // Zero the per-group branch statistics in place.
+    G.BranchSites.assign(BranchSiteCount, BranchStats());
 
     auto ItemCoords = [&](size_t Linear, size_t &LidX, size_t &LidY,
                           size_t &LidZ) {
@@ -738,7 +762,7 @@ private:
 
     if (!K.HasBarrier) {
       // Fast path: one item at a time, a single reusable state.
-      ItemState S;
+      ItemState &S = Scratch.Single;
       for (size_t Linear = 0; Linear < GroupItems; ++Linear) {
         size_t LidX, LidY, LidZ;
         ItemCoords(Linear, LidX, LidY, LidZ);
@@ -756,7 +780,8 @@ private:
     }
 
     // Barrier path: phase-lockstep execution of all items in the group.
-    std::vector<ItemState> States(GroupItems);
+    std::vector<ItemState> &States = Scratch.States;
+    States.resize(GroupItems);
     for (size_t Linear = 0; Linear < GroupItems; ++Linear) {
       size_t LidX, LidY, LidZ;
       ItemCoords(Linear, LidX, LidY, LidZ);
@@ -798,6 +823,15 @@ public:
     if (!bindArgs())
       return Result<ExecCounters>::error(Error);
 
+    // Resolve conditional-branch sites to dense indices once per launch;
+    // the dispatch loop then updates divergence stats with one indexed
+    // load instead of a hash-map lookup per executed branch.
+    BranchSiteOf.assign(K.Code.size(), -1);
+    BranchSiteCount = 0;
+    for (size_t Pc = 0; Pc < K.Code.size(); ++Pc)
+      if (K.Code[Pc].Op == Opcode::Jz || K.Code[Pc].Op == Opcode::Jnz)
+        BranchSiteOf[Pc] = BranchSiteCount++;
+
     for (int D = 0; D < 3; ++D) {
       if (Config.LocalSize[D] == 0 || Config.GlobalSize[D] == 0)
         return Result<ExecCounters>::error("empty NDRange");
@@ -824,10 +858,12 @@ public:
       GroupId[0] = GI % GroupCount[0];
       GroupId[1] = (GI / GroupCount[0]) % GroupCount[1];
       GroupId[2] = GI / (GroupCount[0] * GroupCount[1]);
-      GroupContext G;
+      GroupContext &G = Scratch.Group;
       if (!runGroup(G))
         return Result<ExecCounters>::error(Error);
-      for (const auto &[Site, BS] : G.BranchSites) {
+      for (const BranchStats &BS : G.BranchSites) {
+        if (BS.Total == 0)
+          continue;
         double P = static_cast<double>(BS.Taken) /
                    static_cast<double>(BS.Total);
         DivergenceSum += 2.0 * std::min(P, 1.0 - P) *
@@ -870,6 +906,10 @@ Result<ExecCounters> vm::launchKernel(const CompiledKernel &Kernel,
                                       const std::vector<KernelArg> &Args,
                                       std::vector<BufferData> &Buffers,
                                       const LaunchConfig &Config) {
-  Engine E(Kernel, Args, Buffers, Config);
+  // Per-thread scratch persists across launches: register files, private
+  // and local buffer storage are recycled, and concurrent launches from
+  // the synthesis thread pool each get their own arena.
+  static thread_local ExecScratch Scratch;
+  Engine E(Kernel, Args, Buffers, Config, Scratch);
   return E.run();
 }

@@ -104,6 +104,70 @@ TEST(SamplerTest, PrematureEndOfTextReturnsNullopt) {
                    .has_value());
 }
 
+TEST(SamplerTest, StrayCloseBraceBeforeOpenIsRejected) {
+  // Free-mode seed has depth 0; a '}' before any '{' must reject the
+  // sample instead of driving the depth negative and letting a later
+  // {...} pair pose as the function body.
+  ScriptedModel M("int x); } garbage { a[0] = 1; }");
+  Rng R(1);
+  auto S = sampleKernel(M, "__kernel void A(", SampleOptions(), R);
+  EXPECT_FALSE(S.has_value());
+}
+
+TEST(SamplerTest, MalformedSeedIsRejected) {
+  ScriptedModel M(" a[0] = 1.0f; }");
+  Rng R(1);
+  EXPECT_FALSE(sampleKernel(M, "} broken seed {", SampleOptions(), R)
+                   .has_value());
+}
+
+//===----------------------------------------------------------------------===//
+// drawToken edge cases
+//===----------------------------------------------------------------------===//
+
+TEST(DrawTokenTest, EmptyDistributionYieldsEndOfText) {
+  Rng R(1);
+  std::vector<double> Empty;
+  EXPECT_EQ(drawToken(Empty, 0.85, R), model::Vocabulary::EndOfText);
+}
+
+TEST(DrawTokenTest, AllZeroDistributionYieldsEndOfText) {
+  Rng R(1);
+  std::vector<double> Zeros(16, 0.0);
+  EXPECT_EQ(drawToken(Zeros, 0.85, R), model::Vocabulary::EndOfText);
+}
+
+TEST(DrawTokenTest, ZeroProbabilityTokensAreNeverDrawn) {
+  Rng R(9);
+  std::vector<double> Dist = {0.0, 0.5, 0.0, 0.5, 0.0};
+  for (int I = 0; I < 500; ++I) {
+    int T = drawToken(Dist, 0.7, R);
+    EXPECT_TRUE(T == 1 || T == 3) << "drew zero-probability token " << T;
+  }
+}
+
+TEST(DrawTokenTest, TemperatureSharpensDistribution) {
+  Rng R(5);
+  std::vector<double> Dist = {0.25, 0.75};
+  int HotMajority = 0, ColdMajority = 0;
+  const int N = 4000;
+  for (int I = 0; I < N; ++I) {
+    HotMajority += drawToken(Dist, 1.0, R) == 1;
+    ColdMajority += drawToken(Dist, 0.25, R) == 1;
+  }
+  // At T=1 the majority token wins ~75%; at T=0.25 the p-ratio is cubed
+  // to 81:1 so it should win nearly always.
+  EXPECT_NEAR(HotMajority / static_cast<double>(N), 0.75, 0.05);
+  EXPECT_GT(ColdMajority / static_cast<double>(N), 0.95);
+}
+
+TEST(DrawTokenTest, DeterministicForEqualRngState) {
+  std::vector<double> Dist = {0.1, 0.2, 0.3, 0.4};
+  Rng A(77), B(77);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(drawToken(Dist, 0.6, A), drawToken(Dist, 0.6, B));
+}
+
 //===----------------------------------------------------------------------===//
 // Synthesizer + pipeline (integration)
 //===----------------------------------------------------------------------===//
@@ -169,6 +233,67 @@ TEST(SynthesizerTest, DeterministicForSeed) {
   ASSERT_EQ(A.Kernels.size(), B.Kernels.size());
   for (size_t I = 0; I < A.Kernels.size(); ++I)
     EXPECT_EQ(A.Kernels[I].Source, B.Kernels[I].Source);
+}
+
+TEST(SynthesizerTest, BitIdenticalAcrossWorkerCounts) {
+  // The parallel engine's core contract: for a fixed seed the output
+  // stream (sources, order, and stats) does not depend on how many
+  // workers sampled it.
+  SynthesisOptions Opts;
+  Opts.TargetKernels = 6;
+  Opts.MaxAttempts = 3000;
+  Opts.Sampling.Temperature = 0.5;
+  Opts.Seed = 0xD17E;
+
+  Opts.Workers = 1;
+  auto Serial = sharedPipeline().synthesize(Opts);
+  ASSERT_GT(Serial.Kernels.size(), 0u);
+
+  for (unsigned Workers : {2u, 8u}) {
+    Opts.Workers = Workers;
+    auto Parallel = sharedPipeline().synthesize(Opts);
+    ASSERT_EQ(Parallel.Kernels.size(), Serial.Kernels.size())
+        << "workers=" << Workers;
+    for (size_t I = 0; I < Serial.Kernels.size(); ++I)
+      EXPECT_EQ(Parallel.Kernels[I].Source, Serial.Kernels[I].Source)
+          << "workers=" << Workers << " kernel " << I;
+    EXPECT_EQ(Parallel.Stats.Attempts, Serial.Stats.Attempts);
+    EXPECT_EQ(Parallel.Stats.Accepted, Serial.Stats.Accepted);
+    EXPECT_EQ(Parallel.Stats.IncompleteSamples,
+              Serial.Stats.IncompleteSamples);
+    EXPECT_EQ(Parallel.Stats.RejectedByFilter,
+              Serial.Stats.RejectedByFilter);
+    EXPECT_EQ(Parallel.Stats.Duplicates, Serial.Stats.Duplicates);
+  }
+}
+
+TEST(SynthesizerTest, ZeroTargetSynthesizesNothing) {
+  SynthesisOptions Opts;
+  Opts.TargetKernels = 0;
+  Opts.MaxAttempts = 100;
+  for (unsigned Workers : {1u, 4u}) {
+    Opts.Workers = Workers;
+    auto R = sharedPipeline().synthesize(Opts);
+    EXPECT_EQ(R.Kernels.size(), 0u) << "workers=" << Workers;
+    EXPECT_EQ(R.Stats.Attempts, 0u) << "workers=" << Workers;
+  }
+}
+
+TEST(SynthesizerTest, WaveSizeDoesNotChangeOutput) {
+  SynthesisOptions Opts;
+  Opts.TargetKernels = 4;
+  Opts.MaxAttempts = 2000;
+  Opts.Sampling.Temperature = 0.5;
+  Opts.Seed = 0xBEEF;
+  Opts.Workers = 2;
+  Opts.WaveSize = 4;
+  auto Small = sharedPipeline().synthesize(Opts);
+  Opts.WaveSize = 64;
+  auto Large = sharedPipeline().synthesize(Opts);
+  ASSERT_EQ(Small.Kernels.size(), Large.Kernels.size());
+  for (size_t I = 0; I < Small.Kernels.size(); ++I)
+    EXPECT_EQ(Small.Kernels[I].Source, Large.Kernels[I].Source);
+  EXPECT_EQ(Small.Stats.Attempts, Large.Stats.Attempts);
 }
 
 TEST(PipelineTest, TrainsOnCorpusAndReportsStats) {

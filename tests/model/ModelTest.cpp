@@ -100,6 +100,33 @@ TEST(NGramModelTest, EndOfTextLearnedAtKernelBoundaries) {
   EXPECT_GT(Dist[Vocabulary::EndOfText], 0.5);
 }
 
+TEST(NGramModelTest, CloneIsIndependentAndEquivalent) {
+  NGramModel M;
+  M.train({"abcabcabcabc"});
+  auto C = M.clone();
+  ASSERT_NE(C, nullptr);
+  // Same predictions from the same state...
+  M.reset();
+  C->reset();
+  M.observeText("ab");
+  C->observeText("ab");
+  EXPECT_EQ(M.nextDistribution(), C->nextDistribution());
+  // ...and advancing the clone leaves the original untouched.
+  auto Before = M.nextDistribution();
+  C->observeText("cabcab");
+  EXPECT_EQ(M.nextDistribution(), Before);
+}
+
+TEST(NGramModelTest, NextDistributionIntoMatchesNextDistribution) {
+  NGramModel M;
+  M.train({"xyzzyxyzzy"});
+  M.reset();
+  M.observeText("xy");
+  std::vector<double> Into;
+  M.nextDistributionInto(Into);
+  EXPECT_EQ(Into, M.nextDistribution());
+}
+
 TEST(NGramModelTest, BitsPerCharLowerForInDistributionText) {
   NGramModel M;
   M.train({"__kernel void A(__global float* a) {\n  a[0] = 1.0f;\n}\n"});
@@ -190,6 +217,21 @@ TEST(LstmModelTest, GradientsMatchFiniteDifferences) {
     Seq.push_back(M.vocabulary().idOf(C));
   double MaxRelError = M.gradientCheck(Seq, 32);
   EXPECT_LT(MaxRelError, 0.05) << "BPTT gradient mismatch";
+}
+
+TEST(LstmModelTest, CloneMatchesOriginal) {
+  LstmOptions Opts;
+  Opts.Epochs = 1;
+  Opts.HiddenSize = 12;
+  LstmModel M(Opts);
+  M.train({"abcabcabc"});
+  auto C = M.clone();
+  ASSERT_NE(C, nullptr);
+  M.reset();
+  C->reset();
+  M.observeText("ab");
+  C->observeText("ab");
+  EXPECT_EQ(M.nextDistribution(), C->nextDistribution());
 }
 
 TEST(LstmModelTest, StatefulGenerationIsDeterministic) {

@@ -117,6 +117,48 @@ TEST(RngTest, ForkIndependentButDeterministic) {
     EXPECT_EQ(FA.next(), FB.next());
 }
 
+TEST(RngTest, SplitIsDeterministicAndDoesNotAdvanceParent) {
+  Rng A(7), B(7);
+  Rng SA = A.split(42), SB = B.split(42);
+  for (int I = 0; I < 20; ++I)
+    EXPECT_EQ(SA.next(), SB.next());
+  // split() left the parents untouched: their streams still agree with a
+  // never-split generator.
+  Rng C(7);
+  for (int I = 0; I < 20; ++I) {
+    uint64_t Expected = C.next();
+    EXPECT_EQ(A.next(), Expected);
+  }
+}
+
+TEST(RngTest, SplitStreamsAreIndependentOfClaimOrder) {
+  Rng A(99), B(99);
+  Rng A0 = A.split(0), A1 = A.split(1);
+  Rng B1 = B.split(1), B0 = B.split(0); // Claimed in the other order.
+  for (int I = 0; I < 10; ++I) {
+    EXPECT_EQ(A0.next(), B0.next());
+    EXPECT_EQ(A1.next(), B1.next());
+  }
+}
+
+TEST(RngTest, SplitStreamsDiverge) {
+  Rng A(1);
+  Rng S0 = A.split(0), S1 = A.split(1);
+  int Same = 0;
+  for (int I = 0; I < 64; ++I)
+    Same += S0.next() == S1.next();
+  EXPECT_LT(Same, 4);
+}
+
+TEST(RngTest, SplitDependsOnParentState) {
+  Rng A(1), B(2);
+  Rng SA = A.split(5), SB = B.split(5);
+  int Same = 0;
+  for (int I = 0; I < 64; ++I)
+    Same += SA.next() == SB.next();
+  EXPECT_LT(Same, 4);
+}
+
 TEST(RngTest, PickReturnsElement) {
   Rng R(1);
   std::vector<int> V = {10, 20, 30};

@@ -1,0 +1,90 @@
+//===- tests/support/ThreadPoolTest.cpp - ThreadPool unit tests --------------===//
+
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+using namespace clgen;
+
+TEST(ThreadPoolTest, ResolveWorkerCount) {
+  EXPECT_EQ(ThreadPool::resolveWorkerCount(3), 3u);
+  EXPECT_GE(ThreadPool::resolveWorkerCount(0), 1u);
+}
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  ThreadPool Pool(4);
+  const size_t N = 1000;
+  std::vector<std::atomic<int>> Hits(N);
+  Pool.parallelFor(0, N, [&](size_t, size_t I) { Hits[I] += 1; });
+  for (size_t I = 0; I < N; ++I)
+    EXPECT_EQ(Hits[I].load(), 1) << "index " << I;
+}
+
+TEST(ThreadPoolTest, HandlesSubrange) {
+  ThreadPool Pool(2);
+  std::vector<std::atomic<int>> Hits(10);
+  Pool.parallelFor(3, 7, [&](size_t, size_t I) { Hits[I] += 1; });
+  for (size_t I = 0; I < 10; ++I)
+    EXPECT_EQ(Hits[I].load(), I >= 3 && I < 7 ? 1 : 0);
+}
+
+TEST(ThreadPoolTest, EmptyRangeIsNoop) {
+  ThreadPool Pool(2);
+  bool Ran = false;
+  Pool.parallelFor(5, 5, [&](size_t, size_t) { Ran = true; });
+  EXPECT_FALSE(Ran);
+}
+
+TEST(ThreadPoolTest, WorkerIdsAreInRange) {
+  ThreadPool Pool(3);
+  std::atomic<bool> Ok{true};
+  Pool.parallelFor(0, 200, [&](size_t Worker, size_t) {
+    if (Worker >= 3)
+      Ok = false;
+  });
+  EXPECT_TRUE(Ok.load());
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
+  ThreadPool Pool(4);
+  EXPECT_THROW(Pool.parallelFor(0, 100,
+                                [&](size_t, size_t I) {
+                                  if (I == 37)
+                                    throw std::runtime_error("boom");
+                                }),
+               std::runtime_error);
+  // The pool survives the failure and accepts new work.
+  std::atomic<int> Count{0};
+  Pool.parallelFor(0, 50, [&](size_t, size_t) { Count += 1; });
+  EXPECT_EQ(Count.load(), 50);
+}
+
+TEST(ThreadPoolTest, OneWorkerMatchesEightWorkers) {
+  // Index-keyed results are independent of worker count and scheduling.
+  auto Compute = [](size_t Workers) {
+    ThreadPool Pool(Workers);
+    std::vector<uint64_t> Out(257);
+    Pool.parallelFor(0, Out.size(), [&](size_t, size_t I) {
+      uint64_t X = I * 0x9E3779B97F4A7C15ull;
+      X ^= X >> 29;
+      Out[I] = X;
+    });
+    return Out;
+  };
+  auto Serial = Compute(1);
+  auto Parallel = Compute(8);
+  EXPECT_EQ(Serial, Parallel);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossBatches) {
+  ThreadPool Pool(4);
+  std::atomic<uint64_t> Sum{0};
+  for (int Round = 0; Round < 20; ++Round)
+    Pool.parallelFor(0, 100, [&](size_t, size_t I) { Sum += I; });
+  EXPECT_EQ(Sum.load(), 20u * (99u * 100u / 2u));
+}
