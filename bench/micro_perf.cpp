@@ -15,11 +15,15 @@
 #include "model/NGramModel.h"
 #include "ocl/Parser.h"
 #include "ocl/Sema.h"
+#include "runtime/HostDriver.h"
+#include "store/ResultCache.h"
 #include "suites/KernelPatterns.h"
 #include "vm/Compiler.h"
 #include "vm/Interpreter.h"
 
 #include <benchmark/benchmark.h>
+
+#include <filesystem>
 
 using namespace clgen;
 
@@ -169,6 +173,71 @@ BENCHMARK(BM_SynthesizeBatch)
     ->Arg(4)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond);
+
+/// Scratch directory for the artifact-store benchmarks, wiped at setup
+/// so every benchmark binary run starts cold.
+std::string benchStoreDir(const char *Leaf) {
+  auto Dir = std::filesystem::temp_directory_path() /
+             (std::string("clgen_micro_perf_") + Leaf);
+  std::filesystem::remove_all(Dir);
+  return Dir.string();
+}
+
+/// Cost of a full memoized measurement: content-address the kernel
+/// (bytecode hash + options + device configs) and serve the result from
+/// the cache — the per-kernel overhead a warm runBenchmarkBatch pays
+/// instead of executing. Compare against BM_InterpretKernel.
+void BM_ResultCacheHit(benchmark::State &State) {
+  std::string Dir = benchStoreDir("result_cache");
+  auto K = vm::compileFirstKernel(sampleSource()).take();
+  runtime::DriverOptions Opts;
+  Opts.GlobalSize = 16384;
+  auto P = runtime::amdPlatform();
+  store::ResultCache Cache(Dir);
+  auto Fresh = runtime::runBenchmark(K, P, Opts);
+  Cache.store(store::measurementKey(K, Opts, P), Fresh.get());
+  for (auto _ : State) {
+    uint64_t Key = store::measurementKey(K, Opts, P);
+    auto M = Cache.lookup(Key);
+    benchmark::DoNotOptimize(M->CpuTime);
+  }
+  std::filesystem::remove_all(Dir);
+}
+BENCHMARK(BM_ResultCacheHit);
+
+/// Cold pipeline construction: corpus assembly + n-gram training from
+/// content files (the standard 400-file / order-14 configuration).
+void BM_ColdTrain(benchmark::State &State) {
+  githubsim::GithubSimOptions GOpts;
+  GOpts.FileCount = 400;
+  auto Files = githubsim::mineGithub(GOpts);
+  core::PipelineOptions POpts;
+  POpts.NGram.Order = 14;
+  for (auto _ : State) {
+    auto P = core::ClgenPipeline::train(Files, POpts);
+    benchmark::DoNotOptimize(P.corpus().Entries.size());
+  }
+}
+BENCHMARK(BM_ColdTrain)->Unit(benchmark::kMillisecond);
+
+/// Warm start through the artifact store: same configuration, but the
+/// fingerprint matches a stored model + corpus snapshot, so trainOrLoad
+/// deserializes instead of retraining.
+void BM_WarmStartTrain(benchmark::State &State) {
+  std::string Dir = benchStoreDir("warm_start");
+  githubsim::GithubSimOptions GOpts;
+  GOpts.FileCount = 400;
+  auto Files = githubsim::mineGithub(GOpts);
+  core::PipelineOptions POpts;
+  POpts.NGram.Order = 14;
+  (void)core::ClgenPipeline::trainOrLoad(Dir, Files, POpts); // Populate.
+  for (auto _ : State) {
+    auto P = core::ClgenPipeline::trainOrLoad(Dir, Files, POpts);
+    benchmark::DoNotOptimize(P.get().corpus().Entries.size());
+  }
+  std::filesystem::remove_all(Dir);
+}
+BENCHMARK(BM_WarmStartTrain)->Unit(benchmark::kMillisecond);
 
 } // namespace
 

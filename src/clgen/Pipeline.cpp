@@ -6,6 +6,11 @@
 
 #include "clgen/Pipeline.h"
 
+#include "store/Archive.h"
+#include "store/Serialization.h"
+
+#include <filesystem>
+
 using namespace clgen;
 using namespace clgen::core;
 
@@ -33,4 +38,175 @@ ClgenPipeline::train(const std::vector<corpus::ContentFile> &Files,
 
 SynthesisResult ClgenPipeline::synthesize(const SynthesisOptions &Opts) {
   return synthesizeKernels(*Model, Opts);
+}
+
+SynthesisResult
+ClgenPipeline::synthesizeOrLoad(const std::string &CacheDir,
+                                const SynthesisOptions &Opts,
+                                bool *Loaded) {
+  if (Loaded)
+    *Loaded = false;
+
+  // Key: model identity + every option that can change the output.
+  // Workers and WaveSize are deliberately absent — the synthesis engine
+  // guarantees bit-identical kernels for any value of either.
+  store::ArchiveWriter Key(store::ArchiveKind::Synthesis);
+  if (ArtifactFingerprint != 0) {
+    Key.writeU8('F');
+    Key.writeU64(ArtifactFingerprint);
+  } else if (Model->backendName() == std::string_view("ngram")) {
+    Key.writeU8('M');
+    static_cast<const model::NGramModel &>(*Model).serialize(Key);
+  } else if (Model->backendName() == std::string_view("lstm")) {
+    Key.writeU8('M');
+    static_cast<const model::LstmModel &>(*Model).serialize(Key);
+  } else {
+    return synthesize(Opts); // Unserializable model: nothing to key on.
+  }
+  Key.writeU64(Opts.TargetKernels);
+  Key.writeU64(Opts.MaxAttempts);
+  Key.writeBool(Opts.Spec.has_value());
+  if (Opts.Spec) {
+    Key.writeU64(Opts.Spec->ArgTypes.size());
+    for (const std::string &T : Opts.Spec->ArgTypes)
+      Key.writeString(T);
+  }
+  Key.writeU64(Opts.Sampling.MaxLength);
+  Key.writeF64(Opts.Sampling.Temperature);
+  Key.writeU64(Opts.Seed);
+
+  std::error_code Ec;
+  std::filesystem::create_directories(CacheDir, Ec);
+  std::string Path =
+      CacheDir + "/synthesis-" + store::hexDigest(Key.payloadDigest()) +
+      ".clgs";
+
+  auto Opened = store::ArchiveReader::open(Path,
+                                           store::ArchiveKind::Synthesis);
+  if (Opened.ok()) {
+    store::ArchiveReader R = Opened.take();
+    SynthesisResult Out;
+    Out.Stats.Attempts = R.readU64();
+    Out.Stats.IncompleteSamples = R.readU64();
+    Out.Stats.RejectedByFilter = R.readU64();
+    Out.Stats.Duplicates = R.readU64();
+    Out.Stats.Accepted = R.readU64();
+    uint64_t KernelCount = R.readU64();
+    for (uint64_t I = 0; I < KernelCount && R.ok(); ++I) {
+      SynthesizedKernel K;
+      K.Source = R.readString();
+      K.Kernel = store::deserializeCompiledKernel(R);
+      // The checksum authenticates bytes, not semantics: reject any
+      // archive whose bytecode would not pass the compiler's own
+      // invariants before it can reach the interpreter.
+      if (R.ok() && !vm::verifyKernel(K.Kernel).empty())
+        R.fail("stored kernel fails bytecode verification: " +
+               vm::verifyKernel(K.Kernel));
+      Out.Kernels.push_back(std::move(K));
+    }
+    if (R.finish().ok()) {
+      if (Loaded)
+        *Loaded = true;
+      return Out;
+    }
+    // Corrupt entry: fall through to re-synthesis, which overwrites it.
+  }
+
+  SynthesisResult Out = synthesize(Opts);
+  store::ArchiveWriter W(store::ArchiveKind::Synthesis);
+  W.writeU64(Out.Stats.Attempts);
+  W.writeU64(Out.Stats.IncompleteSamples);
+  W.writeU64(Out.Stats.RejectedByFilter);
+  W.writeU64(Out.Stats.Duplicates);
+  W.writeU64(Out.Stats.Accepted);
+  W.writeU64(Out.Kernels.size());
+  for (const SynthesizedKernel &K : Out.Kernels) {
+    W.writeString(K.Source);
+    store::serializeCompiledKernel(W, K.Kernel);
+  }
+  (void)W.saveTo(Path); // Best-effort: a failed write just stays cold.
+  return Out;
+}
+
+uint64_t
+ClgenPipeline::fingerprint(const std::vector<corpus::ContentFile> &Files,
+                           const PipelineOptions &Opts) {
+  // Canonical byte recipe over everything training is a pure function
+  // of. Any field added to the options structs must be appended here,
+  // or stale artifacts would be served for the new configuration.
+  store::ArchiveWriter W(store::ArchiveKind::Model);
+  W.writeU64(Files.size());
+  for (const corpus::ContentFile &F : Files) {
+    W.writeString(F.Path);
+    W.writeString(F.Text);
+  }
+  W.writeBool(Opts.Corpus.Filter.UseShim);
+  W.writeU64(Opts.Corpus.Filter.MinInstructions);
+  switch (Opts.Backend) {
+  case ModelBackend::NGram:
+    W.writeString("ngram");
+    W.writeI32(Opts.NGram.Order);
+    W.writeF64(Opts.NGram.BackoffAlpha);
+    W.writeF64(Opts.NGram.UnigramSmoothing);
+    break;
+  case ModelBackend::Lstm:
+    W.writeString("lstm");
+    W.writeI32(Opts.Lstm.Layers);
+    W.writeI32(Opts.Lstm.HiddenSize);
+    W.writeI32(Opts.Lstm.Epochs);
+    W.writeI32(Opts.Lstm.SequenceLength);
+    W.writeF32(Opts.Lstm.LearningRate);
+    W.writeF32(Opts.Lstm.LearningRateDecay);
+    W.writeI32(Opts.Lstm.DecayEveryEpochs);
+    W.writeF32(Opts.Lstm.GradClip);
+    W.writeU64(Opts.Lstm.Seed);
+    break;
+  }
+  return W.payloadDigest();
+}
+
+Result<ClgenPipeline>
+ClgenPipeline::trainOrLoad(const std::string &CacheDir,
+                           const std::vector<corpus::ContentFile> &Files,
+                           const PipelineOptions &Opts,
+                           TrainOrLoadInfo *Info) {
+  std::error_code Ec;
+  std::filesystem::create_directories(CacheDir, Ec);
+  if (Ec || !std::filesystem::is_directory(CacheDir, Ec))
+    return Result<ClgenPipeline>::error(
+        "cannot create artifact cache directory: " + CacheDir);
+
+  TrainOrLoadInfo Local;
+  TrainOrLoadInfo &I = Info ? *Info : Local;
+  I = TrainOrLoadInfo();
+  I.Fingerprint = fingerprint(Files, Opts);
+  std::string Hex = store::hexDigest(I.Fingerprint);
+  I.ModelPath = CacheDir + "/model-" + Hex + ".clgs";
+  I.CorpusPath = CacheDir + "/corpus-" + Hex + ".clgs";
+
+  // A fingerprint hit requires both artifacts to load cleanly; a
+  // corrupt or missing file just falls back to retraining (which then
+  // overwrites it atomically).
+  auto StoredModel = store::loadModel(I.ModelPath);
+  auto StoredCorpus = store::loadCorpus(I.CorpusPath);
+  if (StoredModel.ok() && StoredCorpus.ok()) {
+    ClgenPipeline P;
+    P.TrainingCorpus = StoredCorpus.take();
+    P.Model = StoredModel.take();
+    P.ArtifactFingerprint = I.Fingerprint;
+    I.LoadedModel = I.LoadedCorpus = true;
+    return P;
+  }
+
+  ClgenPipeline P = train(Files, Opts);
+  P.ArtifactFingerprint = I.Fingerprint;
+  Status SaveModel = store::saveModel(I.ModelPath, *P.Model);
+  Status SaveCorpus = store::saveCorpus(I.CorpusPath, P.TrainingCorpus);
+  if (!SaveModel.ok())
+    return Result<ClgenPipeline>::error("cannot persist trained model: " +
+                                        SaveModel.errorMessage());
+  if (!SaveCorpus.ok())
+    return Result<ClgenPipeline>::error("cannot persist corpus snapshot: " +
+                                        SaveCorpus.errorMessage());
+  return P;
 }

@@ -19,8 +19,10 @@
 #include "corpus/Corpus.h"
 #include "model/LstmModel.h"
 #include "model/NGramModel.h"
+#include "support/Result.h"
 
 #include <memory>
+#include <string>
 
 namespace clgen {
 namespace core {
@@ -40,6 +42,19 @@ struct PipelineOptions {
   model::LstmOptions Lstm;
 };
 
+/// What trainOrLoad did and where its artifacts live.
+struct TrainOrLoadInfo {
+  /// True when the model / corpus came from the artifact store instead
+  /// of being rebuilt.
+  bool LoadedModel = false;
+  bool LoadedCorpus = false;
+  /// Content fingerprint of (files, corpus options, backend, model
+  /// options) — the cache address of this training configuration.
+  uint64_t Fingerprint = 0;
+  std::string ModelPath;
+  std::string CorpusPath;
+};
+
 /// A trained CLgen instance: the corpus it learned from plus the model.
 class ClgenPipeline {
 public:
@@ -47,17 +62,56 @@ public:
   static ClgenPipeline train(const std::vector<corpus::ContentFile> &Files,
                              const PipelineOptions &Opts = PipelineOptions());
 
+  /// Warm-start variant: fingerprints the content files + options and,
+  /// when \p CacheDir holds a model (and corpus snapshot) stored under
+  /// that fingerprint, loads it instead of retraining — synthesis from
+  /// a loaded model is bit-identical to synthesis from a fresh one.
+  /// Misses (or corrupt artifacts, which are ignored and overwritten)
+  /// train as usual and persist both artifacts atomically for the next
+  /// run. Fails only when \p CacheDir cannot be created/written.
+  static Result<ClgenPipeline>
+  trainOrLoad(const std::string &CacheDir,
+              const std::vector<corpus::ContentFile> &Files,
+              const PipelineOptions &Opts = PipelineOptions(),
+              TrainOrLoadInfo *Info = nullptr);
+
+  /// The fingerprint trainOrLoad addresses its artifacts by (exposed
+  /// for tests and cache-inspection tooling).
+  static uint64_t
+  fingerprint(const std::vector<corpus::ContentFile> &Files,
+              const PipelineOptions &Opts);
+
   /// Synthesizes benchmarks with the trained model. Set
   /// SynthesisOptions::Workers to fan candidate sampling out across a
   /// thread pool; results are bit-identical for every worker count.
   SynthesisResult synthesize(const SynthesisOptions &Opts);
 
+  /// Memoizing variant: the synthesized kernel set is itself a durable
+  /// artifact ("living benchmark suite"), stored in \p CacheDir under a
+  /// digest of (this pipeline's model, the output-relevant synthesis
+  /// options). A hit deserializes the kernels instead of re-sampling —
+  /// valid because synthesize() is a pure function of those inputs;
+  /// Workers/WaveSize are excluded from the key, matching the engine's
+  /// bit-identical-across-workers contract. For pipelines built by
+  /// trainOrLoad the model is identified by the training fingerprint;
+  /// otherwise the key digests the serialized model content itself.
+  /// Corrupt or missing entries re-synthesize and overwrite; cache I/O
+  /// failures degrade to plain synthesis (never an error).
+  SynthesisResult synthesizeOrLoad(const std::string &CacheDir,
+                                   const SynthesisOptions &Opts,
+                                   bool *Loaded = nullptr);
+
   const corpus::Corpus &corpus() const { return TrainingCorpus; }
   model::LanguageModel &languageModel() { return *Model; }
+
+  /// Artifact-store fingerprint this pipeline was trained/loaded under
+  /// (0 when built by plain train()).
+  uint64_t artifactFingerprint() const { return ArtifactFingerprint; }
 
 private:
   corpus::Corpus TrainingCorpus;
   std::unique_ptr<model::LanguageModel> Model;
+  uint64_t ArtifactFingerprint = 0;
 };
 
 } // namespace core

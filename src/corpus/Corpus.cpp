@@ -9,6 +9,7 @@
 #include "corpus/Rewriter.h"
 #include "ocl/AstPrinter.h"
 #include "ocl/Lexer.h"
+#include "store/Archive.h"
 #include "support/StringUtils.h"
 
 #include <unordered_set>
@@ -23,6 +24,44 @@ std::string Corpus::allText() const {
     All += '\n';
   }
   return All;
+}
+
+void Corpus::serialize(store::ArchiveWriter &W) const {
+  W.writeU64(Entries.size());
+  for (const std::string &E : Entries)
+    W.writeString(E);
+  W.writeU64(Stats.FilesIn);
+  W.writeU64(Stats.FilesAccepted);
+  W.writeU64(Stats.FilesRejected);
+  for (size_t Count : Stats.RejectionsByReason)
+    W.writeU64(Count);
+  W.writeU64(Stats.RawLines);
+  W.writeU64(Stats.CompilableLines);
+  W.writeU64(Stats.FinalLines);
+  W.writeU64(Stats.KernelCount);
+  W.writeU64(Stats.VocabularyBefore);
+  W.writeU64(Stats.VocabularyAfter);
+}
+
+Corpus Corpus::deserialize(store::ArchiveReader &R) {
+  Corpus C;
+  uint64_t EntryCount = R.readU64();
+  for (uint64_t I = 0; I < EntryCount && R.ok(); ++I)
+    C.Entries.push_back(R.readString());
+  C.Stats.FilesIn = R.readU64();
+  C.Stats.FilesAccepted = R.readU64();
+  C.Stats.FilesRejected = R.readU64();
+  for (size_t &Count : C.Stats.RejectionsByReason)
+    Count = R.readU64();
+  C.Stats.RawLines = R.readU64();
+  C.Stats.CompilableLines = R.readU64();
+  C.Stats.FinalLines = R.readU64();
+  C.Stats.KernelCount = R.readU64();
+  C.Stats.VocabularyBefore = R.readU64();
+  C.Stats.VocabularyAfter = R.readU64();
+  if (!R.ok())
+    return Corpus();
+  return C;
 }
 
 Corpus corpus::buildCorpus(const std::vector<ContentFile> &Files,

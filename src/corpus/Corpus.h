@@ -22,6 +22,10 @@
 #include <vector>
 
 namespace clgen {
+namespace store {
+class ArchiveWriter;
+class ArchiveReader;
+} // namespace store
 namespace corpus {
 
 /// One mined file, as fetched.
@@ -68,6 +72,13 @@ struct Corpus {
 
   /// Concatenation used for vocabulary building.
   std::string allText() const;
+
+  /// Appends the snapshot (entries + statistics) to an archive payload.
+  void serialize(store::ArchiveWriter &W) const;
+
+  /// Rebuilds a snapshot from an archive; trips the reader's error
+  /// state on schema violations.
+  static Corpus deserialize(store::ArchiveReader &R);
 };
 
 /// Runs the full pipeline over \p Files.

@@ -54,6 +54,13 @@ public:
   /// cloneable, in which case callers must fall back to serial sampling.
   virtual std::unique_ptr<LanguageModel> clone() const { return nullptr; }
 
+  /// Stable identifier of the concrete backend ("ngram", "lstm"), used
+  /// as the dispatch tag by the artifact store's polymorphic model
+  /// serialization (store/Serialization.h) and in pipeline cache
+  /// fingerprints. Backends without serialization support keep the
+  /// default and are rejected by store::saveModel.
+  virtual const char *backendName() const { return "unknown"; }
+
   /// Convenience: feed a whole string.
   void observeText(const std::string &Text);
 

@@ -21,6 +21,8 @@
 
 #include "model/LstmModel.h"
 
+#include "store/Archive.h"
+
 #include <cassert>
 #include <cmath>
 
@@ -171,6 +173,83 @@ size_t LstmModel::parameterCount() const {
 
 std::unique_ptr<LanguageModel> LstmModel::clone() const {
   return std::make_unique<LstmModel>(*this);
+}
+
+void LstmModel::serialize(store::ArchiveWriter &W) const {
+  W.writeI32(Opts.Layers);
+  W.writeI32(Opts.HiddenSize);
+  W.writeI32(Opts.Epochs);
+  W.writeI32(Opts.SequenceLength);
+  W.writeF32(Opts.LearningRate);
+  W.writeF32(Opts.LearningRateDecay);
+  W.writeI32(Opts.DecayEveryEpochs);
+  W.writeF32(Opts.GradClip);
+  W.writeU64(Opts.Seed);
+  Vocab.serialize(W);
+  W.writeI32(V);
+  W.writeU32(static_cast<uint32_t>(Layers.size()));
+  for (const Layer &L : Layers) {
+    W.writeI32(L.In);
+    W.writeF32Vector(L.WxT);
+    W.writeF32Vector(L.WhT);
+    W.writeF32Vector(L.B);
+  }
+  W.writeF32Vector(Wy);
+  W.writeF32Vector(By);
+}
+
+LstmModel LstmModel::deserialize(store::ArchiveReader &R) {
+  LstmOptions Opts;
+  Opts.Layers = R.readI32();
+  Opts.HiddenSize = R.readI32();
+  Opts.Epochs = R.readI32();
+  Opts.SequenceLength = R.readI32();
+  Opts.LearningRate = R.readF32();
+  Opts.LearningRateDecay = R.readF32();
+  Opts.DecayEveryEpochs = R.readI32();
+  Opts.GradClip = R.readF32();
+  Opts.Seed = R.readU64();
+  if (R.ok() && (Opts.Layers < 1 || Opts.Layers > 64 ||
+                 Opts.HiddenSize < 1 || Opts.HiddenSize > (1 << 16)))
+    R.fail("LSTM architecture out of range");
+
+  LstmModel M(Opts);
+  M.Vocab = Vocabulary::deserialize(R);
+  M.V = R.readI32();
+  if (R.ok() && M.V != static_cast<int>(M.Vocab.size()))
+    R.fail("LSTM vocabulary size disagrees with stored vocabulary");
+
+  uint32_t LayerCount = R.readU32();
+  if (R.ok() && LayerCount != static_cast<uint32_t>(Opts.Layers))
+    R.fail("LSTM layer count disagrees with stored options");
+  if (!R.ok())
+    return LstmModel();
+
+  int H = Opts.HiddenSize;
+  M.Layers.resize(Opts.Layers);
+  for (int L = 0; L < Opts.Layers && R.ok(); ++L) {
+    Layer &Lay = M.Layers[L];
+    Lay.In = R.readI32();
+    Lay.WxT = R.readF32Vector();
+    Lay.WhT = R.readF32Vector();
+    Lay.B = R.readF32Vector();
+    int ExpectedIn = L == 0 ? M.V : H;
+    if (R.ok() &&
+        (Lay.In != ExpectedIn ||
+         Lay.WxT.size() != static_cast<size_t>(Lay.In) * 4 * H ||
+         Lay.WhT.size() != static_cast<size_t>(H) * 4 * H ||
+         Lay.B.size() != static_cast<size_t>(4) * H))
+      R.fail("LSTM layer weight blob does not match the architecture");
+  }
+  M.Wy = R.readF32Vector();
+  M.By = R.readF32Vector();
+  if (R.ok() && (M.Wy.size() != static_cast<size_t>(M.V) * H ||
+                 M.By.size() != static_cast<size_t>(M.V)))
+    R.fail("LSTM output projection does not match the architecture");
+  if (!R.ok())
+    return LstmModel();
+  M.reset();
+  return M;
 }
 
 void LstmModel::reset() {

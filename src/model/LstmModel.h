@@ -68,9 +68,21 @@ public:
   std::vector<double> nextDistribution() override;
   void nextDistributionInto(std::vector<double> &Dist) override;
   std::unique_ptr<LanguageModel> clone() const override;
+  const char *backendName() const override { return "lstm"; }
 
   /// Total trainable parameter count (the paper's model has 17M).
   size_t parameterCount() const;
+
+  /// Appends options + vocabulary + all weight matrices to an archive
+  /// payload. Weights travel as IEEE-754 bit patterns, so a load
+  /// restores the parameters bit-exactly and generation from a loaded
+  /// model matches the original float for float.
+  void serialize(store::ArchiveWriter &W) const;
+
+  /// Rebuilds a trained model from an archive, validating every weight
+  /// blob against the stored architecture (layer count, hidden size,
+  /// vocabulary size). Trips the reader's error state on mismatch.
+  static LstmModel deserialize(store::ArchiveReader &R);
 
   /// Cross-entropy (bits/char) of a token sequence under the current
   /// parameters, from a zero state. Used by training diagnostics/tests.

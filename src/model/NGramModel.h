@@ -75,9 +75,21 @@ public:
   std::vector<double> nextDistribution() override;
   void nextDistributionInto(std::vector<double> &Dist) override;
   std::unique_ptr<LanguageModel> clone() const override;
+  const char *backendName() const override { return "ngram"; }
 
   /// Number of distinct contexts stored (all orders).
   size_t contextCount() const { return Counts ? Counts->size() : 0; }
+
+  /// Appends options, vocabulary and the full count table to an archive
+  /// payload. Contexts and their count entries are emitted in sorted
+  /// order, so equal trained models serialize to byte-identical
+  /// archives (content-addressing relies on this).
+  void serialize(store::ArchiveWriter &W) const;
+
+  /// Rebuilds a trained model from an archive. On schema violations the
+  /// reader's error state is tripped; callers must check it before
+  /// using the returned model.
+  static NGramModel deserialize(store::ArchiveReader &R);
 
 private:
   NGramOptions Opts;

@@ -6,6 +6,8 @@
 
 #include "model/Vocabulary.h"
 
+#include "store/Archive.h"
+
 using namespace clgen;
 using namespace clgen::model;
 
@@ -39,6 +41,25 @@ std::vector<int> Vocabulary::encode(const std::string &Text) const {
   for (char C : Text)
     Ids.push_back(idOf(C));
   return Ids;
+}
+
+void Vocabulary::serialize(store::ArchiveWriter &W) const {
+  W.writeString(std::string_view(Chars.data() + 1, Chars.size() - 1));
+}
+
+Vocabulary Vocabulary::deserialize(store::ArchiveReader &R) {
+  std::string Stored = R.readString();
+  Vocabulary V;
+  for (char C : Stored) {
+    auto U = static_cast<unsigned char>(C);
+    if (C == '\0' || V.IdByChar[U] != 0) {
+      R.fail("malformed vocabulary: duplicate or sentinel character");
+      return Vocabulary();
+    }
+    V.IdByChar[U] = static_cast<int>(V.Chars.size());
+    V.Chars.push_back(C);
+  }
+  return V;
 }
 
 std::string Vocabulary::decode(const std::vector<int> &Ids) const {

@@ -19,6 +19,10 @@
 #include <vector>
 
 namespace clgen {
+namespace store {
+class ArchiveWriter;
+class ArchiveReader;
+} // namespace store
 namespace model {
 
 class Vocabulary {
@@ -43,6 +47,15 @@ public:
 
   /// Decodes ids to text, stopping at the sentinel.
   std::string decode(const std::vector<int> &Ids) const;
+
+  /// Appends this vocabulary to an archive payload (characters in id
+  /// order; the sentinel is implicit).
+  void serialize(store::ArchiveWriter &W) const;
+
+  /// Reads a vocabulary back. Trips the reader's error state (and
+  /// returns an empty vocabulary) when the stored character set is
+  /// malformed — duplicates or an explicit sentinel.
+  static Vocabulary deserialize(store::ArchiveReader &R);
 
 private:
   /// Chars[id] = character; Chars[0] = '\0' sentinel.

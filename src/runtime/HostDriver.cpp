@@ -6,6 +6,7 @@
 
 #include "runtime/HostDriver.h"
 
+#include "store/ResultCache.h"
 #include "support/ThreadPool.h"
 #include "vm/Compiler.h"
 
@@ -14,6 +15,17 @@
 using namespace clgen;
 using namespace clgen::runtime;
 using namespace clgen::vm;
+
+/// Per-kernel effective options for a batch: kernel \p I draws its
+/// payload RNG from the counter-keyed stream I of the batch seed.
+/// Shared by the cached and uncached batch paths — cache keys embed
+/// this seed, so the two derivations must never diverge.
+static DriverOptions kernelBatchOptions(const DriverOptions &Opts,
+                                        const Rng &Base, size_t I) {
+  DriverOptions KOpts = Opts;
+  KOpts.Seed = Base.split(I).next();
+  return KOpts;
+}
 
 Result<Measurement> runtime::runBenchmark(const CompiledKernel &Kernel,
                                           const Platform &P,
@@ -75,9 +87,7 @@ runtime::runBenchmarkBatch(const std::vector<CompiledKernel> &Kernels,
       Kernels.size(), Result<Measurement>::error("not measured"));
   Rng Base(Opts.Seed);
   auto MeasureOne = [&](size_t I) {
-    DriverOptions KernelOpts = Opts;
-    KernelOpts.Seed = Base.split(I).next();
-    Out[I] = runBenchmark(Kernels[I], P, KernelOpts);
+    Out[I] = runBenchmark(Kernels[I], P, kernelBatchOptions(Opts, Base, I));
   };
   size_t N =
       std::min(ThreadPool::resolveWorkerCount(Workers), Kernels.size());
@@ -89,5 +99,52 @@ runtime::runBenchmarkBatch(const std::vector<CompiledKernel> &Kernels,
   ThreadPool Pool(N);
   Pool.parallelFor(0, Kernels.size(),
                    [&](size_t, size_t I) { MeasureOne(I); });
+  return Out;
+}
+
+std::vector<Result<Measurement>>
+runtime::runBenchmarkBatch(const std::vector<CompiledKernel> &Kernels,
+                           const Platform &P, const DriverOptions &Opts,
+                           unsigned Workers, store::ResultCache &Cache,
+                           BatchCacheStats *CacheStats) {
+  std::vector<Result<Measurement>> Out(
+      Kernels.size(), Result<Measurement>::error("not measured"));
+  Rng Base(Opts.Seed);
+
+  // Resolve the per-kernel effective options first (the key includes the
+  // split payload seed), then probe the cache; only misses execute.
+  std::vector<DriverOptions> KernelOpts(Kernels.size(), Opts);
+  std::vector<uint64_t> Keys(Kernels.size());
+  std::vector<size_t> MissIndices;
+  BatchCacheStats Tally;
+  for (size_t I = 0; I < Kernels.size(); ++I) {
+    KernelOpts[I] = kernelBatchOptions(Opts, Base, I);
+    Keys[I] = store::measurementKey(Kernels[I], KernelOpts[I], P);
+    if (auto Cached = Cache.lookup(Keys[I])) {
+      Out[I] = *Cached;
+      ++Tally.Hits;
+    } else {
+      MissIndices.push_back(I);
+      ++Tally.Misses;
+    }
+  }
+
+  auto MeasureOne = [&](size_t I) {
+    Out[I] = runBenchmark(Kernels[I], P, KernelOpts[I]);
+    if (Out[I].ok())
+      Cache.store(Keys[I], Out[I].get());
+  };
+  size_t N =
+      std::min(ThreadPool::resolveWorkerCount(Workers), MissIndices.size());
+  if (N <= 1 || MissIndices.size() <= 1) {
+    for (size_t I : MissIndices)
+      MeasureOne(I);
+  } else {
+    ThreadPool Pool(N);
+    Pool.parallelFor(0, MissIndices.size(),
+                     [&](size_t, size_t J) { MeasureOne(MissIndices[J]); });
+  }
+  if (CacheStats)
+    *CacheStats = Tally;
   return Out;
 }

@@ -27,6 +27,9 @@
 #include <string>
 
 namespace clgen {
+namespace store {
+class ResultCache;
+} // namespace store
 namespace runtime {
 
 /// The measurements for one (kernel, dataset) pair on one platform.
@@ -78,6 +81,28 @@ std::vector<Result<Measurement>>
 runBenchmarkBatch(const std::vector<vm::CompiledKernel> &Kernels,
                   const Platform &P, const DriverOptions &Opts,
                   unsigned Workers = 0);
+
+/// Hit/miss tally of one cached batch run (cache-level counters live in
+/// store::ResultCache::stats(); this reports just this call).
+struct BatchCacheStats {
+  size_t Hits = 0;
+  size_t Misses = 0;
+};
+
+/// Cached variant: each kernel is content-addressed in \p Cache (keyed
+/// by its serialized bytecode, the per-kernel effective driver options
+/// including the split payload seed, and the platform's device
+/// configs). Hits skip execution entirely; only misses fan out across
+/// the worker pool, and each fresh measurement is written back
+/// atomically so concurrent batches can share one cache directory.
+/// Results are identical to the uncached overload — the simulator is
+/// deterministic, so a memoized measurement IS the fresh measurement.
+/// Failed runs are not cached; they are re-attempted on the next batch.
+std::vector<Result<Measurement>>
+runBenchmarkBatch(const std::vector<vm::CompiledKernel> &Kernels,
+                  const Platform &P, const DriverOptions &Opts,
+                  unsigned Workers, store::ResultCache &Cache,
+                  BatchCacheStats *CacheStats = nullptr);
 
 } // namespace runtime
 } // namespace clgen

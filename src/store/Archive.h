@@ -1,0 +1,167 @@
+//===- store/Archive.h - Versioned binary archive I/O ------------*- C++ -*-===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The serialization substrate of the persistent artifact store: a
+/// length-prefixed binary archive format with a magic number, a format
+/// version, a payload-kind tag and an FNV-1a trailer checksum. All
+/// primitives are written little-endian byte-by-byte, so archives are
+/// bit-identical across platforms and compilers ("endian-stable") and a
+/// given in-memory artifact always hashes to the same digest — the
+/// property the content-addressed caches are built on.
+///
+/// Layout:
+///
+///   [u32 magic 'CLGS'][u32 version][u32 kind][u64 payload size]
+///   [payload bytes][u64 fnv1a64(payload)]
+///
+/// ArchiveReader is defensive by contract: every read is bounds-checked
+/// and a malformed archive (truncated, corrupted, wrong version) turns
+/// into a sticky error state — never a crash or an out-of-bounds access.
+/// Durability contract: saveTo() writes to a unique temp file in the
+/// destination directory and renames it into place, so concurrent
+/// writers and crashed processes can never leave a partial archive under
+/// the final name.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLGEN_STORE_ARCHIVE_H
+#define CLGEN_STORE_ARCHIVE_H
+
+#include "support/Result.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace clgen {
+namespace store {
+
+/// Format version of the archive container itself. Bump when the header
+/// layout or a payload schema changes shape; readers reject any other
+/// version (no silent migration — see ROADMAP "format version policy").
+constexpr uint32_t FormatVersion = 1;
+
+/// Payload kinds (the `kind` header field). One archive holds exactly
+/// one artifact; the kind tag stops a corpus snapshot from being
+/// deserialized as an LSTM weight blob even when both parse cleanly.
+enum class ArchiveKind : uint32_t {
+  Model = 1,       // Polymorphic language model (tagged n-gram/LSTM).
+  Corpus = 2,      // corpus::Corpus snapshot (entries + stats).
+  Measurement = 3, // One runtime::Measurement (result-cache entry).
+  Synthesis = 4,   // core::SynthesisResult (kernels + stats).
+};
+
+/// FNV-1a 64-bit over \p Size bytes, continuing from \p Seed. The
+/// store's only hash: archive checksums, cache keys and fingerprints all
+/// use it so a key is reproducible from the documented byte recipe.
+uint64_t fnv1a64(const void *Data, size_t Size,
+                 uint64_t Seed = 0xCBF29CE484222325ull);
+
+/// Renders a 64-bit digest as 16 lowercase hex characters (stable file
+/// names for content-addressed artifacts).
+std::string hexDigest(uint64_t Digest);
+
+/// Serializes primitives into an in-memory payload, then seals it with
+/// the header + checksum. Writers are append-only and infallible; all
+/// error handling lives at the file boundary (saveTo).
+class ArchiveWriter {
+public:
+  explicit ArchiveWriter(ArchiveKind Kind) : Kind(Kind) {}
+
+  void writeU8(uint8_t V) { Payload.push_back(V); }
+  void writeU32(uint32_t V);
+  void writeU64(uint64_t V);
+  void writeI32(int32_t V) { writeU32(static_cast<uint32_t>(V)); }
+  void writeI64(int64_t V) { writeU64(static_cast<uint64_t>(V)); }
+  void writeBool(bool V) { writeU8(V ? 1 : 0); }
+  /// Floats travel as IEEE-754 bit patterns: round-trips are bit-exact.
+  void writeF32(float V);
+  void writeF64(double V);
+  void writeString(std::string_view S);
+  void writeBytes(const void *Data, size_t Size);
+  /// Length-prefixed float/double vectors (bulk weight blobs).
+  void writeF32Vector(const std::vector<float> &V);
+  void writeF64Vector(const std::vector<double> &V);
+
+  /// FNV-1a digest of the payload written so far. Fingerprints hash the
+  /// payload only, so the digest of a key recipe is independent of the
+  /// archive header around it.
+  uint64_t payloadDigest() const;
+
+  /// The sealed archive: header + payload + checksum trailer.
+  std::vector<uint8_t> finalize() const;
+
+  /// Writes the sealed archive atomically: temp file in the same
+  /// directory + rename. Safe against concurrent writers of the same
+  /// path (last rename wins; readers always see a complete file).
+  Status saveTo(const std::string &Path) const;
+
+private:
+  ArchiveKind Kind;
+  std::vector<uint8_t> Payload;
+};
+
+/// Bounds-checked reader over a sealed archive. Construction validates
+/// magic, version, kind, size and checksum up front; individual reads
+/// can still fail (schema mismatch) by tripping the sticky error state,
+/// after which every subsequent read returns zero/empty. Callers check
+/// ok() once at the end of deserialization.
+class ArchiveReader {
+public:
+  /// Reads and validates \p Path. Fails loudly on missing files,
+  /// truncation, corruption, wrong magic/version/kind.
+  static Result<ArchiveReader> open(const std::string &Path,
+                                    ArchiveKind ExpectedKind);
+
+  /// Same validation over an in-memory archive image.
+  static Result<ArchiveReader> fromBytes(std::vector<uint8_t> Bytes,
+                                         ArchiveKind ExpectedKind);
+
+  uint8_t readU8();
+  uint32_t readU32();
+  uint64_t readU64();
+  int32_t readI32() { return static_cast<int32_t>(readU32()); }
+  int64_t readI64() { return static_cast<int64_t>(readU64()); }
+  bool readBool() { return readU8() != 0; }
+  float readF32();
+  double readF64();
+  std::string readString();
+  std::vector<float> readF32Vector();
+  std::vector<double> readF64Vector();
+
+  /// True while no read has overrun or been failed by the caller.
+  bool ok() const { return Error.empty(); }
+  const std::string &errorMessage() const { return Error; }
+
+  /// Marks the archive malformed from the deserializer's point of view
+  /// (e.g. a count field that fails a schema sanity bound). Sticky.
+  void fail(std::string Message);
+
+  /// Final verdict: every byte consumed and no error. Trailing garbage
+  /// inside a checksummed payload means a schema mismatch, so it is an
+  /// error too, not a warning.
+  Status finish() const;
+
+private:
+  ArchiveReader() = default;
+  /// Guards length-prefixed bulk reads: a corrupt length field must not
+  /// turn into a multi-gigabyte allocation before the bounds check.
+  bool checkAvailable(size_t Bytes, const char *What);
+
+  std::vector<uint8_t> Data; // Payload only (header/trailer stripped).
+  size_t Pos = 0;
+  std::string Error;
+};
+
+/// Reads an entire file into \p Out. Returns false on any I/O error.
+bool readFileBytes(const std::string &Path, std::vector<uint8_t> &Out);
+
+} // namespace store
+} // namespace clgen
+
+#endif // CLGEN_STORE_ARCHIVE_H

@@ -1,0 +1,215 @@
+//===- store/ResultCache.cpp - Content-addressed result cache ------------===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "store/ResultCache.h"
+
+#include "store/Serialization.h"
+
+#include <filesystem>
+
+using namespace clgen;
+using namespace clgen::store;
+using namespace clgen::runtime;
+
+//===----------------------------------------------------------------------===//
+// Key recipes
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void serializeDriverOptions(ArchiveWriter &W, const DriverOptions &Opts) {
+  W.writeU64(Opts.GlobalSize);
+  W.writeU64(Opts.LocalSize);
+  W.writeBool(Opts.RunDynamicCheck);
+  W.writeU64(Opts.MaxSimulatedGroups);
+  W.writeU64(Opts.MaxInstructions);
+  W.writeU64(Opts.Seed);
+}
+
+void serializeDeviceModel(ArchiveWriter &W, const DeviceModel &D) {
+  W.writeString(D.Name);
+  W.writeU8(static_cast<uint8_t>(D.Kind));
+  W.writeF64(D.FrequencyGHz);
+  W.writeF64(D.ParallelLanes);
+  W.writeF64(D.ComputeOpCost);
+  W.writeF64(D.MathCallCost);
+  W.writeF64(D.CoalescedAccessCost);
+  W.writeF64(D.UncoalescedAccessCost);
+  W.writeF64(D.LocalAccessCost);
+  W.writeF64(D.PrivateAccessCost);
+  W.writeF64(D.BranchCost);
+  W.writeF64(D.DivergencePenalty);
+  W.writeF64(D.AtomicCost);
+  W.writeF64(D.BarrierCost);
+  W.writeF64(D.TransferGBPerSec);
+  W.writeF64(D.LaunchOverheadUs);
+}
+
+void serializePlatform(ArchiveWriter &W, const Platform &P) {
+  W.writeString(P.Name);
+  serializeDeviceModel(W, P.Cpu);
+  serializeDeviceModel(W, P.Gpu);
+}
+
+} // namespace
+
+uint64_t store::measurementKey(const vm::CompiledKernel &Kernel,
+                               const DriverOptions &Opts,
+                               const Platform &P) {
+  // 'B' keys digest the kernel's canonical content serialization: two
+  // kernels that serialize identically execute identically under the
+  // deterministic simulator.
+  ArchiveWriter W(ArchiveKind::Measurement);
+  W.writeU8('B');
+  serializeCompiledKernel(W, Kernel);
+  serializeDriverOptions(W, Opts);
+  serializePlatform(W, P);
+  return W.payloadDigest();
+}
+
+uint64_t store::measurementKey(const std::string &Source,
+                               const DriverOptions &Opts,
+                               const Platform &P) {
+  ArchiveWriter W(ArchiveKind::Measurement);
+  W.writeU8('S');
+  W.writeString(Source);
+  serializeDriverOptions(W, Opts);
+  serializePlatform(W, P);
+  return W.payloadDigest();
+}
+
+//===----------------------------------------------------------------------===//
+// Measurement payload
+//===----------------------------------------------------------------------===//
+
+void store::serializeMeasurement(ArchiveWriter &W, const Measurement &M) {
+  W.writeF64(M.CpuTime);
+  W.writeF64(M.GpuTime);
+  const vm::ExecCounters &C = M.Counters;
+  W.writeU64(C.Instructions);
+  W.writeU64(C.ComputeOps);
+  W.writeU64(C.MathCalls);
+  W.writeU64(C.GlobalLoads);
+  W.writeU64(C.GlobalStores);
+  W.writeU64(C.CoalescedGlobal);
+  W.writeU64(C.LocalAccesses);
+  W.writeU64(C.PrivateAccesses);
+  W.writeU64(C.Branches);
+  W.writeU64(C.AtomicOps);
+  W.writeU64(C.Barriers);
+  W.writeU64(C.ItemsTotal);
+  W.writeU64(C.ItemsExecuted);
+  W.writeF64(C.Divergence);
+  W.writeU64(M.Transfer.BytesIn);
+  W.writeU64(M.Transfer.BytesOut);
+  W.writeU64(M.GlobalSize);
+  W.writeU64(M.LocalSize);
+}
+
+Measurement store::deserializeMeasurement(ArchiveReader &R) {
+  Measurement M;
+  M.CpuTime = R.readF64();
+  M.GpuTime = R.readF64();
+  vm::ExecCounters &C = M.Counters;
+  C.Instructions = R.readU64();
+  C.ComputeOps = R.readU64();
+  C.MathCalls = R.readU64();
+  C.GlobalLoads = R.readU64();
+  C.GlobalStores = R.readU64();
+  C.CoalescedGlobal = R.readU64();
+  C.LocalAccesses = R.readU64();
+  C.PrivateAccesses = R.readU64();
+  C.Branches = R.readU64();
+  C.AtomicOps = R.readU64();
+  C.Barriers = R.readU64();
+  C.ItemsTotal = R.readU64();
+  C.ItemsExecuted = R.readU64();
+  C.Divergence = R.readF64();
+  M.Transfer.BytesIn = R.readU64();
+  M.Transfer.BytesOut = R.readU64();
+  M.GlobalSize = R.readU64();
+  M.LocalSize = R.readU64();
+  return M;
+}
+
+//===----------------------------------------------------------------------===//
+// ResultCache
+//===----------------------------------------------------------------------===//
+
+ResultCache::ResultCache(std::string Directory) : Dir(std::move(Directory)) {
+  std::error_code Ec;
+  std::filesystem::create_directories(Dir, Ec);
+  DirOk = !Ec && std::filesystem::is_directory(Dir, Ec);
+}
+
+std::string ResultCache::entryPath(uint64_t Key) const {
+  return Dir + "/" + hexDigest(Key) + ".clgs";
+}
+
+std::optional<Measurement> ResultCache::lookup(uint64_t Key) {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    auto It = Memory.find(Key);
+    if (It != Memory.end()) {
+      ++Counters.Hits;
+      ++Counters.MemoryHits;
+      return It->second;
+    }
+  }
+
+  // Disk probe outside the lock: archive reads are pure, and concurrent
+  // probes of the same key just both hit.
+  auto Opened = ArchiveReader::open(entryPath(Key),
+                                    ArchiveKind::Measurement);
+  if (!Opened.ok()) {
+    std::error_code Ec;
+    bool Exists = DirOk && std::filesystem::exists(entryPath(Key), Ec);
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ++Counters.Misses;
+    if (Exists)
+      ++Counters.BadEntries; // Present but unreadable: treated as a miss.
+    return std::nullopt;
+  }
+  ArchiveReader R = Opened.take();
+  Measurement M = deserializeMeasurement(R);
+  if (!R.finish().ok()) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ++Counters.Misses;
+    ++Counters.BadEntries;
+    return std::nullopt;
+  }
+
+  std::lock_guard<std::mutex> Lock(Mutex);
+  ++Counters.Hits;
+  Memory.emplace(Key, M);
+  return M;
+}
+
+Status ResultCache::store(uint64_t Key, const Measurement &M) {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Memory[Key] = M;
+    ++Counters.Writes;
+  }
+  if (!DirOk) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ++Counters.WriteFailures;
+    return Status::error("cache directory unavailable: " + Dir);
+  }
+  ArchiveWriter W(ArchiveKind::Measurement);
+  serializeMeasurement(W, M);
+  Status S = W.saveTo(entryPath(Key));
+  if (!S.ok()) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ++Counters.WriteFailures;
+  }
+  return S;
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Counters;
+}

@@ -1,0 +1,109 @@
+//===- store/ResultCache.h - Content-addressed result cache ------*- C++ -*-===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Durable memoization of driver-side measurements. A cache entry is one
+/// runtime::Measurement, content-addressed by an FNV-1a digest over a
+/// canonical byte recipe of everything the measurement is a pure
+/// function of:
+///
+///   key = fnv1a64( tag || kernel identity || driver options
+///                  || platform device configs )
+///
+/// where the kernel identity is either the source text (tag 'S') or the
+/// full serialized bytecode (tag 'B') — the two tags form disjoint key
+/// spaces. Because the simulator is deterministic, equal keys imply
+/// equal measurements, so a hit can skip execution entirely; see
+/// runtime::runBenchmarkBatch for the integrated fast path.
+///
+/// On disk the cache is a flat directory of archive files named
+/// <hex key>.clgs, written atomically (temp + rename), so concurrent
+/// workers and even concurrent processes can share one cache directory:
+/// the worst race outcome is the same entry written twice. A process-
+/// local in-memory map front-ends the directory so repeated hits cost a
+/// hash lookup, not a file read.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLGEN_STORE_RESULTCACHE_H
+#define CLGEN_STORE_RESULTCACHE_H
+
+#include "runtime/HostDriver.h"
+#include "store/Archive.h"
+#include "support/Result.h"
+
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace clgen {
+namespace store {
+
+/// Cache key for a measurement of \p Kernel (identified by its full
+/// serialized bytecode) under \p Opts on \p P. Every field that can
+/// change the measurement — including the payload RNG seed — is part of
+/// the recipe.
+uint64_t measurementKey(const vm::CompiledKernel &Kernel,
+                        const runtime::DriverOptions &Opts,
+                        const runtime::Platform &P);
+
+/// Source-text variant of the key (tag 'S'): for callers that cache at
+/// the kernel-source level before compiling. Distinct from the bytecode
+/// key space by construction.
+uint64_t measurementKey(const std::string &Source,
+                        const runtime::DriverOptions &Opts,
+                        const runtime::Platform &P);
+
+class ResultCache {
+public:
+  /// Running counters. Hits/misses are counted by lookup(); corrupt or
+  /// unreadable entries count as misses and are recorded separately.
+  struct Stats {
+    size_t Hits = 0;
+    size_t MemoryHits = 0; // Subset of Hits served without file I/O.
+    size_t Misses = 0;
+    size_t BadEntries = 0; // Corrupt/truncated files seen by lookup.
+    size_t Writes = 0;
+    size_t WriteFailures = 0;
+  };
+
+  /// Opens (creating if needed) the cache directory. An empty or
+  /// uncreatable directory is not an error — the cache just misses; the
+  /// failure is visible via directoryOk().
+  explicit ResultCache(std::string Directory);
+
+  /// Returns the memoized measurement for \p Key, or nullopt on miss.
+  /// Thread-safe.
+  std::optional<runtime::Measurement> lookup(uint64_t Key);
+
+  /// Memoizes \p M under \p Key (memory + atomic disk write-back).
+  /// Thread-safe; concurrent stores of the same key are benign.
+  Status store(uint64_t Key, const runtime::Measurement &M);
+
+  const std::string &directory() const { return Dir; }
+  bool directoryOk() const { return DirOk; }
+  Stats stats() const;
+
+private:
+  std::string entryPath(uint64_t Key) const;
+
+  std::string Dir;
+  bool DirOk = false;
+  mutable std::mutex Mutex;
+  std::unordered_map<uint64_t, runtime::Measurement> Memory;
+  Stats Counters;
+};
+
+/// Serializes one measurement into an archive payload / reads it back
+/// (exposed for the archive round-trip tests).
+void serializeMeasurement(ArchiveWriter &W, const runtime::Measurement &M);
+runtime::Measurement deserializeMeasurement(ArchiveReader &R);
+
+} // namespace store
+} // namespace clgen
+
+#endif // CLGEN_STORE_RESULTCACHE_H

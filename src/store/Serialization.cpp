@@ -1,0 +1,227 @@
+//===- store/Serialization.cpp - Artifact save/load API ------------------===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "store/Serialization.h"
+
+#include "model/LstmModel.h"
+#include "model/NGramModel.h"
+#include "store/Archive.h"
+
+#include <cstring>
+
+using namespace clgen;
+using namespace clgen::store;
+
+// Model payload = [string backend tag][backend body]. The tag doubles as
+// the schema selector on load; adding a backend means adding a tag, not
+// bumping the container version.
+
+Status store::saveModel(const std::string &Path,
+                        const model::LanguageModel &M) {
+  ArchiveWriter W(ArchiveKind::Model);
+  const char *Backend = M.backendName();
+  if (std::strcmp(Backend, "ngram") == 0) {
+    W.writeString(Backend);
+    static_cast<const model::NGramModel &>(M).serialize(W);
+  } else if (std::strcmp(Backend, "lstm") == 0) {
+    W.writeString(Backend);
+    static_cast<const model::LstmModel &>(M).serialize(W);
+  } else {
+    return Status::error(std::string("model backend '") + Backend +
+                         "' does not support serialization");
+  }
+  return W.saveTo(Path);
+}
+
+Result<std::unique_ptr<model::LanguageModel>>
+store::loadModel(const std::string &Path) {
+  using ModelResult = Result<std::unique_ptr<model::LanguageModel>>;
+  auto Opened = ArchiveReader::open(Path, ArchiveKind::Model);
+  if (!Opened.ok())
+    return ModelResult::error(Opened.errorMessage());
+  ArchiveReader R = Opened.take();
+
+  std::string Backend = R.readString();
+  std::unique_ptr<model::LanguageModel> M;
+  if (Backend == "ngram")
+    M = std::make_unique<model::NGramModel>(model::NGramModel::deserialize(R));
+  else if (Backend == "lstm")
+    M = std::make_unique<model::LstmModel>(model::LstmModel::deserialize(R));
+  else if (R.ok())
+    R.fail("unknown model backend tag '" + Backend + "'");
+
+  Status Final = R.finish();
+  if (!Final.ok())
+    return ModelResult::error(Path + ": " + Final.errorMessage());
+  return ModelResult(std::move(M));
+}
+
+void store::serializeCompiledKernel(ArchiveWriter &W,
+                                    const vm::CompiledKernel &K) {
+  W.writeString(K.Name);
+  W.writeU64(K.Code.size());
+  for (const vm::Instr &I : K.Code) {
+    W.writeU8(static_cast<uint8_t>(I.Op));
+    W.writeU8(I.Aux);
+    W.writeU32(I.Dst);
+    W.writeU32(I.A);
+    W.writeU32(I.B);
+    W.writeI32(I.Imm);
+    W.writeBool(I.Coalesced);
+    W.writeU8(I.WidthField);
+    W.writeU8(static_cast<uint8_t>(I.Space));
+  }
+  W.writeU64(K.Consts.size());
+  for (const vm::Value &V : K.Consts) {
+    W.writeU8(V.Width);
+    for (int L = 0; L < V.Width; ++L)
+      W.writeF64(V.Lanes[L]);
+  }
+  W.writeU64(K.Masks.size());
+  for (const auto &Mask : K.Masks) {
+    W.writeU64(Mask.size());
+    W.writeBytes(Mask.data(), Mask.size());
+  }
+  W.writeU64(K.ArgLists.size());
+  for (const auto &Args : K.ArgLists) {
+    W.writeU64(Args.size());
+    for (uint16_t A : Args)
+      W.writeU32(A);
+  }
+  W.writeU64(K.Params.size());
+  for (const vm::ParamInfo &P : K.Params) {
+    W.writeU8(static_cast<uint8_t>(P.Ty.S));
+    W.writeU8(P.Ty.VecWidth);
+    W.writeBool(P.Ty.Pointer);
+    W.writeU8(static_cast<uint8_t>(P.Ty.AS));
+    W.writeBool(P.Ty.Const);
+    W.writeString(P.Name);
+    W.writeBool(P.IsBuffer);
+    W.writeI32(P.BufferSlot);
+    W.writeU32(P.Reg);
+  }
+  W.writeU64(K.LocalBuffers.size());
+  for (const vm::LocalBufferInfo &B : K.LocalBuffers) {
+    W.writeU8(B.ElemWidth);
+    W.writeI64(B.Elements);
+  }
+  W.writeU64(K.PrivateBuffers.size());
+  for (const vm::PrivateBufferInfo &B : K.PrivateBuffers) {
+    W.writeU8(B.ElemWidth);
+    W.writeI64(B.Elements);
+  }
+  W.writeU64(K.AccessSites.size());
+  for (const vm::AccessSite &S : K.AccessSites) {
+    W.writeU8(static_cast<uint8_t>(S.Space));
+    W.writeBool(S.IsStore);
+    W.writeBool(S.Coalesced);
+  }
+  W.writeU32(K.RegisterCount);
+  W.writeI32(K.BranchSites);
+  W.writeBool(K.HasBarrier);
+}
+
+vm::CompiledKernel store::deserializeCompiledKernel(ArchiveReader &R) {
+  vm::CompiledKernel K;
+  K.Name = R.readString();
+  uint64_t CodeSize = R.readU64();
+  for (uint64_t I = 0; I < CodeSize && R.ok(); ++I) {
+    vm::Instr In;
+    In.Op = static_cast<vm::Opcode>(R.readU8());
+    In.Aux = R.readU8();
+    In.Dst = static_cast<uint16_t>(R.readU32());
+    In.A = static_cast<uint16_t>(R.readU32());
+    In.B = static_cast<uint16_t>(R.readU32());
+    In.Imm = R.readI32();
+    In.Coalesced = R.readBool();
+    In.WidthField = R.readU8();
+    In.Space = static_cast<vm::MemSpace>(R.readU8());
+    K.Code.push_back(In);
+  }
+  uint64_t ConstCount = R.readU64();
+  for (uint64_t I = 0; I < ConstCount && R.ok(); ++I) {
+    vm::Value V;
+    V.Width = R.readU8();
+    if (V.Width > 16) {
+      R.fail("kernel constant with impossible lane width");
+      break;
+    }
+    for (int L = 0; L < V.Width; ++L)
+      V.Lanes[L] = R.readF64();
+    K.Consts.push_back(V);
+  }
+  uint64_t MaskCount = R.readU64();
+  for (uint64_t I = 0; I < MaskCount && R.ok(); ++I) {
+    std::string Bytes = R.readString();
+    K.Masks.emplace_back(Bytes.begin(), Bytes.end());
+  }
+  uint64_t ArgListCount = R.readU64();
+  for (uint64_t I = 0; I < ArgListCount && R.ok(); ++I) {
+    uint64_t Len = R.readU64();
+    std::vector<uint16_t> Args;
+    for (uint64_t J = 0; J < Len && R.ok(); ++J)
+      Args.push_back(static_cast<uint16_t>(R.readU32()));
+    K.ArgLists.push_back(std::move(Args));
+  }
+  uint64_t ParamCount = R.readU64();
+  for (uint64_t I = 0; I < ParamCount && R.ok(); ++I) {
+    vm::ParamInfo P;
+    P.Ty.S = static_cast<ocl::Scalar>(R.readU8());
+    P.Ty.VecWidth = R.readU8();
+    P.Ty.Pointer = R.readBool();
+    P.Ty.AS = static_cast<ocl::AddrSpace>(R.readU8());
+    P.Ty.Const = R.readBool();
+    P.Name = R.readString();
+    P.IsBuffer = R.readBool();
+    P.BufferSlot = R.readI32();
+    P.Reg = static_cast<uint16_t>(R.readU32());
+    K.Params.push_back(std::move(P));
+  }
+  uint64_t LocalCount = R.readU64();
+  for (uint64_t I = 0; I < LocalCount && R.ok(); ++I) {
+    vm::LocalBufferInfo B;
+    B.ElemWidth = R.readU8();
+    B.Elements = R.readI64();
+    K.LocalBuffers.push_back(B);
+  }
+  uint64_t PrivateCount = R.readU64();
+  for (uint64_t I = 0; I < PrivateCount && R.ok(); ++I) {
+    vm::PrivateBufferInfo B;
+    B.ElemWidth = R.readU8();
+    B.Elements = R.readI64();
+    K.PrivateBuffers.push_back(B);
+  }
+  uint64_t SiteCount = R.readU64();
+  for (uint64_t I = 0; I < SiteCount && R.ok(); ++I) {
+    vm::AccessSite S;
+    S.Space = static_cast<vm::MemSpace>(R.readU8());
+    S.IsStore = R.readBool();
+    S.Coalesced = R.readBool();
+    K.AccessSites.push_back(S);
+  }
+  K.RegisterCount = static_cast<uint16_t>(R.readU32());
+  K.BranchSites = R.readI32();
+  K.HasBarrier = R.readBool();
+  return K;
+}
+
+Status store::saveCorpus(const std::string &Path, const corpus::Corpus &C) {
+  ArchiveWriter W(ArchiveKind::Corpus);
+  C.serialize(W);
+  return W.saveTo(Path);
+}
+
+Result<corpus::Corpus> store::loadCorpus(const std::string &Path) {
+  auto Opened = ArchiveReader::open(Path, ArchiveKind::Corpus);
+  if (!Opened.ok())
+    return Result<corpus::Corpus>::error(Opened.errorMessage());
+  ArchiveReader R = Opened.take();
+  corpus::Corpus C = corpus::Corpus::deserialize(R);
+  Status Final = R.finish();
+  if (!Final.ok())
+    return Result<corpus::Corpus>::error(Path + ": " + Final.errorMessage());
+  return C;
+}

@@ -1,0 +1,62 @@
+//===- store/Serialization.h - Artifact save/load API ------------*- C++ -*-===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// File-level save/load for the pipeline's durable artifacts: trained
+/// language models (polymorphic over the backend via a payload tag) and
+/// corpus snapshots. These wrap the per-class serialize/deserialize
+/// methods with the archive container (magic, version, kind, checksum)
+/// and the atomic temp-file + rename write protocol, so a stored
+/// artifact on disk is either complete and verifiable or absent.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLGEN_STORE_SERIALIZATION_H
+#define CLGEN_STORE_SERIALIZATION_H
+
+#include "corpus/Corpus.h"
+#include "model/LanguageModel.h"
+#include "store/Archive.h"
+#include "support/Result.h"
+#include "vm/Bytecode.h"
+
+#include <memory>
+#include <string>
+
+namespace clgen {
+namespace store {
+
+/// Saves \p M to \p Path atomically. Fails for backends without
+/// serialization support (LanguageModel::backendName "unknown").
+Status saveModel(const std::string &Path, const model::LanguageModel &M);
+
+/// Loads a model saved by saveModel, reconstructing the concrete
+/// backend from the payload tag. Fails loudly on missing, truncated,
+/// corrupted or wrong-version archives.
+Result<std::unique_ptr<model::LanguageModel>>
+loadModel(const std::string &Path);
+
+/// Saves a corpus snapshot to \p Path atomically.
+Status saveCorpus(const std::string &Path, const corpus::Corpus &C);
+
+/// Loads a corpus snapshot saved by saveCorpus.
+Result<corpus::Corpus> loadCorpus(const std::string &Path);
+
+/// Appends every field of a lowered kernel to an archive payload,
+/// field-by-field (never struct memcpy, so padding can not leak in).
+/// This doubles as the kernel's canonical content serialization: the
+/// result cache digests it for content addressing, and the synthesis
+/// cache round-trips it.
+void serializeCompiledKernel(ArchiveWriter &W, const vm::CompiledKernel &K);
+
+/// Reads a kernel back; trips the reader's error state on malformed
+/// table sizes. Callers should vm::verifyKernel untrusted archives.
+vm::CompiledKernel deserializeCompiledKernel(ArchiveReader &R);
+
+} // namespace store
+} // namespace clgen
+
+#endif // CLGEN_STORE_SERIALIZATION_H
