@@ -13,6 +13,18 @@
 //
 //   ./example_benchmark_runner --cache-dir /tmp/clgen-cache [--kernels N]
 //
+// With --pipeline the synthesis→measurement phase barrier is replaced
+// by the streaming engine (core::synthesizeAndMeasure): accepted
+// kernels flow through a bounded channel into measurement workers while
+// synthesis keeps sampling, and the report includes overlap timings
+// (producer wall time vs the measurement drain tail). Output is
+// bit-identical to the phased run. Combines with --cache-dir, in which
+// case cache hits are resolved at enqueue time and never occupy a
+// measurement slot.
+//
+//   ./example_benchmark_runner --pipeline [--cache-dir DIR] [--kernels N]
+//       [--measure-workers N] [--queue N]
+//
 //===----------------------------------------------------------------------===//
 
 #include "clgen/Pipeline.h"
@@ -26,6 +38,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -110,6 +123,88 @@ int runCachedPipeline(const std::string &CacheDir, size_t TargetKernels) {
   return 0;
 }
 
+/// The --pipeline mode: the same 40-kernel workload as --cache-dir, but
+/// synthesis and measurement run as a bounded producer/consumer
+/// pipeline instead of two phases. Prints the overlap evidence: how
+/// long the producer ran, and how long measurement kept draining after
+/// the last kernel was accepted.
+int runStreamingPipeline(const std::string &CacheDir, size_t TargetKernels,
+                         unsigned MeasureWorkers, size_t QueueCapacity) {
+  auto TotalStart = std::chrono::steady_clock::now();
+
+  githubsim::GithubSimOptions GOpts;
+  GOpts.FileCount = 400;
+  auto Files = githubsim::mineGithub(GOpts);
+
+  core::PipelineOptions POpts;
+  POpts.NGram.Order = 14;
+
+  auto TrainStart = std::chrono::steady_clock::now();
+  core::ClgenPipeline Pipeline;
+  if (!CacheDir.empty()) {
+    core::TrainOrLoadInfo Info;
+    auto Loaded =
+        core::ClgenPipeline::trainOrLoad(CacheDir, Files, POpts, &Info);
+    if (!Loaded.ok()) {
+      std::fprintf(stderr, "trainOrLoad failed: %s\n",
+                   Loaded.errorMessage().c_str());
+      return 1;
+    }
+    Pipeline = Loaded.take();
+    std::printf("model: %s in %.1f ms\n",
+                Info.LoadedModel ? "warm start from store"
+                                 : "trained cold + persisted",
+                msSince(TrainStart));
+  } else {
+    Pipeline = core::ClgenPipeline::train(Files, POpts);
+    std::printf("model: trained in %.1f ms (sharded corpus ingest)\n",
+                msSince(TrainStart));
+  }
+
+  core::StreamingOptions SOpts;
+  SOpts.Synthesis.TargetKernels = TargetKernels;
+  SOpts.Synthesis.Sampling.Temperature = 0.5;
+  SOpts.Synthesis.Workers = 0;
+  SOpts.Driver.GlobalSize = 16384;
+  SOpts.MeasureWorkers = MeasureWorkers;
+  SOpts.QueueCapacity = QueueCapacity;
+
+  std::unique_ptr<store::ResultCache> Cache;
+  if (!CacheDir.empty()) {
+    Cache = std::make_unique<store::ResultCache>(CacheDir + "/results");
+    SOpts.Cache = Cache.get();
+  }
+
+  auto Out = Pipeline.synthesizeAndMeasure(runtime::amdPlatform(), SOpts);
+
+  size_t GpuBest = 0, Failed = 0;
+  for (const auto &R : Out.Measurements) {
+    if (!R.ok())
+      ++Failed;
+    else if (R.get().gpuIsBest())
+      ++GpuBest;
+  }
+  std::printf("pipeline: %zu kernels (%zu attempts) in %.1f ms\n",
+              Out.Kernels.size(), Out.Stats.Attempts, Out.TotalWallMs);
+  std::printf("overlap: producer (synthesis) active %.1f ms (%.0f%% of "
+              "the wall), measurement drain tail after last accept "
+              "%.1f ms\n",
+              Out.SynthesisWallMs,
+              Out.TotalWallMs > 0.0
+                  ? 100.0 * Out.SynthesisWallMs / Out.TotalWallMs
+                  : 0.0,
+              Out.DrainWallMs);
+  if (SOpts.Cache)
+    std::printf("cache: %zu hits resolved at enqueue time, %zu misses "
+                "measured\n",
+                Out.CacheStats.Hits, Out.CacheStats.Misses);
+  std::printf("mapping: %zu best on GPU, %zu on CPU, %zu failed\n", GpuBest,
+              Out.Measurements.size() - GpuBest - Failed, Failed);
+  std::printf("pipeline total (incl. train): %.1f ms\n",
+              msSince(TotalStart));
+  return 0;
+}
+
 void tryKernel(const char *Label, const char *Source) {
   std::printf("=== %s ===\n", Label);
   auto Kernel = vm::compileFirstKernel(Source);
@@ -154,27 +249,53 @@ void tryKernel(const char *Label, const char *Source) {
 int main(int Argc, char **Argv) {
   std::string CacheDir;
   size_t TargetKernels = 40;
+  bool Pipeline = false;
+  unsigned MeasureWorkers = 0; // Hardware concurrency.
+  size_t QueueCapacity = 0;    // Auto.
+  // strtoul silently wraps negative input, so accept digits only.
+  auto ParseCount = [](const std::string &Text, unsigned long &Out) {
+    bool Digits = !Text.empty() &&
+                  Text.find_first_not_of("0123456789") == std::string::npos;
+    Out = Digits ? std::strtoul(Text.c_str(), nullptr, 10) : 0;
+    return Out != 0;
+  };
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
+    unsigned long N = 0;
     if (Arg == "--cache-dir" && I + 1 < Argc) {
       CacheDir = Argv[++I];
+    } else if (Arg == "--pipeline") {
+      Pipeline = true;
     } else if (Arg == "--kernels" && I + 1 < Argc) {
-      // strtoul silently wraps negative input, so accept digits only.
-      const std::string Text = Argv[++I];
-      bool Digits = !Text.empty() &&
-                    Text.find_first_not_of("0123456789") == std::string::npos;
-      unsigned long N = Digits ? std::strtoul(Text.c_str(), nullptr, 10) : 0;
-      if (N == 0) {
+      if (!ParseCount(Argv[++I], N)) {
         std::fprintf(stderr, "--kernels expects a positive integer\n");
         return 2;
       }
       TargetKernels = N;
+    } else if (Arg == "--measure-workers" && I + 1 < Argc) {
+      if (!ParseCount(Argv[++I], N)) {
+        std::fprintf(stderr,
+                     "--measure-workers expects a positive integer\n");
+        return 2;
+      }
+      MeasureWorkers = static_cast<unsigned>(N);
+    } else if (Arg == "--queue" && I + 1 < Argc) {
+      if (!ParseCount(Argv[++I], N)) {
+        std::fprintf(stderr, "--queue expects a positive integer\n");
+        return 2;
+      }
+      QueueCapacity = N;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--cache-dir DIR] [--kernels N]\n", Argv[0]);
+                   "usage: %s [--pipeline] [--cache-dir DIR] [--kernels N] "
+                   "[--measure-workers N] [--queue N]\n",
+                   Argv[0]);
       return 2;
     }
   }
+  if (Pipeline)
+    return runStreamingPipeline(CacheDir, TargetKernels, MeasureWorkers,
+                                QueueCapacity);
   if (!CacheDir.empty())
     return runCachedPipeline(CacheDir, TargetKernels);
 

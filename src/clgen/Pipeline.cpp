@@ -7,9 +7,16 @@
 #include "clgen/Pipeline.h"
 
 #include "store/Archive.h"
+#include "store/ResultCache.h"
 #include "store/Serialization.h"
+#include "support/Channel.h"
+#include "support/ThreadPool.h"
 
+#include <chrono>
+#include <deque>
 #include <filesystem>
+#include <functional>
+#include <thread>
 
 using namespace clgen;
 using namespace clgen::core;
@@ -38,6 +45,98 @@ ClgenPipeline::train(const std::vector<corpus::ContentFile> &Files,
 
 SynthesisResult ClgenPipeline::synthesize(const SynthesisOptions &Opts) {
   return synthesizeKernels(*Model, Opts);
+}
+
+StreamingResult core::synthesizeAndMeasure(model::LanguageModel &Model,
+                                           const runtime::Platform &P,
+                                           const StreamingOptions &Opts) {
+  using Clock = std::chrono::steady_clock;
+  auto MsBetween = [](Clock::time_point A, Clock::time_point B) {
+    return std::chrono::duration<double, std::milli>(B - A).count();
+  };
+  Clock::time_point Start = Clock::now();
+
+  StreamingResult Out;
+  // One result slot per ACCEPTED kernel, appended in accept order: a
+  // deque keeps element addresses stable while it grows, so the
+  // producer can mint new slots while consumers write through pointers
+  // to earlier ones — memory stays proportional to actual output, not
+  // the requested target.
+  std::deque<Result<runtime::Measurement>> Slots;
+
+  size_t MeasureWorkers =
+      ThreadPool::resolveWorkerCount(Opts.MeasureWorkers);
+  size_t Capacity = Opts.QueueCapacity > 0
+                        ? Opts.QueueCapacity
+                        : std::max<size_t>(MeasureWorkers * 2, 8);
+  support::Channel<runtime::MeasureJob> Jobs(Capacity);
+
+  std::vector<std::thread> Consumers;
+  Consumers.reserve(MeasureWorkers);
+  for (size_t W = 0; W < MeasureWorkers; ++W)
+    Consumers.emplace_back([&Jobs, &P, &Opts] {
+      runtime::runMeasurementLoop(Jobs, P, Opts.Cache);
+    });
+
+  // Close-and-join must run even when the producer throws (sampling,
+  // the rejection filter or a cache probe can raise): otherwise the
+  // consumers block in pop() forever and unwinding the joinable
+  // threads would terminate the process. Idempotent, so the success
+  // path below can invoke it early to timestamp the drain.
+  auto CloseAndJoin = [&Jobs, &Consumers] {
+    Jobs.close();
+    for (std::thread &T : Consumers)
+      if (T.joinable())
+        T.join();
+  };
+  struct Guard {
+    std::function<void()> &Fn;
+    ~Guard() { Fn(); }
+  };
+  std::function<void()> CloseFn = CloseAndJoin;
+  Guard JoinGuard{CloseFn};
+
+  // The producer: the in-order accept stage hands each kernel over the
+  // moment it is admitted. The batch-seed derivation matches
+  // runBenchmarkBatch exactly, so streaming results (and cache keys)
+  // are those of the phased path.
+  Rng Base(Opts.Driver.Seed);
+  AcceptSink Enqueue = [&](size_t Index, const SynthesizedKernel &SK) {
+    Slots.push_back(Result<runtime::Measurement>::error("not measured"));
+    runtime::MeasureJob J;
+    J.Slot = &Slots.back();
+    J.Opts = runtime::batchDriverOptions(Opts.Driver, Base, Index);
+    if (Opts.Cache) {
+      J.CacheKey = store::measurementKey(SK.Kernel, J.Opts, P);
+      if (auto Hit = Opts.Cache->lookup(J.CacheKey)) {
+        // Enqueue-time probe: a hit is resolved right here and never
+        // occupies a measurement slot.
+        *J.Slot = *Hit;
+        ++Out.CacheStats.Hits;
+        return;
+      }
+      ++Out.CacheStats.Misses;
+      J.WriteBack = true;
+    }
+    J.Kernel = SK.Kernel;
+    Jobs.push(std::move(J)); // Blocks when measurement is behind.
+  };
+
+  SynthesisResult SR = synthesizeKernels(Model, Opts.Synthesis, Enqueue);
+  Clock::time_point SynthesisDone = Clock::now();
+
+  CloseAndJoin();
+  Clock::time_point End = Clock::now();
+
+  Out.Measurements.reserve(Slots.size());
+  for (Result<runtime::Measurement> &S : Slots)
+    Out.Measurements.push_back(std::move(S));
+  Out.Kernels = std::move(SR.Kernels);
+  Out.Stats = SR.Stats;
+  Out.SynthesisWallMs = MsBetween(Start, SynthesisDone);
+  Out.DrainWallMs = MsBetween(SynthesisDone, End);
+  Out.TotalWallMs = MsBetween(Start, End);
+  return Out;
 }
 
 SynthesisResult
@@ -134,6 +233,8 @@ ClgenPipeline::fingerprint(const std::vector<corpus::ContentFile> &Files,
   // Canonical byte recipe over everything training is a pure function
   // of. Any field added to the options structs must be appended here,
   // or stale artifacts would be served for the new configuration.
+  // Scheduling knobs (CorpusOptions::Workers/ShardSize) are excluded:
+  // the sharded ingest is bit-identical across them by contract.
   store::ArchiveWriter W(store::ArchiveKind::Model);
   W.writeU64(Files.size());
   for (const corpus::ContentFile &F : Files) {

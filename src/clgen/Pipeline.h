@@ -19,6 +19,7 @@
 #include "corpus/Corpus.h"
 #include "model/LstmModel.h"
 #include "model/NGramModel.h"
+#include "runtime/HostDriver.h"
 #include "support/Result.h"
 
 #include <memory>
@@ -54,6 +55,58 @@ struct TrainOrLoadInfo {
   std::string ModelPath;
   std::string CorpusPath;
 };
+
+/// Configuration of the streaming synthesis→measurement pipeline.
+struct StreamingOptions {
+  SynthesisOptions Synthesis;
+  runtime::DriverOptions Driver;
+  /// Measurement consumer threads pulling from the channel (1 = one
+  /// consumer, 0 = hardware concurrency). Purely a scheduling knob:
+  /// results are bit-identical for every value.
+  unsigned MeasureWorkers = 1;
+  /// Bounded capacity of the kernel channel (0 = auto: twice the
+  /// measurement workers, at least 8). Bounds how far synthesis can run
+  /// ahead of measurement.
+  size_t QueueCapacity = 0;
+  /// Optional result cache, probed AT ENQUEUE TIME by the producer:
+  /// hits are resolved in place and never occupy a measurement slot;
+  /// misses are measured by the consumers and written back.
+  store::ResultCache *Cache = nullptr;
+};
+
+/// Everything the streaming pipeline produced. Measurements are
+/// index-aligned with Kernels (accept order), exactly as if the phased
+/// path had run synthesizeKernels and then runBenchmarkBatch.
+struct StreamingResult {
+  std::vector<SynthesizedKernel> Kernels;
+  std::vector<Result<runtime::Measurement>> Measurements;
+  SynthesisStats Stats;
+  runtime::BatchCacheStats CacheStats;
+  /// Overlap diagnostics: wall time of the synthesis producer (which
+  /// includes any time it spent blocked on the full channel), and the
+  /// drain tail — how long measurement kept running after the last
+  /// kernel was accepted. A small tail means measurement genuinely
+  /// overlapped synthesis instead of queueing behind it.
+  double SynthesisWallMs = 0.0;
+  double DrainWallMs = 0.0;
+  double TotalWallMs = 0.0;
+};
+
+/// The tentpole entry point: runs synthesis and driver-side measurement
+/// as a bounded producer/consumer pipeline instead of two phase-barried
+/// batches. Accepted kernels flow through a support::Channel from the
+/// (accept-order) synthesis stage straight into measurement workers.
+///
+/// Determinism contract: results are keyed by accept index — kernel i
+/// is measured under runtime::batchDriverOptions(Driver, Rng(Driver.
+/// Seed), i), the same derivation as runBenchmarkBatch — and the result
+/// vector is index-ordered on return, so the output is bit-identical to
+/// the phased path (synthesizeKernels + runBenchmarkBatch) for any
+/// MeasureWorkers, QueueCapacity, synthesis worker count or wave size,
+/// with or without a (pre-warmed) cache.
+StreamingResult synthesizeAndMeasure(model::LanguageModel &Model,
+                                     const runtime::Platform &P,
+                                     const StreamingOptions &Opts);
 
 /// A trained CLgen instance: the corpus it learned from plus the model.
 class ClgenPipeline {
@@ -100,6 +153,13 @@ public:
   SynthesisResult synthesizeOrLoad(const std::string &CacheDir,
                                    const SynthesisOptions &Opts,
                                    bool *Loaded = nullptr);
+
+  /// Streaming synthesis→measurement over this pipeline's model; see
+  /// the free core::synthesizeAndMeasure for the full contract.
+  StreamingResult synthesizeAndMeasure(const runtime::Platform &P,
+                                       const StreamingOptions &Opts) {
+    return core::synthesizeAndMeasure(*Model, P, Opts);
+  }
 
   const corpus::Corpus &corpus() const { return TrainingCorpus; }
   model::LanguageModel &languageModel() { return *Model; }

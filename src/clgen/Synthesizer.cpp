@@ -65,6 +65,12 @@ Candidate produceCandidate(model::LanguageModel &Model,
 
 SynthesisResult core::synthesizeKernels(model::LanguageModel &Model,
                                         const SynthesisOptions &Opts) {
+  return synthesizeKernels(Model, Opts, AcceptSink());
+}
+
+SynthesisResult core::synthesizeKernels(model::LanguageModel &Model,
+                                        const SynthesisOptions &Opts,
+                                        const AcceptSink &Sink) {
   SynthesisResult Result;
   SynthesisStats &Stats = Result.Stats;
   Rng Base(Opts.Seed);
@@ -103,6 +109,11 @@ SynthesisResult core::synthesizeKernels(model::LanguageModel &Model,
     SK.Kernel = std::move(C.Kernel);
     Result.Kernels.push_back(std::move(SK));
     ++Stats.Accepted;
+    // Stream the accepted kernel out before sampling continues: the
+    // sink runs on this (accept-order) thread and may block, pausing
+    // synthesis until downstream consumers catch up.
+    if (Sink)
+      Sink(Result.Kernels.size() - 1, Result.Kernels.back());
     return Result.Kernels.size() < Opts.TargetKernels;
   };
 

@@ -19,6 +19,7 @@
 #include "corpus/RejectionFilter.h"
 #include "vm/Bytecode.h"
 
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -79,6 +80,23 @@ struct SynthesisResult {
 /// \p Model.
 SynthesisResult synthesizeKernels(model::LanguageModel &Model,
                                   const SynthesisOptions &Opts);
+
+/// Called once per accepted kernel, in accept order (kernel 0 first),
+/// from the accept stage's thread. \p AcceptIndex is the kernel's
+/// position in the final SynthesisResult::Kernels vector. The sink may
+/// block (e.g. on a bounded channel); synthesis pauses with it, which
+/// is exactly the back-pressure contract of the streaming pipeline.
+using AcceptSink =
+    std::function<void(size_t AcceptIndex, const SynthesizedKernel &)>;
+
+/// Streaming variant: identical result (bit-identical kernels and stats
+/// for any worker count / wave size), but every accepted kernel is also
+/// handed to \p Sink the moment the in-order accept stage admits it, so
+/// downstream stages can overlap with the remaining synthesis instead
+/// of waiting behind a phase barrier.
+SynthesisResult synthesizeKernels(model::LanguageModel &Model,
+                                  const SynthesisOptions &Opts,
+                                  const AcceptSink &Sink);
 
 } // namespace core
 } // namespace clgen

@@ -11,7 +11,9 @@
 #include "ocl/Lexer.h"
 #include "store/Archive.h"
 #include "support/StringUtils.h"
+#include "support/ThreadPool.h"
 
+#include <algorithm>
 #include <unordered_set>
 
 using namespace clgen;
@@ -64,45 +66,118 @@ Corpus Corpus::deserialize(store::ArchiveReader &R) {
   return C;
 }
 
+namespace {
+
+/// The per-file ingest stage, hoisted out of the merge so shards can
+/// compute it concurrently: filter → count → rename → print. Pure
+/// function of (file text, filter options); everything order-dependent
+/// (stat accumulation, vocabulary union, deduplication) happens in the
+/// file-order merge below.
+struct FileIngest {
+  bool Accepted = false;
+  RejectionReason Reason = RejectionReason::None;
+  size_t RawLines = 0;
+  size_t CompilableLines = 0;
+  size_t FinalLines = 0;
+  size_t KernelCount = 0;
+  /// Identifiers of the preprocessed / rewritten text, deduplicated
+  /// per file (the global union happens at merge time).
+  std::vector<std::string> VocabBefore;
+  std::vector<std::string> VocabAfter;
+  std::string Entry;
+};
+
+FileIngest ingestContentFile(const ContentFile &File,
+                             const FilterOptions &FilterOpts) {
+  FileIngest Out;
+  Out.RawLines = countNonBlankLines(File.Text);
+
+  FilterResult FR = filterContentFile(File.Text, FilterOpts);
+  Out.Reason = FR.Reason;
+  if (!FR.Accepted)
+    return Out;
+  Out.Accepted = true;
+  Out.CompilableLines = countNonBlankLines(FR.Preprocessed);
+  Out.KernelCount = FR.Prog->kernelCount();
+
+  // Vocabulary before rewriting (identifiers of the preprocessed,
+  // compilable text).
+  std::unordered_set<std::string> Seen;
+  for (const auto &Tok : ocl::lex(FR.Preprocessed))
+    if (Tok.Kind == ocl::TokenKind::Identifier &&
+        Seen.insert(Tok.Text).second)
+      Out.VocabBefore.push_back(Tok.Text);
+
+  // Steps 2+3: rename + canonical print. The program already passed
+  // Sema inside the filter, so renaming operates on FR.Prog directly.
+  renameIdentifiers(*FR.Prog);
+  Out.Entry = ocl::printProgram(*FR.Prog);
+  Seen.clear();
+  for (const auto &Tok : ocl::lex(Out.Entry))
+    if (Tok.Kind == ocl::TokenKind::Identifier &&
+        Seen.insert(Tok.Text).second)
+      Out.VocabAfter.push_back(Tok.Text);
+
+  Out.FinalLines = countNonBlankLines(Out.Entry);
+  return Out;
+}
+
+} // namespace
+
 Corpus corpus::buildCorpus(const std::vector<ContentFile> &Files,
                            const CorpusOptions &Opts) {
   Corpus Out;
   CorpusStats &S = Out.Stats;
   S.FilesIn = Files.size();
 
+  // Stage 1 — sharded ingest: per-file results land in a vector indexed
+  // by file position, computed serially or fanned out across the pool.
+  std::vector<FileIngest> Ingests(Files.size());
+  size_t Workers = std::min(ThreadPool::resolveWorkerCount(Opts.Workers),
+                            std::max<size_t>(Files.size(), 1));
+  if (Workers <= 1) {
+    for (size_t I = 0; I < Files.size(); ++I)
+      Ingests[I] = ingestContentFile(Files[I], Opts.Filter);
+  } else {
+    // Shards are contiguous file ranges; the boundaries are irrelevant
+    // to the output (only to scheduling), because the merge below walks
+    // Ingests in file order no matter who produced what.
+    size_t ShardSize =
+        Opts.ShardSize > 0
+            ? Opts.ShardSize
+            : std::max<size_t>(1, Files.size() / (Workers * 4));
+    size_t ShardCount = (Files.size() + ShardSize - 1) / ShardSize;
+    ThreadPool Pool(Workers);
+    Pool.parallelFor(0, ShardCount, [&](size_t, size_t Shard) {
+      size_t Lo = Shard * ShardSize;
+      size_t Hi = std::min(Lo + ShardSize, Files.size());
+      for (size_t I = Lo; I < Hi; ++I)
+        Ingests[I] = ingestContentFile(Files[I], Opts.Filter);
+    });
+  }
+
+  // Stage 2 — order-preserving merge: statistics accumulate, vocabulary
+  // sets union and entries deduplicate in file order, reproducing the
+  // serial ingest byte for byte.
   std::unordered_set<std::string> VocabBefore, VocabAfter;
   std::unordered_set<std::string> Dedup;
-
-  for (const ContentFile &File : Files) {
-    S.RawLines += countNonBlankLines(File.Text);
-
-    FilterResult FR = filterContentFile(File.Text, Opts.Filter);
-    if (!FR.Accepted) {
+  for (FileIngest &FI : Ingests) {
+    S.RawLines += FI.RawLines;
+    if (!FI.Accepted) {
       S.FilesRejected += 1;
-      S.RejectionsByReason[static_cast<int>(FR.Reason)] += 1;
+      S.RejectionsByReason[static_cast<int>(FI.Reason)] += 1;
       continue;
     }
     S.FilesAccepted += 1;
-    S.CompilableLines += countNonBlankLines(FR.Preprocessed);
-    S.KernelCount += FR.Prog->kernelCount();
-
-    // Vocabulary before rewriting (identifiers of the preprocessed,
-    // compilable text).
-    for (const auto &Tok : ocl::lex(FR.Preprocessed))
-      if (Tok.Kind == ocl::TokenKind::Identifier)
-        VocabBefore.insert(Tok.Text);
-
-    // Steps 2+3: rename + canonical print. The program already passed
-    // Sema inside the filter, so renaming operates on FR.Prog directly.
-    renameIdentifiers(*FR.Prog);
-    std::string Entry = ocl::printProgram(*FR.Prog);
-    for (const auto &Tok : ocl::lex(Entry))
-      if (Tok.Kind == ocl::TokenKind::Identifier)
-        VocabAfter.insert(Tok.Text);
-
-    S.FinalLines += countNonBlankLines(Entry);
-    if (Dedup.insert(Entry).second)
-      Out.Entries.push_back(std::move(Entry));
+    S.CompilableLines += FI.CompilableLines;
+    S.KernelCount += FI.KernelCount;
+    for (std::string &Ident : FI.VocabBefore)
+      VocabBefore.insert(std::move(Ident));
+    for (std::string &Ident : FI.VocabAfter)
+      VocabAfter.insert(std::move(Ident));
+    S.FinalLines += FI.FinalLines;
+    if (Dedup.insert(FI.Entry).second)
+      Out.Entries.push_back(std::move(FI.Entry));
   }
 
   S.VocabularyBefore = VocabBefore.size();

@@ -36,6 +36,16 @@ struct ContentFile {
 
 struct CorpusOptions {
   FilterOptions Filter;
+  /// Worker threads for content-file ingest (1 = serial in the calling
+  /// thread, 0 = hardware concurrency). Purely a scheduling knob: the
+  /// per-file stage (filter → rewrite → print) is a pure function of
+  /// the file text, and the merge consumes shard results in file order,
+  /// so the corpus is bit-identical for every worker count.
+  unsigned Workers = 0;
+  /// Content files per ingest shard (0 = auto). Exposed so the property
+  /// tests can randomize shard boundaries; output is identical for any
+  /// value by the same order-preserving-merge argument.
+  size_t ShardSize = 0;
 };
 
 struct CorpusStats {

@@ -16,12 +16,8 @@ using namespace clgen;
 using namespace clgen::runtime;
 using namespace clgen::vm;
 
-/// Per-kernel effective options for a batch: kernel \p I draws its
-/// payload RNG from the counter-keyed stream I of the batch seed.
-/// Shared by the cached and uncached batch paths — cache keys embed
-/// this seed, so the two derivations must never diverge.
-static DriverOptions kernelBatchOptions(const DriverOptions &Opts,
-                                        const Rng &Base, size_t I) {
+DriverOptions runtime::batchDriverOptions(const DriverOptions &Opts,
+                                          const Rng &Base, size_t I) {
   DriverOptions KOpts = Opts;
   KOpts.Seed = Base.split(I).next();
   return KOpts;
@@ -87,7 +83,7 @@ runtime::runBenchmarkBatch(const std::vector<CompiledKernel> &Kernels,
       Kernels.size(), Result<Measurement>::error("not measured"));
   Rng Base(Opts.Seed);
   auto MeasureOne = [&](size_t I) {
-    Out[I] = runBenchmark(Kernels[I], P, kernelBatchOptions(Opts, Base, I));
+    Out[I] = runBenchmark(Kernels[I], P, batchDriverOptions(Opts, Base, I));
   };
   size_t N =
       std::min(ThreadPool::resolveWorkerCount(Workers), Kernels.size());
@@ -118,7 +114,7 @@ runtime::runBenchmarkBatch(const std::vector<CompiledKernel> &Kernels,
   std::vector<size_t> MissIndices;
   BatchCacheStats Tally;
   for (size_t I = 0; I < Kernels.size(); ++I) {
-    KernelOpts[I] = kernelBatchOptions(Opts, Base, I);
+    KernelOpts[I] = batchDriverOptions(Opts, Base, I);
     Keys[I] = store::measurementKey(Kernels[I], KernelOpts[I], P);
     if (auto Cached = Cache.lookup(Keys[I])) {
       Out[I] = *Cached;
@@ -147,4 +143,17 @@ runtime::runBenchmarkBatch(const std::vector<CompiledKernel> &Kernels,
   if (CacheStats)
     *CacheStats = Tally;
   return Out;
+}
+
+void runtime::runMeasurementLoop(support::Channel<MeasureJob> &Jobs,
+                                 const Platform &P,
+                                 store::ResultCache *Cache) {
+  // pop() returning nullopt is the shutdown signal: the producer closed
+  // the channel and every buffered job has been claimed.
+  while (std::optional<MeasureJob> J = Jobs.pop()) {
+    Result<Measurement> M = runBenchmark(J->Kernel, P, J->Opts);
+    if (Cache && J->WriteBack && M.ok())
+      Cache->store(J->CacheKey, M.get());
+    *J->Slot = std::move(M);
+  }
 }

@@ -19,12 +19,14 @@
 #include "runtime/DynamicChecker.h"
 #include "runtime/Payload.h"
 #include "runtime/PerfModel.h"
+#include "support/Channel.h"
 #include "support/Result.h"
 #include "support/Rng.h"
 #include "vm/Bytecode.h"
 #include "vm/Interpreter.h"
 
 #include <string>
+#include <vector>
 
 namespace clgen {
 namespace store {
@@ -71,6 +73,15 @@ Result<Measurement> runBenchmark(const vm::CompiledKernel &Kernel,
                                  const Platform &P,
                                  const DriverOptions &Opts);
 
+/// Per-kernel effective options for batch position \p I: the payload
+/// RNG seed is drawn from the counter-keyed stream I of \p Base (the
+/// batch seed). This is THE batch seed derivation — the phased batch,
+/// the cached batch, the streaming pipeline and the result-cache key
+/// recipe all share it, so a kernel's measurement (and cache entry) is
+/// a pure function of its batch index regardless of which path ran it.
+DriverOptions batchDriverOptions(const DriverOptions &Opts, const Rng &Base,
+                                 size_t I);
+
 /// Measures a batch of kernels, fanned out across a worker pool so
 /// driver-side execution keeps pace with the parallel synthesizer
 /// (\p Workers: 1 = serial, 0 = hardware concurrency). Results are
@@ -103,6 +114,38 @@ runBenchmarkBatch(const std::vector<vm::CompiledKernel> &Kernels,
                   const Platform &P, const DriverOptions &Opts,
                   unsigned Workers, store::ResultCache &Cache,
                   BatchCacheStats *CacheStats = nullptr);
+
+/// One unit of driver-side work in the streaming pipeline: a kernel to
+/// measure, the per-kernel effective options (already derived via
+/// batchDriverOptions from the kernel's accept index), and where the
+/// result lands. Jobs own their kernel copy so producers can keep
+/// growing their own vectors without invalidating in-flight work.
+struct MeasureJob {
+  vm::CompiledKernel Kernel;
+  DriverOptions Opts;
+  /// Where the outcome lands. The producer owns slot storage with
+  /// stable addresses (e.g. a deque it grows per accepted kernel, in
+  /// accept order — which is what keeps memory proportional to actual
+  /// output, not the requested target); slots are unique per job, so
+  /// concurrent workers write disjoint memory without locking.
+  Result<Measurement> *Slot = nullptr;
+  /// Result-cache key when the producer probed the cache at enqueue
+  /// time (WriteBack true); ignored otherwise. Hits are resolved by the
+  /// producer and never become jobs — a cached measurement must not
+  /// occupy a measurement slot.
+  uint64_t CacheKey = 0;
+  bool WriteBack = false;
+};
+
+/// Pull-based measurement loop: pops jobs from \p Jobs until the
+/// channel is closed and drained, measuring each kernel and writing the
+/// result through job.Slot. Successful measurements of jobs flagged
+/// WriteBack are stored to \p Cache under their CacheKey. Intended to
+/// run on one or more dedicated consumer threads, overlapped with the
+/// producer that feeds the channel.
+void runMeasurementLoop(support::Channel<MeasureJob> &Jobs,
+                        const Platform &P,
+                        store::ResultCache *Cache = nullptr);
 
 } // namespace runtime
 } // namespace clgen

@@ -151,11 +151,13 @@ std::string ResultCache::entryPath(uint64_t Key) const {
 
 std::optional<Measurement> ResultCache::lookup(uint64_t Key) {
   {
-    std::lock_guard<std::mutex> Lock(Mutex);
+    // Resident entries are immutable once inserted, so concurrent hits
+    // share the lock and copy out in parallel.
+    std::shared_lock<std::shared_mutex> Lock(MapMutex);
     auto It = Memory.find(Key);
     if (It != Memory.end()) {
-      ++Counters.Hits;
-      ++Counters.MemoryHits;
+      Counters.Hits.fetch_add(1, std::memory_order_relaxed);
+      Counters.MemoryHits.fetch_add(1, std::memory_order_relaxed);
       return It->second;
     }
   }
@@ -167,49 +169,51 @@ std::optional<Measurement> ResultCache::lookup(uint64_t Key) {
   if (!Opened.ok()) {
     std::error_code Ec;
     bool Exists = DirOk && std::filesystem::exists(entryPath(Key), Ec);
-    std::lock_guard<std::mutex> Lock(Mutex);
-    ++Counters.Misses;
-    if (Exists)
-      ++Counters.BadEntries; // Present but unreadable: treated as a miss.
+    Counters.Misses.fetch_add(1, std::memory_order_relaxed);
+    if (Exists) // Present but unreadable: treated as a miss.
+      Counters.BadEntries.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
   ArchiveReader R = Opened.take();
   Measurement M = deserializeMeasurement(R);
   if (!R.finish().ok()) {
-    std::lock_guard<std::mutex> Lock(Mutex);
-    ++Counters.Misses;
-    ++Counters.BadEntries;
+    Counters.Misses.fetch_add(1, std::memory_order_relaxed);
+    Counters.BadEntries.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
 
-  std::lock_guard<std::mutex> Lock(Mutex);
-  ++Counters.Hits;
+  Counters.Hits.fetch_add(1, std::memory_order_relaxed);
+  std::unique_lock<std::shared_mutex> Lock(MapMutex);
   Memory.emplace(Key, M);
   return M;
 }
 
 Status ResultCache::store(uint64_t Key, const Measurement &M) {
   {
-    std::lock_guard<std::mutex> Lock(Mutex);
+    std::unique_lock<std::shared_mutex> Lock(MapMutex);
     Memory[Key] = M;
-    ++Counters.Writes;
   }
+  Counters.Writes.fetch_add(1, std::memory_order_relaxed);
   if (!DirOk) {
-    std::lock_guard<std::mutex> Lock(Mutex);
-    ++Counters.WriteFailures;
+    Counters.WriteFailures.fetch_add(1, std::memory_order_relaxed);
     return Status::error("cache directory unavailable: " + Dir);
   }
   ArchiveWriter W(ArchiveKind::Measurement);
   serializeMeasurement(W, M);
   Status S = W.saveTo(entryPath(Key));
-  if (!S.ok()) {
-    std::lock_guard<std::mutex> Lock(Mutex);
-    ++Counters.WriteFailures;
-  }
+  if (!S.ok())
+    Counters.WriteFailures.fetch_add(1, std::memory_order_relaxed);
   return S;
 }
 
 ResultCache::Stats ResultCache::stats() const {
-  std::lock_guard<std::mutex> Lock(Mutex);
-  return Counters;
+  Stats Out;
+  Out.Hits = Counters.Hits.load(std::memory_order_relaxed);
+  Out.MemoryHits = Counters.MemoryHits.load(std::memory_order_relaxed);
+  Out.Misses = Counters.Misses.load(std::memory_order_relaxed);
+  Out.BadEntries = Counters.BadEntries.load(std::memory_order_relaxed);
+  Out.Writes = Counters.Writes.load(std::memory_order_relaxed);
+  Out.WriteFailures =
+      Counters.WriteFailures.load(std::memory_order_relaxed);
+  return Out;
 }

@@ -35,8 +35,9 @@
 #include "store/Archive.h"
 #include "support/Result.h"
 
-#include <mutex>
+#include <atomic>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 
@@ -77,7 +78,10 @@ public:
   explicit ResultCache(std::string Directory);
 
   /// Returns the memoized measurement for \p Key, or nullopt on miss.
-  /// Thread-safe.
+  /// Thread-safe; the in-memory map is guarded by a reader/writer lock
+  /// (pool workers and the streaming pipeline's enqueue-time probe hit
+  /// it concurrently — hits take the shared side and never serialize
+  /// against each other; counters are atomics for the same reason).
   std::optional<runtime::Measurement> lookup(uint64_t Key);
 
   /// Memoizes \p M under \p Key (memory + atomic disk write-back).
@@ -93,9 +97,21 @@ private:
 
   std::string Dir;
   bool DirOk = false;
-  mutable std::mutex Mutex;
+  /// Reader/writer guard over Memory: lookups of resident entries take
+  /// the shared side, so a warm batch probing from many threads scales
+  /// instead of convoying on one mutex. Stat counters are relaxed
+  /// atomics — they are tallies, not synchronization.
+  mutable std::shared_mutex MapMutex;
   std::unordered_map<uint64_t, runtime::Measurement> Memory;
-  Stats Counters;
+  struct AtomicStats {
+    std::atomic<size_t> Hits{0};
+    std::atomic<size_t> MemoryHits{0};
+    std::atomic<size_t> Misses{0};
+    std::atomic<size_t> BadEntries{0};
+    std::atomic<size_t> Writes{0};
+    std::atomic<size_t> WriteFailures{0};
+  };
+  AtomicStats Counters;
 };
 
 /// Serializes one measurement into an archive payload / reads it back

@@ -1,0 +1,216 @@
+//===- tests/clgen/PipelineStreamTest.cpp - streaming pipeline golden tests ---===//
+//
+// The determinism contract of the async synthesis→measurement pipeline:
+// core::synthesizeAndMeasure must produce BYTE-identical output to the
+// phased path (synthesizeKernels, then runBenchmarkBatch) for every
+// combination of synthesis workers, wave sizes, measurement workers and
+// queue capacities — with no cache, with a cold cache, and with a
+// pre-warmed ResultCache. Identity is checked on a canonical
+// serialization of the whole result (sources + bytecode + stats +
+// measurements), not field spot-checks.
+//
+//===----------------------------------------------------------------------===//
+
+#include "clgen/Pipeline.h"
+
+#include "githubsim/GithubSim.h"
+#include "store/ResultCache.h"
+#include "store/Serialization.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <thread>
+
+using namespace clgen;
+using namespace clgen::core;
+
+namespace {
+
+/// Fresh per-test scratch directory, removed on destruction.
+class ScratchDir {
+public:
+  explicit ScratchDir(const std::string &Name)
+      : Path(std::filesystem::temp_directory_path() /
+             ("clgen_stream_test_" + Name)) {
+    std::filesystem::remove_all(Path);
+    std::filesystem::create_directories(Path);
+  }
+  ~ScratchDir() {
+    std::error_code Ec;
+    std::filesystem::remove_all(Path, Ec);
+  }
+  std::string str() const { return Path.string(); }
+
+private:
+  std::filesystem::path Path;
+};
+
+/// Canonical byte image of a (kernels, stats, measurements) outcome.
+/// Two outcomes are "the same result" iff these bytes are equal.
+std::vector<uint8_t>
+resultBytes(const std::vector<SynthesizedKernel> &Kernels,
+            const SynthesisStats &Stats,
+            const std::vector<Result<runtime::Measurement>> &Measurements) {
+  store::ArchiveWriter W(store::ArchiveKind::Synthesis);
+  W.writeU64(Stats.Attempts);
+  W.writeU64(Stats.IncompleteSamples);
+  W.writeU64(Stats.RejectedByFilter);
+  W.writeU64(Stats.Duplicates);
+  W.writeU64(Stats.Accepted);
+  W.writeU64(Kernels.size());
+  for (const SynthesizedKernel &K : Kernels) {
+    W.writeString(K.Source);
+    store::serializeCompiledKernel(W, K.Kernel);
+  }
+  W.writeU64(Measurements.size());
+  for (const auto &M : Measurements) {
+    W.writeBool(M.ok());
+    if (M.ok())
+      store::serializeMeasurement(W, M.get());
+    else
+      W.writeString(M.errorMessage());
+  }
+  return W.finalize();
+}
+
+struct Workload {
+  std::unique_ptr<ClgenPipeline> Pipeline;
+  SynthesisOptions Synthesis;
+  runtime::DriverOptions Driver;
+  runtime::Platform P = runtime::amdPlatform();
+  /// The phased reference this PR's engine must reproduce byte for
+  /// byte: full synthesis, then a batched measurement pass.
+  std::vector<SynthesizedKernel> RefKernels;
+  SynthesisStats RefStats;
+  std::vector<Result<runtime::Measurement>> RefMeasurements;
+  std::vector<uint8_t> RefBytes;
+};
+
+Workload makeWorkload(size_t TargetKernels) {
+  Workload W;
+  githubsim::GithubSimOptions GOpts;
+  GOpts.FileCount = 60;
+  auto Files = githubsim::mineGithub(GOpts);
+  PipelineOptions POpts;
+  POpts.NGram.Order = 8;
+  W.Pipeline = std::make_unique<ClgenPipeline>(
+      ClgenPipeline::train(Files, POpts));
+
+  W.Synthesis.TargetKernels = TargetKernels;
+  W.Synthesis.MaxAttempts = 6000;
+  W.Driver.GlobalSize = 2048;
+
+  SynthesisResult SR = W.Pipeline->synthesize(W.Synthesis);
+  std::vector<vm::CompiledKernel> Kernels;
+  for (auto &K : SR.Kernels)
+    Kernels.push_back(K.Kernel);
+  W.RefMeasurements = runtime::runBenchmarkBatch(Kernels, W.P, W.Driver, 1);
+  W.RefKernels = std::move(SR.Kernels);
+  W.RefStats = SR.Stats;
+  W.RefBytes = resultBytes(W.RefKernels, W.RefStats, W.RefMeasurements);
+  return W;
+}
+
+void expectMatchesReference(const Workload &W, const StreamingResult &Out,
+                            const std::string &Config) {
+  EXPECT_EQ(resultBytes(Out.Kernels, Out.Stats, Out.Measurements),
+            W.RefBytes)
+      << "streaming output diverged from the phased path [" << Config
+      << "]";
+}
+
+unsigned hardwareWorkers() {
+  unsigned HW = std::thread::hardware_concurrency();
+  return HW > 0 ? HW : 1;
+}
+
+} // namespace
+
+TEST(PipelineStreamTest, GoldenAcrossWorkerCountsAndWaveSizes) {
+  Workload W = makeWorkload(/*TargetKernels=*/5);
+  ASSERT_EQ(W.RefKernels.size(), 5u)
+      << "workload regressed; golden comparison would be vacuous";
+
+  // {1, 2, hardware} for both sides of the pipe, crossed with wave
+  // sizes and bounded queue capacities (1 = maximal back-pressure).
+  for (unsigned SynthWorkers : {1u, 2u, hardwareWorkers()}) {
+    for (unsigned MeasureWorkers : {1u, 2u, hardwareWorkers()}) {
+      for (size_t WaveSize : {size_t(0), size_t(4)}) {
+        StreamingOptions Opts;
+        Opts.Synthesis = W.Synthesis;
+        Opts.Synthesis.Workers = SynthWorkers;
+        Opts.Synthesis.WaveSize = WaveSize;
+        Opts.Driver = W.Driver;
+        Opts.MeasureWorkers = MeasureWorkers;
+        Opts.QueueCapacity = 1 + (WaveSize % 3);
+        auto Out = W.Pipeline->synthesizeAndMeasure(W.P, Opts);
+        expectMatchesReference(
+            W, Out,
+            "synth=" + std::to_string(SynthWorkers) +
+                " measure=" + std::to_string(MeasureWorkers) +
+                " wave=" + std::to_string(WaveSize));
+      }
+    }
+  }
+}
+
+TEST(PipelineStreamTest, GoldenWithColdAndPrewarmedCache) {
+  Workload W = makeWorkload(/*TargetKernels=*/4);
+  ScratchDir Dir("golden_cache");
+
+  // Cold cache: everything misses at enqueue time, results match, and
+  // the cache comes out populated.
+  store::ResultCache Cache(Dir.str());
+  StreamingOptions Opts;
+  Opts.Synthesis = W.Synthesis;
+  Opts.Driver = W.Driver;
+  Opts.MeasureWorkers = 2;
+  Opts.Cache = &Cache;
+  auto Cold = W.Pipeline->synthesizeAndMeasure(W.P, Opts);
+  expectMatchesReference(W, Cold, "cold cache");
+  EXPECT_EQ(Cold.CacheStats.Hits, 0u);
+  EXPECT_EQ(Cold.CacheStats.Misses, W.RefKernels.size());
+
+  // Pre-warmed cache (fresh instance, so hits come off disk): every
+  // successful measurement is resolved at enqueue time — zero
+  // measurement slots occupied — and output is still byte-identical.
+  size_t Successes = 0;
+  for (const auto &M : W.RefMeasurements)
+    Successes += M.ok() ? 1 : 0;
+  store::ResultCache Warmed(Dir.str());
+  Opts.Cache = &Warmed;
+  auto Warm = W.Pipeline->synthesizeAndMeasure(W.P, Opts);
+  expectMatchesReference(W, Warm, "pre-warmed cache");
+  EXPECT_EQ(Warm.CacheStats.Hits, Successes)
+      << "every cached measurement must be served at enqueue time";
+  EXPECT_EQ(Warm.CacheStats.Misses, W.RefKernels.size() - Successes)
+      << "only uncached (failed-last-time) kernels may reach a slot";
+
+  // And the phased cached batch agrees with the streaming cache hits,
+  // closing the loop between the two engines sharing one store.
+  std::vector<vm::CompiledKernel> Kernels;
+  for (auto &K : W.RefKernels)
+    Kernels.push_back(K.Kernel);
+  runtime::BatchCacheStats Phased;
+  auto PhasedOut =
+      runtime::runBenchmarkBatch(Kernels, W.P, W.Driver, 2, Warmed, &Phased);
+  EXPECT_EQ(Phased.Hits, Successes);
+  EXPECT_EQ(resultBytes(W.RefKernels, W.RefStats, PhasedOut), W.RefBytes);
+}
+
+TEST(PipelineStreamTest, TargetShortfallTrimsResultSlots) {
+  // When MaxAttempts exhausts before the target, the streaming result
+  // must trim to the accepted count and still match the phased path.
+  Workload W = makeWorkload(/*TargetKernels=*/3);
+  StreamingOptions Opts;
+  Opts.Synthesis = W.Synthesis;
+  Opts.Synthesis.TargetKernels = W.RefKernels.size() + 50;
+  Opts.Synthesis.MaxAttempts = W.RefStats.Attempts; // Stop exactly there.
+  Opts.Driver = W.Driver;
+  Opts.MeasureWorkers = 2;
+  auto Out = W.Pipeline->synthesizeAndMeasure(W.P, Opts);
+  EXPECT_EQ(Out.Kernels.size(), Out.Measurements.size());
+  ASSERT_EQ(Out.Kernels.size(), W.RefKernels.size());
+  expectMatchesReference(W, Out, "target shortfall");
+}

@@ -20,8 +20,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <filesystem>
 #include <fstream>
+#include <thread>
 
 using namespace clgen;
 using namespace clgen::store;
@@ -534,6 +536,59 @@ TEST(ResultCacheTest, CorruptEntryIsAMissNotACrash) {
   ResultCache Reopened(Dir.str());
   EXPECT_FALSE(Reopened.lookup(Key).has_value());
   EXPECT_EQ(Reopened.stats().BadEntries, 1u);
+}
+
+TEST(ResultCacheTest, ConcurrentHitsAreConsistentAndAllCounted) {
+  // The in-process map is probed concurrently by pool workers (cached
+  // runBenchmarkBatch) and by the streaming pipeline's enqueue-time
+  // probe; under the shared_mutex guard every concurrent hit must see a
+  // complete entry and every lookup must be tallied. Run against a
+  // fresh instance too, so first-touch disk loads (map inserts) race
+  // with resident-entry reads.
+  ScratchDir Dir("cache_concurrent");
+  constexpr size_t KeyCount = 16;
+  constexpr size_t ThreadCount = 8;
+  constexpr size_t Rounds = 50;
+
+  std::vector<uint64_t> Keys(KeyCount);
+  {
+    ResultCache Writer(Dir.str());
+    for (size_t I = 0; I < KeyCount; ++I) {
+      runtime::Measurement M;
+      // Distinctive payload per key: a torn or mixed-up entry cannot
+      // pass the checks below.
+      M.CpuTime = 1.0 + static_cast<double>(I);
+      M.GpuTime = 100.0 + static_cast<double>(I);
+      M.Counters.Instructions = 1000 + I;
+      Keys[I] = 0x1234560000ull + I;
+      ASSERT_TRUE(Writer.store(Keys[I], M).ok());
+    }
+  }
+
+  ResultCache Cache(Dir.str()); // Cold map: loads race with hits.
+  std::atomic<size_t> Mismatches{0};
+  std::vector<std::thread> Threads;
+  for (size_t T = 0; T < ThreadCount; ++T)
+    Threads.emplace_back([&, T] {
+      for (size_t Round = 0; Round < Rounds; ++Round)
+        for (size_t I = 0; I < KeyCount; ++I) {
+          size_t K = (I + T) % KeyCount; // Spread first touches around.
+          auto M = Cache.lookup(Keys[K]);
+          if (!M || M->CpuTime != 1.0 + static_cast<double>(K) ||
+              M->Counters.Instructions != 1000 + K)
+            Mismatches.fetch_add(1);
+        }
+    });
+  for (auto &T : Threads)
+    T.join();
+
+  EXPECT_EQ(Mismatches.load(), 0u);
+  auto Stats = Cache.stats();
+  EXPECT_EQ(Stats.Hits, ThreadCount * Rounds * KeyCount)
+      << "every concurrent lookup must be counted as a hit";
+  EXPECT_EQ(Stats.Misses, 0u);
+  EXPECT_GE(Stats.MemoryHits, Stats.Hits - ThreadCount * KeyCount)
+      << "after first touch, hits must be served from memory";
 }
 
 TEST(ResultCacheTest, MeasurementPayloadRoundTripsBitExactly) {

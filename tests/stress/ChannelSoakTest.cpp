@@ -1,0 +1,147 @@
+//===- tests/stress/ChannelSoakTest.cpp - channel/pipeline soak tests ---------===//
+//
+// Long-running randomized soaks for the streaming pipeline's concurrency
+// substrate. These build into their own binary (clgen_stress_tests)
+// registered with ctest under the label "stress":
+//
+//   ctest -L stress                 # run only the soaks
+//   ctest -LE stress                # tier-1 sweep without them
+//
+// They are also the intended TSan workload:
+//
+//   cmake -B build-tsan -S . -DCLGS_SANITIZE=thread
+//   cmake --build build-tsan -j && (cd build-tsan && ctest -L stress)
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Channel.h"
+
+#include "clgen/Pipeline.h"
+#include "githubsim/GithubSim.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+using namespace clgen;
+using support::Channel;
+
+TEST(ChannelSoakTest, RandomtopologySoakConservesEveryValue) {
+  // Many rounds of randomized producer/consumer topologies over tiny
+  // capacities (maximum contention on the full/empty edges), with
+  // early close thrown in. Every round must conserve pushed values.
+  Rng R(0x50AC0FFEE);
+  for (size_t Round = 0; Round < 60; ++Round) {
+    size_t Producers = 1 + R.bounded(6);
+    size_t Consumers = 1 + R.bounded(6);
+    size_t Capacity = 1 + R.bounded(4);
+    size_t PerProducer = 200 + R.bounded(800);
+    bool CloseEarly = R.chance(0.25);
+
+    Channel<uint64_t> C(Capacity);
+    std::atomic<uint64_t> PushedSum{0}, PoppedSum{0};
+    std::atomic<size_t> PushedCount{0}, PoppedCount{0};
+
+    std::vector<std::thread> ConsumerThreads;
+    for (size_t T = 0; T < Consumers; ++T)
+      ConsumerThreads.emplace_back([&] {
+        while (auto V = C.pop()) {
+          PoppedSum.fetch_add(*V);
+          PoppedCount.fetch_add(1);
+        }
+      });
+    std::vector<std::thread> ProducerThreads;
+    for (size_t T = 0; T < Producers; ++T) {
+      Rng Stream = R.split(Round * 64 + T);
+      ProducerThreads.emplace_back([&, Stream]() mutable {
+        for (size_t I = 0; I < PerProducer; ++I) {
+          uint64_t V = 1 + Stream.bounded(1 << 16);
+          if (Stream.chance(0.1)) {
+            // Exercise the non-blocking edge too; divert to the
+            // blocking path when full so the value is not lost.
+            if (C.tryPush(V)) {
+              PushedSum.fetch_add(V);
+              PushedCount.fetch_add(1);
+              continue;
+            }
+          }
+          if (!C.push(V))
+            return;
+          PushedSum.fetch_add(V);
+          PushedCount.fetch_add(1);
+        }
+      });
+    }
+    if (CloseEarly)
+      C.close();
+    for (auto &T : ProducerThreads)
+      T.join();
+    C.close();
+    for (auto &T : ConsumerThreads)
+      T.join();
+
+    ASSERT_EQ(PushedCount.load(), PoppedCount.load()) << "round " << Round;
+    ASSERT_EQ(PushedSum.load(), PoppedSum.load()) << "round " << Round;
+  }
+}
+
+TEST(ChannelSoakTest, StreamingPipelineSoakStaysDeterministic) {
+  // End-to-end soak of the actual streaming engine: one phased
+  // reference, then repeated streaming runs under randomized scheduling
+  // knobs (consumer counts, queue capacities, synthesis workers / wave
+  // sizes). Every run must reproduce the reference byte for byte.
+  githubsim::GithubSimOptions GOpts;
+  GOpts.FileCount = 60;
+  auto Files = githubsim::mineGithub(GOpts);
+  core::PipelineOptions POpts;
+  POpts.NGram.Order = 8;
+  auto Pipeline = core::ClgenPipeline::train(Files, POpts);
+
+  core::SynthesisOptions SOpts;
+  SOpts.TargetKernels = 5;
+  SOpts.MaxAttempts = 4000;
+  runtime::DriverOptions DOpts;
+  DOpts.GlobalSize = 2048;
+  auto P = runtime::amdPlatform();
+
+  auto Reference = Pipeline.synthesize(SOpts);
+  std::vector<vm::CompiledKernel> Kernels;
+  for (auto &K : Reference.Kernels)
+    Kernels.push_back(K.Kernel);
+  auto RefMeasurements = runtime::runBenchmarkBatch(Kernels, P, DOpts, 1);
+
+  Rng R(0x57E55ED);
+  for (size_t Round = 0; Round < 12; ++Round) {
+    core::StreamingOptions Opts;
+    Opts.Synthesis = SOpts;
+    Opts.Synthesis.Workers = static_cast<unsigned>(1 + R.bounded(4));
+    Opts.Synthesis.WaveSize = R.bounded(2) ? 4 + R.bounded(28) : 0;
+    Opts.Driver = DOpts;
+    Opts.MeasureWorkers = static_cast<unsigned>(1 + R.bounded(4));
+    Opts.QueueCapacity = 1 + R.bounded(6);
+
+    auto Out = Pipeline.synthesizeAndMeasure(P, Opts);
+    ASSERT_EQ(Out.Kernels.size(), Reference.Kernels.size())
+        << "round " << Round;
+    for (size_t I = 0; I < Out.Kernels.size(); ++I)
+      ASSERT_EQ(Out.Kernels[I].Source, Reference.Kernels[I].Source)
+          << "round " << Round << " kernel " << I;
+    ASSERT_EQ(Out.Measurements.size(), RefMeasurements.size());
+    for (size_t I = 0; I < Out.Measurements.size(); ++I) {
+      ASSERT_EQ(Out.Measurements[I].ok(), RefMeasurements[I].ok())
+          << "round " << Round << " kernel " << I;
+      if (!Out.Measurements[I].ok())
+        continue;
+      EXPECT_EQ(Out.Measurements[I].get().CpuTime,
+                RefMeasurements[I].get().CpuTime);
+      EXPECT_EQ(Out.Measurements[I].get().GpuTime,
+                RefMeasurements[I].get().GpuTime);
+      EXPECT_EQ(Out.Measurements[I].get().Counters.Instructions,
+                RefMeasurements[I].get().Counters.Instructions);
+    }
+  }
+}
