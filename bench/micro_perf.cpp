@@ -130,6 +130,36 @@ void BM_LstmStep(benchmark::State &State) {
 }
 BENCHMARK(BM_LstmStep)->ArgName("H")->Arg(64)->Arg(128)->Arg(256);
 
+/// One LSTM training epoch through the data-parallel engine at the
+/// standard laptop-scale architecture (H=64, 2 layers, 8 lanes),
+/// parameterized by TrainOptions::Workers. Weights are bit-identical
+/// across the arg values; only the wall time may move (bounded by core
+/// count — see BENCH_perf.json machine note).
+void BM_TrainEpoch(benchmark::State &State) {
+  static const std::vector<std::string> Entries = [] {
+    githubsim::GithubSimOptions GOpts;
+    GOpts.FileCount = 48;
+    auto Files = githubsim::mineGithub(GOpts);
+    return corpus::buildCorpus(Files, corpus::CorpusOptions()).Entries;
+  }();
+  model::LstmOptions Opts;
+  Opts.Epochs = 1;
+  Opts.BatchLanes = 8;
+  model::TrainOptions TOpts;
+  TOpts.Workers = static_cast<unsigned>(State.range(0));
+  for (auto _ : State) {
+    model::LstmModel Model(Opts);
+    Model.train(Entries, TOpts);
+    benchmark::DoNotOptimize(Model.parameterCount());
+  }
+}
+BENCHMARK(BM_TrainEpoch)
+    ->ArgName("workers")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_SampleKernel(benchmark::State &State) {
   auto &Pipeline = benchPipeline();
   std::string Seed = core::ArgSpec::figure6().seedText();

@@ -25,6 +25,13 @@
 //   ./example_benchmark_runner --pipeline [--cache-dir DIR] [--kernels N]
 //       [--measure-workers N] [--queue N]
 //
+// With --backend lstm the pipeline trains the paper's LSTM instead of
+// the n-gram model, through the data-parallel training engine:
+// --train-workers sets the thread count (bit-identical weights for any
+// value) and --train-lanes the data-parallel batch width (a semantic
+// knob — it changes the training trajectory and the artifact
+// fingerprint). Run --help for the full flag reference.
+//
 //===----------------------------------------------------------------------===//
 
 #include "clgen/Pipeline.h"
@@ -52,19 +59,58 @@ double msSince(std::chrono::steady_clock::time_point Start) {
       .count();
 }
 
+/// Everything the flag parser collects; both pipeline modes consume it.
+struct RunnerConfig {
+  std::string CacheDir;
+  size_t TargetKernels = 40;
+  bool Pipeline = false;
+  unsigned MeasureWorkers = 0; // Hardware concurrency.
+  size_t QueueCapacity = 0;    // Auto.
+  bool UseLstm = false;
+  unsigned TrainWorkers = 0;   // Hardware concurrency.
+  int TrainLanes = 8;          // LSTM data-parallel batch width.
+  size_t FileCount = 400;      // githubsim corpus size.
+  // Which flags the user actually passed, so flags that have no effect
+  // in the selected mode are rejected instead of silently dropped.
+  bool TrainFlagSet = false;
+  bool StreamFlagSet = false;
+  bool WorkloadFlagSet = false;
+};
+
+/// Model/corpus configuration shared by the cached and streaming modes.
+core::PipelineOptions buildPipelineOptions(const RunnerConfig &Cfg) {
+  core::PipelineOptions POpts;
+  POpts.NGram.Order = 14;
+  if (Cfg.UseLstm) {
+    POpts.Backend = core::ModelBackend::Lstm;
+    POpts.Lstm.BatchLanes = Cfg.TrainLanes;
+    POpts.Train.Workers = Cfg.TrainWorkers;
+  }
+  return POpts;
+}
+
+void printModelConfig(const RunnerConfig &Cfg) {
+  if (Cfg.UseLstm)
+    std::printf("backend: lstm (%d lanes, %u train workers%s)\n",
+                Cfg.TrainLanes, Cfg.TrainWorkers,
+                Cfg.TrainWorkers == 0 ? " = hardware" : "");
+}
+
 /// The --cache-dir mode: the standard 40-kernel synthesis + measurement
 /// configuration (the BENCH_perf.json end-to-end workload) on top of the
 /// artifact store. Cold runs train + execute and populate DIR; warm
 /// runs load the model and serve every measurement from cache.
-int runCachedPipeline(const std::string &CacheDir, size_t TargetKernels) {
+int runCachedPipeline(const RunnerConfig &Cfg) {
+  const std::string &CacheDir = Cfg.CacheDir;
+  size_t TargetKernels = Cfg.TargetKernels;
   auto TotalStart = std::chrono::steady_clock::now();
 
   githubsim::GithubSimOptions GOpts;
-  GOpts.FileCount = 400;
+  GOpts.FileCount = Cfg.FileCount;
   auto Files = githubsim::mineGithub(GOpts);
 
-  core::PipelineOptions POpts;
-  POpts.NGram.Order = 14;
+  core::PipelineOptions POpts = buildPipelineOptions(Cfg);
+  printModelConfig(Cfg);
   core::TrainOrLoadInfo Info;
   auto TrainStart = std::chrono::steady_clock::now();
   auto Pipeline =
@@ -128,16 +174,17 @@ int runCachedPipeline(const std::string &CacheDir, size_t TargetKernels) {
 /// pipeline instead of two phases. Prints the overlap evidence: how
 /// long the producer ran, and how long measurement kept draining after
 /// the last kernel was accepted.
-int runStreamingPipeline(const std::string &CacheDir, size_t TargetKernels,
-                         unsigned MeasureWorkers, size_t QueueCapacity) {
+int runStreamingPipeline(const RunnerConfig &Cfg) {
+  const std::string &CacheDir = Cfg.CacheDir;
+  size_t TargetKernels = Cfg.TargetKernels;
   auto TotalStart = std::chrono::steady_clock::now();
 
   githubsim::GithubSimOptions GOpts;
-  GOpts.FileCount = 400;
+  GOpts.FileCount = Cfg.FileCount;
   auto Files = githubsim::mineGithub(GOpts);
 
-  core::PipelineOptions POpts;
-  POpts.NGram.Order = 14;
+  core::PipelineOptions POpts = buildPipelineOptions(Cfg);
+  printModelConfig(Cfg);
 
   auto TrainStart = std::chrono::steady_clock::now();
   core::ClgenPipeline Pipeline;
@@ -166,8 +213,8 @@ int runStreamingPipeline(const std::string &CacheDir, size_t TargetKernels,
   SOpts.Synthesis.Sampling.Temperature = 0.5;
   SOpts.Synthesis.Workers = 0;
   SOpts.Driver.GlobalSize = 16384;
-  SOpts.MeasureWorkers = MeasureWorkers;
-  SOpts.QueueCapacity = QueueCapacity;
+  SOpts.MeasureWorkers = Cfg.MeasureWorkers;
+  SOpts.QueueCapacity = Cfg.QueueCapacity;
 
   std::unique_ptr<store::ResultCache> Cache;
   if (!CacheDir.empty()) {
@@ -246,58 +293,167 @@ void tryKernel(const char *Label, const char *Source) {
 
 } // namespace
 
+void printUsage(const char *Prog, std::FILE *Out) {
+  std::fprintf(
+      Out,
+      "usage: %s [options]\n"
+      "\n"
+      "With no options: walks single kernels through the section 5 host\n"
+      "driver (payload generation, dynamic checking, instrumented\n"
+      "execution), then a batched measurement demo.\n"
+      "\n"
+      "Pipeline modes:\n"
+      "  --cache-dir DIR       run the 40-kernel pipeline on top of the\n"
+      "                        persistent artifact store in DIR: cold runs\n"
+      "                        train + execute and populate it, warm runs\n"
+      "                        load the model and serve measurements from\n"
+      "                        the result cache\n"
+      "  --pipeline            stream synthesis straight into measurement\n"
+      "                        (bounded producer/consumer channel) instead\n"
+      "                        of two phases; combines with --cache-dir\n"
+      "\n"
+      "Workload:\n"
+      "  --kernels N           synthesis target (default 40)\n"
+      "  --files N             githubsim corpus size in content files\n"
+      "                        (default 400)\n"
+      "\n"
+      "Model / training:\n"
+      "  --backend NAME        language model backend: ngram (default) or\n"
+      "                        lstm\n"
+      "  --train-workers N     threads for the data-parallel LSTM training\n"
+      "                        engine; 0 = hardware concurrency (default).\n"
+      "                        Scheduling only: trained weights are\n"
+      "                        bit-identical for every value\n"
+      "  --train-lanes N       LSTM data-parallel batch width (default 8).\n"
+      "                        Semantic: changes the training trajectory\n"
+      "                        and the artifact fingerprint; 1 = the\n"
+      "                        paper's chunk-sequential SGD\n"
+      "\n"
+      "Streaming knobs (with --pipeline; scheduling only, output is\n"
+      "bit-identical for every value):\n"
+      "  --measure-workers N   measurement consumer threads; 0 = hardware\n"
+      "                        concurrency (default)\n"
+      "  --queue N             kernel channel capacity; 0 = auto (default)\n"
+      "\n"
+      "  --help                this text\n",
+      Prog);
+}
+
 int main(int Argc, char **Argv) {
-  std::string CacheDir;
-  size_t TargetKernels = 40;
-  bool Pipeline = false;
-  unsigned MeasureWorkers = 0; // Hardware concurrency.
-  size_t QueueCapacity = 0;    // Auto.
+  RunnerConfig Cfg;
   // strtoul silently wraps negative input, so accept digits only.
-  auto ParseCount = [](const std::string &Text, unsigned long &Out) {
+  auto ParseDigits = [](const std::string &Text, unsigned long &Out) {
     bool Digits = !Text.empty() &&
                   Text.find_first_not_of("0123456789") == std::string::npos;
     Out = Digits ? std::strtoul(Text.c_str(), nullptr, 10) : 0;
-    return Out != 0;
+    return Digits;
+  };
+  auto ParseCount = [&ParseDigits](const std::string &Text,
+                                   unsigned long &Out) {
+    return ParseDigits(Text, Out) && Out != 0;
   };
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
     unsigned long N = 0;
-    if (Arg == "--cache-dir" && I + 1 < Argc) {
-      CacheDir = Argv[++I];
+    if (Arg == "--help" || Arg == "-h") {
+      printUsage(Argv[0], stdout);
+      return 0;
+    } else if (Arg == "--cache-dir" && I + 1 < Argc) {
+      Cfg.CacheDir = Argv[++I];
     } else if (Arg == "--pipeline") {
-      Pipeline = true;
+      Cfg.Pipeline = true;
+    } else if (Arg == "--backend" && I + 1 < Argc) {
+      std::string Backend = Argv[++I];
+      if (Backend == "lstm") {
+        Cfg.UseLstm = true;
+      } else if (Backend != "ngram") {
+        std::fprintf(stderr, "--backend expects 'ngram' or 'lstm'\n");
+        return 2;
+      }
     } else if (Arg == "--kernels" && I + 1 < Argc) {
       if (!ParseCount(Argv[++I], N)) {
         std::fprintf(stderr, "--kernels expects a positive integer\n");
         return 2;
       }
-      TargetKernels = N;
+      Cfg.TargetKernels = N;
+      Cfg.WorkloadFlagSet = true;
+    } else if (Arg == "--files" && I + 1 < Argc) {
+      if (!ParseCount(Argv[++I], N)) {
+        std::fprintf(stderr, "--files expects a positive integer\n");
+        return 2;
+      }
+      Cfg.FileCount = N;
+      Cfg.WorkloadFlagSet = true;
+    } else if (Arg == "--train-workers" && I + 1 < Argc) {
+      if (!ParseDigits(Argv[++I], N) || N > (1ul << 20)) {
+        std::fprintf(stderr,
+                     "--train-workers expects an integer in [0, %lu] "
+                     "(0 = hardware concurrency)\n",
+                     1ul << 20);
+        return 2;
+      }
+      Cfg.TrainWorkers = static_cast<unsigned>(N);
+      Cfg.TrainFlagSet = true;
+    } else if (Arg == "--train-lanes" && I + 1 < Argc) {
+      // Bounded by the model's own clamp range, so the value round-trips
+      // through the int option and the serialized archive unchanged.
+      if (!ParseCount(Argv[++I], N) ||
+          N > static_cast<unsigned long>(model::LstmOptions::MaxBatchLanes)) {
+        std::fprintf(stderr, "--train-lanes expects an integer in [1, %d]\n",
+                     model::LstmOptions::MaxBatchLanes);
+        return 2;
+      }
+      Cfg.TrainLanes = static_cast<int>(N);
+      Cfg.TrainFlagSet = true;
     } else if (Arg == "--measure-workers" && I + 1 < Argc) {
       if (!ParseCount(Argv[++I], N)) {
         std::fprintf(stderr,
                      "--measure-workers expects a positive integer\n");
         return 2;
       }
-      MeasureWorkers = static_cast<unsigned>(N);
+      Cfg.MeasureWorkers = static_cast<unsigned>(N);
+      Cfg.StreamFlagSet = true;
     } else if (Arg == "--queue" && I + 1 < Argc) {
       if (!ParseCount(Argv[++I], N)) {
         std::fprintf(stderr, "--queue expects a positive integer\n");
         return 2;
       }
-      QueueCapacity = N;
+      Cfg.QueueCapacity = N;
+      Cfg.StreamFlagSet = true;
     } else {
-      std::fprintf(stderr,
-                   "usage: %s [--pipeline] [--cache-dir DIR] [--kernels N] "
-                   "[--measure-workers N] [--queue N]\n",
-                   Argv[0]);
+      std::fprintf(stderr, "unknown or incomplete option: %s\n\n",
+                   Arg.c_str());
+      printUsage(Argv[0], stderr);
       return 2;
     }
   }
-  if (Pipeline)
-    return runStreamingPipeline(CacheDir, TargetKernels, MeasureWorkers,
-                                QueueCapacity);
-  if (!CacheDir.empty())
-    return runCachedPipeline(CacheDir, TargetKernels);
+  // Reject flag combinations that would be silently ignored: every
+  // option the user passes must affect the run it configures.
+  bool PipelineMode = Cfg.Pipeline || !Cfg.CacheDir.empty();
+  if (Cfg.UseLstm && !PipelineMode) {
+    std::fprintf(stderr, "--backend lstm requires a pipeline mode "
+                         "(--cache-dir and/or --pipeline)\n");
+    return 2;
+  }
+  if (Cfg.WorkloadFlagSet && !PipelineMode) {
+    std::fprintf(stderr, "--kernels/--files require a pipeline mode "
+                         "(--cache-dir and/or --pipeline)\n");
+    return 2;
+  }
+  if (Cfg.TrainFlagSet && !Cfg.UseLstm) {
+    std::fprintf(stderr, "--train-workers/--train-lanes only apply to "
+                         "--backend lstm\n");
+    return 2;
+  }
+  if (Cfg.StreamFlagSet && !Cfg.Pipeline) {
+    std::fprintf(stderr,
+                 "--measure-workers/--queue only apply to --pipeline\n");
+    return 2;
+  }
+  if (Cfg.Pipeline)
+    return runStreamingPipeline(Cfg);
+  if (!Cfg.CacheDir.empty())
+    return runCachedPipeline(Cfg);
 
   tryKernel("useful work: guarded vector scale",
             "__kernel void scale(__global float* a, const int n) {\n"

@@ -1,0 +1,110 @@
+#!/usr/bin/env bash
+#===- scripts/check_docs.sh - keep the docs honest -----------------------===//
+#
+# Verifies that every repo path, C++ symbol, test name and CLI flag
+# referenced in README.md and docs/*.md actually exists in the tree, so
+# the documentation cannot silently rot as code moves. Registered as the
+# ctest `check_docs`; run manually from the repo root:
+#
+#   bash scripts/check_docs.sh
+#
+# What gets checked (tokens inside single-backtick inline code spans;
+# fenced code blocks are skipped — they hold command transcripts, not
+# references):
+#   - path-like tokens (contain '/' under a known top-level dir, or are
+#    top-level files with a known extension) must exist on disk
+#   - qualified C++ symbols (ns::Name, Class::member) must appear in
+#     src/ sources
+#   - `--flag` tokens must appear in examples/benchmark_runner.cpp
+#   - SuiteName.TestName tokens must appear under tests/
+#
+#===----------------------------------------------------------------------===//
+
+set -u
+cd "$(dirname "$0")/.."
+
+DOCS=(README.md docs/*.md)
+FAILURES=0
+
+fail() {
+  echo "check_docs: $1" >&2
+  FAILURES=$((FAILURES + 1))
+}
+
+# Emit every inline-code token of one file, skipping ``` fences.
+inline_tokens() {
+  awk '
+    /^[[:space:]]*```/ { fenced = !fenced; next }
+    !fenced {
+      line = $0
+      while (match(line, /`[^`]+`/)) {
+        print substr(line, RSTART + 1, RLENGTH - 2)
+        line = substr(line, RSTART + RLENGTH)
+      }
+    }
+  ' "$1"
+}
+
+for DOC in "${DOCS[@]}"; do
+  [ -f "$DOC" ] || { fail "documentation file missing: $DOC"; continue; }
+
+  while IFS= read -r TOKEN; do
+    case "$TOKEN" in
+    # Tokens with placeholders, options, spaces or globs are prose, not
+    # checkable references ("docs/*.md", "--cache-dir DIR", "-j", ...).
+    *" "* | *"*"* | *"<"* | *"..."* | *"…"*) continue ;;
+    esac
+
+    # --- CLI flags of the pipeline runner -------------------------------
+    case "$TOKEN" in
+    --*)
+      if ! grep -qF -- "\"$TOKEN\"" examples/benchmark_runner.cpp; then
+        fail "$DOC references flag \`$TOKEN\` not handled by examples/benchmark_runner.cpp"
+      fi
+      continue
+      ;;
+    -*) continue ;; # Short options / compiler switches: prose.
+    esac
+
+    # --- Repo paths -----------------------------------------------------
+    case "$TOKEN" in
+    src/* | tests/* | docs/* | examples/* | bench/* | scripts/*)
+      [ -e "$TOKEN" ] || fail "$DOC references missing path \`$TOKEN\`"
+      continue
+      ;;
+    *.md | *.json | *.txt | CMakeLists.txt)
+      [ -e "$TOKEN" ] || fail "$DOC references missing file \`$TOKEN\`"
+      continue
+      ;;
+    esac
+
+    # --- Qualified C++ symbols (ns::Name, Class::member, ...) -----------
+    if printf '%s' "$TOKEN" | grep -Eq '^[A-Za-z_][A-Za-z0-9_]*(::[A-Za-z_~][A-Za-z0-9_]*)+(\(\))?$'; then
+      # Every component must appear in src/ next to its neighbour; the
+      # cheap-but-sharp approximation is grepping for the trailing
+      # "Parent::Leaf" pair (or "Leaf" declarations for ns::Leaf).
+      PAIR=$(printf '%s' "$TOKEN" | sed 's/()$//' | awk -F'::' '{ print $(NF-1) "::" $NF }')
+      LEAF=$(printf '%s' "$TOKEN" | sed 's/()$//' | awk -F'::' '{ print $NF }')
+      if ! grep -rqF "$PAIR" src/ && ! grep -rqE "(struct|class|enum class|void|bool|double|float|[A-Za-z0-9_>&*] )${LEAF}[[:space:](;{]" src/; then
+        fail "$DOC references symbol \`$TOKEN\` not found in src/"
+      fi
+      continue
+    fi
+
+    # --- Test names (Suite.Test) ----------------------------------------
+    if printf '%s' "$TOKEN" | grep -Eq '^[A-Z][A-Za-z0-9]*Test\.[A-Za-z0-9]+$'; then
+      SUITE=${TOKEN%%.*}
+      NAME=${TOKEN#*.}
+      if ! grep -rqE "TEST(_F)?\($SUITE, *$NAME\)" tests/; then
+        fail "$DOC references test \`$TOKEN\` not found under tests/"
+      fi
+      continue
+    fi
+  done < <(inline_tokens "$DOC")
+done
+
+if [ "$FAILURES" -ne 0 ]; then
+  echo "check_docs: $FAILURES stale documentation reference(s)" >&2
+  exit 1
+fi
+echo "check_docs: all documentation references resolve"

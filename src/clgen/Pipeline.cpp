@@ -35,7 +35,7 @@ ClgenPipeline::train(const std::vector<corpus::ContentFile> &Files,
   }
   case ModelBackend::Lstm: {
     auto M = std::make_unique<model::LstmModel>(Opts.Lstm);
-    M->train(P.TrainingCorpus.Entries);
+    M->train(P.TrainingCorpus.Entries, Opts.Train);
     P.Model = std::move(M);
     break;
   }
@@ -233,8 +233,11 @@ ClgenPipeline::fingerprint(const std::vector<corpus::ContentFile> &Files,
   // Canonical byte recipe over everything training is a pure function
   // of. Any field added to the options structs must be appended here,
   // or stale artifacts would be served for the new configuration.
-  // Scheduling knobs (CorpusOptions::Workers/ShardSize) are excluded:
-  // the sharded ingest is bit-identical across them by contract.
+  // Scheduling knobs (CorpusOptions::Workers/ShardSize, and the whole
+  // of PipelineOptions::Train) are excluded: sharded ingest and the
+  // data-parallel training engine are bit-identical across them by
+  // contract. LstmOptions::BatchLanes is NOT a scheduling knob — it
+  // changes the training trajectory — so it is fingerprinted.
   store::ArchiveWriter W(store::ArchiveKind::Model);
   W.writeU64(Files.size());
   for (const corpus::ContentFile &F : Files) {
@@ -261,6 +264,7 @@ ClgenPipeline::fingerprint(const std::vector<corpus::ContentFile> &Files,
     W.writeI32(Opts.Lstm.DecayEveryEpochs);
     W.writeF32(Opts.Lstm.GradClip);
     W.writeU64(Opts.Lstm.Seed);
+    W.writeI32(Opts.Lstm.BatchLanes);
     break;
   }
   return W.payloadDigest();

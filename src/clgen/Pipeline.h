@@ -41,6 +41,11 @@ struct PipelineOptions {
   ModelBackend Backend = ModelBackend::NGram;
   model::NGramOptions NGram;
   model::LstmOptions Lstm;
+  /// Scheduling knobs for model training (LSTM backend: the data-parallel
+  /// gradient engine's worker count). Excluded from fingerprint() — like
+  /// CorpusOptions::Workers, nothing here can change the trained
+  /// artifact; weights are bit-identical for any worker count.
+  model::TrainOptions Train;
 };
 
 /// What trainOrLoad did and where its artifacts live.

@@ -17,11 +17,22 @@
 // reused from registers, and every pointer is __restrict-qualified so
 // the compiler can vectorize without aliasing checks.
 //
+// Training engine (see train() at the bottom): per optimizer step, one
+// BPTT chunk per lane is evaluated by chunkBackward against a frozen
+// weight snapshot — the weights are only ever written by applyUpdate on
+// the calling thread, between steps — and the per-lane gradients are
+// reduced by reduceGrads in lane-index order. Because each lane
+// gradient is a deterministic function of (weights, tokens, lane state)
+// and the reduction order is fixed, the trained weights are
+// bit-identical for every TrainOptions::Workers value, including the
+// inline serial path.
+//
 //===----------------------------------------------------------------------===//
 
 #include "model/LstmModel.h"
 
 #include "store/Archive.h"
+#include "support/ThreadPool.h"
 
 #include <cassert>
 #include <cmath>
@@ -114,12 +125,30 @@ void softmaxInPlace(std::vector<float> &Logits) {
     L /= Sum;
 }
 
+/// acc[0..N) = ((acc + a) + b) elementwise, or acc += a when b is null.
+/// Per-element addition order equals sequential "acc += a; acc += b"
+/// passes, so fusing two lanes per sweep changes cache behaviour only,
+/// never the bits.
+void mergeLanePair(float *__restrict Acc, const float *__restrict A,
+                   const float *__restrict B, size_t N) {
+  if (B) {
+    for (size_t I = 0; I < N; ++I)
+      Acc[I] = (Acc[I] + A[I]) + B[I];
+  } else {
+    for (size_t I = 0; I < N; ++I)
+      Acc[I] += A[I];
+  }
+}
+
 } // namespace
 
-/// Per-chunk forward cache for BPTT. Layer inputs are not stored
-/// separately: the input of layer L at step t IS H[t][L-1].
-struct LstmModel::Tape {
-  // Indexed [t][layer].
+/// Per-lane BPTT scratch: the forward tape for one chunk plus the
+/// backward-pass accumulators. One workspace per lane, reused across
+/// steps and epochs (the tape is resized to the chunk length and every
+/// cell is overwritten before the backward pass reads it).
+struct LstmModel::ChunkWorkspace {
+  // Tape, indexed [t][layer]. Layer inputs are not stored separately:
+  // the input of layer L at step t IS H[t][L-1].
   std::vector<std::vector<std::vector<float>>> Gates; // 4H post-nonlinearity
                                                       // gate activations:
                                                       // [i f g o].
@@ -127,6 +156,9 @@ struct LstmModel::Tape {
   std::vector<std::vector<std::vector<float>>> H;     // Hidden states.
   std::vector<std::vector<float>> Probs;              // Softmax outputs.
   std::vector<int> Inputs;                            // Token ids per step.
+  // Backward accumulators.
+  std::vector<std::vector<float>> DH, DC;
+  std::vector<float> A, DA, DHPrev;
 };
 
 void LstmModel::initParameters() {
@@ -164,6 +196,18 @@ void LstmModel::initParameters() {
     W = static_cast<float>(R.gaussian(0.0, ScaleY));
 }
 
+void LstmModel::allocGradBuf(GradBuf &G) const {
+  G.Layers.resize(Layers.size());
+  for (size_t L = 0; L < Layers.size(); ++L) {
+    G.Layers[L].In = Layers[L].In;
+    G.Layers[L].WxT.assign(Layers[L].WxT.size(), 0.0f);
+    G.Layers[L].WhT.assign(Layers[L].WhT.size(), 0.0f);
+    G.Layers[L].B.assign(Layers[L].B.size(), 0.0f);
+  }
+  G.GWy.assign(Wy.size(), 0.0f);
+  G.GBy.assign(By.size(), 0.0f);
+}
+
 size_t LstmModel::parameterCount() const {
   size_t N = Wy.size() + By.size();
   for (const Layer &L : Layers)
@@ -185,6 +229,7 @@ void LstmModel::serialize(store::ArchiveWriter &W) const {
   W.writeI32(Opts.DecayEveryEpochs);
   W.writeF32(Opts.GradClip);
   W.writeU64(Opts.Seed);
+  W.writeI32(Opts.BatchLanes);
   Vocab.serialize(W);
   W.writeI32(V);
   W.writeU32(static_cast<uint32_t>(Layers.size()));
@@ -209,8 +254,11 @@ LstmModel LstmModel::deserialize(store::ArchiveReader &R) {
   Opts.DecayEveryEpochs = R.readI32();
   Opts.GradClip = R.readF32();
   Opts.Seed = R.readU64();
+  Opts.BatchLanes = R.readI32();
   if (R.ok() && (Opts.Layers < 1 || Opts.Layers > 64 ||
-                 Opts.HiddenSize < 1 || Opts.HiddenSize > (1 << 16)))
+                 Opts.HiddenSize < 1 || Opts.HiddenSize > (1 << 16) ||
+                 Opts.BatchLanes < 1 ||
+                 Opts.BatchLanes > LstmOptions::MaxBatchLanes))
     R.fail("LSTM architecture out of range");
 
   LstmModel M(Opts);
@@ -322,50 +370,52 @@ void LstmModel::nextDistributionInto(std::vector<double> &Dist) {
     Dist[I] = Logits[I];
 }
 
-double LstmModel::trainChunk(const std::vector<int> &Tokens, size_t Begin,
-                             size_t End,
-                             std::vector<std::vector<float>> &HState,
-                             std::vector<std::vector<float>> &CState,
-                             float Lr) {
+double LstmModel::chunkBackward(const std::vector<int> &Tokens, size_t Begin,
+                                size_t End,
+                                std::vector<std::vector<float>> &HState,
+                                std::vector<std::vector<float>> &CState,
+                                GradBuf &Grads, ChunkWorkspace &Ws,
+                                int &StepsOut) const {
   int H = Opts.HiddenSize;
   int T = static_cast<int>(End - Begin - 1); // Steps (predict next token).
+  StepsOut = T > 0 ? T : 0;
   if (T <= 0)
     return 0.0;
 
-  Tape Tp;
-  Tp.Gates.resize(T);
-  Tp.C.resize(T);
-  Tp.H.resize(T);
-  Tp.Probs.resize(T);
-  Tp.Inputs.resize(T);
+  Ws.Gates.resize(T);
+  Ws.C.resize(T);
+  Ws.H.resize(T);
+  Ws.Probs.resize(T);
+  Ws.Inputs.resize(T);
 
   std::vector<std::vector<float>> HPrev = HState, CPrev = CState;
   double LossBits = 0.0;
-  std::vector<float> A(4 * H);
+  Ws.A.assign(4 * H, 0.0f);
+  std::vector<float> &A = Ws.A;
 
   // ---- Forward ----
   for (int Step = 0; Step < T; ++Step) {
     int TokenId = Tokens[Begin + Step];
     int Target = Tokens[Begin + Step + 1];
-    Tp.Inputs[Step] = TokenId;
-    Tp.Gates[Step].resize(Opts.Layers);
-    Tp.C[Step].resize(Opts.Layers);
-    Tp.H[Step].resize(Opts.Layers);
+    Ws.Inputs[Step] = TokenId;
+    Ws.Gates[Step].resize(Opts.Layers);
+    Ws.C[Step].resize(Opts.Layers);
+    Ws.H[Step].resize(Opts.Layers);
 
     for (int L = 0; L < Opts.Layers; ++L) {
-      Layer &Lay = Layers[L];
+      const Layer &Lay = Layers[L];
       A.assign(Lay.B.begin(), Lay.B.end());
       if (L == 0) {
         axpy(1.0f, Lay.WxT.data() + static_cast<size_t>(TokenId) * 4 * H,
              A.data(), 4 * H);
       } else {
-        gemvTAcc(Lay.WxT.data(), Tp.H[Step][L - 1].data(), Lay.In, 4 * H,
+        gemvTAcc(Lay.WxT.data(), Ws.H[Step][L - 1].data(), Lay.In, 4 * H,
                  A.data());
       }
       const std::vector<float> &HIn =
-          Step == 0 ? HPrev[L] : Tp.H[Step - 1][L];
+          Step == 0 ? HPrev[L] : Ws.H[Step - 1][L];
       const std::vector<float> &CIn =
-          Step == 0 ? CPrev[L] : Tp.C[Step - 1][L];
+          Step == 0 ? CPrev[L] : Ws.C[Step - 1][L];
       gemvTAcc(Lay.WhT.data(), HIn.data(), H, 4 * H, A.data());
       std::vector<float> Gate(4 * H), NewC(H), NewH(H);
       const float *__restrict AP = A.data();
@@ -382,57 +432,51 @@ double LstmModel::trainChunk(const std::vector<int> &Tokens, size_t Begin,
         NewC[I] = Gi * Gg + Gf * CP[I];
         NewH[I] = Go * std::tanh(NewC[I]);
       }
-      Tp.Gates[Step][L] = std::move(Gate);
-      Tp.C[Step][L] = std::move(NewC);
-      Tp.H[Step][L] = std::move(NewH);
+      Ws.Gates[Step][L] = std::move(Gate);
+      Ws.C[Step][L] = std::move(NewC);
+      Ws.H[Step][L] = std::move(NewH);
     }
 
     std::vector<float> Logits(By);
-    gemvAcc(Wy.data(), Tp.H[Step][Opts.Layers - 1].data(), V, H,
+    gemvAcc(Wy.data(), Ws.H[Step][Opts.Layers - 1].data(), V, H,
             Logits.data());
     softmaxInPlace(Logits);
     LossBits += -std::log2(std::max(Logits[Target], 1e-12f));
-    Tp.Probs[Step] = std::move(Logits);
+    Ws.Probs[Step] = std::move(Logits);
   }
 
   // ---- Backward ----
-  std::vector<Layer> Grads(Opts.Layers);
-  for (int L = 0; L < Opts.Layers; ++L) {
-    Grads[L].In = Layers[L].In;
-    Grads[L].WxT.assign(Layers[L].WxT.size(), 0.0f);
-    Grads[L].WhT.assign(Layers[L].WhT.size(), 0.0f);
-    Grads[L].B.assign(Layers[L].B.size(), 0.0f);
-  }
-  std::vector<float> GWy(Wy.size(), 0.0f), GBy(By.size(), 0.0f);
-
   // dH/dC accumulators per layer (flowing backwards in time).
-  std::vector<std::vector<float>> DH(Opts.Layers,
-                                     std::vector<float>(H, 0.0f));
-  std::vector<std::vector<float>> DC(Opts.Layers,
-                                     std::vector<float>(H, 0.0f));
-  std::vector<float> DA(4 * H), DHPrev(H);
+  Ws.DH.assign(Opts.Layers, std::vector<float>(H, 0.0f));
+  Ws.DC.assign(Opts.Layers, std::vector<float>(H, 0.0f));
+  Ws.DA.assign(4 * H, 0.0f);
+  Ws.DHPrev.assign(H, 0.0f);
+  std::vector<std::vector<float>> &DH = Ws.DH;
+  std::vector<std::vector<float>> &DC = Ws.DC;
+  std::vector<float> &DA = Ws.DA;
+  std::vector<float> &DHPrev = Ws.DHPrev;
 
   for (int Step = T - 1; Step >= 0; --Step) {
     int Target = Tokens[Begin + Step + 1];
     // Softmax cross-entropy gradient (natural log scale; the bits/char
     // reporting is cosmetic).
-    std::vector<float> DY = Tp.Probs[Step];
+    std::vector<float> DY = Ws.Probs[Step];
     DY[Target] -= 1.0f;
 
-    outerAccRows(GWy.data(), DY.data(), Tp.H[Step][Opts.Layers - 1].data(),
-                 V, H);
+    outerAccRows(Grads.GWy.data(), DY.data(),
+                 Ws.H[Step][Opts.Layers - 1].data(), V, H);
     for (int I = 0; I < V; ++I)
-      GBy[I] += DY[I];
+      Grads.GBy[I] += DY[I];
     // dH_last += Wy^T * dy: fused column accumulation over Wy's rows.
     gemvTAcc(Wy.data(), DY.data(), V, H, DH[Opts.Layers - 1].data());
 
     for (int L = Opts.Layers - 1; L >= 0; --L) {
-      const std::vector<float> &Gate = Tp.Gates[Step][L];
-      const std::vector<float> &CNow = Tp.C[Step][L];
+      const std::vector<float> &Gate = Ws.Gates[Step][L];
+      const std::vector<float> &CNow = Ws.C[Step][L];
       const std::vector<float> &CIn =
-          Step == 0 ? CPrev[L] : Tp.C[Step - 1][L];
+          Step == 0 ? CPrev[L] : Ws.C[Step - 1][L];
       const std::vector<float> &HIn =
-          Step == 0 ? HPrev[L] : Tp.H[Step - 1][L];
+          Step == 0 ? HPrev[L] : Ws.H[Step - 1][L];
 
       for (int I = 0; I < H; ++I) {
         float Gi = Gate[I], Gf = Gate[H + I], Gg = Gate[2 * H + I],
@@ -453,17 +497,19 @@ double LstmModel::trainChunk(const std::vector<int> &Tokens, size_t Begin,
 
       // Parameter gradients (all contiguous row updates).
       if (L == 0) {
-        int TokenId = Tp.Inputs[Step];
+        int TokenId = Ws.Inputs[Step];
         axpy(1.0f, DA.data(),
-             Grads[L].WxT.data() + static_cast<size_t>(TokenId) * 4 * H,
+             Grads.Layers[L].WxT.data() +
+                 static_cast<size_t>(TokenId) * 4 * H,
              4 * H);
       } else {
-        outerAccRows(Grads[L].WxT.data(), Tp.H[Step][L - 1].data(),
+        outerAccRows(Grads.Layers[L].WxT.data(), Ws.H[Step][L - 1].data(),
                      DA.data(), Layers[L].In, 4 * H);
       }
-      outerAccRows(Grads[L].WhT.data(), HIn.data(), DA.data(), H, 4 * H);
+      outerAccRows(Grads.Layers[L].WhT.data(), HIn.data(), DA.data(), H,
+                   4 * H);
       for (int I = 0; I < 4 * H; ++I)
-        Grads[L].B[I] += DA[I];
+        Grads.Layers[L].B[I] += DA[I];
 
       // Propagate to h at t-1 (same layer) and to the layer below; with
       // the input-major layout both are contiguous row dot products.
@@ -476,51 +522,71 @@ double LstmModel::trainChunk(const std::vector<int> &Tokens, size_t Begin,
     }
   }
 
-  if (CaptureGrads) {
-    CapturedLayerGrads = Grads;
-    CapturedGWy = GWy;
-    CapturedGBy = GBy;
-  }
+  // Carry state across chunks (truncated BPTT within the lane).
+  HState = Ws.H[T - 1];
+  CState = Ws.C[T - 1];
+  return LossBits;
+}
 
-  // ---- Clip and apply ----
+void LstmModel::applyUpdate(GradBuf &Grads, float Lr, int TotalSteps) {
+  // ---- Clip and apply (the accumulated update) ----
   double Norm2 = 0.0;
   auto AccumNorm = [&Norm2](const std::vector<float> &G) {
     for (float X : G)
       Norm2 += static_cast<double>(X) * X;
   };
-  for (const Layer &G : Grads) {
+  for (const Layer &G : Grads.Layers) {
     AccumNorm(G.WxT);
     AccumNorm(G.WhT);
     AccumNorm(G.B);
   }
-  AccumNorm(GWy);
-  AccumNorm(GBy);
+  AccumNorm(Grads.GWy);
+  AccumNorm(Grads.GBy);
   double Norm = std::sqrt(Norm2);
   float Scale = Norm > Opts.GradClip
                     ? static_cast<float>(Opts.GradClip / Norm)
                     : 1.0f;
-  float Step = Lr * Scale / static_cast<float>(T);
+  float Step = Lr * Scale / static_cast<float>(TotalSteps);
 
+  // The gradient lives in its own buffers (never aliasing the live
+  // weights), so each tensor update is one contiguous vectorizable pass.
   auto Apply = [Step](std::vector<float> &W, const std::vector<float> &G) {
-    for (size_t I = 0; I < W.size(); ++I)
-      W[I] -= Step * G[I];
+    float *__restrict WP = W.data();
+    const float *__restrict GP = G.data();
+    size_t N = W.size();
+    for (size_t I = 0; I < N; ++I)
+      WP[I] -= Step * GP[I];
   };
   for (int L = 0; L < Opts.Layers; ++L) {
-    Apply(Layers[L].WxT, Grads[L].WxT);
-    Apply(Layers[L].WhT, Grads[L].WhT);
-    Apply(Layers[L].B, Grads[L].B);
+    Apply(Layers[L].WxT, Grads.Layers[L].WxT);
+    Apply(Layers[L].WhT, Grads.Layers[L].WhT);
+    Apply(Layers[L].B, Grads.Layers[L].B);
   }
-  Apply(Wy, GWy);
-  Apply(By, GBy);
+  Apply(Wy, Grads.GWy);
+  Apply(By, Grads.GBy);
+}
 
-  // Carry state across chunks (truncated BPTT).
-  HState = Tp.H[T - 1];
-  CState = Tp.C[T - 1];
-  return LossBits / T;
+std::vector<uint8_t> LstmModel::capturedGradientImage() const {
+  store::ArchiveWriter W(store::ArchiveKind::Model);
+  for (const Layer &L : CapturedGrads.Layers) {
+    W.writeF32Vector(L.WxT);
+    W.writeF32Vector(L.WhT);
+    W.writeF32Vector(L.B);
+  }
+  W.writeF32Vector(CapturedGrads.GWy);
+  W.writeF32Vector(CapturedGrads.GBy);
+  return W.finalize();
 }
 
 void LstmModel::train(const std::vector<std::string> &Entries,
                       const std::function<void(int, double)> &Progress) {
+  TrainOptions TOpts;
+  TOpts.Progress = Progress;
+  train(Entries, TOpts);
+}
+
+void LstmModel::train(const std::vector<std::string> &Entries,
+                      const TrainOptions &TOpts) {
   std::string All;
   for (const std::string &E : Entries)
     All += E;
@@ -539,24 +605,131 @@ void LstmModel::train(const std::vector<std::string> &Entries,
   if (Stream.size() < 2)
     return;
 
+  // The epoch's BPTT chunk sequence, in stream order. Consecutive
+  // chunks share one token: the last target of chunk k is the first
+  // input of chunk k+1.
+  struct Chunk {
+    size_t Begin, End;
+  };
+  std::vector<Chunk> Chunks;
+  size_t StepLen = static_cast<size_t>(Opts.SequenceLength);
+  for (size_t Begin = 0; Begin + 1 < Stream.size(); Begin += StepLen)
+    Chunks.push_back({Begin, std::min(Begin + StepLen + 1, Stream.size())});
+
+  // Lane partition: Lanes contiguous runs of chunks, balanced to within
+  // one chunk (the first Rem lanes take the extra one). The partition
+  // depends only on (chunk count, BatchLanes) — never on workers — so
+  // the reduction below sees the same lane gradients in the same order
+  // for every scheduling choice.
+  size_t Lanes = static_cast<size_t>(std::max(Opts.BatchLanes, 1));
+  Lanes = std::min(Lanes, Chunks.size());
+  size_t Per = Chunks.size() / Lanes;
+  size_t Rem = Chunks.size() % Lanes;
+  std::vector<size_t> LaneBegin(Lanes + 1, 0);
+  for (size_t B = 0; B < Lanes; ++B)
+    LaneBegin[B + 1] = LaneBegin[B] + Per + (B < Rem ? 1 : 0);
+  size_t MaxRun = Per + (Rem > 0 ? 1 : 0);
+
+  // Per-lane gradient buffers, BPTT workspaces and hidden states. Lane
+  // state threads across the lane's own chunk run within an epoch
+  // (truncated BPTT); with one lane this is exactly the classic
+  // whole-stream state threading.
+  std::vector<GradBuf> LaneGrads(Lanes);
+  for (GradBuf &G : LaneGrads)
+    allocGradBuf(G);
+  std::vector<ChunkWorkspace> LaneWs(Lanes);
+  std::vector<double> LaneLoss(Lanes, 0.0);
+  std::vector<int> LaneSteps(Lanes, 0);
+
+  size_t Workers = ThreadPool::resolveWorkerCount(TOpts.Workers);
+  Workers = std::min(Workers, Lanes);
+  std::unique_ptr<ThreadPool> Pool;
+  if (Workers > 1)
+    Pool = std::make_unique<ThreadPool>(Workers);
+
   float Lr = Opts.LearningRate;
   for (int Epoch = 0; Epoch < Opts.Epochs; ++Epoch) {
     if (Epoch > 0 && Opts.DecayEveryEpochs > 0 &&
         Epoch % Opts.DecayEveryEpochs == 0)
       Lr *= Opts.LearningRateDecay;
-    std::vector<std::vector<float>> HState(
-        Opts.Layers, std::vector<float>(Opts.HiddenSize, 0.0f));
-    std::vector<std::vector<float>> CState = HState;
+
+    std::vector<std::vector<std::vector<float>>> LaneH(
+        Lanes, std::vector<std::vector<float>>(
+                   Opts.Layers,
+                   std::vector<float>(Opts.HiddenSize, 0.0f)));
+    auto LaneC = LaneH;
+
     double LossSum = 0.0;
-    int Chunks = 0;
-    size_t StepLen = static_cast<size_t>(Opts.SequenceLength);
-    for (size_t Begin = 0; Begin + 1 < Stream.size(); Begin += StepLen) {
-      size_t End = std::min(Begin + StepLen + 1, Stream.size());
-      LossSum += trainChunk(Stream, Begin, End, HState, CState, Lr);
-      ++Chunks;
+    size_t ChunkCount = 0;
+    for (size_t S = 0; S < MaxRun; ++S) {
+      // Active lanes are a prefix: the first Rem lanes own the extra
+      // chunk, so on the final ragged step only they participate.
+      size_t Active = S < Per ? Lanes : Rem;
+
+      // Per-lane gradients against the frozen weight snapshot. The body
+      // only writes lane-indexed state, so any worker may run any lane.
+      auto LaneGradient = [&](size_t, size_t LaneIdx) {
+        GradBuf &G = LaneGrads[LaneIdx];
+        for (Layer &L : G.Layers) {
+          std::fill(L.WxT.begin(), L.WxT.end(), 0.0f);
+          std::fill(L.WhT.begin(), L.WhT.end(), 0.0f);
+          std::fill(L.B.begin(), L.B.end(), 0.0f);
+        }
+        std::fill(G.GWy.begin(), G.GWy.end(), 0.0f);
+        std::fill(G.GBy.begin(), G.GBy.end(), 0.0f);
+        const Chunk &Ch = Chunks[LaneBegin[LaneIdx] + S];
+        LaneLoss[LaneIdx] =
+            chunkBackward(Stream, Ch.Begin, Ch.End, LaneH[LaneIdx],
+                          LaneC[LaneIdx], G, LaneWs[LaneIdx],
+                          LaneSteps[LaneIdx]);
+      };
+      if (Pool)
+        Pool->parallelFor(0, Active, LaneGradient);
+      else
+        for (size_t L = 0; L < Active; ++L)
+          LaneGradient(0, L);
+
+      // Deterministic reduction: merge lanes into lane 0's buffer in
+      // lane-index order, two lanes fused per sweep (bit-identical to
+      // one-at-a-time merging — see mergeLanePair).
+      GradBuf &Acc = LaneGrads[0];
+      for (size_t L = 1; L < Active; L += 2) {
+        const GradBuf &G1 = LaneGrads[L];
+        const GradBuf *G2 = L + 1 < Active ? &LaneGrads[L + 1] : nullptr;
+        for (size_t Ly = 0; Ly < Acc.Layers.size(); ++Ly) {
+          mergeLanePair(Acc.Layers[Ly].WxT.data(), G1.Layers[Ly].WxT.data(),
+                        G2 ? G2->Layers[Ly].WxT.data() : nullptr,
+                        Acc.Layers[Ly].WxT.size());
+          mergeLanePair(Acc.Layers[Ly].WhT.data(), G1.Layers[Ly].WhT.data(),
+                        G2 ? G2->Layers[Ly].WhT.data() : nullptr,
+                        Acc.Layers[Ly].WhT.size());
+          mergeLanePair(Acc.Layers[Ly].B.data(), G1.Layers[Ly].B.data(),
+                        G2 ? G2->Layers[Ly].B.data() : nullptr,
+                        Acc.Layers[Ly].B.size());
+        }
+        mergeLanePair(Acc.GWy.data(), G1.GWy.data(),
+                      G2 ? G2->GWy.data() : nullptr, Acc.GWy.size());
+        mergeLanePair(Acc.GBy.data(), G1.GBy.data(),
+                      G2 ? G2->GBy.data() : nullptr, Acc.GBy.size());
+      }
+
+      if (CaptureGrads)
+        CapturedGrads = Acc;
+
+      int TotalSteps = 0;
+      for (size_t L = 0; L < Active; ++L)
+        TotalSteps += LaneSteps[L];
+      if (TotalSteps > 0)
+        applyUpdate(Acc, Lr, TotalSteps);
+
+      for (size_t L = 0; L < Active; ++L)
+        if (LaneSteps[L] > 0) {
+          LossSum += LaneLoss[L] / LaneSteps[L];
+          ++ChunkCount;
+        }
     }
-    if (Progress)
-      Progress(Epoch, Chunks > 0 ? LossSum / Chunks : 0.0);
+    if (TOpts.Progress)
+      TOpts.Progress(Epoch, ChunkCount > 0 ? LossSum / ChunkCount : 0.0);
   }
   reset();
 }
@@ -580,20 +753,22 @@ double LstmModel::sequenceLoss(const std::vector<int> &Tokens) {
 double LstmModel::gradientCheck(const std::vector<int> &Tokens,
                                 int SampleCount) {
   assert(V > 0 && "train or init before gradientCheck");
-  // Capture the raw analytic gradients from a zero-lr BPTT pass (no
+  // Compute raw analytic gradients with a pure backward pass (no
   // parameter mutation), then compare against central differences of
   // sequenceLoss on a random parameter sample.
   double MaxRelError = 0.0;
   Rng R(123);
   const float Eps = 1e-2f;
 
-  CaptureGrads = true;
+  GradBuf Grads;
+  allocGradBuf(Grads);
+  ChunkWorkspace Ws;
   std::vector<std::vector<float>> HState(
       Opts.Layers, std::vector<float>(Opts.HiddenSize, 0.0f));
   std::vector<std::vector<float>> CState = HState;
   int T = static_cast<int>(Tokens.size()) - 1;
-  trainChunk(Tokens, 0, Tokens.size(), HState, CState, 0.0f);
-  CaptureGrads = false;
+  int Steps = 0;
+  chunkBackward(Tokens, 0, Tokens.size(), HState, CState, Grads, Ws, Steps);
 
   struct Sample {
     int Kind; // 0 WxT, 1 WhT, 2 B, 3 Wy, 4 By.
@@ -611,11 +786,11 @@ double LstmModel::gradientCheck(const std::vector<int> &Tokens,
       S.Analytic = Grad[S.Offset];
     };
     switch (S.Kind) {
-    case 0: Pick(CapturedLayerGrads[S.LayerIdx].WxT); break;
-    case 1: Pick(CapturedLayerGrads[S.LayerIdx].WhT); break;
-    case 2: Pick(CapturedLayerGrads[S.LayerIdx].B); break;
-    case 3: Pick(CapturedGWy); break;
-    case 4: Pick(CapturedGBy); break;
+    case 0: Pick(Grads.Layers[S.LayerIdx].WxT); break;
+    case 1: Pick(Grads.Layers[S.LayerIdx].WhT); break;
+    case 2: Pick(Grads.Layers[S.LayerIdx].B); break;
+    case 3: Pick(Grads.GWy); break;
+    case 4: Pick(Grads.GBy); break;
     }
     Samples.push_back(S);
   }

@@ -18,6 +18,16 @@
 /// SGD with the paper's decay schedule. Gradients are verified against
 /// finite differences in the test suite.
 ///
+/// Training is data-parallel: the token stream is partitioned into
+/// LstmOptions::BatchLanes contiguous lanes of BPTT chunks, and each
+/// optimizer step evaluates one chunk per lane against a frozen weight
+/// snapshot, fanned across a support::ThreadPool
+/// (TrainOptions::Workers). Lane gradients are reduced in lane-index
+/// order and applied as one accumulated SGD update, so trained weights
+/// are bit-identical for every worker count — and BatchLanes == 1
+/// reproduces the classic chunk-sequential SGD exactly (see
+/// docs/ARCHITECTURE.md, "Deterministic gradient reduction").
+///
 /// Performance: weights are stored input-major ("transposed" relative to
 /// the usual W[4H x In] math notation) so that every matrix kernel in
 /// both the forward and backward pass runs a contiguous,
@@ -50,14 +60,51 @@ struct LstmOptions {
   int DecayEveryEpochs = 5;
   float GradClip = 5.0f;
   uint64_t Seed = 0x15731AB5;
+  /// Data-parallel width of training: the chunk sequence is split into
+  /// this many contiguous lanes, and every optimizer step reduces one
+  /// chunk gradient per lane into a single accumulated update. This is a
+  /// SEMANTIC knob (it changes the training trajectory, so it is part of
+  /// the serialized options and the pipeline training fingerprint);
+  /// 1 = the classic chunk-sequential SGD of the paper. Contrast
+  /// TrainOptions::Workers, which is pure scheduling. Clamped to
+  /// [1, MaxBatchLanes] at model construction, so a model can never
+  /// serialize an options block its own deserializer would reject.
+  int BatchLanes = 1;
+
+  /// Upper bound on BatchLanes: the constructor clamp and the archive
+  /// range check share it by definition.
+  static constexpr int MaxBatchLanes = 1 << 20;
+};
+
+/// Scheduling options for LstmModel::train. Nothing here can change the
+/// trained weights — output is bit-identical for every value of every
+/// field — so none of it enters serialized models or cache fingerprints.
+struct TrainOptions {
+  /// Threads the per-lane gradient work fans out across (0 = hardware
+  /// concurrency). Effective parallelism is capped by
+  /// LstmOptions::BatchLanes.
+  unsigned Workers = 1;
+  /// When set, receives (epoch, average bits-per-char loss).
+  std::function<void(int, double)> Progress;
 };
 
 class LstmModel : public LanguageModel {
 public:
-  explicit LstmModel(LstmOptions Opts = LstmOptions()) : Opts(Opts) {}
+  explicit LstmModel(LstmOptions Opts = LstmOptions()) : Opts(Opts) {
+    if (this->Opts.BatchLanes < 1)
+      this->Opts.BatchLanes = 1;
+    else if (this->Opts.BatchLanes > LstmOptions::MaxBatchLanes)
+      this->Opts.BatchLanes = LstmOptions::MaxBatchLanes;
+  }
 
-  /// Trains on corpus entries (sentinel-separated). \p Progress, when
-  /// set, receives (epoch, average bits-per-char loss).
+  /// Trains on corpus entries (sentinel-separated). See TrainOptions for
+  /// the scheduling knobs; weights are bit-identical for any
+  /// TrainOptions value.
+  void train(const std::vector<std::string> &Entries,
+             const TrainOptions &TOpts);
+
+  /// Back-compat convenience: serial training with an optional progress
+  /// callback.
   void train(const std::vector<std::string> &Entries,
              const std::function<void(int, double)> &Progress = nullptr);
 
@@ -92,6 +139,16 @@ public:
   /// the maximum relative error across a parameter sample. Test-only.
   double gradientCheck(const std::vector<int> &Tokens, int SampleCount = 24);
 
+  /// GradientCapture hook (test-only): while enabled, train() keeps a
+  /// copy of the merged raw gradient (post lane reduction, pre clip and
+  /// scale) of the most recently applied optimizer step.
+  void setGradientCapture(bool Enable) { CaptureGrads = Enable; }
+
+  /// Byte image (IEEE-754 bit patterns, fixed tensor order) of the
+  /// gradient captured by the hook above. Two runs produced the same
+  /// reduced gradients iff their images are equal byte-for-byte.
+  std::vector<uint8_t> capturedGradientImage() const;
+
 private:
   LstmOptions Opts;
   Vocabulary Vocab;
@@ -108,6 +165,15 @@ private:
   std::vector<Layer> Layers;
   std::vector<float> Wy, By; // Output projection [V x H], [V].
 
+  /// One model-shaped gradient accumulator. Lanes fill one each per
+  /// optimizer step; the reduction merges them in lane order, and the
+  /// update reads from here — never aliasing the live weights — in one
+  /// vectorizable pass per tensor.
+  struct GradBuf {
+    std::vector<Layer> Layers;
+    std::vector<float> GWy, GBy;
+  };
+
   /// Generation state.
   std::vector<std::vector<float>> StateH, StateC;
 
@@ -115,26 +181,33 @@ private:
   /// loss evaluation allocate nothing per token.
   std::vector<float> ScratchA, ScratchLogits;
 
-  /// Scratch for BPTT (see LstmModel.cpp).
-  struct Tape;
+  /// Per-lane BPTT scratch (forward tape + backward accumulators); see
+  /// LstmModel.cpp.
+  struct ChunkWorkspace;
 
-  /// When set, trainChunk copies its raw (unclipped, unscaled) gradients
-  /// here; gradientCheck reads them directly instead of reconstructing
-  /// them from a parameter delta, which loses them to float cancellation
-  /// for near-zero entries.
+  /// GradientCapture hook state (see setGradientCapture).
   bool CaptureGrads = false;
-  std::vector<Layer> CapturedLayerGrads;
-  std::vector<float> CapturedGWy, CapturedGBy;
+  GradBuf CapturedGrads;
 
   void initParameters();
+  void allocGradBuf(GradBuf &G) const;
   /// One forward step from (H,C) with input vector X (size In of layer
   /// 0 handled as one-hot id); returns logits.
   void stepState(int TokenId, std::vector<std::vector<float>> &H,
                  std::vector<std::vector<float>> &C,
                  std::vector<float> *LogitsOut);
-  double trainChunk(const std::vector<int> &Tokens, size_t Begin,
-                    size_t End, std::vector<std::vector<float>> &H,
-                    std::vector<std::vector<float>> &C, float Lr);
+  /// Forward + backward over one BPTT chunk against the CURRENT weights,
+  /// which it never mutates (safe to run concurrently from many lanes).
+  /// Accumulates raw gradients into \p Grads (caller zeroes), advances
+  /// (H,C) to the chunk's final state, and returns the total loss in
+  /// bits; \p StepsOut receives the number of prediction steps.
+  double chunkBackward(const std::vector<int> &Tokens, size_t Begin,
+                       size_t End, std::vector<std::vector<float>> &H,
+                       std::vector<std::vector<float>> &C, GradBuf &Grads,
+                       ChunkWorkspace &Ws, int &StepsOut) const;
+  /// Clips \p Grads by global norm and applies one SGD step scaled by
+  /// Lr / TotalSteps (the accumulated-update half of the engine).
+  void applyUpdate(GradBuf &Grads, float Lr, int TotalSteps);
 };
 
 } // namespace model

@@ -43,8 +43,10 @@ namespace store {
 
 /// Format version of the archive container itself. Bump when the header
 /// layout or a payload schema changes shape; readers reject any other
-/// version (no silent migration — see ROADMAP "format version policy").
-constexpr uint32_t FormatVersion = 1;
+/// version (no silent migration — the policy is specified in
+/// docs/STORE_FORMAT.md). History: v1 initial; v2 added
+/// LstmOptions::BatchLanes to the LSTM model payload.
+constexpr uint32_t FormatVersion = 2;
 
 /// Payload kinds (the `kind` header field). One archive holds exactly
 /// one artifact; the kind tag stops a corpus snapshot from being

@@ -1,0 +1,279 @@
+//===- tests/model/LstmTrainTest.cpp - data-parallel LSTM training ------------===//
+//
+// Determinism contract of the data-parallel training engine: trained
+// weights are bit-identical (compared as store::Serialization archive
+// images) for every TrainOptions::Workers value, the reduced gradients
+// match the serial reduction bit-for-bit (via the GradientCapture
+// hook), and the scheduling/semantic knob split is enforced at the
+// pipeline fingerprint level.
+//
+//===----------------------------------------------------------------------===//
+
+#include "clgen/Pipeline.h"
+#include "model/LstmModel.h"
+#include "store/Archive.h"
+#include "store/Serialization.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <thread>
+
+using namespace clgen;
+using namespace clgen::model;
+
+namespace {
+
+/// A small but non-trivial training corpus: enough chunks that a lane
+/// partition is ragged (exercises the final partial optimizer step).
+std::vector<std::string> trainingCorpus() {
+  std::vector<std::string> Entries;
+  for (int I = 0; I < 6; ++I)
+    Entries.push_back("__kernel void k" + std::to_string(I) +
+                      "(__global float* a, const int n) {\n"
+                      "  int i = get_global_id(0);\n"
+                      "  if (i < n) { a[i] = a[i] * 2.0f + 1.0f; }\n"
+                      "}\n");
+  return Entries;
+}
+
+LstmOptions smallOptions(int BatchLanes) {
+  LstmOptions Opts;
+  Opts.Layers = 2;
+  Opts.HiddenSize = 12;
+  Opts.Epochs = 2;
+  Opts.SequenceLength = 24;
+  Opts.BatchLanes = BatchLanes;
+  return Opts;
+}
+
+/// The byte image weight comparisons run over: the full serialized
+/// model archive (options + vocabulary + every weight tensor as
+/// IEEE-754 bit patterns).
+std::vector<uint8_t> weightImage(const LstmModel &M) {
+  store::ArchiveWriter W(store::ArchiveKind::Model);
+  M.serialize(W);
+  return W.finalize();
+}
+
+LstmModel trainWith(const LstmOptions &Opts, unsigned Workers,
+                    const std::vector<std::string> &Entries) {
+  LstmModel M(Opts);
+  TrainOptions TOpts;
+  TOpts.Workers = Workers;
+  M.train(Entries, TOpts);
+  return M;
+}
+
+unsigned hardwareWorkers() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N > 0 ? N : 4;
+}
+
+TEST(LstmTrainTest, WeightsBitIdenticalAcrossWorkerCounts) {
+  auto Entries = trainingCorpus();
+  LstmOptions Opts = smallOptions(/*BatchLanes=*/4);
+  auto Reference = weightImage(trainWith(Opts, 1, Entries));
+  ASSERT_FALSE(Reference.empty());
+  for (unsigned Workers : {2u, 3u, hardwareWorkers(), 0u}) {
+    auto Image = weightImage(trainWith(Opts, Workers, Entries));
+    EXPECT_EQ(Image, Reference)
+        << "trained weights diverged at Workers=" << Workers;
+  }
+}
+
+TEST(LstmTrainTest, SingleLaneParallelMatchesLegacySerialOverload) {
+  // BatchLanes == 1 is the classic chunk-sequential SGD; the worker
+  // pool must not change a single bit of it, and the legacy
+  // train(Entries, Progress) overload must keep producing the same
+  // model as the TrainOptions path.
+  auto Entries = trainingCorpus();
+  LstmOptions Opts = smallOptions(/*BatchLanes=*/1);
+  LstmModel Legacy(Opts);
+  int Epochs = 0;
+  Legacy.train(Entries, [&](int, double) { ++Epochs; });
+  EXPECT_EQ(Epochs, Opts.Epochs);
+  auto LegacyImage = weightImage(Legacy);
+  for (unsigned Workers : {1u, 2u, hardwareWorkers()}) {
+    auto Image = weightImage(trainWith(Opts, Workers, Entries));
+    EXPECT_EQ(Image, LegacyImage)
+        << "single-lane training diverged at Workers=" << Workers;
+  }
+}
+
+TEST(LstmTrainTest, ReducedGradientsMatchSerialBitForBit) {
+  // GradientCapture hook: the merged (post-reduction, pre-clip)
+  // gradient of the last optimizer step must be bit-identical between
+  // the inline serial path and the thread-pool path.
+  auto Entries = trainingCorpus();
+  LstmOptions Opts = smallOptions(/*BatchLanes=*/3);
+
+  auto CaptureWith = [&](unsigned Workers) {
+    LstmModel M(Opts);
+    M.setGradientCapture(true);
+    TrainOptions TOpts;
+    TOpts.Workers = Workers;
+    M.train(Entries, TOpts);
+    auto Image = M.capturedGradientImage();
+    // Guard against the hook silently dying: a never-filled capture
+    // buffer would still serialize to a small deterministic archive, so
+    // equality alone could pass vacuously. A real capture carries one
+    // f32 per parameter.
+    EXPECT_GT(Image.size(), M.parameterCount() * sizeof(float));
+    return Image;
+  };
+
+  auto Serial = CaptureWith(1);
+  ASSERT_FALSE(Serial.empty());
+  EXPECT_EQ(CaptureWith(2), Serial);
+  EXPECT_EQ(CaptureWith(hardwareWorkers()), Serial);
+}
+
+TEST(LstmTrainTest, BatchLanesIsSemanticNotScheduling) {
+  // Different lane counts are different training algorithms (different
+  // batching), so they must NOT produce identical weights — that is why
+  // BatchLanes is fingerprinted and Workers is not.
+  auto Entries = trainingCorpus();
+  auto OneLane = weightImage(trainWith(smallOptions(1), 1, Entries));
+  auto FourLanes = weightImage(trainWith(smallOptions(4), 1, Entries));
+  EXPECT_NE(OneLane, FourLanes);
+}
+
+TEST(LstmTrainTest, LanesClampToChunkCountOnTinyCorpus) {
+  // Fewer chunks than lanes: the partition clamps, training still
+  // converges deterministically across worker counts.
+  std::vector<std::string> Tiny = {"abab"};
+  LstmOptions Opts = smallOptions(/*BatchLanes=*/8);
+  Opts.SequenceLength = 4;
+  auto Reference = weightImage(trainWith(Opts, 1, Tiny));
+  EXPECT_EQ(weightImage(trainWith(Opts, 4, Tiny)), Reference);
+}
+
+TEST(LstmTrainTest, BatchLanesClampedToValidRangeAtConstruction) {
+  // Out-of-range lane counts are clamped where the model is configured,
+  // so a trained model can never serialize an options block its own
+  // deserializer rejects (which would make every warm start a miss).
+  auto Entries = trainingCorpus();
+  auto OneLane = weightImage(trainWith(smallOptions(1), 1, Entries));
+  EXPECT_EQ(weightImage(trainWith(smallOptions(0), 1, Entries)), OneLane);
+  EXPECT_EQ(weightImage(trainWith(smallOptions(-7), 1, Entries)), OneLane);
+
+  LstmModel Huge = trainWith(
+      smallOptions(LstmOptions::MaxBatchLanes + 5), 2, Entries);
+  store::ArchiveWriter W(store::ArchiveKind::Model);
+  Huge.serialize(W);
+  auto Opened = store::ArchiveReader::fromBytes(W.finalize(),
+                                                store::ArchiveKind::Model);
+  ASSERT_TRUE(Opened.ok()) << Opened.errorMessage();
+  store::ArchiveReader R = Opened.take();
+  (void)LstmModel::deserialize(R);
+  EXPECT_TRUE(R.finish().ok()) << R.finish().errorMessage();
+}
+
+TEST(LstmTrainTest, ParallelTrainingReducesLoss) {
+  LstmOptions Opts;
+  Opts.Layers = 1;
+  Opts.HiddenSize = 24;
+  Opts.Epochs = 20;
+  Opts.SequenceLength = 16;
+  // The accumulated update averages over BatchLanes chunks, so the
+  // batch regime wants a proportionally larger rate than 1-lane SGD.
+  Opts.LearningRate = 0.4f;
+  Opts.BatchLanes = 4;
+  LstmModel M(Opts);
+  TrainOptions TOpts;
+  TOpts.Workers = 2;
+  std::vector<double> Losses;
+  TOpts.Progress = [&](int, double Loss) { Losses.push_back(Loss); };
+  std::string Text;
+  for (int I = 0; I < 8; ++I)
+    Text += "abababababababab";
+  M.train({Text}, TOpts);
+  ASSERT_GE(Losses.size(), 2u);
+  EXPECT_LT(Losses.back(), Losses.front() * 0.8);
+}
+
+TEST(LstmTrainTest, SerializedRoundTripPreservesBatchLanes) {
+  auto Entries = trainingCorpus();
+  LstmModel M = trainWith(smallOptions(3), 2, Entries);
+  store::ArchiveWriter W(store::ArchiveKind::Model);
+  M.serialize(W);
+  auto Opened = store::ArchiveReader::fromBytes(W.finalize(),
+                                                store::ArchiveKind::Model);
+  ASSERT_TRUE(Opened.ok()) << Opened.errorMessage();
+  store::ArchiveReader R = Opened.take();
+  LstmModel Loaded = LstmModel::deserialize(R);
+  ASSERT_TRUE(R.finish().ok()) << R.finish().errorMessage();
+  EXPECT_EQ(weightImage(Loaded), weightImage(M));
+}
+
+//===----------------------------------------------------------------------===//
+// Pipeline integration: scheduling vs semantic knobs
+//===----------------------------------------------------------------------===//
+
+std::vector<corpus::ContentFile> pipelineFiles() {
+  std::vector<corpus::ContentFile> Files;
+  corpus::ContentFile F;
+  F.Path = "a.cl";
+  F.Text = "__kernel void scale(__global float* a, const int n) {\n"
+           "  int i = get_global_id(0);\n"
+           "  if (i < n) { a[i] = a[i] * 2.0f; }\n"
+           "}\n";
+  Files.push_back(F);
+  return Files;
+}
+
+core::PipelineOptions lstmPipelineOptions(int BatchLanes,
+                                          unsigned Workers) {
+  core::PipelineOptions POpts;
+  POpts.Backend = core::ModelBackend::Lstm;
+  POpts.Lstm = smallOptions(BatchLanes);
+  POpts.Lstm.Epochs = 1;
+  POpts.Train.Workers = Workers;
+  return POpts;
+}
+
+TEST(LstmTrainTest, PipelineFingerprintExcludesTrainWorkers) {
+  auto Files = pipelineFiles();
+  uint64_t W1 = core::ClgenPipeline::fingerprint(
+      Files, lstmPipelineOptions(4, 1));
+  uint64_t W8 = core::ClgenPipeline::fingerprint(
+      Files, lstmPipelineOptions(4, 8));
+  EXPECT_EQ(W1, W8) << "Workers is a scheduling knob: same fingerprint";
+
+  uint64_t Lanes1 = core::ClgenPipeline::fingerprint(
+      Files, lstmPipelineOptions(1, 1));
+  EXPECT_NE(W1, Lanes1) << "BatchLanes is semantic: distinct fingerprint";
+}
+
+TEST(LstmTrainTest, TrainOrLoadWarmStartsAcrossWorkerCounts) {
+  auto Dir = std::filesystem::temp_directory_path() /
+             "clgen_lstm_train_warm_start";
+  std::filesystem::remove_all(Dir);
+  auto Files = pipelineFiles();
+
+  core::TrainOrLoadInfo Cold;
+  auto First = core::ClgenPipeline::trainOrLoad(
+      Dir.string(), Files, lstmPipelineOptions(4, 2), &Cold);
+  ASSERT_TRUE(First.ok()) << First.errorMessage();
+  EXPECT_FALSE(Cold.LoadedModel);
+
+  // A different worker count must hit the same artifact (its weights
+  // are bit-identical by the training contract, so serving the stored
+  // model is exact, not approximate).
+  core::TrainOrLoadInfo Warm;
+  auto Second = core::ClgenPipeline::trainOrLoad(
+      Dir.string(), Files, lstmPipelineOptions(4, 1), &Warm);
+  ASSERT_TRUE(Second.ok()) << Second.errorMessage();
+  EXPECT_TRUE(Warm.LoadedModel);
+  EXPECT_EQ(Warm.Fingerprint, Cold.Fingerprint);
+
+  auto &Fresh = static_cast<model::LstmModel &>(
+      First.get().languageModel());
+  auto &Loaded = static_cast<model::LstmModel &>(
+      Second.get().languageModel());
+  EXPECT_EQ(weightImage(Loaded), weightImage(Fresh));
+  std::filesystem::remove_all(Dir);
+}
+
+} // namespace
