@@ -15,7 +15,11 @@
 #    top-level files with a known extension) must exist on disk
 #   - qualified C++ symbols (ns::Name, Class::member) must appear in
 #     src/ sources
-#   - `--flag` tokens must appear in examples/benchmark_runner.cpp
+#   - `--flag` tokens must appear in examples/benchmark_runner.cpp or
+#     examples/store_tool.cpp
+#   - `clgen-store <sub> [--flag ...]` invocations: every subcommand
+#     and option word must be handled by examples/store_tool.cpp, so
+#     documented lifecycle-CLI usage cannot rot
 #   - SuiteName.TestName tokens must appear under tests/
 #
 #===----------------------------------------------------------------------===//
@@ -49,17 +53,48 @@ for DOC in "${DOCS[@]}"; do
   [ -f "$DOC" ] || { fail "documentation file missing: $DOC"; continue; }
 
   while IFS= read -r TOKEN; do
+    # --- clgen-store invocations (checked before the space filter:
+    # "clgen-store gc --dry-run" is a reference, not prose) -------------
+    case "$TOKEN" in
+    clgen-store | "clgen-store "*)
+      SUB_SEEN=0
+      for WORD in $TOKEN; do
+        case "$WORD" in
+        clgen-store) ;;
+        --*)
+          if ! grep -qF -- "\"$WORD\"" examples/store_tool.cpp; then
+            fail "$DOC references clgen-store option \`$WORD\` not handled by examples/store_tool.cpp"
+          fi
+          ;;
+        [a-z]*)
+          # The first lowercase word is the subcommand; later ones are
+          # operands (directory names, values) and are not checked.
+          if [ "$SUB_SEEN" -eq 0 ]; then
+            SUB_SEEN=1
+            if ! grep -qF -- "\"$WORD\"" examples/store_tool.cpp; then
+              fail "$DOC references clgen-store subcommand \`$WORD\` not handled by examples/store_tool.cpp"
+            fi
+          fi
+          ;;
+        *) ;; # Operand placeholder (DIR, N, ...): skip.
+        esac
+      done
+      continue
+      ;;
+    esac
+
     case "$TOKEN" in
     # Tokens with placeholders, options, spaces or globs are prose, not
     # checkable references ("docs/*.md", "--cache-dir DIR", "-j", ...).
     *" "* | *"*"* | *"<"* | *"..."* | *"…"*) continue ;;
     esac
 
-    # --- CLI flags of the pipeline runner -------------------------------
+    # --- CLI flags of the runner / lifecycle tools ----------------------
     case "$TOKEN" in
     --*)
-      if ! grep -qF -- "\"$TOKEN\"" examples/benchmark_runner.cpp; then
-        fail "$DOC references flag \`$TOKEN\` not handled by examples/benchmark_runner.cpp"
+      if ! grep -qF -- "\"$TOKEN\"" examples/benchmark_runner.cpp &&
+         ! grep -qF -- "\"$TOKEN\"" examples/store_tool.cpp; then
+        fail "$DOC references flag \`$TOKEN\` not handled by examples/benchmark_runner.cpp or examples/store_tool.cpp"
       fi
       continue
       ;;

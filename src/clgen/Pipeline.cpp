@@ -7,6 +7,7 @@
 #include "clgen/Pipeline.h"
 
 #include "store/Archive.h"
+#include "store/Lock.h"
 #include "store/ResultCache.h"
 #include "store/Serialization.h"
 #include "support/Channel.h"
@@ -16,6 +17,7 @@
 #include <deque>
 #include <filesystem>
 #include <functional>
+#include <optional>
 #include <thread>
 
 using namespace clgen;
@@ -176,13 +178,15 @@ ClgenPipeline::synthesizeOrLoad(const std::string &CacheDir,
 
   std::error_code Ec;
   std::filesystem::create_directories(CacheDir, Ec);
+  uint64_t KeyDigest = Key.payloadDigest();
   std::string Path =
-      CacheDir + "/synthesis-" + store::hexDigest(Key.payloadDigest()) +
-      ".clgs";
+      CacheDir + "/synthesis-" + store::hexDigest(KeyDigest) + ".clgs";
 
-  auto Opened = store::ArchiveReader::open(Path,
-                                           store::ArchiveKind::Synthesis);
-  if (Opened.ok()) {
+  auto TryLoad = [&]() -> std::optional<SynthesisResult> {
+    auto Opened = store::ArchiveReader::open(Path,
+                                             store::ArchiveKind::Synthesis);
+    if (!Opened.ok())
+      return std::nullopt;
     store::ArchiveReader R = Opened.take();
     SynthesisResult Out;
     Out.Stats.Attempts = R.readU64();
@@ -203,12 +207,36 @@ ClgenPipeline::synthesizeOrLoad(const std::string &CacheDir,
                vm::verifyKernel(K.Kernel));
       Out.Kernels.push_back(std::move(K));
     }
-    if (R.finish().ok()) {
+    if (!R.finish().ok())
+      return std::nullopt; // Corrupt: re-synthesize and overwrite.
+    return Out;
+  };
+
+  // Lock-free fast path: warm stores never touch a lock file.
+  if (auto Hit = TryLoad()) {
+    if (Loaded)
+      *Loaded = true;
+    return *Hit;
+  }
+
+  // Cold miss: serialize concurrent cold runs of this configuration so
+  // the sampling work happens once. tryAcquire first — uncontended
+  // misses skip the poll loop; actual racers wait, then every holder
+  // re-probes (double-checked locking) before working. A lock failure
+  // or timeout degrades to duplicated work, never an error: every
+  // writer publishes via atomic rename.
+  store::ScopedLock Lock = store::ScopedLock::acquireForMiss(
+      store::lockFilePath(CacheDir, "synthesis", KeyDigest));
+  if (Lock.held()) {
+    // Re-probe under the lock even when it was uncontended (a racer
+    // may have published and released since the fast-path probe);
+    // holders publish before releasing, so this makes exactly-once
+    // strict rather than probabilistic.
+    if (auto Hit = TryLoad()) {
       if (Loaded)
         *Loaded = true;
-      return Out;
+      return *Hit;
     }
-    // Corrupt entry: fall through to re-synthesis, which overwrites it.
   }
 
   SynthesisResult Out = synthesize(Opts);
@@ -291,16 +319,39 @@ ClgenPipeline::trainOrLoad(const std::string &CacheDir,
 
   // A fingerprint hit requires both artifacts to load cleanly; a
   // corrupt or missing file just falls back to retraining (which then
-  // overwrites it atomically).
-  auto StoredModel = store::loadModel(I.ModelPath);
-  auto StoredCorpus = store::loadCorpus(I.CorpusPath);
-  if (StoredModel.ok() && StoredCorpus.ok()) {
+  // overwrites it atomically). This probe is the LOCK-FREE fast path:
+  // warm starts never touch a lock file.
+  auto TryLoad = [&]() -> std::optional<ClgenPipeline> {
+    auto StoredModel = store::loadModel(I.ModelPath);
+    auto StoredCorpus = store::loadCorpus(I.CorpusPath);
+    if (!StoredModel.ok() || !StoredCorpus.ok())
+      return std::nullopt;
     ClgenPipeline P;
     P.TrainingCorpus = StoredCorpus.take();
     P.Model = StoredModel.take();
     P.ArtifactFingerprint = I.Fingerprint;
     I.LoadedModel = I.LoadedCorpus = true;
     return P;
+  };
+  if (auto Hit = TryLoad())
+    return std::move(*Hit);
+
+  // Cold miss: stampede control. Concurrent cold runs of one
+  // fingerprint serialize on an advisory lock so training happens
+  // once — the losers wake up, re-probe (double-checked locking) and
+  // load the winner's artifacts. Uncontended misses take tryAcquire
+  // and proceed without waiting; a timed-out or failed lock degrades
+  // to duplicated training (publication stays atomic either way).
+  store::ScopedLock Lock = store::ScopedLock::acquireForMiss(
+      store::lockFilePath(CacheDir, "train", I.Fingerprint));
+  if (Lock.held()) {
+    // Re-probe under the lock even when it was uncontended: a racer
+    // may have trained, published and released between our fast-path
+    // probe and this acquisition. Holders publish before releasing,
+    // so a hit here is complete — this second probe is what makes
+    // "K concurrent cold runs train exactly once" strict.
+    if (auto Hit = TryLoad())
+      return std::move(*Hit);
   }
 
   ClgenPipeline P = train(Files, Opts);

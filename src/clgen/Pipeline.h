@@ -127,6 +127,13 @@ public:
   /// Misses (or corrupt artifacts, which are ignored and overwritten)
   /// train as usual and persist both artifacts atomically for the next
   /// run. Fails only when \p CacheDir cannot be created/written.
+  ///
+  /// Stampede control: the hit path is lock-free, but a cold miss
+  /// takes an advisory per-fingerprint file lock (store/Lock.h) and
+  /// re-probes under it, so K concurrent cold runs of one
+  /// configuration — threads or processes — train exactly once and the
+  /// losers warm-start off the winner's artifacts. Lock timeouts
+  /// degrade to duplicated (byte-identical) training, never an error.
   static Result<ClgenPipeline>
   trainOrLoad(const std::string &CacheDir,
               const std::vector<corpus::ContentFile> &Files,
@@ -154,7 +161,11 @@ public:
   /// trainOrLoad the model is identified by the training fingerprint;
   /// otherwise the key digests the serialized model content itself.
   /// Corrupt or missing entries re-synthesize and overwrite; cache I/O
-  /// failures degrade to plain synthesis (never an error).
+  /// failures degrade to plain synthesis (never an error). Like
+  /// trainOrLoad, a cold miss serializes concurrent racers on an
+  /// advisory per-key lock (hit path lock-free; sampling happens once,
+  /// losers load the winner's kernel set — \p Loaded reports true for
+  /// them).
   SynthesisResult synthesizeOrLoad(const std::string &CacheDir,
                                    const SynthesisOptions &Opts,
                                    bool *Loaded = nullptr);

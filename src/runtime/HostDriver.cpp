@@ -6,6 +6,7 @@
 
 #include "runtime/HostDriver.h"
 
+#include "store/Lock.h"
 #include "store/ResultCache.h"
 #include "support/ThreadPool.h"
 #include "vm/Compiler.h"
@@ -122,6 +123,47 @@ runtime::runBenchmarkBatch(const std::vector<CompiledKernel> &Kernels,
     } else {
       MissIndices.push_back(I);
       ++Tally.Misses;
+    }
+  }
+
+  // Stampede control over the expensive miss path: concurrent cold
+  // batches of one configuration serialize on an advisory lock keyed
+  // by the digest of the WHOLE batch key set — not the miss subset,
+  // which would let a racer that probed mid-publication (seeing a
+  // different subset) take a different lock and duplicate work. The
+  // warm path (no misses) never touches a lock; uncontended misses
+  // skip the poll loop via tryAcquire; racers wait; every holder
+  // RE-PROBES the cache (double-checked locking) and measures just
+  // what the winner did not publish. A failed or timed-out lock
+  // degrades to duplicated measurement — results are identical either
+  // way, because the simulator is deterministic and write-back is
+  // atomic. Tally counts what THIS call measured vs served from cache,
+  // so exactly-once stress tests can sum Misses across racers.
+  store::ScopedLock BatchLock; // Held (if taken) until measurement ends.
+  if (!MissIndices.empty() && Cache.directoryOk()) {
+    uint64_t BatchDigest = 0xCBF29CE484222325ull;
+    for (uint64_t Key : Keys)
+      BatchDigest = store::fnv1a64(&Key, sizeof(Key), BatchDigest);
+    BatchLock = store::ScopedLock::acquireForMiss(
+        store::lockFilePath(Cache.directory(), "batch", BatchDigest));
+    if (BatchLock.held()) {
+      // Re-probe under the lock, even when it was uncontended: a racer
+      // may have published and released between our first probe and
+      // the acquisition, and holders always publish before releasing —
+      // so whatever is going to exist already does. This is what makes
+      // "K concurrent cold batches measure each kernel exactly once"
+      // strict rather than probabilistic.
+      std::vector<size_t> StillMissing;
+      for (size_t I : MissIndices) {
+        if (auto Cached = Cache.lookup(Keys[I])) {
+          Out[I] = *Cached;
+          ++Tally.Hits;
+          --Tally.Misses;
+        } else {
+          StillMissing.push_back(I);
+        }
+      }
+      MissIndices = std::move(StillMissing);
     }
   }
 

@@ -109,6 +109,12 @@ struct BatchCacheStats {
 /// Results are identical to the uncached overload — the simulator is
 /// deterministic, so a memoized measurement IS the fresh measurement.
 /// Failed runs are not cached; they are re-attempted on the next batch.
+/// Concurrent cold batches of one configuration serialize on an
+/// advisory lock keyed by the batch's key-set digest (store/Lock.h) and
+/// re-probe under it, so racing threads/processes measure each kernel
+/// exactly once; fully-warm batches never touch a lock. \p CacheStats
+/// tallies what THIS call measured (Misses) vs served from cache
+/// (Hits), so exactly-once can be asserted by summing across racers.
 std::vector<Result<Measurement>>
 runBenchmarkBatch(const std::vector<vm::CompiledKernel> &Kernels,
                   const Platform &P, const DriverOptions &Opts,

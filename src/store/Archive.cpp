@@ -96,7 +96,10 @@ std::vector<uint8_t> ArchiveWriter::finalize() const {
   Header.writeU64(Payload.size());
   std::vector<uint8_t> Out = std::move(Header.Payload);
   Out.insert(Out.end(), Payload.begin(), Payload.end());
-  uint64_t Checksum = payloadDigest();
+  // The trailer digests header || payload (v3): every byte of the file
+  // is under the checksum, so even kind-agnostic validation catches a
+  // corrupted header field.
+  uint64_t Checksum = fnv1a64(Out.data(), Out.size());
   for (int I = 0; I < 8; ++I)
     Out.push_back(static_cast<uint8_t>(Checksum >> (8 * I)));
   return Out;
@@ -166,6 +169,56 @@ static uint64_t peekU64(const uint8_t *P) {
          static_cast<uint64_t>(peekU32(P + 4)) << 32;
 }
 
+const char *store::archiveKindName(uint32_t Kind) {
+  switch (static_cast<ArchiveKind>(Kind)) {
+  case ArchiveKind::Model:
+    return "model";
+  case ArchiveKind::Corpus:
+    return "corpus";
+  case ArchiveKind::Measurement:
+    return "measurement";
+  case ArchiveKind::Synthesis:
+    return "synthesis";
+  case ArchiveKind::Manifest:
+    return "manifest";
+  }
+  return "unknown";
+}
+
+Result<ArchiveInfo> store::inspectArchive(const std::string &Path) {
+  std::vector<uint8_t> Bytes;
+  if (!readFileBytes(Path, Bytes))
+    return Result<ArchiveInfo>::error("cannot read archive: " + Path);
+
+  constexpr size_t HeaderSize = 20, TrailerSize = 8;
+  ArchiveInfo Info;
+  Info.FileSize = Bytes.size();
+  if (Bytes.size() < HeaderSize + TrailerSize)
+    return Result<ArchiveInfo>::error(
+        "archive truncated: " + std::to_string(Bytes.size()) +
+        " bytes is smaller than the fixed header");
+  if (peekU32(Bytes.data()) != ArchiveMagic)
+    return Result<ArchiveInfo>::error("bad magic: not a CLGS archive");
+  Info.Version = peekU32(Bytes.data() + 4);
+  Info.Kind = peekU32(Bytes.data() + 8);
+  Info.PayloadSize = peekU64(Bytes.data() + 12);
+  if (Info.Version != FormatVersion)
+    return Result<ArchiveInfo>::error(
+        "unsupported format version " + std::to_string(Info.Version) +
+        " (expected " + std::to_string(FormatVersion) + ")");
+  if (Info.PayloadSize != Bytes.size() - HeaderSize - TrailerSize)
+    return Result<ArchiveInfo>::error(
+        "archive truncated: header promises " +
+        std::to_string(Info.PayloadSize) + " payload bytes, file carries " +
+        std::to_string(Bytes.size() - HeaderSize - TrailerSize));
+  Info.Checksum = peekU64(Bytes.data() + HeaderSize + Info.PayloadSize);
+  uint64_t Actual = fnv1a64(Bytes.data(), HeaderSize + Info.PayloadSize);
+  if (Info.Checksum != Actual)
+    return Result<ArchiveInfo>::error(
+        "checksum mismatch: archive is corrupted");
+  return Info;
+}
+
 Result<ArchiveReader> ArchiveReader::open(const std::string &Path,
                                           ArchiveKind ExpectedKind) {
   std::vector<uint8_t> Bytes;
@@ -205,7 +258,7 @@ Result<ArchiveReader> ArchiveReader::fromBytes(std::vector<uint8_t> Bytes,
         std::to_string(PayloadSize) + " payload bytes, file carries " +
         std::to_string(Bytes.size() - HeaderSize - TrailerSize));
   uint64_t Stored = peekU64(Bytes.data() + HeaderSize + PayloadSize);
-  uint64_t Actual = fnv1a64(Bytes.data() + HeaderSize, PayloadSize);
+  uint64_t Actual = fnv1a64(Bytes.data(), HeaderSize + PayloadSize);
   if (Stored != Actual)
     return Result<ArchiveReader>::error(
         "checksum mismatch: archive is corrupted");

@@ -16,7 +16,12 @@
 /// Layout:
 ///
 ///   [u32 magic 'CLGS'][u32 version][u32 kind][u64 payload size]
-///   [payload bytes][u64 fnv1a64(payload)]
+///   [payload bytes][u64 fnv1a64(header || payload)]
+///
+/// The trailer checksum covers the HEADER as well as the payload (v3):
+/// every byte of the file is protected, so kind-agnostic container
+/// validation (store::inspectArchive, the lifecycle sweep) detects any
+/// single-byte corruption, including a flipped kind tag.
 ///
 /// ArchiveReader is defensive by contract: every read is bounds-checked
 /// and a malformed archive (truncated, corrupted, wrong version) turns
@@ -45,18 +50,48 @@ namespace store {
 /// layout or a payload schema changes shape; readers reject any other
 /// version (no silent migration — the policy is specified in
 /// docs/STORE_FORMAT.md). History: v1 initial; v2 added
-/// LstmOptions::BatchLanes to the LSTM model payload.
-constexpr uint32_t FormatVersion = 2;
+/// LstmOptions::BatchLanes to the LSTM model payload; v3 extended the
+/// trailer checksum to cover the header as well as the payload (the
+/// lifecycle corruption-fuzz harness showed a flipped kind tag slipped
+/// past kind-agnostic container validation — with the header under the
+/// checksum, every byte of an archive is protected).
+constexpr uint32_t FormatVersion = 3;
 
 /// Payload kinds (the `kind` header field). One archive holds exactly
 /// one artifact; the kind tag stops a corpus snapshot from being
 /// deserialized as an LSTM weight blob even when both parse cleanly.
+/// Adding a NEW kind is additive (no existing payload changes shape)
+/// and does not bump FormatVersion; old readers reject unknown kinds
+/// via the kind check.
 enum class ArchiveKind : uint32_t {
   Model = 1,       // Polymorphic language model (tagged n-gram/LSTM).
   Corpus = 2,      // corpus::Corpus snapshot (entries + stats).
   Measurement = 3, // One runtime::Measurement (result-cache entry).
   Synthesis = 4,   // core::SynthesisResult (kernels + stats).
+  Manifest = 5,    // store::Manifest (lifecycle sweep record).
 };
+
+/// Human-readable name of a raw kind tag ("model", "corpus", ...;
+/// "unknown" for tags outside the enum). Used by the `clgen-store`
+/// inspection CLI.
+const char *archiveKindName(uint32_t Kind);
+
+/// Container-level facts about an archive file, independent of its
+/// payload schema: what the header claims plus whether the claims hold.
+struct ArchiveInfo {
+  uint32_t Version = 0;     // Header version field.
+  uint32_t Kind = 0;        // Raw kind tag (may be unknown).
+  uint64_t PayloadSize = 0; // Header size field.
+  uint64_t Checksum = 0;    // Stored trailer checksum.
+  uint64_t FileSize = 0;    // Actual bytes on disk.
+};
+
+/// Kind-agnostic container validation: checks magic, version, size and
+/// checksum of \p Path without deserializing the payload. This is what
+/// the lifecycle sweep and `clgen-store verify` run over every entry —
+/// an archive passing inspectArchive is structurally sound (its payload
+/// may still fail schema checks in its own deserializer).
+Result<ArchiveInfo> inspectArchive(const std::string &Path);
 
 /// FNV-1a 64-bit over \p Size bytes, continuing from \p Seed. The
 /// store's only hash: archive checksums, cache keys and fingerprints all

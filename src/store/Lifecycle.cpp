@@ -1,0 +1,553 @@
+//===- store/Lifecycle.cpp - Store GC, manifest and inspection -----------===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "store/Lifecycle.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+#include <filesystem>
+
+using namespace clgen;
+using namespace clgen::store;
+
+namespace fs = std::filesystem;
+
+const char *store::entryActionName(EntryAction A) {
+  switch (A) {
+  case EntryAction::Keep:
+    return "keep";
+  case EntryAction::Evict:
+    return "evict";
+  case EntryAction::Quarantine:
+    return "quarantine";
+  }
+  return "unknown";
+}
+
+//===----------------------------------------------------------------------===//
+// Scanning
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Directories the lifecycle ops never descend into: they hold
+/// non-entry files (locks, parked corruption) with their own rules.
+bool isReservedDirName(const std::string &Name) {
+  return Name == "locks" || Name == "quarantine";
+}
+
+/// In-flight atomic writes (`<final>.tmp.<unique>`) are invisible to
+/// every lifecycle operation except vacuum.
+bool isTempName(const std::string &Name) {
+  return Name.find(".tmp.") != std::string::npos;
+}
+
+int64_t mtimeNanos(const fs::path &P, std::error_code &Ec) {
+  fs::file_time_type T = fs::last_write_time(P, Ec);
+  if (Ec)
+    return 0;
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             T.time_since_epoch())
+      .count();
+}
+
+} // namespace
+
+Result<std::vector<EntryInfo>> store::scanStore(const std::string &Dir) {
+  std::error_code Ec;
+  if (!fs::is_directory(Dir, Ec) || Ec)
+    return Result<std::vector<EntryInfo>>::error(
+        "store directory is not readable: " + Dir);
+
+  std::vector<EntryInfo> Entries;
+  fs::recursive_directory_iterator It(
+      Dir, fs::directory_options::skip_permission_denied, Ec);
+  if (Ec)
+    return Result<std::vector<EntryInfo>>::error(
+        "cannot scan store directory: " + Dir + ": " + Ec.message());
+  for (fs::recursive_directory_iterator End; It != End;
+       It.increment(Ec)) {
+    if (Ec)
+      break;
+    const fs::directory_entry &DE = *It;
+    std::string Name = DE.path().filename().string();
+    if (DE.is_directory(Ec)) {
+      if (isReservedDirName(Name))
+        It.disable_recursion_pending();
+      continue;
+    }
+    if (DE.path().extension() != ".clgs" || isTempName(Name))
+      continue;
+    std::string Rel =
+        DE.path().lexically_relative(Dir).generic_string();
+    if (Rel == ManifestFileName)
+      continue;
+
+    EntryInfo E;
+    E.RelPath = Rel;
+    std::error_code SizeEc;
+    E.Size = fs::file_size(DE.path(), SizeEc);
+    if (SizeEc)
+      E.Size = 0;
+    std::error_code TimeEc;
+    E.MtimeNs = mtimeNanos(DE.path(), TimeEc);
+
+    Result<ArchiveInfo> Info = inspectArchive(DE.path().string());
+    if (Info.ok()) {
+      E.Valid = true;
+      E.Kind = Info.get().Kind;
+      E.Version = Info.get().Version;
+      E.Checksum = Info.get().Checksum;
+    } else {
+      E.Valid = false;
+      E.Problem = Info.errorMessage();
+    }
+    Entries.push_back(std::move(E));
+  }
+
+  std::sort(Entries.begin(), Entries.end(),
+            [](const EntryInfo &A, const EntryInfo &B) {
+              return A.RelPath < B.RelPath;
+            });
+  return Entries;
+}
+
+size_t store::quarantineCount(const std::string &Dir) {
+  std::error_code Ec;
+  fs::path Q = fs::path(Dir) / "quarantine";
+  if (!fs::is_directory(Q, Ec) || Ec)
+    return 0;
+  size_t N = 0;
+  for (const fs::directory_entry &DE : fs::directory_iterator(Q, Ec)) {
+    std::error_code FileEc;
+    if (DE.is_regular_file(FileEc))
+      ++N;
+  }
+  return N;
+}
+
+//===----------------------------------------------------------------------===//
+// Manifest
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void serializeManifest(ArchiveWriter &W, const Manifest &M) {
+  W.writeU64(M.SweepId);
+  W.writeU64(M.MaxBytes);
+  W.writeU64(M.KeptBytes);
+  W.writeU64(M.EvictedCount);
+  W.writeU64(M.EvictedBytes);
+  W.writeU64(M.QuarantinedCount);
+  W.writeU64(M.Entries.size());
+  for (const ManifestEntry &E : M.Entries) {
+    W.writeString(E.RelPath);
+    W.writeU64(E.Size);
+    W.writeU64(E.Checksum);
+  }
+}
+
+} // namespace
+
+Result<Manifest> store::loadManifest(const std::string &Dir) {
+  auto Opened = ArchiveReader::open(Dir + "/" + ManifestFileName,
+                                    ArchiveKind::Manifest);
+  if (!Opened.ok())
+    return Result<Manifest>::error(Opened.errorMessage());
+  ArchiveReader R = Opened.take();
+  Manifest M;
+  M.SweepId = R.readU64();
+  M.MaxBytes = R.readU64();
+  M.KeptBytes = R.readU64();
+  M.EvictedCount = R.readU64();
+  M.EvictedBytes = R.readU64();
+  M.QuarantinedCount = R.readU64();
+  uint64_t Count = R.readU64();
+  for (uint64_t I = 0; I < Count && R.ok(); ++I) {
+    ManifestEntry E;
+    E.RelPath = R.readString();
+    E.Size = R.readU64();
+    E.Checksum = R.readU64();
+    M.Entries.push_back(std::move(E));
+  }
+  Status S = R.finish();
+  if (!S.ok())
+    return Result<Manifest>::error(S.errorMessage());
+  return M;
+}
+
+//===----------------------------------------------------------------------===//
+// Sweep
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Quarantine file name for one entry: the relative path flattened
+/// ('/' -> "__") so nested entries land uniquely in the flat
+/// quarantine directory; pre-existing names get a numeric suffix
+/// rather than overwriting older evidence.
+fs::path quarantineTarget(const fs::path &QuarantineDir,
+                          const std::string &RelPath) {
+  std::string Flat = RelPath;
+  size_t Pos = 0;
+  while ((Pos = Flat.find('/', Pos)) != std::string::npos) {
+    Flat.replace(Pos, 1, "__");
+    Pos += 2;
+  }
+  fs::path Target = QuarantineDir / Flat;
+  std::error_code Ec;
+  for (int Suffix = 1; fs::exists(Target, Ec); ++Suffix)
+    Target = QuarantineDir / (Flat + "." + std::to_string(Suffix));
+  return Target;
+}
+
+} // namespace
+
+Result<SweepReport> store::sweep(const std::string &Dir,
+                                 const SweepPolicy &Policy) {
+  auto Scanned = scanStore(Dir);
+  if (!Scanned.ok())
+    return Result<SweepReport>::error(Scanned.errorMessage());
+
+  SweepReport Report;
+  Report.Entries = Scanned.take();
+
+  // Plan. Corrupt entries are quarantined; valid entries are
+  // LRU-evicted (oldest mtime first, RelPath breaking ties — the tie
+  // break keeps the plan deterministic when a test or a mass copy
+  // gives many entries one timestamp) until the budget holds.
+  uint64_t LiveBytes = 0;
+  std::vector<EntryInfo *> Live;
+  for (EntryInfo &E : Report.Entries) {
+    Report.ScannedBytes += E.Size;
+    if (!E.Valid) {
+      E.Action = EntryAction::Quarantine;
+      ++Report.QuarantinedCount;
+      Report.QuarantinedBytes += E.Size;
+    } else {
+      E.Action = EntryAction::Keep;
+      LiveBytes += E.Size;
+      Live.push_back(&E);
+    }
+  }
+  std::sort(Live.begin(), Live.end(),
+            [](const EntryInfo *A, const EntryInfo *B) {
+              if (A->MtimeNs != B->MtimeNs)
+                return A->MtimeNs < B->MtimeNs;
+              return A->RelPath < B->RelPath;
+            });
+  std::vector<EntryInfo *> Evictees;
+  if (Policy.MaxBytes > 0)
+    for (EntryInfo *E : Live) {
+      if (LiveBytes <= Policy.MaxBytes)
+        break;
+      E->Action = EntryAction::Evict;
+      LiveBytes -= E->Size;
+      ++Report.EvictedCount;
+      Report.EvictedBytes += E->Size;
+      Evictees.push_back(E);
+    }
+  Report.KeptBytes = LiveBytes;
+
+  // The manifest (and the sweep id) describe the surviving set.
+  Manifest M;
+  M.MaxBytes = Policy.MaxBytes;
+  M.KeptBytes = Report.KeptBytes;
+  M.EvictedCount = Report.EvictedCount;
+  M.EvictedBytes = Report.EvictedBytes;
+  M.QuarantinedCount = Report.QuarantinedCount;
+  for (const EntryInfo &E : Report.Entries)
+    if (E.Action == EntryAction::Keep && E.Valid) {
+      ManifestEntry ME;
+      ME.RelPath = E.RelPath;
+      ME.Size = E.Size;
+      ME.Checksum = E.Checksum;
+      M.Entries.push_back(std::move(ME));
+    }
+  Report.KeptCount = M.Entries.size();
+  {
+    ArchiveWriter IdW(ArchiveKind::Manifest);
+    for (const ManifestEntry &E : M.Entries) {
+      IdW.writeString(E.RelPath);
+      IdW.writeU64(E.Size);
+      IdW.writeU64(E.Checksum);
+    }
+    Report.SweepId = M.SweepId = IdW.payloadDigest();
+  }
+
+  if (Policy.DryRun)
+    return Report;
+
+  // Execute. Every mutation below is a whole-file rename or unlink —
+  // never a byte rewrite — so a crash between any two of them leaves
+  // only complete, valid entries behind. The KillSwitch models exactly
+  // those crash points for the lifecycle tests.
+  auto Kill = [&](const std::string &Stage) {
+    if (Policy.KillSwitch && !Policy.KillSwitch(Stage)) {
+      Report.Interrupted = true;
+      Report.InterruptedAt = Stage;
+      return true;
+    }
+    return false;
+  };
+  if (Kill("scan"))
+    return Report;
+
+  // Quarantine corrupt files first: they are the entries most likely
+  // to trip readers, and moving them is reversible (bytes preserved).
+  fs::path QuarantineDir = fs::path(Dir) / "quarantine";
+  for (const EntryInfo &E : Report.Entries) {
+    if (E.Action != EntryAction::Quarantine)
+      continue;
+    if (Kill("quarantine:" + E.RelPath))
+      return Report;
+    std::error_code Ec;
+    fs::create_directories(QuarantineDir, Ec);
+    fs::rename(fs::path(Dir) / E.RelPath,
+               quarantineTarget(QuarantineDir, E.RelPath), Ec);
+    // A failed move (e.g. the file vanished under us) is skipped; the
+    // next sweep re-plans from a fresh scan.
+  }
+
+  // Evict in LRU order, so an interrupted sweep has removed the oldest
+  // entries first — the same ones any completed sweep would pick.
+  for (const EntryInfo *E : Evictees) {
+    if (Kill("evict:" + E->RelPath))
+      return Report;
+    std::error_code Ec;
+    fs::remove(fs::path(Dir) / E->RelPath, Ec);
+  }
+
+  // Publish the manifest last so it describes the final state; the
+  // two-step write (temp file, then rename) means a crash at either
+  // kill-point leaves the previous manifest (or none) — never a
+  // partial one.
+  if (Kill("manifest-write"))
+    return Report;
+  ArchiveWriter W(ArchiveKind::Manifest);
+  serializeManifest(W, M);
+  std::vector<uint8_t> Bytes = W.finalize();
+  std::string FinalPath = Dir + "/" + ManifestFileName;
+  std::string TempPath =
+      FinalPath + ".tmp." + hexDigest(M.SweepId ^ 0x9E3779B97F4A7C15ull);
+  {
+    std::FILE *F = std::fopen(TempPath.c_str(), "wb");
+    if (!F)
+      return Result<SweepReport>::error(
+          "cannot write manifest temp file: " + TempPath);
+    size_t Written = std::fwrite(Bytes.data(), 1, Bytes.size(), F);
+    bool Ok = Written == Bytes.size() && std::fflush(F) == 0;
+    Ok = std::fclose(F) == 0 && Ok;
+    if (!Ok) {
+      std::remove(TempPath.c_str());
+      return Result<SweepReport>::error("short write to manifest temp: " +
+                                        TempPath);
+    }
+  }
+  if (Kill("manifest-publish")) {
+    // Crash simulation leaves the temp file behind deliberately — that
+    // is the state a real crash would leave; vacuum cleans it.
+    return Report;
+  }
+  std::error_code Ec;
+  fs::rename(TempPath, FinalPath, Ec);
+  if (Ec) {
+    std::remove(TempPath.c_str());
+    return Result<SweepReport>::error("cannot publish manifest: " +
+                                      Ec.message());
+  }
+  if (Kill("done"))
+    return Report;
+  return Report;
+}
+
+//===----------------------------------------------------------------------===//
+// Vacuum
+//===----------------------------------------------------------------------===//
+
+Result<VacuumReport> store::vacuum(const std::string &Dir) {
+  std::error_code Ec;
+  if (!fs::is_directory(Dir, Ec) || Ec)
+    return Result<VacuumReport>::error(
+        "store directory is not readable: " + Dir);
+
+  VacuumReport Report;
+
+  fs::path Q = fs::path(Dir) / "quarantine";
+  if (fs::is_directory(Q, Ec)) {
+    for (const fs::directory_entry &DE : fs::directory_iterator(Q, Ec)) {
+      std::error_code FileEc;
+      if (!DE.is_regular_file(FileEc))
+        continue;
+      uint64_t Size = fs::file_size(DE.path(), FileEc);
+      if (fs::remove(DE.path(), FileEc); !FileEc) {
+        ++Report.QuarantineRemoved;
+        Report.QuarantineBytes += Size;
+      }
+    }
+  }
+
+  fs::path Locks = fs::path(Dir) / "locks";
+  if (fs::is_directory(Locks, Ec)) {
+    for (const fs::directory_entry &DE :
+         fs::directory_iterator(Locks, Ec)) {
+      std::error_code FileEc;
+      if (!DE.is_regular_file(FileEc))
+        continue;
+      if (fs::remove(DE.path(), FileEc); !FileEc)
+        ++Report.LocksRemoved;
+    }
+  }
+
+  // Stale `.tmp.` files from crashed writers, anywhere in the tree.
+  fs::recursive_directory_iterator It(
+      Dir, fs::directory_options::skip_permission_denied, Ec);
+  for (fs::recursive_directory_iterator End; It != End;
+       It.increment(Ec)) {
+    if (Ec)
+      break;
+    std::error_code FileEc;
+    if (!It->is_regular_file(FileEc))
+      continue;
+    if (!isTempName(It->path().filename().string()))
+      continue;
+    if (fs::remove(It->path(), FileEc); !FileEc)
+      ++Report.TempRemoved;
+  }
+  return Report;
+}
+
+//===----------------------------------------------------------------------===//
+// CLI rendering
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string formatBytes(uint64_t Bytes) {
+  return std::to_string(Bytes) + (Bytes == 1 ? " byte" : " bytes");
+}
+
+void appendLine(std::string &Out, const char *Fmt, ...) {
+  char Buf[512];
+  va_list Args;
+  va_start(Args, Fmt);
+  std::vsnprintf(Buf, sizeof(Buf), Fmt, Args);
+  va_end(Args);
+  Out += Buf;
+  Out += '\n';
+}
+
+} // namespace
+
+std::string store::formatLs(const std::vector<EntryInfo> &Entries) {
+  std::string Out;
+  for (const EntryInfo &E : Entries) {
+    if (E.Valid)
+      appendLine(Out, "%-12s %10llu  %s  %s", archiveKindName(E.Kind),
+                 static_cast<unsigned long long>(E.Size),
+                 hexDigest(E.Checksum).c_str(), E.RelPath.c_str());
+    else
+      appendLine(Out, "%-12s %10llu  %s  %s", "corrupt",
+                 static_cast<unsigned long long>(E.Size),
+                 "----------------", E.RelPath.c_str());
+  }
+  appendLine(Out, "%zu entries", Entries.size());
+  return Out;
+}
+
+std::string store::formatStat(const std::vector<EntryInfo> &Entries,
+                              size_t QuarantineCount, const Manifest *M) {
+  size_t ValidCount = 0, CorruptCount = 0;
+  uint64_t ValidBytes = 0, CorruptBytes = 0;
+  // Tally per kind tag in tag order (stable regardless of entry order).
+  struct KindTally {
+    size_t Count = 0;
+    uint64_t Bytes = 0;
+  };
+  KindTally Kinds[6];
+  for (const EntryInfo &E : Entries) {
+    if (!E.Valid) {
+      ++CorruptCount;
+      CorruptBytes += E.Size;
+      continue;
+    }
+    ++ValidCount;
+    ValidBytes += E.Size;
+    size_t Slot = E.Kind < 6 ? E.Kind : 0;
+    ++Kinds[Slot].Count;
+    Kinds[Slot].Bytes += E.Size;
+  }
+
+  std::string Out;
+  appendLine(Out, "entries:     %zu (%s)", ValidCount,
+             formatBytes(ValidBytes).c_str());
+  for (uint32_t Kind = 1; Kind < 6; ++Kind)
+    if (Kinds[Kind].Count > 0)
+      appendLine(Out, "  %-12s %zu entries, %s", archiveKindName(Kind),
+                 Kinds[Kind].Count,
+                 formatBytes(Kinds[Kind].Bytes).c_str());
+  // Valid archives carrying a kind tag outside the enum (a future
+  // kind: additive, no version bump) still must show up in the
+  // breakdown, or the per-kind rows silently stop summing to the
+  // total.
+  if (Kinds[0].Count > 0)
+    appendLine(Out, "  %-12s %zu entries, %s", "unknown",
+               Kinds[0].Count, formatBytes(Kinds[0].Bytes).c_str());
+  appendLine(Out, "corrupt:     %zu (%s)", CorruptCount,
+             formatBytes(CorruptBytes).c_str());
+  appendLine(Out, "quarantined: %zu", QuarantineCount);
+  if (M) {
+    std::string Budget = M->MaxBytes == 0
+                             ? std::string("unlimited")
+                             : formatBytes(M->MaxBytes);
+    appendLine(Out,
+               "manifest:    sweep %s kept %zu entries (%s), budget %s, "
+               "evicted %llu (%s), quarantined %llu",
+               hexDigest(M->SweepId).c_str(), M->Entries.size(),
+               formatBytes(M->KeptBytes).c_str(), Budget.c_str(),
+               static_cast<unsigned long long>(M->EvictedCount),
+               formatBytes(M->EvictedBytes).c_str(),
+               static_cast<unsigned long long>(M->QuarantinedCount));
+  } else {
+    appendLine(Out, "manifest:    none");
+  }
+  return Out;
+}
+
+std::string store::formatVerify(const std::vector<EntryInfo> &Entries) {
+  std::string Out;
+  size_t Corrupt = 0;
+  for (const EntryInfo &E : Entries) {
+    if (E.Valid) {
+      appendLine(Out, "ok       %s", E.RelPath.c_str());
+    } else {
+      ++Corrupt;
+      appendLine(Out, "CORRUPT  %s: %s", E.RelPath.c_str(),
+                 E.Problem.c_str());
+    }
+  }
+  appendLine(Out, "verify: %zu entries, %zu ok, %zu corrupt",
+             Entries.size(), Entries.size() - Corrupt, Corrupt);
+  return Out;
+}
+
+std::string store::formatSweepReport(const SweepReport &Report,
+                                     bool DryRun) {
+  std::string Out;
+  for (const EntryInfo &E : Report.Entries)
+    appendLine(Out, "%-11s %s  %s", entryActionName(E.Action),
+               E.RelPath.c_str(), formatBytes(E.Size).c_str());
+  appendLine(Out,
+             "%s: kept %zu (%s), evicted %zu (%s), quarantined %zu (%s)",
+             DryRun ? "gc (dry-run)" : "gc", Report.KeptCount,
+             formatBytes(Report.KeptBytes).c_str(), Report.EvictedCount,
+             formatBytes(Report.EvictedBytes).c_str(),
+             Report.QuarantinedCount,
+             formatBytes(Report.QuarantinedBytes).c_str());
+  return Out;
+}

@@ -1,0 +1,214 @@
+//===- store/Lifecycle.h - Store GC, manifest and inspection -----*- C++ -*-===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The lifecycle layer of the artifact store: without it the store only
+/// grows ("cumulative"), with it the store stays curated — a
+/// size-bounded LRU sweep validates every entry, quarantines corrupt
+/// files and evicts the least-recently-used entries down to a byte
+/// budget, recording what it did in an atomically-published manifest.
+///
+/// Contracts (normative; docs/STORE_FORMAT.md §5 is the spec):
+///
+/// - **Sweep never mutates surviving artifact bytes.** Its only
+///   filesystem operations are whole-file rename (quarantine, manifest
+///   publication) and whole-file unlink (eviction). An artifact that
+///   survives a sweep is bit-identical to itself before the sweep, so
+///   every determinism contract of the layers above carries through.
+/// - **Interruption-safe at every point.** A sweep killed between any
+///   two filesystem operations leaves a readable store: every remaining
+///   entry is a complete, valid archive, and re-running the sweep
+///   converges to the same final state. The manifest is advisory — it
+///   describes the store for inspection tooling and invalidation
+///   heuristics; readers never need it to read entries.
+/// - **Corruption is quarantined, never destroyed.** Files that fail
+///   container validation move (bytes untouched) into `quarantine/`
+///   for postmortem; only valid entries are LRU-evicted, and eviction
+///   is the single place store data is ever deleted (`vacuum`, an
+///   explicit admin action, empties the quarantine).
+///
+/// Store directory layout the lifecycle ops understand:
+///
+///   <dir>/**/*.clgs          entries (any ArchiveKind, any depth)
+///   <dir>/manifest.clgs      last published sweep manifest (advisory)
+///   <dir>/locks/             advisory lock files (see store/Lock.h)
+///   <dir>/quarantine/        corrupt files parked by sweeps
+///   *.tmp.*                  in-flight atomic writes (never scanned)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLGEN_STORE_LIFECYCLE_H
+#define CLGEN_STORE_LIFECYCLE_H
+
+#include "store/Archive.h"
+#include "support/Result.h"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace clgen {
+namespace store {
+
+/// Name of the manifest file inside a store directory.
+inline constexpr const char *ManifestFileName = "manifest.clgs";
+
+/// What a sweep decided (or would decide, under --dry-run) about one
+/// entry.
+enum class EntryAction : uint8_t {
+  Keep = 0,       // Valid and within budget: untouched.
+  Evict = 1,      // Valid but over budget: LRU-deleted.
+  Quarantine = 2, // Fails container validation: moved to quarantine/.
+};
+
+const char *entryActionName(EntryAction A);
+
+/// One `.clgs` entry as seen by a store scan.
+struct EntryInfo {
+  /// Path relative to the store root, '/'-separated (stable sort key
+  /// and the name used by the manifest, the CLI and quarantining).
+  std::string RelPath;
+  uint64_t Size = 0;    // File size in bytes.
+  int64_t MtimeNs = 0;  // Last-write time, ns since epoch: the LRU key.
+  uint32_t Kind = 0;    // Raw archive kind tag (0 when unreadable).
+  uint32_t Version = 0; // Header version field (0 when unreadable).
+  uint64_t Checksum = 0; // Trailer checksum (entry identity for audits).
+  bool Valid = false;   // Container validation verdict.
+  std::string Problem;  // Diagnostic when !Valid.
+  EntryAction Action = EntryAction::Keep;
+};
+
+/// Scans \p Dir recursively for `.clgs` entries, validating each
+/// container (magic/version/size/checksum via inspectArchive). Skips
+/// `locks/`, `quarantine/`, the manifest and `.tmp.` files. Entries
+/// come back sorted by RelPath. Fails only when \p Dir is not a
+/// readable directory.
+Result<std::vector<EntryInfo>> scanStore(const std::string &Dir);
+
+/// Policy knob block for sweep().
+struct SweepPolicy {
+  /// Byte budget for valid entries; LRU-evicts (oldest mtime first,
+  /// ties broken by RelPath) until the total fits. 0 = unlimited:
+  /// validate and quarantine only, evict nothing.
+  uint64_t MaxBytes = 0;
+  /// Plan only: compute and report every action, touch nothing (no
+  /// quarantine moves, no evictions, no manifest).
+  bool DryRun = false;
+  /// Crash-injection hook for the lifecycle tests: invoked with a
+  /// stage label before every filesystem mutation (and once after the
+  /// final one). Returning false makes the sweep stop dead at that
+  /// point — simulating a crash — and return with Interrupted set.
+  /// Stages, in execution order:
+  ///   "scan"                  after scanning, before any mutation
+  ///   "quarantine:<RelPath>"  before parking one corrupt file
+  ///   "evict:<RelPath>"       before unlinking one evictee
+  ///   "manifest-write"        before writing the manifest temp file
+  ///   "manifest-publish"      before renaming it into place
+  ///   "done"                  after the manifest rename
+  std::function<bool(const std::string &Stage)> KillSwitch;
+};
+
+/// What a sweep did (or, for DryRun / Interrupted, would have done).
+struct SweepReport {
+  std::vector<EntryInfo> Entries; // Sorted by RelPath, actions filled.
+  uint64_t ScannedBytes = 0;      // All scanned entries.
+  size_t KeptCount = 0;
+  uint64_t KeptBytes = 0; // == live store size after a completed sweep.
+  size_t EvictedCount = 0;
+  uint64_t EvictedBytes = 0;
+  size_t QuarantinedCount = 0;
+  uint64_t QuarantinedBytes = 0;
+  /// Content identity of the surviving set: fnv1a64 over the kept
+  /// entries' (RelPath, Size, Checksum) records. Recorded in the
+  /// manifest; equal stores sweep to equal ids.
+  uint64_t SweepId = 0;
+  /// True when the KillSwitch aborted mid-sweep; the on-disk state is
+  /// whatever the completed prefix of operations produced (readable by
+  /// contract), and InterruptedAt names the stage that did not run.
+  bool Interrupted = false;
+  std::string InterruptedAt;
+};
+
+/// The size-bounded GC: scan -> validate -> quarantine corrupt ->
+/// LRU-evict down to Policy.MaxBytes -> publish manifest (temp +
+/// rename). See the file header for the interruption/quarantine/
+/// byte-identity contracts. Fails only when \p Dir cannot be scanned;
+/// individual file operations that fail (e.g. a racing reader's
+/// platform pinning a file) are skipped, not fatal — the next sweep
+/// retries them.
+Result<SweepReport> sweep(const std::string &Dir, const SweepPolicy &Policy);
+
+/// One kept-entry record inside a manifest.
+struct ManifestEntry {
+  std::string RelPath;
+  uint64_t Size = 0;
+  uint64_t Checksum = 0;
+};
+
+/// The published record of the last completed sweep. Advisory: used by
+/// `clgen-store stat` and audits, never required to read the store.
+struct Manifest {
+  uint64_t SweepId = 0;
+  uint64_t MaxBytes = 0; // Policy the sweep ran under (0 = unlimited).
+  uint64_t KeptBytes = 0;
+  uint64_t EvictedCount = 0;
+  uint64_t EvictedBytes = 0;
+  uint64_t QuarantinedCount = 0;
+  std::vector<ManifestEntry> Entries; // Sorted by RelPath.
+};
+
+/// Reads `<Dir>/manifest.clgs`. A missing, truncated or corrupt
+/// manifest is an error result (callers treat it as "no manifest" —
+/// the store itself is unaffected).
+Result<Manifest> loadManifest(const std::string &Dir);
+
+/// What vacuum() removed.
+struct VacuumReport {
+  size_t QuarantineRemoved = 0;
+  uint64_t QuarantineBytes = 0;
+  size_t TempRemoved = 0;  // Stale `.tmp.` files from crashed writers.
+  size_t LocksRemoved = 0; // Lock files (see the offline caveat).
+};
+
+/// Explicit admin cleanup: empties `quarantine/`, removes stale
+/// `.tmp.` files and prunes lock files. OFFLINE-ONLY for the lock
+/// part: deleting a lock file while a process holds it lets the next
+/// acquirer lock a fresh inode alongside the old holder, so run vacuum
+/// only when no store users are live. Entries and the manifest are
+/// never touched.
+Result<VacuumReport> vacuum(const std::string &Dir);
+
+//===----------------------------------------------------------------------===//
+// CLI rendering (byte-stable; golden-tested)
+//===----------------------------------------------------------------------===//
+//
+// The `clgen-store` tool is a thin main over these formatters so the
+// golden tests cover the exact bytes users see. None of them print
+// absolute paths or timestamps: output over a seeded store is
+// byte-stable across runs and machines.
+
+/// `ls`: one line per entry (kind, payload size, checksum, name).
+std::string formatLs(const std::vector<EntryInfo> &Entries);
+
+/// `stat`: aggregate counts/bytes by kind, corruption tally, manifest
+/// summary (pass nullptr when the store has no readable manifest).
+std::string formatStat(const std::vector<EntryInfo> &Entries,
+                       size_t QuarantineCount, const Manifest *M);
+
+/// `verify`: per-entry verdict lines plus a summary.
+std::string formatVerify(const std::vector<EntryInfo> &Entries);
+
+/// `gc` / `gc --dry-run`: per-entry action lines plus a summary.
+std::string formatSweepReport(const SweepReport &Report, bool DryRun);
+
+/// Number of files currently parked in `<Dir>/quarantine/`.
+size_t quarantineCount(const std::string &Dir);
+
+} // namespace store
+} // namespace clgen
+
+#endif // CLGEN_STORE_LIFECYCLE_H

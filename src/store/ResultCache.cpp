@@ -10,6 +10,10 @@
 
 #include <filesystem>
 
+#ifndef _WIN32
+#include <sys/stat.h>
+#endif
+
 using namespace clgen;
 using namespace clgen::store;
 using namespace clgen::runtime;
@@ -149,19 +153,88 @@ std::string ResultCache::entryPath(uint64_t Key) const {
   return Dir + "/" + hexDigest(Key) + ".clgs";
 }
 
+namespace {
+
+/// Backing-file identity probe: mtime (ns) + size in ONE stat syscall
+/// on POSIX (std::filesystem would need two). Returns false when the
+/// file is not statable.
+bool statBacking(const std::string &Path, int64_t &MtimeNs,
+                 uint64_t &Size) {
+#ifndef _WIN32
+  struct ::stat St;
+  if (::stat(Path.c_str(), &St) != 0)
+    return false;
+  MtimeNs = static_cast<int64_t>(St.st_mtim.tv_sec) * 1000000000 +
+            St.st_mtim.tv_nsec;
+  Size = static_cast<uint64_t>(St.st_size);
+  return true;
+#else
+  std::error_code Ec;
+  auto Mtime = std::filesystem::last_write_time(Path, Ec);
+  if (Ec)
+    return false;
+  auto Sz = std::filesystem::file_size(Path, Ec);
+  if (Ec)
+    return false;
+  MtimeNs = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                Mtime.time_since_epoch())
+                .count();
+  Size = static_cast<uint64_t>(Sz);
+  return true;
+#endif
+}
+
+} // namespace
+
+bool ResultCache::recordBacking(uint64_t Key, Resident &R) const {
+  if (!statBacking(entryPath(Key), R.MtimeNs, R.Size))
+    return false;
+  R.Disk = true;
+  return true;
+}
+
 std::optional<Measurement> ResultCache::lookup(uint64_t Key) {
+  // Copy the resident entry out under the shared lock, then revalidate
+  // OUTSIDE it: the stat syscall must not extend the critical section
+  // writers queue behind. Resident entries are immutable once
+  // inserted, so concurrent hits copy out in parallel.
+  std::optional<Resident> Found;
   {
-    // Resident entries are immutable once inserted, so concurrent hits
-    // share the lock and copy out in parallel.
     std::shared_lock<std::shared_mutex> Lock(MapMutex);
     auto It = Memory.find(Key);
-    if (It != Memory.end()) {
-      Counters.Hits.fetch_add(1, std::memory_order_relaxed);
-      Counters.MemoryHits.fetch_add(1, std::memory_order_relaxed);
-      return It->second;
+    if (It != Memory.end())
+      Found = It->second;
+  }
+  if (!Found)
+    return probeDisk(Key);
+
+  // A disk-backed entry is served only while its file still matches
+  // the recorded (mtime, size) — one stat, no read, no checksum — so
+  // an external sweep's eviction is visible to this process instead of
+  // being papered over by the memory front.
+  if (Found->Disk) {
+    int64_t MtimeNs = 0;
+    uint64_t Size = 0;
+    bool Fresh = statBacking(entryPath(Key), MtimeNs, Size) &&
+                 MtimeNs == Found->MtimeNs && Size == Found->Size;
+    if (!Fresh) {
+      // Stale: the backing file was evicted or replaced since it was
+      // cached. Drop it and fall through to the disk probe, which
+      // re-loads a replacement or reports the miss honestly.
+      Counters.StaleMemoryEntries.fetch_add(1,
+                                            std::memory_order_relaxed);
+      std::unique_lock<std::shared_mutex> Lock(MapMutex);
+      Memory.erase(Key);
+      Lock.unlock();
+      return probeDisk(Key);
     }
   }
+  Counters.Hits.fetch_add(1, std::memory_order_relaxed);
+  Counters.MemoryHits.fetch_add(1, std::memory_order_relaxed);
+  return std::move(Found->M);
+}
 
+std::optional<Measurement> ResultCache::probeDisk(uint64_t Key) {
   // Disk probe outside the lock: archive reads are pure, and concurrent
   // probes of the same key just both hit.
   auto Opened = ArchiveReader::open(entryPath(Key),
@@ -183,26 +256,47 @@ std::optional<Measurement> ResultCache::lookup(uint64_t Key) {
   }
 
   Counters.Hits.fetch_add(1, std::memory_order_relaxed);
-  std::unique_lock<std::shared_mutex> Lock(MapMutex);
-  Memory.emplace(Key, M);
+  Resident Entry;
+  Entry.M = M;
+  // Only a resident whose backing identity is known may enter the map:
+  // if the file vanished between the read and the stat (an external
+  // sweep racing us), inserting a revalidation-exempt entry would
+  // resurrect the stale-hit bug. The caller still gets its (valid at
+  // read time) measurement; the next lookup probes disk again.
+  if (recordBacking(Key, Entry)) {
+    std::unique_lock<std::shared_mutex> Lock(MapMutex);
+    Memory.emplace(Key, std::move(Entry));
+  }
   return M;
 }
 
 Status ResultCache::store(uint64_t Key, const Measurement &M) {
-  {
-    std::unique_lock<std::shared_mutex> Lock(MapMutex);
-    Memory[Key] = M;
-  }
   Counters.Writes.fetch_add(1, std::memory_order_relaxed);
+  Status S;
   if (!DirOk) {
     Counters.WriteFailures.fetch_add(1, std::memory_order_relaxed);
-    return Status::error("cache directory unavailable: " + Dir);
+    S = Status::error("cache directory unavailable: " + Dir);
+  } else {
+    ArchiveWriter W(ArchiveKind::Measurement);
+    serializeMeasurement(W, M);
+    S = W.saveTo(entryPath(Key));
+    if (!S.ok())
+      Counters.WriteFailures.fetch_add(1, std::memory_order_relaxed);
   }
-  ArchiveWriter W(ArchiveKind::Measurement);
-  serializeMeasurement(W, M);
-  Status S = W.saveTo(entryPath(Key));
-  if (!S.ok())
-    Counters.WriteFailures.fetch_add(1, std::memory_order_relaxed);
+  // Record the resident entry after the disk write so it can carry the
+  // written file's identity. A FAILED write leaves a memory-only entry
+  // (Disk false — nothing external can invalidate what was never
+  // written), matching the pre-lifecycle degradation contract; a
+  // successful write whose file cannot be statted afterwards (an
+  // external sweep evicted it already) installs nothing, so the next
+  // lookup reports the miss honestly instead of serving a
+  // revalidation-exempt resident.
+  Resident Entry;
+  Entry.M = M;
+  if (!S.ok() || recordBacking(Key, Entry)) {
+    std::unique_lock<std::shared_mutex> Lock(MapMutex);
+    Memory[Key] = std::move(Entry);
+  }
   return S;
 }
 
@@ -215,5 +309,7 @@ ResultCache::Stats ResultCache::stats() const {
   Out.Writes = Counters.Writes.load(std::memory_order_relaxed);
   Out.WriteFailures =
       Counters.WriteFailures.load(std::memory_order_relaxed);
+  Out.StaleMemoryEntries =
+      Counters.StaleMemoryEntries.load(std::memory_order_relaxed);
   return Out;
 }

@@ -26,6 +26,18 @@
 /// local in-memory map front-ends the directory so repeated hits cost a
 /// hash lookup, not a file read.
 ///
+/// The store lifecycle layer (store/Lifecycle.h) may evict entries on
+/// disk behind a live cache instance — an external `store::sweep` or
+/// `clgen-store gc` unlinks whole files. The in-memory front therefore
+/// REVALIDATES disk-backed resident entries on every memory hit: each
+/// resident record remembers the (mtime, size) of the file it came
+/// from, and one stat (no read, no checksum) confirms the file is
+/// still there unchanged. A swept entry drops out of memory and the
+/// lookup reports the miss honestly, so a long-lived process never
+/// serves measurements the store no longer holds. Entries that never
+/// reached disk (unwritable directory) are exempt — there is nothing
+/// external to invalidate them.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CLGEN_STORE_RESULTCACHE_H
@@ -70,6 +82,9 @@ public:
     size_t BadEntries = 0; // Corrupt/truncated files seen by lookup.
     size_t Writes = 0;
     size_t WriteFailures = 0;
+    /// Resident entries dropped because their backing file was evicted
+    /// or replaced on disk (external sweep/gc) since they were cached.
+    size_t StaleMemoryEntries = 0;
   };
 
   /// Opens (creating if needed) the cache directory. An empty or
@@ -82,6 +97,9 @@ public:
   /// (pool workers and the streaming pipeline's enqueue-time probe hit
   /// it concurrently — hits take the shared side and never serialize
   /// against each other; counters are atomics for the same reason).
+  /// Memory hits of disk-backed entries revalidate against the file's
+  /// (mtime, size) so externally swept entries are honest misses; see
+  /// the file header.
   std::optional<runtime::Measurement> lookup(uint64_t Key);
 
   /// Memoizes \p M under \p Key (memory + atomic disk write-back).
@@ -94,6 +112,9 @@ public:
 
 private:
   std::string entryPath(uint64_t Key) const;
+  /// The miss path: reads the entry file, validates it, and (on
+  /// success) installs it in the memory front with its disk identity.
+  std::optional<runtime::Measurement> probeDisk(uint64_t Key);
 
   std::string Dir;
   bool DirOk = false;
@@ -102,7 +123,23 @@ private:
   /// instead of convoying on one mutex. Stat counters are relaxed
   /// atomics — they are tallies, not synchronization.
   mutable std::shared_mutex MapMutex;
-  std::unordered_map<uint64_t, runtime::Measurement> Memory;
+  /// A resident entry plus the on-disk identity it was loaded from /
+  /// written as. Disk false = memory-only entry (directory unwritable
+  /// or write-back failed): exempt from revalidation because there is
+  /// nothing external that could invalidate it.
+  struct Resident {
+    runtime::Measurement M;
+    bool Disk = false;
+    int64_t MtimeNs = 0; // Backing file mtime, ns since epoch.
+    uint64_t Size = 0;   // Backing file size in bytes.
+  };
+  /// Stats the entry file for \p Key (one syscall on POSIX) and fills
+  /// the backing identity. False when the file is not statable —
+  /// callers that just performed successful disk I/O must then NOT
+  /// install a memory entry at all (a revalidation-exempt resident
+  /// for a file that may exist would resurrect the stale-hit bug).
+  bool recordBacking(uint64_t Key, Resident &R) const;
+  std::unordered_map<uint64_t, Resident> Memory;
   struct AtomicStats {
     std::atomic<size_t> Hits{0};
     std::atomic<size_t> MemoryHits{0};
@@ -110,6 +147,7 @@ private:
     std::atomic<size_t> BadEntries{0};
     std::atomic<size_t> Writes{0};
     std::atomic<size_t> WriteFailures{0};
+    std::atomic<size_t> StaleMemoryEntries{0};
   };
   AtomicStats Counters;
 };
