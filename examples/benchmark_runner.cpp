@@ -39,7 +39,10 @@
 #include "runtime/DynamicChecker.h"
 #include "runtime/HostDriver.h"
 #include "store/Archive.h"
+#include "store/FailureLedger.h"
 #include "store/ResultCache.h"
+#include "support/FailPoint.h"
+#include "support/Trap.h"
 #include "vm/Compiler.h"
 
 #include <chrono>
@@ -70,11 +73,46 @@ struct RunnerConfig {
   unsigned TrainWorkers = 0;   // Hardware concurrency.
   int TrainLanes = 8;          // LSTM data-parallel batch width.
   size_t FileCount = 400;      // githubsim corpus size.
+  // Fault tolerance.
+  bool Refill = false;          // Excise failures + draw replacements.
+  uint64_t WatchdogMs = 0;      // Per-launch wall-clock watchdog.
+  unsigned Retries = 2;         // Transient-failure retry budget.
+  double InjectProb = -1.0;     // Failpoint probability; <0 = disarmed.
   // Which flags the user actually passed, so flags that have no effect
   // in the selected mode are rejected instead of silently dropped.
   bool TrainFlagSet = false;
   bool StreamFlagSet = false;
   bool WorkloadFlagSet = false;
+  bool DriverFlagSet = false;
+};
+
+/// Per-trap-class failure tally for the end-of-run summary. A pipeline
+/// run that delivers ZERO successful measurements exits nonzero (3) —
+/// an all-failed batch must not look like success to scripts.
+struct FailureTally {
+  size_t Counts[16] = {0};
+  size_t Failed = 0, Ok = 0;
+
+  void add(const Result<runtime::Measurement> &R) {
+    if (R.ok())
+      ++Ok;
+    else
+      addKind(R.trap());
+  }
+  void addKind(TrapKind K) {
+    ++Failed;
+    ++Counts[static_cast<uint8_t>(K) & 15];
+  }
+  void print() const {
+    if (Failed == 0)
+      return;
+    std::printf("failures by class:\n");
+    for (size_t K = 0; K < 16; ++K)
+      if (Counts[K])
+        std::printf("  %-24s %zu\n",
+                    trapKindName(static_cast<TrapKind>(K)), Counts[K]);
+  }
+  int exitCode() const { return Ok == 0 && Failed > 0 ? 3 : 0; }
 };
 
 /// Model/corpus configuration shared by the cached and streaming modes.
@@ -146,27 +184,33 @@ int runCachedPipeline(const RunnerConfig &Cfg) {
 
   runtime::DriverOptions DOpts;
   DOpts.GlobalSize = 16384;
+  DOpts.WatchdogMs = Cfg.WatchdogMs;
+  DOpts.MaxRetries = Cfg.Retries;
   store::ResultCache Cache(CacheDir + "/results");
+  store::FailureLedger Ledger(CacheDir + "/failures");
   runtime::BatchCacheStats CStats;
   auto MeasureStart = std::chrono::steady_clock::now();
   auto Results = runtime::runBenchmarkBatch(Kernels, runtime::amdPlatform(),
-                                            DOpts, 0, Cache, &CStats);
+                                            DOpts, 0, Cache, &CStats,
+                                            &Ledger);
   double MeasureMs = msSince(MeasureStart);
 
-  size_t GpuBest = 0, Failed = 0;
+  size_t GpuBest = 0;
+  FailureTally Tally;
   for (const auto &R : Results) {
-    if (!R.ok())
-      ++Failed;
-    else if (R.get().gpuIsBest())
+    Tally.add(R);
+    if (R.ok() && R.get().gpuIsBest())
       ++GpuBest;
   }
   std::printf("measurement: %zu kernels in %.1f ms — cache hits %zu, "
-              "misses %zu\n",
-              Results.size(), MeasureMs, CStats.Hits, CStats.Misses);
+              "misses %zu, ledger hits %zu, failures recorded %zu\n",
+              Results.size(), MeasureMs, CStats.Hits, CStats.Misses,
+              CStats.LedgerHits, CStats.LedgerRecords);
   std::printf("mapping: %zu best on GPU, %zu on CPU, %zu failed\n", GpuBest,
-              Results.size() - GpuBest - Failed, Failed);
+              Tally.Ok - GpuBest, Tally.Failed);
+  Tally.print();
   std::printf("pipeline total: %.1f ms\n", msSince(TotalStart));
-  return 0;
+  return Tally.exitCode();
 }
 
 /// The --pipeline mode: the same 40-kernel workload as --cache-dir, but
@@ -213,24 +257,32 @@ int runStreamingPipeline(const RunnerConfig &Cfg) {
   SOpts.Synthesis.Sampling.Temperature = 0.5;
   SOpts.Synthesis.Workers = 0;
   SOpts.Driver.GlobalSize = 16384;
+  SOpts.Driver.WatchdogMs = Cfg.WatchdogMs;
+  SOpts.Driver.MaxRetries = Cfg.Retries;
   SOpts.MeasureWorkers = Cfg.MeasureWorkers;
   SOpts.QueueCapacity = Cfg.QueueCapacity;
+  SOpts.RefillFailures = Cfg.Refill;
 
   std::unique_ptr<store::ResultCache> Cache;
+  std::unique_ptr<store::FailureLedger> Ledger;
   if (!CacheDir.empty()) {
     Cache = std::make_unique<store::ResultCache>(CacheDir + "/results");
     SOpts.Cache = Cache.get();
+    Ledger = std::make_unique<store::FailureLedger>(CacheDir + "/failures");
+    SOpts.Ledger = Ledger.get();
   }
 
   auto Out = Pipeline.synthesizeAndMeasure(runtime::amdPlatform(), SOpts);
 
-  size_t GpuBest = 0, Failed = 0;
+  size_t GpuBest = 0;
+  FailureTally Tally;
   for (const auto &R : Out.Measurements) {
-    if (!R.ok())
-      ++Failed;
-    else if (R.get().gpuIsBest())
+    Tally.add(R);
+    if (R.ok() && R.get().gpuIsBest())
       ++GpuBest;
   }
+  for (const core::ExcisedKernel &E : Out.Excised)
+    Tally.addKind(E.Kind);
   std::printf("pipeline: %zu kernels (%zu attempts) in %.1f ms\n",
               Out.Kernels.size(), Out.Stats.Attempts, Out.TotalWallMs);
   std::printf("overlap: producer (synthesis) active %.1f ms (%.0f%% of "
@@ -245,11 +297,21 @@ int runStreamingPipeline(const RunnerConfig &Cfg) {
     std::printf("cache: %zu hits resolved at enqueue time, %zu misses "
                 "measured\n",
                 Out.CacheStats.Hits, Out.CacheStats.Misses);
+  if (SOpts.Ledger)
+    std::printf("ledger: %zu known-bad kernels skipped, %zu failures "
+                "recorded\n",
+                Out.CacheStats.LedgerHits, Out.CacheStats.LedgerRecords);
+  if (SOpts.RefillFailures)
+    std::printf("refill: %zu kernels excised and replaced (%zu accepted "
+                "total for %zu delivered)\n",
+                Out.Excised.size(), Out.Stats.Accepted,
+                Out.Kernels.size());
   std::printf("mapping: %zu best on GPU, %zu on CPU, %zu failed\n", GpuBest,
-              Out.Measurements.size() - GpuBest - Failed, Failed);
+              Tally.Ok - GpuBest, Tally.Failed);
+  Tally.print();
   std::printf("pipeline total (incl. train): %.1f ms\n",
               msSince(TotalStart));
-  return 0;
+  return Tally.exitCode();
 }
 
 void tryKernel(const char *Label, const char *Source) {
@@ -334,6 +396,26 @@ void printUsage(const char *Prog, std::FILE *Out) {
       "  --measure-workers N   measurement consumer threads; 0 = hardware\n"
       "                        concurrency (default)\n"
       "  --queue N             kernel channel capacity; 0 = auto (default)\n"
+      "\n"
+      "Fault tolerance (pipeline modes):\n"
+      "  --refill              excise kernels whose measurement failed and\n"
+      "                        resume synthesis for replacements until the\n"
+      "                        target count of measurements succeeds\n"
+      "                        (--pipeline only); excisions are reported\n"
+      "                        per trap class\n"
+      "  --watchdog-ms N       per-launch wall-clock watchdog in ms; a\n"
+      "                        stalled kernel fails as watchdog-timeout\n"
+      "                        instead of wedging the batch (0 = off,\n"
+      "                        default)\n"
+      "  --retries N           retry budget for transient failure classes\n"
+      "                        (injected faults, I/O); deterministic traps\n"
+      "                        never retry (default 2)\n"
+      "  --inject P            arm every compiled-in failpoint site with\n"
+      "                        trip probability P in (0,1]; requires a\n"
+      "                        build with -DCLGS_FAILPOINTS=ON\n"
+      "\n"
+      "A pipeline run that delivers zero successful measurements exits\n"
+      "with status 3 and prints the per-class failure table.\n"
       "\n"
       "  --help                this text\n",
       Prog);
@@ -420,6 +502,30 @@ int main(int Argc, char **Argv) {
       }
       Cfg.QueueCapacity = N;
       Cfg.StreamFlagSet = true;
+    } else if (Arg == "--refill") {
+      Cfg.Refill = true;
+    } else if (Arg == "--watchdog-ms" && I + 1 < Argc) {
+      if (!ParseCount(Argv[++I], N)) {
+        std::fprintf(stderr, "--watchdog-ms expects a positive integer\n");
+        return 2;
+      }
+      Cfg.WatchdogMs = N;
+      Cfg.DriverFlagSet = true;
+    } else if (Arg == "--retries" && I + 1 < Argc) {
+      if (!ParseDigits(Argv[++I], N) || N > 100) {
+        std::fprintf(stderr, "--retries expects an integer in [0, 100]\n");
+        return 2;
+      }
+      Cfg.Retries = static_cast<unsigned>(N);
+      Cfg.DriverFlagSet = true;
+    } else if (Arg == "--inject" && I + 1 < Argc) {
+      char *End = nullptr;
+      double Prob = std::strtod(Argv[++I], &End);
+      if (End == Argv[I] || *End != '\0' || !(Prob > 0.0) || Prob > 1.0) {
+        std::fprintf(stderr, "--inject expects a probability in (0, 1]\n");
+        return 2;
+      }
+      Cfg.InjectProb = Prob;
     } else {
       std::fprintf(stderr, "unknown or incomplete option: %s\n\n",
                    Arg.c_str());
@@ -450,10 +556,39 @@ int main(int Argc, char **Argv) {
                  "--measure-workers/--queue only apply to --pipeline\n");
     return 2;
   }
+  if (Cfg.Refill && !Cfg.Pipeline) {
+    std::fprintf(stderr, "--refill only applies to --pipeline\n");
+    return 2;
+  }
+  if (Cfg.DriverFlagSet && !PipelineMode) {
+    std::fprintf(stderr, "--watchdog-ms/--retries require a pipeline mode "
+                         "(--cache-dir and/or --pipeline)\n");
+    return 2;
+  }
+  if (Cfg.InjectProb > 0.0) {
+    if (!support::FailPoints::sitesCompiledIn()) {
+      std::fprintf(stderr,
+                   "--inject requires a build with -DCLGS_FAILPOINTS=ON "
+                   "(failpoint sites are compiled out)\n");
+      return 2;
+    }
+    support::FailPlan Plan;
+    Plan.Probability = Cfg.InjectProb;
+    support::FailPoints::arm(Plan);
+    std::printf("failpoints: armed every site at p=%.3f\n", Cfg.InjectProb);
+  }
+  int Exit = -1;
   if (Cfg.Pipeline)
-    return runStreamingPipeline(Cfg);
-  if (!Cfg.CacheDir.empty())
-    return runCachedPipeline(Cfg);
+    Exit = runStreamingPipeline(Cfg);
+  else if (!Cfg.CacheDir.empty())
+    Exit = runCachedPipeline(Cfg);
+  if (Exit >= 0) {
+    if (support::FailPoints::armed())
+      std::printf("failpoints: %llu injected faults fired\n",
+                  static_cast<unsigned long long>(
+                      support::FailPoints::totalFires()));
+    return Exit;
+  }
 
   tryKernel("useful work: guarded vector scale",
             "__kernel void scale(__global float* a, const int n) {\n"

@@ -12,6 +12,9 @@
 //                                         publish the sweep manifest
 //   clgen-store vacuum DIR                purge quarantine/, stale temp
 //                                         files and lock files (offline!)
+//   clgen-store failures DIR              list a failure-ledger directory:
+//                                         key, trap class, attempts,
+//                                         diagnostic (sorted, byte-stable)
 //
 // The subcommands are thin wrappers over store::scanStore/sweep/vacuum
 // and the byte-stable formatters in store/Lifecycle.h — the golden
@@ -22,6 +25,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "store/FailureLedger.h"
 #include "store/Lifecycle.h"
 
 #include <cstdio>
@@ -57,6 +61,11 @@ void printUsage(std::FILE *Out) {
       "  vacuum DIR                delete quarantined files, stale .tmp.\n"
       "                            files and lock files. Offline only:\n"
       "                            never run while store users are live\n"
+      "  failures DIR              list a failure-ledger directory (see\n"
+      "                            store/FailureLedger.h): one line per\n"
+      "                            known-bad kernel — key, trap class,\n"
+      "                            attempts, diagnostic. Corrupt entries\n"
+      "                            are skipped (use verify for integrity)\n"
       "  help                      this text\n");
 }
 
@@ -132,6 +141,14 @@ int runVacuum(const std::string &Dir) {
   return 0;
 }
 
+int runFailures(const std::string &Dir) {
+  auto Records = store::listFailures(Dir);
+  std::fputs(store::formatFailures(Records).c_str(), stdout);
+  std::printf("%zu recorded failure%s\n", Records.size(),
+              Records.size() == 1 ? "" : "s");
+  return 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -160,6 +177,8 @@ int main(int Argc, char **Argv) {
     return runVerify(Dir);
   if (Sub == "vacuum" && Argc == 3)
     return runVacuum(Dir);
+  if (Sub == "failures" && Argc == 3)
+    return runFailures(Dir);
   if (Sub == "gc") {
     uint64_t MaxBytes = 0;
     bool DryRun = false;

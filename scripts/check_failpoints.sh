@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+#===- scripts/check_failpoints.sh - zero-drift proof for failpoints ------===//
+#
+# Configures and builds a nested tree with -DCLGS_FAILPOINTS=ON (every
+# CLGS_FAILPOINT site compiled in, none armed) and runs the full test
+# suite there. Passing proves that merely COMPILING the injection sites
+# in changes no behavior: the golden byte-identity tests, the store
+# round-trips and the streaming-pipeline determinism suite must all pass
+# with the sites present-but-inert. Registered as the ctest
+# `check_failpoints` (label `failpoints`); run manually:
+#
+#   bash scripts/check_failpoints.sh <source-dir> <build-dir>
+#
+# The nested tree builds only the test binaries (not benches/examples),
+# and the nested ctest skips the stress label — the soak tests get their
+# failpoints-armed coverage from the dedicated fault tests instead of
+# re-running the whole soak matrix here.
+#
+#===----------------------------------------------------------------------===//
+
+set -eu
+
+SRC=${1:?usage: check_failpoints.sh <source-dir> <build-dir>}
+BUILD=${2:?usage: check_failpoints.sh <source-dir> <build-dir>}
+
+echo "check_failpoints: configuring $BUILD with -DCLGS_FAILPOINTS=ON"
+cmake -B "$BUILD" -S "$SRC" -DCLGS_FAILPOINTS=ON >/dev/null
+
+echo "check_failpoints: building test binaries"
+cmake --build "$BUILD" -j --target clgen_tests clgen_stress_tests >/dev/null
+
+echo "check_failpoints: running the suite with sites compiled in (inert)"
+(cd "$BUILD" && ctest --output-on-failure -j -LE stress)
+
+echo "check_failpoints: failpoint build drifts by nothing while disarmed"

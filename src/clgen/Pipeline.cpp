@@ -7,10 +7,12 @@
 #include "clgen/Pipeline.h"
 
 #include "store/Archive.h"
+#include "store/FailureLedger.h"
 #include "store/Lock.h"
 #include "store/ResultCache.h"
 #include "store/Serialization.h"
 #include "support/Channel.h"
+#include "support/FailPoint.h"
 #include "support/ThreadPool.h"
 
 #include <chrono>
@@ -63,80 +65,191 @@ StreamingResult core::synthesizeAndMeasure(model::LanguageModel &Model,
   // deque keeps element addresses stable while it grows, so the
   // producer can mint new slots while consumers write through pointers
   // to earlier ones — memory stays proportional to actual output, not
-  // the requested target.
+  // the requested target. Keys and the ledger-hit flags are
+  // index-aligned side tables (kept only when a cache or ledger is
+  // configured).
   std::deque<Result<runtime::Measurement>> Slots;
+  std::deque<uint64_t> Keys;
+  std::deque<bool> FromLedger;
+  const bool NeedKeys = Opts.Cache != nullptr || Opts.Ledger != nullptr;
 
   size_t MeasureWorkers =
       ThreadPool::resolveWorkerCount(Opts.MeasureWorkers);
   size_t Capacity = Opts.QueueCapacity > 0
                         ? Opts.QueueCapacity
                         : std::max<size_t>(MeasureWorkers * 2, 8);
-  support::Channel<runtime::MeasureJob> Jobs(Capacity);
 
-  std::vector<std::thread> Consumers;
-  Consumers.reserve(MeasureWorkers);
-  for (size_t W = 0; W < MeasureWorkers; ++W)
-    Consumers.emplace_back([&Jobs, &P, &Opts] {
-      runtime::runMeasurementLoop(Jobs, P, Opts.Cache);
-    });
-
-  // Close-and-join must run even when the producer throws (sampling,
-  // the rejection filter or a cache probe can raise): otherwise the
-  // consumers block in pop() forever and unwinding the joinable
-  // threads would terminate the process. Idempotent, so the success
-  // path below can invoke it early to timestamp the drain.
-  auto CloseAndJoin = [&Jobs, &Consumers] {
-    Jobs.close();
-    for (std::thread &T : Consumers)
-      if (T.joinable())
-        T.join();
-  };
-  struct Guard {
-    std::function<void()> &Fn;
-    ~Guard() { Fn(); }
-  };
-  std::function<void()> CloseFn = CloseAndJoin;
-  Guard JoinGuard{CloseFn};
-
-  // The producer: the in-order accept stage hands each kernel over the
-  // moment it is admitted. The batch-seed derivation matches
-  // runBenchmarkBatch exactly, so streaming results (and cache keys)
-  // are those of the phased path.
   Rng Base(Opts.Driver.Seed);
-  AcceptSink Enqueue = [&](size_t Index, const SynthesizedKernel &SK) {
-    Slots.push_back(Result<runtime::Measurement>::error("not measured"));
-    runtime::MeasureJob J;
-    J.Slot = &Slots.back();
-    J.Opts = runtime::batchDriverOptions(Opts.Driver, Base, Index);
-    if (Opts.Cache) {
-      J.CacheKey = store::measurementKey(SK.Kernel, J.Opts, P);
-      if (auto Hit = Opts.Cache->lookup(J.CacheKey)) {
-        // Enqueue-time probe: a hit is resolved right here and never
-        // occupies a measurement slot.
-        *J.Slot = *Hit;
-        ++Out.CacheStats.Hits;
+  SynthesisEngine Eng(Model, Opts.Synthesis);
+
+  double SynthMs = 0.0, DrainMs = 0.0;
+  size_t Scanned = 0; // Slots already swept for ledger recording.
+
+  // One producer/consumer round: extends the accepted-kernel set to
+  // \p CumTarget with a fresh channel + consumer pool, then drains and
+  // sweeps the new slots into the failure ledger. The classic
+  // (non-refill) pipeline is exactly one round; refill runs more.
+  auto RunRound = [&](size_t CumTarget) {
+    support::Channel<runtime::MeasureJob> Jobs(Capacity);
+    std::vector<std::thread> Consumers;
+    Consumers.reserve(MeasureWorkers);
+    for (size_t W = 0; W < MeasureWorkers; ++W)
+      Consumers.emplace_back([&Jobs, &P, &Opts] {
+        runtime::runMeasurementLoop(Jobs, P, Opts.Cache);
+      });
+
+    // Close-and-join must run even when the producer throws (sampling,
+    // the rejection filter or a cache probe can raise): otherwise the
+    // consumers block in pop() forever and unwinding the joinable
+    // threads would terminate the process. Idempotent, so the success
+    // path below can invoke it early to timestamp the drain.
+    auto CloseAndJoin = [&Jobs, &Consumers] {
+      Jobs.close();
+      for (std::thread &T : Consumers)
+        if (T.joinable())
+          T.join();
+    };
+    struct Guard {
+      std::function<void()> &Fn;
+      ~Guard() { Fn(); }
+    };
+    std::function<void()> CloseFn = CloseAndJoin;
+    Guard JoinGuard{CloseFn};
+
+    // The producer: the in-order accept stage hands each kernel over
+    // the moment it is admitted. The batch-seed derivation matches
+    // runBenchmarkBatch exactly, so streaming results (and cache keys)
+    // are those of the phased path.
+    AcceptSink Enqueue = [&](size_t Index, const SynthesizedKernel &SK) {
+      Slots.push_back(Result<runtime::Measurement>::error("not measured"));
+      runtime::MeasureJob J;
+      J.Slot = &Slots.back();
+      J.Index = Index;
+      J.Opts = runtime::batchDriverOptions(Opts.Driver, Base, Index);
+      if (NeedKeys) {
+        Keys.push_back(store::measurementKey(SK.Kernel, J.Opts, P));
+        FromLedger.push_back(false);
+      }
+      // Injected producer-side fault, keyed by the accept index: the
+      // kernel's slot records an injected failure without a job ever
+      // entering the channel — the refill pass treats it like any
+      // other failed measurement.
+      if (CLGS_FAILPOINT_KEYED("pipeline.enqueue", Index)) {
+        *J.Slot = Result<runtime::Measurement>::error(
+            "injected fault at pipeline.enqueue", TrapKind::Injected);
         return;
       }
-      ++Out.CacheStats.Misses;
-      J.WriteBack = true;
+      if (Opts.Cache) {
+        J.CacheKey = Keys.back();
+        if (auto Hit = Opts.Cache->lookup(J.CacheKey)) {
+          // Enqueue-time probe: a hit is resolved right here and never
+          // occupies a measurement slot.
+          *J.Slot = *Hit;
+          ++Out.CacheStats.Hits;
+          return;
+        }
+        J.WriteBack = true;
+      }
+      if (Opts.Ledger) {
+        if (auto Known = Opts.Ledger->lookup(Keys.back())) {
+          // Negative hit: the recorded failure is replayed verbatim;
+          // the kernel is never (re-)measured.
+          *J.Slot = Result<runtime::Measurement>::error(Known->Detail,
+                                                        Known->Kind);
+          FromLedger.back() = true;
+          ++Out.CacheStats.LedgerHits;
+          return;
+        }
+      }
+      if (Opts.Cache)
+        ++Out.CacheStats.Misses; // Counts kernels actually measured.
+      J.Kernel = SK.Kernel;
+      Jobs.push(std::move(J)); // Blocks when measurement is behind.
+    };
+
+    Clock::time_point RoundStart = Clock::now();
+    Eng.extendTo(CumTarget, Enqueue);
+    Clock::time_point RoundSynthDone = Clock::now();
+    CloseAndJoin();
+    DrainMs += MsBetween(RoundSynthDone, Clock::now());
+    SynthMs += MsBetween(RoundStart, RoundSynthDone);
+
+    // Sweep this round's fresh deterministic failures into the ledger
+    // (record() refuses transient/injected kinds on its own, but the
+    // isDeterministicTrap guard keeps the tally exact). Producer-side,
+    // after the join: consumers never touch the ledger.
+    if (Opts.Ledger) {
+      for (size_t I = Scanned; I < Slots.size(); ++I) {
+        if (Slots[I].ok() || FromLedger[I] ||
+            !isDeterministicTrap(Slots[I].trap()))
+          continue;
+        store::FailureRecord Rec;
+        Rec.Kind = Slots[I].trap();
+        Rec.Detail = Slots[I].errorMessage();
+        Rec.Attempts = 1; // Deterministic traps fail on attempt one.
+        if (Opts.Ledger->record(Keys[I], Rec).ok())
+          ++Out.CacheStats.LedgerRecords;
+      }
     }
-    J.Kernel = SK.Kernel;
-    Jobs.push(std::move(J)); // Blocks when measurement is behind.
+    Scanned = Slots.size();
   };
 
-  SynthesisResult SR = synthesizeKernels(Model, Opts.Synthesis, Enqueue);
-  Clock::time_point SynthesisDone = Clock::now();
+  const size_t Target = Opts.Synthesis.TargetKernels;
+  RunRound(Target);
 
-  CloseAndJoin();
+  if (Opts.RefillFailures) {
+    // Refill rounds: every failed slot is a shortfall; the engine's
+    // sampling cursor resumes where it stopped, so replacement kernels
+    // are exactly those a larger fault-free run would have produced
+    // next. Terminates when TargetKernels measurements succeeded, the
+    // attempt budget ran dry, or a round made no synthesis progress.
+    auto CountOk = [&] {
+      size_t N = 0;
+      for (const Result<runtime::Measurement> &S : Slots)
+        if (S.ok())
+          ++N;
+      return N;
+    };
+    size_t Ok = CountOk();
+    while (Ok < Target && !Eng.exhausted()) {
+      size_t Before = Slots.size();
+      RunRound(Slots.size() + (Target - Ok));
+      if (Slots.size() == Before)
+        break;
+      Ok = CountOk();
+    }
+  }
   Clock::time_point End = Clock::now();
 
-  Out.Measurements.reserve(Slots.size());
-  for (Result<runtime::Measurement> &S : Slots)
-    Out.Measurements.push_back(std::move(S));
-  Out.Kernels = std::move(SR.Kernels);
-  Out.Stats = SR.Stats;
-  Out.SynthesisWallMs = MsBetween(Start, SynthesisDone);
-  Out.DrainWallMs = MsBetween(SynthesisDone, End);
+  std::vector<SynthesizedKernel> AllKernels = Eng.takeKernels();
+  Out.Stats = Eng.stats();
+  if (Opts.RefillFailures) {
+    // Excision: survivors keep their accept-order positions relative
+    // to each other; failures move to Excised with their classified
+    // cause. Accepted == survivors + excised, exactly once.
+    for (size_t I = 0; I < AllKernels.size(); ++I) {
+      if (Slots[I].ok()) {
+        Out.Kernels.push_back(std::move(AllKernels[I]));
+        Out.Measurements.push_back(std::move(Slots[I]));
+      } else {
+        ExcisedKernel E;
+        E.AcceptIndex = I;
+        E.Source = std::move(AllKernels[I].Source);
+        E.Key = NeedKeys ? Keys[I] : 0;
+        E.Kind = Slots[I].trap();
+        E.Error = Slots[I].errorMessage();
+        E.FromLedger = NeedKeys ? static_cast<bool>(FromLedger[I]) : false;
+        Out.Excised.push_back(std::move(E));
+      }
+    }
+  } else {
+    Out.Kernels = std::move(AllKernels);
+    Out.Measurements.reserve(Slots.size());
+    for (Result<runtime::Measurement> &S : Slots)
+      Out.Measurements.push_back(std::move(S));
+  }
+  Out.SynthesisWallMs = SynthMs;
+  Out.DrainWallMs = DrainMs;
   Out.TotalWallMs = MsBetween(Start, End);
   return Out;
 }

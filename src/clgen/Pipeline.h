@@ -77,6 +77,41 @@ struct StreamingOptions {
   /// hits are resolved in place and never occupy a measurement slot;
   /// misses are measured by the consumers and written back.
   store::ResultCache *Cache = nullptr;
+  /// Optional persistent failure ledger (store/FailureLedger.h), probed
+  /// at enqueue time after a cache miss: a known-bad kernel resolves as
+  /// a negative hit (its recorded diagnostic replayed byte-identically)
+  /// without occupying a measurement slot, and fresh deterministic
+  /// failures are recorded after each measurement round. Counted in
+  /// CacheStats.LedgerHits / LedgerRecords.
+  store::FailureLedger *Ledger = nullptr;
+  /// Excise kernels whose measurement failed and refill the batch: the
+  /// synthesis engine resumes its (deterministic) sampling cursor to
+  /// draw replacements until TargetKernels measurements SUCCEED or the
+  /// attempt budget runs dry. Excised kernels are reported in
+  /// StreamingResult::Excised; surviving (kernel, measurement) pairs
+  /// are byte-identical to what a fault-free run produces for the same
+  /// accept indices. Off by default: the classic contract delivers
+  /// TargetKernels accepted kernels, failures included in-place.
+  bool RefillFailures = false;
+};
+
+/// One kernel dropped by the refill pass (StreamingOptions::
+/// RefillFailures), with everything needed to audit the excision.
+struct ExcisedKernel {
+  /// The kernel's accept index in the synthesis stream (its measurement
+  /// seed derivation), disjoint from surviving kernels' indices.
+  size_t AcceptIndex = 0;
+  /// Normalised source of the excised kernel.
+  std::string Source;
+  /// Measurement/ledger key (0 when neither cache nor ledger was
+  /// configured).
+  uint64_t Key = 0;
+  /// Classified cause and the full diagnostic.
+  TrapKind Kind = TrapKind::Unknown;
+  std::string Error;
+  /// True when the failure was served from the ledger (the kernel was
+  /// never measured this run).
+  bool FromLedger = false;
 };
 
 /// Everything the streaming pipeline produced. Measurements are
@@ -87,6 +122,11 @@ struct StreamingResult {
   std::vector<Result<runtime::Measurement>> Measurements;
   SynthesisStats Stats;
   runtime::BatchCacheStats CacheStats;
+  /// Kernels dropped by the refill pass (empty unless RefillFailures).
+  /// Exactly-once accounting: Stats.Accepted == Kernels.size() +
+  /// Excised.size() — every accepted kernel either survives with a
+  /// measurement or appears here with its classified failure.
+  std::vector<ExcisedKernel> Excised;
   /// Overlap diagnostics: wall time of the synthesis producer (which
   /// includes any time it spent blocked on the full channel), and the
   /// drain tail — how long measurement kept running after the last

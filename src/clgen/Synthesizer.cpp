@@ -63,32 +63,56 @@ Candidate produceCandidate(model::LanguageModel &Model,
 
 } // namespace
 
-SynthesisResult core::synthesizeKernels(model::LanguageModel &Model,
-                                        const SynthesisOptions &Opts) {
-  return synthesizeKernels(Model, Opts, AcceptSink());
-}
+//===----------------------------------------------------------------------===//
+// SynthesisEngine
+//===----------------------------------------------------------------------===//
 
-SynthesisResult core::synthesizeKernels(model::LanguageModel &Model,
-                                        const SynthesisOptions &Opts,
-                                        const AcceptSink &Sink) {
-  SynthesisResult Result;
-  SynthesisStats &Stats = Result.Stats;
-  Rng Base(Opts.Seed);
-
-  std::string Seed =
-      Opts.Spec ? Opts.Spec->seedText() : freeModeSeed();
-  size_t MaxAttempts =
-      Opts.MaxAttempts > 0 ? Opts.MaxAttempts : Opts.TargetKernels * 100;
-
+struct SynthesisEngine::Impl {
+  model::LanguageModel &Model;
+  SynthesisOptions Opts;
+  Rng Base;
+  std::string Seed;
+  size_t MaxAttempts;
   corpus::FilterOptions FilterOpts;
-  // Samples are drawn from the normalised corpus distribution; the shim
-  // is unnecessary (and injecting it would not hurt, only slow).
-  FilterOpts.UseShim = false;
 
   std::unordered_set<std::string> Dedup;
+  std::vector<SynthesizedKernel> Kernels;
+  SynthesisStats Stats;
+  /// The sampling cursor: the first attempt index the accept stage has
+  /// NOT consumed. Speculative wave surplus past a reached target is
+  /// never counted here — the next extendTo() re-samples those attempts,
+  /// and produceCandidate being pure per attempt index makes the re-run
+  /// byte-identical to having consumed them the first time.
+  size_t NextAttempt = 0;
 
-  // In-order accept stage; returns false once the target is reached.
-  auto Consume = [&](Candidate &C) {
+  size_t Workers;
+  std::vector<std::unique_ptr<model::LanguageModel>> Clones;
+
+  Impl(model::LanguageModel &M, const SynthesisOptions &O)
+      : Model(M), Opts(O), Base(O.Seed),
+        Seed(O.Spec ? O.Spec->seedText() : freeModeSeed()),
+        MaxAttempts(O.MaxAttempts > 0 ? O.MaxAttempts
+                                      : O.TargetKernels * 100),
+        Workers(ThreadPool::resolveWorkerCount(O.Workers)) {
+    // Samples are drawn from the normalised corpus distribution; the
+    // shim is unnecessary (and injecting it would not hurt, only slow).
+    FilterOpts.UseShim = false;
+    // Per-worker model clones keep stateful generation thread-private.
+    if (Workers > 1) {
+      for (size_t W = 0; W < Workers; ++W) {
+        std::unique_ptr<model::LanguageModel> C = Model.clone();
+        if (!C) {
+          Clones.clear();
+          Workers = 1; // Model not cloneable: fall back to serial.
+          break;
+        }
+        Clones.push_back(std::move(C));
+      }
+    }
+  }
+
+  /// In-order accept stage; returns false once \p CumTarget is reached.
+  bool consume(Candidate &C, size_t CumTarget, const AcceptSink &Sink) {
     ++Stats.Attempts;
     switch (C.S) {
     case Candidate::Status::Incomplete:
@@ -107,65 +131,99 @@ SynthesisResult core::synthesizeKernels(model::LanguageModel &Model,
     SynthesizedKernel SK;
     SK.Source = std::move(C.Normalised);
     SK.Kernel = std::move(C.Kernel);
-    Result.Kernels.push_back(std::move(SK));
+    Kernels.push_back(std::move(SK));
     ++Stats.Accepted;
     // Stream the accepted kernel out before sampling continues: the
     // sink runs on this (accept-order) thread and may block, pausing
     // synthesis until downstream consumers catch up.
     if (Sink)
-      Sink(Result.Kernels.size() - 1, Result.Kernels.back());
-    return Result.Kernels.size() < Opts.TargetKernels;
-  };
+      Sink(Kernels.size() - 1, Kernels.back());
+    return Kernels.size() < CumTarget;
+  }
 
-  size_t Workers = ThreadPool::resolveWorkerCount(Opts.Workers);
-
-  // Per-worker model clones keep stateful generation thread-private.
-  std::vector<std::unique_ptr<model::LanguageModel>> Clones;
-  if (Workers > 1) {
-    for (size_t W = 0; W < Workers; ++W) {
-      std::unique_ptr<model::LanguageModel> C = Model.clone();
-      if (!C) {
-        Clones.clear();
-        Workers = 1; // Model not cloneable: fall back to serial.
-        break;
+  void extendTo(size_t CumTarget, const AcceptSink &Sink) {
+    if (Workers == 1) {
+      while (Kernels.size() < CumTarget && NextAttempt < MaxAttempts) {
+        Candidate C = produceCandidate(Model, Seed, Opts.Sampling,
+                                       FilterOpts, Base.split(NextAttempt));
+        ++NextAttempt;
+        if (!consume(C, CumTarget, Sink))
+          break;
       }
-      Clones.push_back(std::move(C));
+      return;
     }
-  }
 
-  if (Workers == 1) {
-    for (size_t Attempt = 0;
-         Result.Kernels.size() < Opts.TargetKernels &&
-         Attempt < MaxAttempts;
-         ++Attempt) {
-      Candidate C = produceCandidate(Model, Seed, Opts.Sampling, FilterOpts,
-                                     Base.split(Attempt));
-      if (!Consume(C))
+    ThreadPool Pool(Workers);
+    size_t WaveSize = Opts.WaveSize > 0
+                          ? Opts.WaveSize
+                          : std::max<size_t>(Workers * 4, 16);
+    std::vector<Candidate> Wave;
+
+    while (Kernels.size() < CumTarget && NextAttempt < MaxAttempts) {
+      size_t Count = std::min(WaveSize, MaxAttempts - NextAttempt);
+      Wave.clear();
+      Wave.resize(Count);
+      Pool.parallelFor(0, Count, [&](size_t Worker, size_t I) {
+        Wave[I] = produceCandidate(*Clones[Worker], Seed, Opts.Sampling,
+                                   FilterOpts, Base.split(NextAttempt + I));
+      });
+      // Candidates past the stop point are speculative surplus: dropped
+      // without touching the stats or the cursor, exactly as if they
+      // were never sampled — a later extendTo() regenerates them.
+      bool Done = false;
+      size_t Consumed = 0;
+      for (size_t I = 0; I < Count && !Done; ++I) {
+        Done = !consume(Wave[I], CumTarget, Sink);
+        Consumed = I + 1;
+      }
+      NextAttempt += Consumed;
+      if (Done)
         break;
     }
-    return Result;
   }
+};
 
-  ThreadPool Pool(Workers);
-  size_t WaveSize =
-      Opts.WaveSize > 0 ? Opts.WaveSize : std::max<size_t>(Workers * 4, 16);
-  std::vector<Candidate> Wave;
+SynthesisEngine::SynthesisEngine(model::LanguageModel &Model,
+                                 const SynthesisOptions &Opts)
+    : P(std::make_unique<Impl>(Model, Opts)) {}
 
-  size_t NextAttempt = 0;
-  bool Done = Result.Kernels.size() >= Opts.TargetKernels;
-  while (!Done && NextAttempt < MaxAttempts) {
-    size_t Count = std::min(WaveSize, MaxAttempts - NextAttempt);
-    Wave.clear();
-    Wave.resize(Count);
-    Pool.parallelFor(0, Count, [&](size_t Worker, size_t I) {
-      Wave[I] = produceCandidate(*Clones[Worker], Seed, Opts.Sampling,
-                                 FilterOpts, Base.split(NextAttempt + I));
-    });
-    // Candidates past the stop point are speculative surplus: dropped
-    // without touching the stats, exactly as if they were never sampled.
-    for (size_t I = 0; I < Count && !Done; ++I)
-      Done = !Consume(Wave[I]);
-    NextAttempt += Count;
-  }
+SynthesisEngine::~SynthesisEngine() = default;
+
+size_t SynthesisEngine::extendTo(size_t CumTarget, const AcceptSink &Sink) {
+  P->extendTo(CumTarget, Sink);
+  return P->Kernels.size();
+}
+
+bool SynthesisEngine::exhausted() const {
+  return P->NextAttempt >= P->MaxAttempts;
+}
+
+const SynthesisStats &SynthesisEngine::stats() const { return P->Stats; }
+
+const std::vector<SynthesizedKernel> &SynthesisEngine::kernels() const {
+  return P->Kernels;
+}
+
+std::vector<SynthesizedKernel> SynthesisEngine::takeKernels() {
+  return std::move(P->Kernels);
+}
+
+//===----------------------------------------------------------------------===//
+// One-shot wrappers
+//===----------------------------------------------------------------------===//
+
+SynthesisResult core::synthesizeKernels(model::LanguageModel &Model,
+                                        const SynthesisOptions &Opts) {
+  return synthesizeKernels(Model, Opts, AcceptSink());
+}
+
+SynthesisResult core::synthesizeKernels(model::LanguageModel &Model,
+                                        const SynthesisOptions &Opts,
+                                        const AcceptSink &Sink) {
+  SynthesisEngine Eng(Model, Opts);
+  Eng.extendTo(Opts.TargetKernels, Sink);
+  SynthesisResult Result;
+  Result.Stats = Eng.stats();
+  Result.Kernels = Eng.takeKernels();
   return Result;
 }

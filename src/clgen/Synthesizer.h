@@ -20,6 +20,7 @@
 #include "vm/Bytecode.h"
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -97,6 +98,49 @@ using AcceptSink =
 SynthesisResult synthesizeKernels(model::LanguageModel &Model,
                                   const SynthesisOptions &Opts,
                                   const AcceptSink &Sink);
+
+/// The synthesis loop as a resumable object: the sampling cursor, the
+/// dedup set and the stats survive between calls, so a caller that
+/// discovers too late that some accepted kernels were unusable (e.g.
+/// they failed measurement) can ask for replacements — and gets exactly
+/// the kernels a single larger run would have produced, because
+/// candidate generation is a pure function of the attempt index and the
+/// accept stage consumes attempts in order. synthesizeKernels() is a
+/// thin wrapper over one extendTo() call; the refill loop in
+/// core::synthesizeAndMeasure makes several.
+///
+/// Not thread-safe; one engine serves one synthesis stream.
+class SynthesisEngine {
+public:
+  /// \p Model must outlive the engine. Opts.TargetKernels is ignored —
+  /// targets are per extendTo() call; everything else (seed, sampling,
+  /// workers, MaxAttempts) binds at construction.
+  SynthesisEngine(model::LanguageModel &Model, const SynthesisOptions &Opts);
+  ~SynthesisEngine();
+  SynthesisEngine(const SynthesisEngine &) = delete;
+  SynthesisEngine &operator=(const SynthesisEngine &) = delete;
+
+  /// Grows the accepted-kernel set to \p CumTarget kernels (cumulative,
+  /// not incremental — extendTo(N) is idempotent once N is reached),
+  /// streaming each NEW accept through \p Sink in accept order. Returns
+  /// the number of kernels accepted so far; less than \p CumTarget only
+  /// when the attempt budget ran dry (exhausted()).
+  size_t extendTo(size_t CumTarget, const AcceptSink &Sink = AcceptSink());
+
+  /// True once the attempt budget (MaxAttempts) is spent; further
+  /// extendTo() calls cannot make progress.
+  bool exhausted() const;
+
+  const SynthesisStats &stats() const;
+  const std::vector<SynthesizedKernel> &kernels() const;
+  /// Moves the accepted kernels out (the engine keeps its stats and
+  /// cursor, but kernels() is empty afterwards — call last).
+  std::vector<SynthesizedKernel> takeKernels();
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> P;
+};
 
 } // namespace core
 } // namespace clgen

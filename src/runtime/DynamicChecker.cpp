@@ -50,6 +50,7 @@ CheckResult runtime::checkKernel(const CompiledKernel &Kernel,
     if (!Run.ok()) {
       Result.Outcome = CheckOutcome::LaunchFailure;
       Result.Detail = Run.errorMessage();
+      Result.Trap = Run.trap();
       return false;
     }
     return true;
@@ -62,6 +63,8 @@ CheckResult runtime::checkKernel(const CompiledKernel &Kernel,
   if (!outputsDiffer(Kernel, A1Before, A1, Opts.Epsilon) ||
       !outputsDiffer(Kernel, B1Before, B1, Opts.Epsilon)) {
     Result.Outcome = CheckOutcome::NoOutput;
+    Result.Detail = "outputs equal inputs on both payloads";
+    Result.Trap = TrapKind::CheckNoOutput;
     return Result;
   }
 
@@ -69,6 +72,8 @@ CheckResult runtime::checkKernel(const CompiledKernel &Kernel,
   if (outputsEqual(Kernel, A1, B1, Opts.Epsilon) ||
       outputsEqual(Kernel, A2, B2, Opts.Epsilon)) {
     Result.Outcome = CheckOutcome::InputInsensitive;
+    Result.Detail = "identical outputs for different input payloads";
+    Result.Trap = TrapKind::CheckInputInsensitive;
     return Result;
   }
 
@@ -76,6 +81,8 @@ CheckResult runtime::checkKernel(const CompiledKernel &Kernel,
   if (!outputsEqual(Kernel, A1, A2, Opts.Epsilon) ||
       !outputsEqual(Kernel, B1, B2, Opts.Epsilon)) {
     Result.Outcome = CheckOutcome::NonDeterministic;
+    Result.Detail = "outputs differ across runs on identical payloads";
+    Result.Trap = TrapKind::CheckNonDeterministic;
     return Result;
   }
 

@@ -27,12 +27,17 @@
 
 #include "runtime/Payload.h"
 #include "support/Rng.h"
+#include "support/Trap.h"
 #include "vm/Bytecode.h"
 
 #include <string>
 
 namespace clgen {
 namespace runtime {
+
+/// The taxonomy lives in support/ (the interpreter produces traps before
+/// the runtime layer exists); runtime code spells it runtime::TrapKind.
+using clgen::TrapKind;
 
 enum class CheckOutcome {
   UsefulWork,      // All assertions hold.
@@ -46,8 +51,13 @@ const char *checkOutcomeName(CheckOutcome O);
 
 struct CheckResult {
   CheckOutcome Outcome = CheckOutcome::LaunchFailure;
-  /// Failure detail for LaunchFailure.
+  /// Human-readable detail, populated for every rejection class (empty
+  /// only for UsefulWork).
   std::string Detail;
+  /// Classified cause: the interpreter's trap for LaunchFailure, the
+  /// matching Check* kind for the three semantic rejections, None for
+  /// UsefulWork.
+  TrapKind Trap = TrapKind::None;
 
   bool useful() const { return Outcome == CheckOutcome::UsefulWork; }
 };

@@ -6,12 +6,17 @@
 
 #include "runtime/HostDriver.h"
 
+#include "store/FailureLedger.h"
 #include "store/Lock.h"
 #include "store/ResultCache.h"
+#include "support/FailPoint.h"
 #include "support/ThreadPool.h"
 #include "vm/Compiler.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
 
 using namespace clgen;
 using namespace clgen::runtime;
@@ -36,9 +41,16 @@ Result<Measurement> runtime::runBenchmark(const CompiledKernel &Kernel,
     if (!CR.useful())
       return Result<Measurement>::error(
           std::string("dynamic check failed: ") +
-          checkOutcomeName(CR.Outcome) +
-          (CR.Detail.empty() ? "" : " (" + CR.Detail + ")"));
+              checkOutcomeName(CR.Outcome) +
+              (CR.Detail.empty() ? "" : " (" + CR.Detail + ")"),
+          CR.Trap);
   }
+
+  // Injected payload-generation failure (transient class: a retry
+  // re-rolls and can clear).
+  if (CLGS_FAILPOINT_KEYED("runtime.payload", Opts.Seed))
+    return Result<Measurement>::error("injected fault at runtime.payload",
+                                      TrapKind::Injected);
 
   PayloadOptions POpts;
   POpts.GlobalSize = Opts.GlobalSize;
@@ -50,11 +62,14 @@ Result<Measurement> runtime::runBenchmark(const CompiledKernel &Kernel,
   Config.LocalSize[0] = Pl.LocalSize;
   Config.MaxInstructions = Opts.MaxInstructions;
   Config.MaxWorkGroups = Opts.MaxSimulatedGroups;
+  Config.WatchdogMs = Opts.WatchdogMs;
+  Config.TrapDivZero = Opts.TrapDivZero;
 
   auto Run = launchKernel(Kernel, Pl.Args, Pl.Buffers, Config);
   if (!Run.ok())
     return Result<Measurement>::error("launch failed: " +
-                                      Run.errorMessage());
+                                          Run.errorMessage(),
+                                      Run.trap());
 
   Measurement M;
   M.Counters = Run.get();
@@ -72,8 +87,27 @@ Result<Measurement> runtime::runBenchmark(const std::string &Source,
   auto Kernel = compileFirstKernel(Source);
   if (!Kernel.ok())
     return Result<Measurement>::error("compile failed: " +
-                                      Kernel.errorMessage());
+                                          Kernel.errorMessage(),
+                                      TrapKind::CompileError);
   return runBenchmark(Kernel.get(), P, Opts);
+}
+
+Result<Measurement>
+runtime::runBenchmarkWithRetry(const CompiledKernel &Kernel,
+                               const Platform &P, const DriverOptions &Opts,
+                               uint32_t *AttemptsOut) {
+  for (uint32_t Attempt = 0;; ++Attempt) {
+    Result<Measurement> M = runBenchmark(Kernel, P, Opts);
+    if (AttemptsOut)
+      *AttemptsOut = Attempt + 1;
+    // Deterministic failures cannot clear on retry; retrying them would
+    // just triple the cost of every genuinely bad kernel.
+    if (M.ok() || Attempt >= Opts.MaxRetries || !isTransientTrap(M.trap()))
+      return M;
+    if (Opts.RetryBackoffMs)
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          static_cast<uint64_t>(Opts.RetryBackoffMs) << Attempt));
+  }
 }
 
 std::vector<Result<Measurement>>
@@ -84,7 +118,8 @@ runtime::runBenchmarkBatch(const std::vector<CompiledKernel> &Kernels,
       Kernels.size(), Result<Measurement>::error("not measured"));
   Rng Base(Opts.Seed);
   auto MeasureOne = [&](size_t I) {
-    Out[I] = runBenchmark(Kernels[I], P, batchDriverOptions(Opts, Base, I));
+    Out[I] =
+        runBenchmarkWithRetry(Kernels[I], P, batchDriverOptions(Opts, Base, I));
   };
   size_t N =
       std::min(ThreadPool::resolveWorkerCount(Workers), Kernels.size());
@@ -103,13 +138,17 @@ std::vector<Result<Measurement>>
 runtime::runBenchmarkBatch(const std::vector<CompiledKernel> &Kernels,
                            const Platform &P, const DriverOptions &Opts,
                            unsigned Workers, store::ResultCache &Cache,
-                           BatchCacheStats *CacheStats) {
+                           BatchCacheStats *CacheStats,
+                           store::FailureLedger *Ledger) {
   std::vector<Result<Measurement>> Out(
       Kernels.size(), Result<Measurement>::error("not measured"));
   Rng Base(Opts.Seed);
 
   // Resolve the per-kernel effective options first (the key includes the
-  // split payload seed), then probe the cache; only misses execute.
+  // split payload seed), then probe the cache and the failure ledger;
+  // only genuine misses execute. A ledger negative hit replays the
+  // recorded diagnostic byte-identically, so re-runs over a corpus of
+  // mostly-bad kernels cost file reads, not measurements.
   std::vector<DriverOptions> KernelOpts(Kernels.size(), Opts);
   std::vector<uint64_t> Keys(Kernels.size());
   std::vector<size_t> MissIndices;
@@ -120,6 +159,10 @@ runtime::runBenchmarkBatch(const std::vector<CompiledKernel> &Kernels,
     if (auto Cached = Cache.lookup(Keys[I])) {
       Out[I] = *Cached;
       ++Tally.Hits;
+    } else if (auto Known = Ledger ? Ledger->lookup(Keys[I])
+                                   : std::nullopt) {
+      Out[I] = Result<Measurement>::error(Known->Detail, Known->Kind);
+      ++Tally.LedgerHits;
     } else {
       MissIndices.push_back(I);
       ++Tally.Misses;
@@ -159,6 +202,13 @@ runtime::runBenchmarkBatch(const std::vector<CompiledKernel> &Kernels,
           Out[I] = *Cached;
           ++Tally.Hits;
           --Tally.Misses;
+        } else if (auto Known = Ledger ? Ledger->lookup(Keys[I])
+                                       : std::nullopt) {
+          // A racer measured this kernel, watched it fail and recorded
+          // the failure while we waited on the lock.
+          Out[I] = Result<Measurement>::error(Known->Detail, Known->Kind);
+          ++Tally.LedgerHits;
+          --Tally.Misses;
         } else {
           StillMissing.push_back(I);
         }
@@ -167,10 +217,22 @@ runtime::runBenchmarkBatch(const std::vector<CompiledKernel> &Kernels,
     }
   }
 
+  std::atomic<size_t> LedgerRecords{0};
   auto MeasureOne = [&](size_t I) {
-    Out[I] = runBenchmark(Kernels[I], P, KernelOpts[I]);
-    if (Out[I].ok())
+    uint32_t Attempts = 0;
+    Out[I] = runBenchmarkWithRetry(Kernels[I], P, KernelOpts[I], &Attempts);
+    if (Out[I].ok()) {
       Cache.store(Keys[I], Out[I].get());
+    } else if (Ledger) {
+      // record() refuses non-deterministic kinds itself; count only
+      // admitted records so the tally matches the ledger's view.
+      store::FailureRecord Rec;
+      Rec.Kind = Out[I].trap();
+      Rec.Detail = Out[I].errorMessage();
+      Rec.Attempts = Attempts;
+      if (isDeterministicTrap(Rec.Kind) && Ledger->record(Keys[I], Rec).ok())
+        LedgerRecords.fetch_add(1, std::memory_order_relaxed);
+    }
   };
   size_t N =
       std::min(ThreadPool::resolveWorkerCount(Workers), MissIndices.size());
@@ -182,6 +244,7 @@ runtime::runBenchmarkBatch(const std::vector<CompiledKernel> &Kernels,
     Pool.parallelFor(0, MissIndices.size(),
                      [&](size_t, size_t J) { MeasureOne(MissIndices[J]); });
   }
+  Tally.LedgerRecords = LedgerRecords.load(std::memory_order_relaxed);
   if (CacheStats)
     *CacheStats = Tally;
   return Out;
@@ -193,7 +256,15 @@ void runtime::runMeasurementLoop(support::Channel<MeasureJob> &Jobs,
   // pop() returning nullopt is the shutdown signal: the producer closed
   // the channel and every buffered job has been claimed.
   while (std::optional<MeasureJob> J = Jobs.pop()) {
-    Result<Measurement> M = runBenchmark(J->Kernel, P, J->Opts);
+    // Injected dequeue fault: the job is consumed but its measurement is
+    // dropped on the floor — the slot records an injected failure, which
+    // the refill pass (when enabled) excises and replaces. Keyed by the
+    // accept index so the faulting kernel is scheduling-independent.
+    Result<Measurement> M =
+        CLGS_FAILPOINT_KEYED("pipeline.dequeue", J->Index)
+            ? Result<Measurement>::error("injected fault at pipeline.dequeue",
+                                         TrapKind::Injected)
+            : runBenchmarkWithRetry(J->Kernel, P, J->Opts);
     if (Cache && J->WriteBack && M.ok())
       Cache->store(J->CacheKey, M.get());
     *J->Slot = std::move(M);

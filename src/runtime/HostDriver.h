@@ -31,6 +31,7 @@
 namespace clgen {
 namespace store {
 class ResultCache;
+class FailureLedger;
 } // namespace store
 namespace runtime {
 
@@ -59,6 +60,23 @@ struct DriverOptions {
   size_t MaxSimulatedGroups = 64;
   uint64_t MaxInstructions = 400ull * 1000 * 1000;
   uint64_t Seed = 0xC16E5EED;
+  /// Wall-clock watchdog per launch, in milliseconds (0 = off). Catches
+  /// hangs the instruction budget cannot — a stalled worker fails with
+  /// TrapKind::WatchdogTimeout instead of wedging the batch. Excluded
+  /// from cache keys: it can only turn a measurement into a failure,
+  /// and failures are never cached.
+  uint64_t WatchdogMs = 0;
+  /// Bounded retries for transient failure classes (injected faults,
+  /// I/O); deterministic classes fail fast. Excluded from cache keys.
+  uint32_t MaxRetries = 2;
+  /// Base backoff between retries; attempt n sleeps
+  /// RetryBackoffMs << n — deterministic, no jitter. 0 = retry
+  /// immediately. Excluded from cache keys.
+  uint32_t RetryBackoffMs = 0;
+  /// Trap integer division/remainder by zero (TrapKind::DivByZero)
+  /// instead of OpenCL's silent zero. Changes kernel-visible semantics,
+  /// so it IS part of the measurement cache/ledger key recipe.
+  bool TrapDivZero = false;
 };
 
 /// Compiles and measures \p Source's first kernel on \p P's two devices.
@@ -72,6 +90,17 @@ Result<Measurement> runBenchmark(const std::string &Source,
 Result<Measurement> runBenchmark(const vm::CompiledKernel &Kernel,
                                  const Platform &P,
                                  const DriverOptions &Opts);
+
+/// runBenchmark with the retry policy applied: transient failures
+/// (isTransientTrap — injected faults, I/O) are retried up to
+/// Opts.MaxRetries times with deterministic backoff; deterministic
+/// failures return immediately. Every batch/streaming path measures
+/// through this wrapper. \p AttemptsOut, when given, receives the
+/// number of attempts consumed (1 = no retry).
+Result<Measurement> runBenchmarkWithRetry(const vm::CompiledKernel &Kernel,
+                                          const Platform &P,
+                                          const DriverOptions &Opts,
+                                          uint32_t *AttemptsOut = nullptr);
 
 /// Per-kernel effective options for batch position \p I: the payload
 /// RNG seed is drawn from the counter-keyed stream I of \p Base (the
@@ -98,6 +127,11 @@ runBenchmarkBatch(const std::vector<vm::CompiledKernel> &Kernels,
 struct BatchCacheStats {
   size_t Hits = 0;
   size_t Misses = 0;
+  /// Kernels skipped as failure-ledger negative hits (neither measured
+  /// nor counted as cache hits).
+  size_t LedgerHits = 0;
+  /// Deterministic failures newly recorded in the ledger by this call.
+  size_t LedgerRecords = 0;
 };
 
 /// Cached variant: each kernel is content-addressed in \p Cache (keyed
@@ -115,11 +149,15 @@ struct BatchCacheStats {
 /// exactly once; fully-warm batches never touch a lock. \p CacheStats
 /// tallies what THIS call measured (Misses) vs served from cache
 /// (Hits), so exactly-once can be asserted by summing across racers.
+/// With a \p Ledger, known-bad kernels are skipped as negative hits
+/// (the recorded failure is replayed byte-identically) and fresh
+/// deterministic failures are recorded for future runs.
 std::vector<Result<Measurement>>
 runBenchmarkBatch(const std::vector<vm::CompiledKernel> &Kernels,
                   const Platform &P, const DriverOptions &Opts,
                   unsigned Workers, store::ResultCache &Cache,
-                  BatchCacheStats *CacheStats = nullptr);
+                  BatchCacheStats *CacheStats = nullptr,
+                  store::FailureLedger *Ledger = nullptr);
 
 /// One unit of driver-side work in the streaming pipeline: a kernel to
 /// measure, the per-kernel effective options (already derived via
@@ -141,6 +179,9 @@ struct MeasureJob {
   /// occupy a measurement slot.
   uint64_t CacheKey = 0;
   bool WriteBack = false;
+  /// The kernel's accept index: stable identity for failpoint keying
+  /// and diagnostics, independent of scheduling.
+  size_t Index = 0;
 };
 
 /// Pull-based measurement loop: pops jobs from \p Jobs until the

@@ -181,6 +181,8 @@ const char *store::archiveKindName(uint32_t Kind) {
     return "synthesis";
   case ArchiveKind::Manifest:
     return "manifest";
+  case ArchiveKind::Failure:
+    return "failure";
   }
   return "unknown";
 }

@@ -69,6 +69,7 @@ enum class ArchiveKind : uint32_t {
   Measurement = 3, // One runtime::Measurement (result-cache entry).
   Synthesis = 4,   // core::SynthesisResult (kernels + stats).
   Manifest = 5,    // store::Manifest (lifecycle sweep record).
+  Failure = 6,     // store::FailureRecord (failure-ledger entry).
 };
 
 /// Human-readable name of a raw kind tag ("model", "corpus", ...;

@@ -469,7 +469,7 @@ std::string store::formatStat(const std::vector<EntryInfo> &Entries,
     size_t Count = 0;
     uint64_t Bytes = 0;
   };
-  KindTally Kinds[6];
+  KindTally Kinds[7];
   for (const EntryInfo &E : Entries) {
     if (!E.Valid) {
       ++CorruptCount;
@@ -478,7 +478,7 @@ std::string store::formatStat(const std::vector<EntryInfo> &Entries,
     }
     ++ValidCount;
     ValidBytes += E.Size;
-    size_t Slot = E.Kind < 6 ? E.Kind : 0;
+    size_t Slot = E.Kind < 7 ? E.Kind : 0;
     ++Kinds[Slot].Count;
     Kinds[Slot].Bytes += E.Size;
   }
@@ -486,7 +486,7 @@ std::string store::formatStat(const std::vector<EntryInfo> &Entries,
   std::string Out;
   appendLine(Out, "entries:     %zu (%s)", ValidCount,
              formatBytes(ValidBytes).c_str());
-  for (uint32_t Kind = 1; Kind < 6; ++Kind)
+  for (uint32_t Kind = 1; Kind < 7; ++Kind)
     if (Kinds[Kind].Count > 0)
       appendLine(Out, "  %-12s %zu entries, %s", archiveKindName(Kind),
                  Kinds[Kind].Count,

@@ -7,6 +7,7 @@
 #include "store/Lock.h"
 
 #include "store/Archive.h"
+#include "support/FailPoint.h"
 
 #include <filesystem>
 #include <thread>
@@ -131,6 +132,11 @@ Result<ScopedLock> ScopedLock::acquire(const std::string &Path,
 
 ScopedLock ScopedLock::acquireForMiss(const std::string &Path,
                                       const LockOptions &Opts) {
+  // Injected acquisition failure: exercises the documented degrade path
+  // (proceed unlocked, risking only duplicated work — never corruption,
+  // because publication stays atomic-rename).
+  if (CLGS_FAILPOINT("store.lock"))
+    return ScopedLock();
   // acquire()'s first iteration is already a non-blocking try, so an
   // uncontended miss takes the lock without ever sleeping.
   Result<ScopedLock> Lock = acquire(Path, Opts);

@@ -7,6 +7,7 @@
 #include "store/ResultCache.h"
 
 #include "store/Serialization.h"
+#include "support/FailPoint.h"
 
 #include <filesystem>
 
@@ -31,6 +32,12 @@ void serializeDriverOptions(ArchiveWriter &W, const DriverOptions &Opts) {
   W.writeU64(Opts.MaxSimulatedGroups);
   W.writeU64(Opts.MaxInstructions);
   W.writeU64(Opts.Seed);
+  // TrapDivZero changes kernel-visible semantics, so it is part of the
+  // recipe. The fault-tolerance knobs (WatchdogMs, MaxRetries,
+  // RetryBackoffMs) deliberately are NOT: they can only turn a
+  // measurement into a failure, never alter a successful measurement,
+  // and failures are not cached.
+  W.writeBool(Opts.TrapDivZero);
 }
 
 void serializeDeviceModel(ArchiveWriter &W, const DeviceModel &D) {
@@ -235,6 +242,12 @@ std::optional<Measurement> ResultCache::lookup(uint64_t Key) {
 }
 
 std::optional<Measurement> ResultCache::probeDisk(uint64_t Key) {
+  // Injected read fault: degrades to an honest miss (the caller
+  // re-measures), exactly like an unreadable file.
+  if (CLGS_FAILPOINT_KEYED("store.read", Key)) {
+    Counters.Misses.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
   // Disk probe outside the lock: archive reads are pure, and concurrent
   // probes of the same key just both hit.
   auto Opened = ArchiveReader::open(entryPath(Key),
@@ -275,7 +288,13 @@ Status ResultCache::store(uint64_t Key, const Measurement &M) {
   Status S;
   if (!DirOk) {
     Counters.WriteFailures.fetch_add(1, std::memory_order_relaxed);
-    S = Status::error("cache directory unavailable: " + Dir);
+    S = Status::error("cache directory unavailable: " + Dir,
+                      TrapKind::IoError);
+  } else if (CLGS_FAILPOINT_KEYED("store.write", Key)) {
+    // Injected write fault: degrades exactly like a failed disk write —
+    // the entry stays memory-only and the pipeline carries on.
+    Counters.WriteFailures.fetch_add(1, std::memory_order_relaxed);
+    S = Status::error("injected fault at store.write", TrapKind::Injected);
   } else {
     ArchiveWriter W(ArchiveKind::Measurement);
     serializeMeasurement(W, M);

@@ -10,10 +10,17 @@
 /// specialisation. This mirrors the role of llvm::Expected in a project
 /// that forbids exceptions.
 ///
+/// Failures additionally carry a TrapKind so callers can branch on the
+/// failure class (retry transient faults, ledger deterministic ones)
+/// without parsing the message. Errors created through the string-only
+/// factory classify as TrapKind::Unknown.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CLGEN_SUPPORT_RESULT_H
 #define CLGEN_SUPPORT_RESULT_H
+
+#include "support/Trap.h"
 
 #include <cassert>
 #include <optional>
@@ -29,10 +36,16 @@ public:
   /// Success constructor (implicit so that `return Value;` works).
   Result(T Value) : Value(std::move(Value)) {}
 
-  /// Creates a failed result carrying \p Message.
+  /// Creates a failed result carrying \p Message, classified Unknown.
   static Result error(std::string Message) {
+    return error(std::move(Message), TrapKind::Unknown);
+  }
+
+  /// Creates a failed result carrying \p Message classified as \p Kind.
+  static Result error(std::string Message, TrapKind Kind) {
     Result R;
     R.Message = std::move(Message);
+    R.Kind = Kind;
     return R;
   }
 
@@ -62,10 +75,14 @@ public:
     return Message;
   }
 
+  /// Returns the failure class (TrapKind::None when ok()).
+  TrapKind trap() const { return Kind; }
+
 private:
   Result() = default;
   std::optional<T> Value;
   std::string Message;
+  TrapKind Kind = TrapKind::None;
 };
 
 /// A success-or-error outcome for operations with no payload.
@@ -74,11 +91,17 @@ public:
   /// Creates a success status.
   Status() = default;
 
-  /// Creates a failed status carrying \p Message.
+  /// Creates a failed status carrying \p Message, classified Unknown.
   static Status error(std::string Message) {
+    return error(std::move(Message), TrapKind::Unknown);
+  }
+
+  /// Creates a failed status carrying \p Message classified as \p Kind.
+  static Status error(std::string Message, TrapKind Kind) {
     Status S;
     S.Failed = true;
     S.Message = std::move(Message);
+    S.Kind = Kind;
     return S;
   }
 
@@ -88,9 +111,13 @@ public:
   /// Returns the diagnostic message (empty on success).
   const std::string &errorMessage() const { return Message; }
 
+  /// Returns the failure class (TrapKind::None when ok()).
+  TrapKind trap() const { return Kind; }
+
 private:
   bool Failed = false;
   std::string Message;
+  TrapKind Kind = TrapKind::None;
 };
 
 } // namespace clgen

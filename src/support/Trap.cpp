@@ -1,0 +1,77 @@
+//===- support/Trap.cpp - Structured failure taxonomy ------------*- C++ -*-===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Trap.h"
+
+namespace clgen {
+
+const char *trapKindName(TrapKind Kind) {
+  switch (Kind) {
+  case TrapKind::None:
+    return "none";
+  case TrapKind::OutOfBounds:
+    return "out-of-bounds";
+  case TrapKind::BarrierDivergence:
+    return "barrier-divergence";
+  case TrapKind::InstructionBudget:
+    return "instruction-budget";
+  case TrapKind::WatchdogTimeout:
+    return "watchdog-timeout";
+  case TrapKind::DivByZero:
+    return "div-by-zero";
+  case TrapKind::CompileError:
+    return "compile-error";
+  case TrapKind::BadLaunch:
+    return "bad-launch";
+  case TrapKind::CheckNoOutput:
+    return "check-no-output";
+  case TrapKind::CheckInputInsensitive:
+    return "check-input-insensitive";
+  case TrapKind::CheckNonDeterministic:
+    return "check-non-deterministic";
+  case TrapKind::Injected:
+    return "injected";
+  case TrapKind::IoError:
+    return "io-error";
+  case TrapKind::Unknown:
+    return "unknown";
+  }
+  return "unknown";
+}
+
+bool isTransientTrap(TrapKind Kind) {
+  return Kind == TrapKind::Injected || Kind == TrapKind::IoError;
+}
+
+bool isDeterministicTrap(TrapKind Kind) {
+  switch (Kind) {
+  case TrapKind::OutOfBounds:
+  case TrapKind::BarrierDivergence:
+  case TrapKind::InstructionBudget:
+  case TrapKind::DivByZero:
+  case TrapKind::CompileError:
+  case TrapKind::BadLaunch:
+  case TrapKind::CheckNoOutput:
+  case TrapKind::CheckInputInsensitive:
+  case TrapKind::CheckNonDeterministic:
+    return true;
+  case TrapKind::None:
+  case TrapKind::WatchdogTimeout:
+  case TrapKind::Injected:
+  case TrapKind::IoError:
+  case TrapKind::Unknown:
+    return false;
+  }
+  return false;
+}
+
+TrapKind trapKindFromTag(uint8_t Tag) {
+  if (Tag > static_cast<uint8_t>(TrapKind::Unknown))
+    return TrapKind::Unknown;
+  return static_cast<TrapKind>(Tag);
+}
+
+} // namespace clgen

@@ -7,8 +7,10 @@
 #include "vm/Interpreter.h"
 
 #include "ocl/Builtins.h"
+#include "support/FailPoint.h"
 #include "support/StringUtils.h"
 
+#include <chrono>
 #include <cmath>
 
 using namespace clgen;
@@ -156,16 +158,25 @@ private:
   int BranchSiteCount = 0;
   size_t GroupCount[3] = {1, 1, 1};
   size_t GroupId[3] = {0, 0, 0};
+  TrapKind ErrKind = TrapKind::Unknown;
+  std::chrono::steady_clock::time_point Start;
 
   bool fail(const std::string &Message) {
-    if (Error.empty())
+    return fail(TrapKind::Unknown, Message);
+  }
+
+  bool fail(TrapKind Kind, const std::string &Message) {
+    if (Error.empty()) {
       Error = Message;
+      ErrKind = Kind;
+    }
     return false;
   }
 
   bool bindArgs() {
     if (Args.size() != K.Params.size())
-      return fail(formatString("kernel '%s' expects %zu arguments, got %zu",
+      return fail(TrapKind::BadLaunch,
+                  formatString("kernel '%s' expects %zu arguments, got %zu",
                                K.Name.c_str(), K.Params.size(), Args.size()));
     SlotToBuffer.assign(K.bufferParamCount(), -1);
     LocalParamSizes.assign(K.LocalBuffers.size(), 0);
@@ -174,7 +185,8 @@ private:
       const KernelArg &A = Args[I];
       if (P.IsBuffer && P.Ty.AS == AddrSpace::Local) {
         if (A.K != KernelArg::Kind::LocalSize)
-          return fail(formatString("argument %zu: __local pointer needs a "
+          return fail(TrapKind::BadLaunch,
+                      formatString("argument %zu: __local pointer needs a "
                                    "local size binding",
                                    I));
         LocalParamSizes[P.BufferSlot] = A.LocalElements;
@@ -182,14 +194,17 @@ private:
       }
       if (P.IsBuffer) {
         if (A.K != KernelArg::Kind::GlobalBuffer)
-          return fail(formatString("argument %zu: expected a buffer", I));
+          return fail(TrapKind::BadLaunch,
+                      formatString("argument %zu: expected a buffer", I));
         if (A.BufferIndex < 0 ||
             static_cast<size_t>(A.BufferIndex) >= Buffers.size())
-          return fail(formatString("argument %zu: buffer index out of "
+          return fail(TrapKind::BadLaunch,
+                      formatString("argument %zu: buffer index out of "
                                    "range",
                                    I));
         if (Buffers[A.BufferIndex].ElemWidth != P.Ty.VecWidth)
-          return fail(formatString("argument %zu: element width mismatch "
+          return fail(TrapKind::BadLaunch,
+                      formatString("argument %zu: element width mismatch "
                                    "(buffer %d, param %d)",
                                    I, Buffers[A.BufferIndex].ElemWidth,
                                    P.Ty.VecWidth));
@@ -197,7 +212,8 @@ private:
         continue;
       }
       if (A.K != KernelArg::Kind::Scalar)
-        return fail(formatString("argument %zu: expected a scalar", I));
+        return fail(TrapKind::BadLaunch,
+                    formatString("argument %zu: expected a scalar", I));
       Value V = A.Scalar;
       // Broadcast scalars to vector-typed params when needed.
       if (P.Ty.VecWidth > 1 && V.Width == 1)
@@ -213,7 +229,20 @@ private:
 
   StepOutcome step(ItemState &S, GroupContext &G) {
     if (C.Instructions >= Config.MaxInstructions) {
-      fail("kernel exceeded instruction budget (timeout)");
+      fail(TrapKind::InstructionBudget,
+           "kernel exceeded instruction budget (timeout)");
+      return StepOutcome::Error;
+    }
+    // The wall-clock watchdog is sampled every 32768 instructions so the
+    // hot dispatch loop pays one predictable branch when it is disabled.
+    if (Config.WatchdogMs != 0 && (C.Instructions & 0x7FFF) == 0 &&
+        static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - Start)
+                .count()) >= Config.WatchdogMs) {
+      fail(TrapKind::WatchdogTimeout,
+           formatString("kernel exceeded wall-clock watchdog (%llu ms)",
+                        static_cast<unsigned long long>(Config.WatchdogMs)));
       return StepOutcome::Error;
     }
     const Instr &I = K.Code[S.Pc];
@@ -232,6 +261,14 @@ private:
       Value R;
       R.Width = std::max(A.Width, B.Width);
       auto Op = static_cast<VmBinOp>(I.Aux);
+      if (Config.TrapDivZero &&
+          (Op == VmBinOp::DivI || Op == VmBinOp::RemI)) {
+        for (int L = 0; L < R.Width; ++L)
+          if (toInt(B.Lanes[B.Width == 1 ? 0 : L]) == 0) {
+            fail(TrapKind::DivByZero, "integer division by zero");
+            return StepOutcome::Error;
+          }
+      }
       for (int L = 0; L < R.Width; ++L)
         R.Lanes[L] = evalBinLane(Op, A.Lanes[A.Width == 1 ? 0 : L],
                                  B.Lanes[B.Width == 1 ? 0 : L]);
@@ -359,7 +396,8 @@ private:
       int BufIdx = SlotToBuffer[I.Imm];
       BufferData &B = Buffers[BufIdx];
       if (Index < 0 || static_cast<size_t>(Index) >= B.elements())
-        return fail(formatString("out-of-bounds global access (index %lld "
+        return fail(TrapKind::OutOfBounds,
+                    formatString("out-of-bounds global access (index %lld "
                                  "of %zu elements)",
                                  static_cast<long long>(Index),
                                  B.elements()));
@@ -377,7 +415,7 @@ private:
       ElemWidth = K.LocalBuffers[I.Imm].ElemWidth;
       if (Index < 0 ||
           static_cast<size_t>(Index) * ElemWidth >= B.size())
-        return fail("out-of-bounds local access");
+        return fail(TrapKind::OutOfBounds, "out-of-bounds local access");
       Storage = &B;
       ++C.LocalAccesses;
       break;
@@ -387,7 +425,7 @@ private:
       ElemWidth = K.PrivateBuffers[I.Imm].ElemWidth;
       if (Index < 0 ||
           static_cast<size_t>(Index) * ElemWidth >= B.size())
-        return fail("out-of-bounds private access");
+        return fail(TrapKind::OutOfBounds, "out-of-bounds private access");
       Storage = &B;
       ++C.PrivateAccesses;
       break;
@@ -416,9 +454,10 @@ private:
     case MemSpace::Global: {
       BufferData &B = Buffers[SlotToBuffer[I.Imm]];
       if (B.ElemWidth != 1)
-        return fail("vload/vstore requires a scalar-element buffer");
+        return fail(TrapKind::BadLaunch,
+                    "vload/vstore requires a scalar-element buffer");
       if (Start < 0 || static_cast<size_t>(Start) + W > B.Data.size())
-        return fail("out-of-bounds vector access");
+        return fail(TrapKind::OutOfBounds, "out-of-bounds vector access");
       Storage = &B.Data;
       if (I.Op == Opcode::VLoad)
         ++C.GlobalLoads;
@@ -430,7 +469,8 @@ private:
     case MemSpace::Local: {
       auto &B = G.LocalBuffers[I.Imm];
       if (Start < 0 || static_cast<size_t>(Start) + W > B.size())
-        return fail("out-of-bounds local vector access");
+        return fail(TrapKind::OutOfBounds,
+                    "out-of-bounds local vector access");
       Storage = &B;
       ++C.LocalAccesses;
       break;
@@ -438,7 +478,8 @@ private:
     case MemSpace::Private: {
       auto &B = S.PrivBuffers[I.Imm];
       if (Start < 0 || static_cast<size_t>(Start) + W > B.size())
-        return fail("out-of-bounds private vector access");
+        return fail(TrapKind::OutOfBounds,
+                    "out-of-bounds private vector access");
       Storage = &B;
       ++C.PrivateAccesses;
       break;
@@ -465,19 +506,19 @@ private:
     case MemSpace::Global: {
       BufferData &B = Buffers[SlotToBuffer[I.Imm]];
       if (Index < 0 || static_cast<size_t>(Index) >= B.elements())
-        return fail("out-of-bounds atomic access");
+        return fail(TrapKind::OutOfBounds, "out-of-bounds atomic access");
       Cell = &B.Data[Index * B.ElemWidth];
       break;
     }
     case MemSpace::Local: {
       auto &B = G.LocalBuffers[I.Imm];
       if (Index < 0 || static_cast<size_t>(Index) >= B.size())
-        return fail("out-of-bounds atomic access");
+        return fail(TrapKind::OutOfBounds, "out-of-bounds atomic access");
       Cell = &B[Index];
       break;
     }
     case MemSpace::Private:
-      return fail("atomic on private memory");
+      return fail(TrapKind::BadLaunch, "atomic on private memory");
     }
     ++C.AtomicOps;
     double Old = *Cell;
@@ -490,7 +531,7 @@ private:
     case BuiltinOp::AtomicMin: *Cell = std::min(Old, Operand); break;
     case BuiltinOp::AtomicMax: *Cell = std::max(Old, Operand); break;
     case BuiltinOp::AtomicXchg: *Cell = Operand; break;
-    default: return fail("unknown atomic");
+    default: return fail(TrapKind::BadLaunch, "unknown atomic");
     }
     S.Regs[I.Dst] = Value::scalar(Old);
     return true;
@@ -690,7 +731,7 @@ private:
         break;
       }
       default:
-        fail("unhandled builtin in interpreter");
+        fail(TrapKind::BadLaunch, "unhandled builtin in interpreter");
         return false;
       }
       R.Lanes[L] = Out;
@@ -772,7 +813,8 @@ private:
         if (O == StepOutcome::Error)
           return false;
         if (O == StepOutcome::AtBarrier)
-          return fail("barrier reached by a kernel compiled without "
+          return fail(TrapKind::BarrierDivergence,
+                      "barrier reached by a kernel compiled without "
                       "barrier support");
         ++C.ItemsExecuted;
       }
@@ -812,7 +854,8 @@ private:
         // Some items passed the barrier while others finished: divergent
         // barrier, undefined behaviour in OpenCL, rejected here.
         if (Done != 0)
-          return fail("barrier divergence: not all work-items reached the "
+          return fail(TrapKind::BarrierDivergence,
+                      "barrier divergence: not all work-items reached the "
                       "barrier");
       }
     }
@@ -820,8 +863,17 @@ private:
 
 public:
   Result<ExecCounters> runImpl() {
+    Start = std::chrono::steady_clock::now();
+    // Injection sites for the launch path: an outright launch failure,
+    // and a bounded stall that models a hung worker — long enough for an
+    // armed watchdog to fire, short enough that unwatched runs still
+    // terminate.
+    if (CLGS_FAILPOINT("vm.launch"))
+      return Result<ExecCounters>::error("injected fault at vm.launch",
+                                         TrapKind::Injected);
+    CLGS_FAILPOINT_STALL("vm.stall", 0);
     if (!bindArgs())
-      return Result<ExecCounters>::error(Error);
+      return Result<ExecCounters>::error(Error, ErrKind);
 
     // Resolve conditional-branch sites to dense indices once per launch;
     // the dispatch loop then updates divergence stats with one indexed
@@ -834,10 +886,12 @@ public:
 
     for (int D = 0; D < 3; ++D) {
       if (Config.LocalSize[D] == 0 || Config.GlobalSize[D] == 0)
-        return Result<ExecCounters>::error("empty NDRange");
+        return Result<ExecCounters>::error("empty NDRange",
+                                           TrapKind::BadLaunch);
       if (Config.GlobalSize[D] % Config.LocalSize[D] != 0)
         return Result<ExecCounters>::error(
-            "global size must be a multiple of local size");
+            "global size must be a multiple of local size",
+            TrapKind::BadLaunch);
       GroupCount[D] = Config.GlobalSize[D] / Config.LocalSize[D];
     }
     size_t TotalGroups = GroupCount[0] * GroupCount[1] * GroupCount[2];
@@ -860,7 +914,7 @@ public:
       GroupId[2] = GI / (GroupCount[0] * GroupCount[1]);
       GroupContext &G = Scratch.Group;
       if (!runGroup(G))
-        return Result<ExecCounters>::error(Error);
+        return Result<ExecCounters>::error(Error, ErrKind);
       for (const BranchStats &BS : G.BranchSites) {
         if (BS.Total == 0)
           continue;

@@ -91,6 +91,17 @@ struct LaunchConfig {
   /// counters are scaled back up. Buffer contents are only complete when
   /// every group ran, so correctness runs must leave this at SIZE_MAX.
   size_t MaxWorkGroups = SIZE_MAX;
+  /// Wall-clock watchdog: aborts the launch once this many milliseconds
+  /// of host time have elapsed, catching hangs the instruction budget
+  /// cannot (stalled workers, injected stalls). 0 disables the watchdog.
+  /// Checked every 32768 instructions, so it never perturbs the counters
+  /// of a run that completes in time.
+  uint64_t WatchdogMs = 0;
+  /// Traps integer division/remainder by zero (TrapKind::DivByZero)
+  /// instead of the default OpenCL-style silent zero result. Changes
+  /// kernel-visible semantics, so it participates in measurement cache
+  /// keys; off by default.
+  bool TrapDivZero = false;
 };
 
 /// Dynamic execution counters for one launch (scaled to the full NDRange

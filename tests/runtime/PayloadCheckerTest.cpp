@@ -164,8 +164,11 @@ TEST(DynamicCheckerTest, RejectsNoOutput) {
       "  x += 1.0f;\n"
       "}\n");
   Rng R(3);
-  EXPECT_EQ(checkKernel(K, CheckOptions(), R).Outcome,
-            CheckOutcome::NoOutput);
+  CheckResult CR = checkKernel(K, CheckOptions(), R);
+  EXPECT_EQ(CR.Outcome, CheckOutcome::NoOutput);
+  // Every rejection carries a diagnostic and a classified trap kind.
+  EXPECT_FALSE(CR.Detail.empty());
+  EXPECT_EQ(CR.Trap, TrapKind::CheckNoOutput);
 }
 
 TEST(DynamicCheckerTest, RejectsInputInsensitive) {
@@ -175,8 +178,10 @@ TEST(DynamicCheckerTest, RejectsInputInsensitive) {
       "  if (i < n) { a[i] = (float)i * 0.5f; }\n"
       "}\n");
   Rng R(3);
-  EXPECT_EQ(checkKernel(K, CheckOptions(), R).Outcome,
-            CheckOutcome::InputInsensitive);
+  CheckResult CR = checkKernel(K, CheckOptions(), R);
+  EXPECT_EQ(CR.Outcome, CheckOutcome::InputInsensitive);
+  EXPECT_FALSE(CR.Detail.empty());
+  EXPECT_EQ(CR.Trap, TrapKind::CheckInputInsensitive);
 }
 
 TEST(DynamicCheckerTest, RejectsOutOfBounds) {
@@ -188,6 +193,7 @@ TEST(DynamicCheckerTest, RejectsOutOfBounds) {
   CheckResult CR = checkKernel(K, CheckOptions(), R);
   EXPECT_EQ(CR.Outcome, CheckOutcome::LaunchFailure);
   EXPECT_NE(CR.Detail.find("out-of-bounds"), std::string::npos);
+  EXPECT_EQ(CR.Trap, TrapKind::OutOfBounds);
 }
 
 TEST(DynamicCheckerTest, RejectsTimeout) {
@@ -201,6 +207,15 @@ TEST(DynamicCheckerTest, RejectsTimeout) {
   CheckResult CR = checkKernel(K, Opts, R);
   EXPECT_EQ(CR.Outcome, CheckOutcome::LaunchFailure);
   EXPECT_NE(CR.Detail.find("timeout"), std::string::npos);
+  EXPECT_EQ(CR.Trap, TrapKind::InstructionBudget);
+}
+
+TEST(DynamicCheckerTest, AcceptedKernelCarriesNoTrap) {
+  CompiledKernel K = compile(SaxpyKernel);
+  Rng R(3);
+  CheckResult CR = checkKernel(K, CheckOptions(), R);
+  ASSERT_EQ(CR.Outcome, CheckOutcome::UsefulWork) << CR.Detail;
+  EXPECT_EQ(CR.Trap, TrapKind::None);
 }
 
 TEST(DynamicCheckerTest, FloatEpsilonToleratesRounding) {
