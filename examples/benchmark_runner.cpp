@@ -42,13 +42,17 @@
 #include "store/FailureLedger.h"
 #include "store/ResultCache.h"
 #include "support/FailPoint.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
 #include "support/Trap.h"
 #include "vm/Compiler.h"
+#include "vm/Profile.h"
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -56,11 +60,28 @@ using namespace clgen;
 
 namespace {
 
-double msSince(std::chrono::steady_clock::time_point Start) {
-  return std::chrono::duration<double, std::milli>(
-             std::chrono::steady_clock::now() - Start)
-      .count();
-}
+/// Phase stopwatch: wall time in ms for the console report, mirrored
+/// onto the metrics registry as a volatile gauge so --metrics-out
+/// carries the same phase timings the console prints. One definition
+/// replaces the per-phase steady_clock arithmetic the two pipeline
+/// modes used to duplicate.
+class PhaseTimer {
+public:
+  explicit PhaseTimer(const char *GaugeName)
+      : Name(GaugeName), T0(support::telemetryNowNs()) {}
+
+  /// Elapsed ms since construction; records the gauge (microseconds,
+  /// integer) on each call.
+  double stopMs() {
+    uint64_t Us = (support::telemetryNowNs() - T0) / 1000;
+    support::MetricsRegistry::gauge(Name).set(static_cast<int64_t>(Us));
+    return static_cast<double>(Us) / 1e3;
+  }
+
+private:
+  const char *Name;
+  uint64_t T0;
+};
 
 /// Everything the flag parser collects; both pipeline modes consume it.
 struct RunnerConfig {
@@ -78,12 +99,20 @@ struct RunnerConfig {
   uint64_t WatchdogMs = 0;      // Per-launch wall-clock watchdog.
   unsigned Retries = 2;         // Transient-failure retry budget.
   double InjectProb = -1.0;     // Failpoint probability; <0 = disarmed.
+  // Telemetry.
+  std::string TraceOut;         // Chrome trace JSON destination.
+  std::string MetricsOut;       // Metrics text exposition destination.
+  bool ProfileVm = false;       // Print the opcode/pair profile report.
+  /// Aggregation target for --profile-vm, owned by main and wired into
+  /// both modes' DriverOptions.
+  vm::SharedOpcodeProfile *Profile = nullptr;
   // Which flags the user actually passed, so flags that have no effect
   // in the selected mode are rejected instead of silently dropped.
   bool TrainFlagSet = false;
   bool StreamFlagSet = false;
   bool WorkloadFlagSet = false;
   bool DriverFlagSet = false;
+  bool TelemetryFlagSet = false;
 };
 
 /// Per-trap-class failure tally for the end-of-run summary. A pipeline
@@ -134,48 +163,63 @@ void printModelConfig(const RunnerConfig &Cfg) {
                 Cfg.TrainWorkers == 0 ? " = hardware" : "");
 }
 
-/// The --cache-dir mode: the standard 40-kernel synthesis + measurement
-/// configuration (the BENCH_perf.json end-to-end workload) on top of the
-/// artifact store. Cold runs train + execute and populate DIR; warm
-/// runs load the model and serve every measurement from cache.
-int runCachedPipeline(const RunnerConfig &Cfg) {
-  const std::string &CacheDir = Cfg.CacheDir;
-  size_t TargetKernels = Cfg.TargetKernels;
-  auto TotalStart = std::chrono::steady_clock::now();
-
+/// The setup sequence both pipeline modes share: mine the simulated
+/// corpus, then train the model — warm-starting from the store when a
+/// cache directory is configured. Prints the model line; returns
+/// nullopt (after printing the error) when the store is unusable.
+std::optional<core::ClgenPipeline> prepareModel(const RunnerConfig &Cfg) {
   githubsim::GithubSimOptions GOpts;
   GOpts.FileCount = Cfg.FileCount;
   auto Files = githubsim::mineGithub(GOpts);
 
   core::PipelineOptions POpts = buildPipelineOptions(Cfg);
   printModelConfig(Cfg);
+
+  PhaseTimer Train("clgen.runner.train_us");
+  if (Cfg.CacheDir.empty()) {
+    core::ClgenPipeline Pipeline = core::ClgenPipeline::train(Files, POpts);
+    std::printf("model: trained in %.1f ms (sharded corpus ingest)\n",
+                Train.stopMs());
+    return Pipeline;
+  }
   core::TrainOrLoadInfo Info;
-  auto TrainStart = std::chrono::steady_clock::now();
-  auto Pipeline =
-      core::ClgenPipeline::trainOrLoad(CacheDir, Files, POpts, &Info);
-  if (!Pipeline.ok()) {
+  auto Loaded =
+      core::ClgenPipeline::trainOrLoad(Cfg.CacheDir, Files, POpts, &Info);
+  if (!Loaded.ok()) {
     std::fprintf(stderr, "trainOrLoad failed: %s\n",
-                 Pipeline.errorMessage().c_str());
-    return 1;
+                 Loaded.errorMessage().c_str());
+    return std::nullopt;
   }
   std::printf("model: %s (fingerprint %s) in %.1f ms\n",
               Info.LoadedModel ? "warm start from store"
                                : "trained cold + persisted",
-              store::hexDigest(Info.Fingerprint).c_str(),
-              msSince(TrainStart));
+              store::hexDigest(Info.Fingerprint).c_str(), Train.stopMs());
+  return Loaded.take();
+}
+
+/// The --cache-dir mode: the standard 40-kernel synthesis + measurement
+/// configuration (the BENCH_perf.json end-to-end workload) on top of the
+/// artifact store. Cold runs train + execute and populate DIR; warm
+/// runs load the model and serve every measurement from cache.
+int runCachedPipeline(const RunnerConfig &Cfg) {
+  const std::string &CacheDir = Cfg.CacheDir;
+  PhaseTimer Total("clgen.runner.total_us");
+
+  std::optional<core::ClgenPipeline> Pipeline = prepareModel(Cfg);
+  if (!Pipeline)
+    return 1;
 
   core::SynthesisOptions SOpts;
-  SOpts.TargetKernels = TargetKernels;
+  SOpts.TargetKernels = Cfg.TargetKernels;
   SOpts.Sampling.Temperature = 0.5;
   SOpts.Workers = 0;
-  auto SynthStart = std::chrono::steady_clock::now();
+  PhaseTimer Synthesis("clgen.runner.synthesis_us");
   bool SynthLoaded = false;
-  auto Synth = Pipeline.get().synthesizeOrLoad(CacheDir, SOpts,
-                                               &SynthLoaded);
+  auto Synth = Pipeline->synthesizeOrLoad(CacheDir, SOpts, &SynthLoaded);
   std::printf("synthesis: %zu kernels %s in %.1f ms (%zu attempts)\n",
               Synth.Kernels.size(),
               SynthLoaded ? "loaded from store" : "sampled + persisted",
-              msSince(SynthStart), Synth.Stats.Attempts);
+              Synthesis.stopMs(), Synth.Stats.Attempts);
 
   std::vector<vm::CompiledKernel> Kernels;
   Kernels.reserve(Synth.Kernels.size());
@@ -186,14 +230,15 @@ int runCachedPipeline(const RunnerConfig &Cfg) {
   DOpts.GlobalSize = 16384;
   DOpts.WatchdogMs = Cfg.WatchdogMs;
   DOpts.MaxRetries = Cfg.Retries;
+  DOpts.Profile = Cfg.Profile;
   store::ResultCache Cache(CacheDir + "/results");
   store::FailureLedger Ledger(CacheDir + "/failures");
   runtime::BatchCacheStats CStats;
-  auto MeasureStart = std::chrono::steady_clock::now();
+  PhaseTimer Measure("clgen.runner.measure_us");
   auto Results = runtime::runBenchmarkBatch(Kernels, runtime::amdPlatform(),
                                             DOpts, 0, Cache, &CStats,
                                             &Ledger);
-  double MeasureMs = msSince(MeasureStart);
+  double MeasureMs = Measure.stopMs();
 
   size_t GpuBest = 0;
   FailureTally Tally;
@@ -209,7 +254,7 @@ int runCachedPipeline(const RunnerConfig &Cfg) {
   std::printf("mapping: %zu best on GPU, %zu on CPU, %zu failed\n", GpuBest,
               Tally.Ok - GpuBest, Tally.Failed);
   Tally.print();
-  std::printf("pipeline total: %.1f ms\n", msSince(TotalStart));
+  std::printf("pipeline total: %.1f ms\n", Total.stopMs());
   return Tally.exitCode();
 }
 
@@ -220,45 +265,21 @@ int runCachedPipeline(const RunnerConfig &Cfg) {
 /// the last kernel was accepted.
 int runStreamingPipeline(const RunnerConfig &Cfg) {
   const std::string &CacheDir = Cfg.CacheDir;
-  size_t TargetKernels = Cfg.TargetKernels;
-  auto TotalStart = std::chrono::steady_clock::now();
+  PhaseTimer Total("clgen.runner.total_us");
 
-  githubsim::GithubSimOptions GOpts;
-  GOpts.FileCount = Cfg.FileCount;
-  auto Files = githubsim::mineGithub(GOpts);
-
-  core::PipelineOptions POpts = buildPipelineOptions(Cfg);
-  printModelConfig(Cfg);
-
-  auto TrainStart = std::chrono::steady_clock::now();
-  core::ClgenPipeline Pipeline;
-  if (!CacheDir.empty()) {
-    core::TrainOrLoadInfo Info;
-    auto Loaded =
-        core::ClgenPipeline::trainOrLoad(CacheDir, Files, POpts, &Info);
-    if (!Loaded.ok()) {
-      std::fprintf(stderr, "trainOrLoad failed: %s\n",
-                   Loaded.errorMessage().c_str());
-      return 1;
-    }
-    Pipeline = Loaded.take();
-    std::printf("model: %s in %.1f ms\n",
-                Info.LoadedModel ? "warm start from store"
-                                 : "trained cold + persisted",
-                msSince(TrainStart));
-  } else {
-    Pipeline = core::ClgenPipeline::train(Files, POpts);
-    std::printf("model: trained in %.1f ms (sharded corpus ingest)\n",
-                msSince(TrainStart));
-  }
+  std::optional<core::ClgenPipeline> Prepared = prepareModel(Cfg);
+  if (!Prepared)
+    return 1;
+  core::ClgenPipeline Pipeline = std::move(*Prepared);
 
   core::StreamingOptions SOpts;
-  SOpts.Synthesis.TargetKernels = TargetKernels;
+  SOpts.Synthesis.TargetKernels = Cfg.TargetKernels;
   SOpts.Synthesis.Sampling.Temperature = 0.5;
   SOpts.Synthesis.Workers = 0;
   SOpts.Driver.GlobalSize = 16384;
   SOpts.Driver.WatchdogMs = Cfg.WatchdogMs;
   SOpts.Driver.MaxRetries = Cfg.Retries;
+  SOpts.Driver.Profile = Cfg.Profile;
   SOpts.MeasureWorkers = Cfg.MeasureWorkers;
   SOpts.QueueCapacity = Cfg.QueueCapacity;
   SOpts.RefillFailures = Cfg.Refill;
@@ -309,9 +330,53 @@ int runStreamingPipeline(const RunnerConfig &Cfg) {
   std::printf("mapping: %zu best on GPU, %zu on CPU, %zu failed\n", GpuBest,
               Tally.Ok - GpuBest, Tally.Failed);
   Tally.print();
-  std::printf("pipeline total (incl. train): %.1f ms\n",
-              msSince(TotalStart));
+  std::printf("pipeline total (incl. train): %.1f ms\n", Total.stopMs());
   return Tally.exitCode();
+}
+
+/// Writes --trace-out / --metrics-out and prints the --profile-vm
+/// report. main runs this on EVERY pipeline exit path — including the
+/// exit-3 zero-measurement failure, where the partial trace/metrics
+/// are exactly the evidence you want. Returns false when a file write
+/// failed (after reporting it).
+bool flushTelemetry(const RunnerConfig &Cfg,
+                    vm::SharedOpcodeProfile &Profile) {
+  auto WriteFile = [](const std::string &Path, const std::string &Body) {
+    std::FILE *F = std::fopen(Path.c_str(), "wb");
+    if (!F)
+      return false;
+    size_t Written = std::fwrite(Body.data(), 1, Body.size(), F);
+    bool Ok = Written == Body.size() && std::fflush(F) == 0;
+    return std::fclose(F) == 0 && Ok;
+  };
+  bool Ok = true;
+  if (!Cfg.TraceOut.empty()) {
+    support::Trace::stop();
+    if (!WriteFile(Cfg.TraceOut, support::Trace::renderJson())) {
+      std::fprintf(stderr, "cannot write trace file: %s\n",
+                   Cfg.TraceOut.c_str());
+      Ok = false;
+    } else {
+      std::printf("trace: %zu events (%zu dropped) -> %s\n",
+                  support::Trace::eventCount(),
+                  support::Trace::droppedCount(), Cfg.TraceOut.c_str());
+    }
+  }
+  if (!Cfg.MetricsOut.empty()) {
+    if (!WriteFile(Cfg.MetricsOut,
+                   support::MetricsRegistry::renderText({}))) {
+      std::fprintf(stderr, "cannot write metrics file: %s\n",
+                   Cfg.MetricsOut.c_str());
+      Ok = false;
+    } else {
+      std::printf("metrics: wrote %s\n", Cfg.MetricsOut.c_str());
+    }
+  }
+  if (Cfg.ProfileVm) {
+    vm::OpcodeProfile P = Profile.snapshot();
+    std::fputs(vm::formatOpcodeReport(P, 10).c_str(), stdout);
+  }
+  return Ok;
 }
 
 void tryKernel(const char *Label, const char *Source) {
@@ -414,8 +479,23 @@ void printUsage(const char *Prog, std::FILE *Out) {
       "                        trip probability P in (0,1]; requires a\n"
       "                        build with -DCLGS_FAILPOINTS=ON\n"
       "\n"
+      "Telemetry (pipeline modes; observation only — output is\n"
+      "bit-identical with or without these flags):\n"
+      "  --trace-out FILE      write Chrome trace-event JSON of the run\n"
+      "                        (a span per kernel lifecycle stage: sample,\n"
+      "                        accept, enqueue, measure, cache/ledger\n"
+      "                        writes; load in Perfetto); requires a build\n"
+      "                        with -DCLGS_TELEMETRY=ON\n"
+      "  --metrics-out FILE    write the metrics registry text exposition\n"
+      "                        after the run; requires -DCLGS_TELEMETRY=ON\n"
+      "  --profile-vm          aggregate per-opcode and opcode-pair\n"
+      "                        execution counts over every VM launch and\n"
+      "                        print the top-10 report (superinstruction\n"
+      "                        candidates); available in every build\n"
+      "\n"
       "A pipeline run that delivers zero successful measurements exits\n"
-      "with status 3 and prints the per-class failure table.\n"
+      "with status 3 and prints the per-class failure table; telemetry\n"
+      "files are still written on that path.\n"
       "\n"
       "  --help                this text\n",
       Prog);
@@ -518,6 +598,15 @@ int main(int Argc, char **Argv) {
       }
       Cfg.Retries = static_cast<unsigned>(N);
       Cfg.DriverFlagSet = true;
+    } else if (Arg == "--trace-out" && I + 1 < Argc) {
+      Cfg.TraceOut = Argv[++I];
+      Cfg.TelemetryFlagSet = true;
+    } else if (Arg == "--metrics-out" && I + 1 < Argc) {
+      Cfg.MetricsOut = Argv[++I];
+      Cfg.TelemetryFlagSet = true;
+    } else if (Arg == "--profile-vm") {
+      Cfg.ProfileVm = true;
+      Cfg.TelemetryFlagSet = true;
     } else if (Arg == "--inject" && I + 1 < Argc) {
       char *End = nullptr;
       double Prob = std::strtod(Argv[++I], &End);
@@ -565,6 +654,20 @@ int main(int Argc, char **Argv) {
                          "(--cache-dir and/or --pipeline)\n");
     return 2;
   }
+  if (Cfg.TelemetryFlagSet && !PipelineMode) {
+    std::fprintf(stderr,
+                 "--trace-out/--metrics-out/--profile-vm require a "
+                 "pipeline mode (--cache-dir and/or --pipeline)\n");
+    return 2;
+  }
+  if ((!Cfg.TraceOut.empty() || !Cfg.MetricsOut.empty()) &&
+      !support::telemetryCompiledIn()) {
+    std::fprintf(stderr,
+                 "--trace-out/--metrics-out require a build with "
+                 "-DCLGS_TELEMETRY=ON (telemetry sites are compiled "
+                 "out)\n");
+    return 2;
+  }
   if (Cfg.InjectProb > 0.0) {
     if (!support::FailPoints::sitesCompiledIn()) {
       std::fprintf(stderr,
@@ -577,12 +680,19 @@ int main(int Argc, char **Argv) {
     support::FailPoints::arm(Plan);
     std::printf("failpoints: armed every site at p=%.3f\n", Cfg.InjectProb);
   }
+  vm::SharedOpcodeProfile VmProfile;
+  if (Cfg.ProfileVm)
+    Cfg.Profile = &VmProfile;
+  if (!Cfg.TraceOut.empty())
+    support::Trace::start();
   int Exit = -1;
   if (Cfg.Pipeline)
     Exit = runStreamingPipeline(Cfg);
   else if (!Cfg.CacheDir.empty())
     Exit = runCachedPipeline(Cfg);
   if (Exit >= 0) {
+    if (!flushTelemetry(Cfg, VmProfile) && Exit == 0)
+      Exit = 1;
     if (support::FailPoints::armed())
       std::printf("failpoints: %llu injected faults fired\n",
                   static_cast<unsigned long long>(

@@ -15,6 +15,8 @@
 //   clgen-store failures DIR              list a failure-ledger directory:
 //                                         key, trap class, attempts,
 //                                         diagnostic (sorted, byte-stable)
+//   clgen-store stats DIR                 dry-run sweep + the process
+//                                         metrics registry exposition
 //
 // The subcommands are thin wrappers over store::scanStore/sweep/vacuum
 // and the byte-stable formatters in store/Lifecycle.h — the golden
@@ -27,6 +29,7 @@
 
 #include "store/FailureLedger.h"
 #include "store/Lifecycle.h"
+#include "support/Metrics.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -66,6 +69,12 @@ void printUsage(std::FILE *Out) {
       "                            known-bad kernel — key, trap class,\n"
       "                            attempts, diagnostic. Corrupt entries\n"
       "                            are skipped (use verify for integrity)\n"
+      "  stats DIR                 plan a dry-run sweep of DIR, then print\n"
+      "                            the process metrics registry exposition\n"
+      "                            (support/Metrics.h) it populated —\n"
+      "                            clgen.sweep.* counters and anything\n"
+      "                            else this process recorded. Touches\n"
+      "                            nothing on disk\n"
       "  help                      this text\n");
 }
 
@@ -141,6 +150,22 @@ int runVacuum(const std::string &Dir) {
   return 0;
 }
 
+int runStats(const std::string &Dir) {
+  store::SweepPolicy Policy;
+  Policy.DryRun = true;
+  auto Report = store::sweep(Dir, Policy);
+  if (!Report.ok()) {
+    std::fprintf(stderr, "clgen-store stats: %s\n",
+                 Report.errorMessage().c_str());
+    return 1;
+  }
+  std::fputs(support::MetricsRegistry::renderText({}).c_str(), stdout);
+  if (!support::telemetryCompiledIn())
+    std::printf("# telemetry sites compiled out (-DCLGS_TELEMETRY=OFF); "
+                "the registry only sees always-on instrumentation\n");
+  return 0;
+}
+
 int runFailures(const std::string &Dir) {
   auto Records = store::listFailures(Dir);
   std::fputs(store::formatFailures(Records).c_str(), stdout);
@@ -179,6 +204,8 @@ int main(int Argc, char **Argv) {
     return runVacuum(Dir);
   if (Sub == "failures" && Argc == 3)
     return runFailures(Dir);
+  if (Sub == "stats" && Argc == 3)
+    return runStats(Dir);
   if (Sub == "gc") {
     uint64_t MaxBytes = 0;
     bool DryRun = false;

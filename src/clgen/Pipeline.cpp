@@ -13,7 +13,9 @@
 #include "store/Serialization.h"
 #include "support/Channel.h"
 #include "support/FailPoint.h"
+#include "support/Metrics.h"
 #include "support/ThreadPool.h"
+#include "support/Trace.h"
 
 #include <chrono>
 #include <deque>
@@ -121,6 +123,7 @@ StreamingResult core::synthesizeAndMeasure(model::LanguageModel &Model,
     // runBenchmarkBatch exactly, so streaming results (and cache keys)
     // are those of the phased path.
     AcceptSink Enqueue = [&](size_t Index, const SynthesizedKernel &SK) {
+      CLGS_TRACE_SPAN_IDX("enqueue", Index);
       Slots.push_back(Result<runtime::Measurement>::error("not measured"));
       runtime::MeasureJob J;
       J.Slot = &Slots.back();
@@ -146,6 +149,7 @@ StreamingResult core::synthesizeAndMeasure(model::LanguageModel &Model,
           // occupies a measurement slot.
           *J.Slot = *Hit;
           ++Out.CacheStats.Hits;
+          CLGS_COUNT("clgen.measure.cache_hits");
           return;
         }
         J.WriteBack = true;
@@ -158,11 +162,14 @@ StreamingResult core::synthesizeAndMeasure(model::LanguageModel &Model,
                                                         Known->Kind);
           FromLedger.back() = true;
           ++Out.CacheStats.LedgerHits;
+          CLGS_COUNT("clgen.measure.ledger_hits");
           return;
         }
       }
-      if (Opts.Cache)
+      if (Opts.Cache) {
         ++Out.CacheStats.Misses; // Counts kernels actually measured.
+        CLGS_COUNT("clgen.measure.misses");
+      }
       J.Kernel = SK.Kernel;
       Jobs.push(std::move(J)); // Blocks when measurement is behind.
     };
@@ -187,8 +194,10 @@ StreamingResult core::synthesizeAndMeasure(model::LanguageModel &Model,
         Rec.Kind = Slots[I].trap();
         Rec.Detail = Slots[I].errorMessage();
         Rec.Attempts = 1; // Deterministic traps fail on attempt one.
-        if (Opts.Ledger->record(Keys[I], Rec).ok())
+        if (Opts.Ledger->record(Keys[I], Rec).ok()) {
           ++Out.CacheStats.LedgerRecords;
+          CLGS_COUNT("clgen.measure.ledger_records");
+        }
       }
     }
     Scanned = Slots.size();

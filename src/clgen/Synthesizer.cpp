@@ -18,7 +18,9 @@
 
 #include "corpus/Rewriter.h"
 #include "ocl/AstPrinter.h"
+#include "support/Metrics.h"
 #include "support/ThreadPool.h"
+#include "support/Trace.h"
 
 #include <unordered_set>
 
@@ -113,19 +115,24 @@ struct SynthesisEngine::Impl {
 
   /// In-order accept stage; returns false once \p CumTarget is reached.
   bool consume(Candidate &C, size_t CumTarget, const AcceptSink &Sink) {
+    CLGS_TRACE_SPAN_IDX("accept", Stats.Attempts);
     ++Stats.Attempts;
+    CLGS_COUNT("clgen.synthesis.attempts");
     switch (C.S) {
     case Candidate::Status::Incomplete:
       ++Stats.IncompleteSamples;
+      CLGS_COUNT("clgen.synthesis.incomplete");
       return true;
     case Candidate::Status::Rejected:
       ++Stats.RejectedByFilter;
+      CLGS_COUNT("clgen.synthesis.rejected");
       return true;
     case Candidate::Status::Complete:
       break;
     }
     if (!Dedup.insert(C.Normalised).second) {
       ++Stats.Duplicates;
+      CLGS_COUNT("clgen.synthesis.duplicates");
       return true;
     }
     SynthesizedKernel SK;
@@ -133,6 +140,7 @@ struct SynthesisEngine::Impl {
     SK.Kernel = std::move(C.Kernel);
     Kernels.push_back(std::move(SK));
     ++Stats.Accepted;
+    CLGS_COUNT("clgen.synthesis.accepted");
     // Stream the accepted kernel out before sampling continues: the
     // sink runs on this (accept-order) thread and may block, pausing
     // synthesis until downstream consumers catch up.
@@ -144,8 +152,12 @@ struct SynthesisEngine::Impl {
   void extendTo(size_t CumTarget, const AcceptSink &Sink) {
     if (Workers == 1) {
       while (Kernels.size() < CumTarget && NextAttempt < MaxAttempts) {
-        Candidate C = produceCandidate(Model, Seed, Opts.Sampling,
-                                       FilterOpts, Base.split(NextAttempt));
+        Candidate C;
+        {
+          CLGS_TRACE_SPAN_IDX("sample", NextAttempt);
+          C = produceCandidate(Model, Seed, Opts.Sampling, FilterOpts,
+                               Base.split(NextAttempt));
+        }
         ++NextAttempt;
         if (!consume(C, CumTarget, Sink))
           break;
@@ -164,6 +176,7 @@ struct SynthesisEngine::Impl {
       Wave.clear();
       Wave.resize(Count);
       Pool.parallelFor(0, Count, [&](size_t Worker, size_t I) {
+        CLGS_TRACE_SPAN_IDX("sample", NextAttempt + I);
         Wave[I] = produceCandidate(*Clones[Worker], Seed, Opts.Sampling,
                                    FilterOpts, Base.split(NextAttempt + I));
       });

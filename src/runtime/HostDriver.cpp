@@ -10,8 +10,11 @@
 #include "store/Lock.h"
 #include "store/ResultCache.h"
 #include "support/FailPoint.h"
+#include "support/Metrics.h"
 #include "support/ThreadPool.h"
+#include "support/Trace.h"
 #include "vm/Compiler.h"
+#include "vm/Profile.h"
 
 #include <algorithm>
 #include <atomic>
@@ -65,7 +68,17 @@ Result<Measurement> runtime::runBenchmark(const CompiledKernel &Kernel,
   Config.WatchdogMs = Opts.WatchdogMs;
   Config.TrapDivZero = Opts.TrapDivZero;
 
+  // Profile into a launch-local buffer, then fold into the shared
+  // aggregate exactly once — even failed launches executed real
+  // instructions, and those counts are part of the corpus's dynamic
+  // opcode mix.
+  OpcodeProfile LocalProf;
+  if (Opts.Profile)
+    Config.Profile = &LocalProf;
+
   auto Run = launchKernel(Kernel, Pl.Args, Pl.Buffers, Config);
+  if (Opts.Profile)
+    Opts.Profile->add(LocalProf);
   if (!Run.ok())
     return Result<Measurement>::error("launch failed: " +
                                           Run.errorMessage(),
@@ -96,14 +109,28 @@ Result<Measurement>
 runtime::runBenchmarkWithRetry(const CompiledKernel &Kernel,
                                const Platform &P, const DriverOptions &Opts,
                                uint32_t *AttemptsOut) {
+  CLGS_TELEMETRY_ONLY(uint64_t T0 = support::telemetryNowNs();)
   for (uint32_t Attempt = 0;; ++Attempt) {
     Result<Measurement> M = runBenchmark(Kernel, P, Opts);
     if (AttemptsOut)
       *AttemptsOut = Attempt + 1;
     // Deterministic failures cannot clear on retry; retrying them would
     // just triple the cost of every genuinely bad kernel.
-    if (M.ok() || Attempt >= Opts.MaxRetries || !isTransientTrap(M.trap()))
+    if (M.ok() || Attempt >= Opts.MaxRetries || !isTransientTrap(M.trap())) {
+      CLGS_HIST_US("clgen.driver.measure_us",
+                   (support::telemetryNowNs() - T0) / 1000);
+      if (M.ok()) {
+        CLGS_COUNT("clgen.driver.measurements");
+      } else {
+        CLGS_COUNT("clgen.driver.failures");
+        // Watchdog fires on host load, not workload: volatile.
+        CLGS_TELEMETRY_ONLY(if (M.trap() == TrapKind::WatchdogTimeout)
+                                CLGS_COUNT_V("clgen.driver.watchdog_timeouts");)
+      }
       return M;
+    }
+    CLGS_COUNT("clgen.driver.retries");
+    CLGS_TRACE_INSTANT_IDX("driver.retry", Attempt);
     if (Opts.RetryBackoffMs)
       std::this_thread::sleep_for(std::chrono::milliseconds(
           static_cast<uint64_t>(Opts.RetryBackoffMs) << Attempt));
@@ -118,6 +145,7 @@ runtime::runBenchmarkBatch(const std::vector<CompiledKernel> &Kernels,
       Kernels.size(), Result<Measurement>::error("not measured"));
   Rng Base(Opts.Seed);
   auto MeasureOne = [&](size_t I) {
+    CLGS_TRACE_SPAN_IDX("measure", I);
     Out[I] =
         runBenchmarkWithRetry(Kernels[I], P, batchDriverOptions(Opts, Base, I));
   };
@@ -219,6 +247,7 @@ runtime::runBenchmarkBatch(const std::vector<CompiledKernel> &Kernels,
 
   std::atomic<size_t> LedgerRecords{0};
   auto MeasureOne = [&](size_t I) {
+    CLGS_TRACE_SPAN_IDX("measure", I);
     uint32_t Attempts = 0;
     Out[I] = runBenchmarkWithRetry(Kernels[I], P, KernelOpts[I], &Attempts);
     if (Out[I].ok()) {
@@ -245,6 +274,12 @@ runtime::runBenchmarkBatch(const std::vector<CompiledKernel> &Kernels,
                      [&](size_t, size_t J) { MeasureOne(MissIndices[J]); });
   }
   Tally.LedgerRecords = LedgerRecords.load(std::memory_order_relaxed);
+  // The per-call tally also feeds the process-wide registry — the same
+  // numbers the runner prints, in the unified exposition.
+  CLGS_COUNT_N("clgen.measure.cache_hits", Tally.Hits);
+  CLGS_COUNT_N("clgen.measure.misses", Tally.Misses);
+  CLGS_COUNT_N("clgen.measure.ledger_hits", Tally.LedgerHits);
+  CLGS_COUNT_N("clgen.measure.ledger_records", Tally.LedgerRecords);
   if (CacheStats)
     *CacheStats = Tally;
   return Out;
@@ -256,6 +291,7 @@ void runtime::runMeasurementLoop(support::Channel<MeasureJob> &Jobs,
   // pop() returning nullopt is the shutdown signal: the producer closed
   // the channel and every buffered job has been claimed.
   while (std::optional<MeasureJob> J = Jobs.pop()) {
+    CLGS_TRACE_SPAN_IDX("measure", J->Index);
     // Injected dequeue fault: the job is consumed but its measurement is
     // dropped on the floor — the slot records an injected failure, which
     // the refill pass (when enabled) excises and replaces. Keyed by the

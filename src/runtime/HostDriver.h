@@ -24,6 +24,7 @@
 #include "support/Rng.h"
 #include "vm/Bytecode.h"
 #include "vm/Interpreter.h"
+#include "vm/Profile.h"
 
 #include <string>
 #include <vector>
@@ -77,6 +78,13 @@ struct DriverOptions {
   /// instead of OpenCL's silent zero. Changes kernel-visible semantics,
   /// so it IS part of the measurement cache/ledger key recipe.
   bool TrapDivZero = false;
+  /// When non-null, every launch this driver executes accumulates its
+  /// opcode/opcode-pair profile here (vm/Profile.h). Pure observation —
+  /// excluded from cache keys, never affects measurements — and the
+  /// aggregate is identical for any worker count (commutative merges).
+  /// Note cache/ledger hits skip execution, so a warm run profiles only
+  /// what it actually executed.
+  vm::SharedOpcodeProfile *Profile = nullptr;
 };
 
 /// Compiles and measures \p Source's first kernel on \p P's two devices.

@@ -7,7 +7,9 @@
 #include "store/FailureLedger.h"
 
 #include "support/FailPoint.h"
+#include "support/Metrics.h"
 #include "support/StringUtils.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <filesystem>
@@ -61,6 +63,7 @@ std::string FailureLedger::entryPath(uint64_t Key) const {
 
 std::optional<FailureRecord> FailureLedger::lookup(uint64_t Key) {
   Counters.Lookups.fetch_add(1, std::memory_order_relaxed);
+  CLGS_COUNT("clgen.ledger.lookups");
   // Injected read fault: an honest miss — the kernel is re-measured and
   // (still failing deterministically) re-recorded.
   if (CLGS_FAILPOINT_KEYED("ledger.read", Key))
@@ -68,30 +71,38 @@ std::optional<FailureRecord> FailureLedger::lookup(uint64_t Key) {
   auto Opened = ArchiveReader::open(entryPath(Key), ArchiveKind::Failure);
   if (!Opened.ok()) {
     std::error_code Ec;
-    if (DirOk && std::filesystem::exists(entryPath(Key), Ec))
+    if (DirOk && std::filesystem::exists(entryPath(Key), Ec)) {
       Counters.BadEntries.fetch_add(1, std::memory_order_relaxed);
+      CLGS_COUNT("clgen.ledger.bad_entries");
+    }
     return std::nullopt;
   }
   ArchiveReader R = Opened.take();
   auto Decoded = deserializeFailureRecord(R);
   if (!Decoded.ok()) {
     Counters.BadEntries.fetch_add(1, std::memory_order_relaxed);
+    CLGS_COUNT("clgen.ledger.bad_entries");
     return std::nullopt;
   }
   Counters.NegativeHits.fetch_add(1, std::memory_order_relaxed);
+  CLGS_COUNT("clgen.ledger.negative_hits");
   return Decoded.take().second;
 }
 
 Status FailureLedger::record(uint64_t Key, const FailureRecord &Record) {
+  CLGS_TRACE_SPAN("ledger.write");
   if (!isDeterministicTrap(Record.Kind)) {
     // Policy refusal, not an error: transient and environment-dependent
     // failures must never poison future runs.
     Counters.Rejected.fetch_add(1, std::memory_order_relaxed);
+    CLGS_COUNT_V("clgen.ledger.rejected");
     return Status();
   }
   Counters.Records.fetch_add(1, std::memory_order_relaxed);
+  CLGS_COUNT("clgen.ledger.records");
   if (!DirOk) {
     Counters.WriteFailures.fetch_add(1, std::memory_order_relaxed);
+    CLGS_COUNT_V("clgen.ledger.write_failures");
     return Status::error("ledger directory unavailable: " + Dir,
                          TrapKind::IoError);
   }
@@ -99,14 +110,17 @@ Status FailureLedger::record(uint64_t Key, const FailureRecord &Record) {
     // Injected write fault: the failure stays unrecorded this run and is
     // rediscovered (and re-recorded) by the next one.
     Counters.WriteFailures.fetch_add(1, std::memory_order_relaxed);
+    CLGS_COUNT_V("clgen.ledger.write_failures");
     return Status::error("injected fault at ledger.write",
                          TrapKind::Injected);
   }
   ArchiveWriter W(ArchiveKind::Failure);
   serializeFailureRecord(W, Key, Record);
   Status S = W.saveTo(entryPath(Key));
-  if (!S.ok())
+  if (!S.ok()) {
     Counters.WriteFailures.fetch_add(1, std::memory_order_relaxed);
+    CLGS_COUNT_V("clgen.ledger.write_failures");
+  }
   return S;
 }
 

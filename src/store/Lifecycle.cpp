@@ -6,6 +6,9 @@
 
 #include "store/Lifecycle.h"
 
+#include "support/Metrics.h"
+#include "support/Trace.h"
+
 #include <algorithm>
 #include <chrono>
 #include <cstdarg>
@@ -210,6 +213,7 @@ fs::path quarantineTarget(const fs::path &QuarantineDir,
 
 Result<SweepReport> store::sweep(const std::string &Dir,
                                  const SweepPolicy &Policy) {
+  CLGS_TRACE_SPAN("store.sweep");
   auto Scanned = scanStore(Dir);
   if (!Scanned.ok())
     return Result<SweepReport>::error(Scanned.errorMessage());
@@ -270,6 +274,13 @@ Result<SweepReport> store::sweep(const std::string &Dir,
       M.Entries.push_back(std::move(ME));
     }
   Report.KeptCount = M.Entries.size();
+  // The plan is a pure function of the store contents, so these are
+  // stable; they count planned actions even when DryRun skips them.
+  CLGS_COUNT("clgen.sweep.runs");
+  CLGS_COUNT_N("clgen.sweep.scanned", Report.Entries.size());
+  CLGS_COUNT_N("clgen.sweep.evicted", Report.EvictedCount);
+  CLGS_COUNT_N("clgen.sweep.quarantined", Report.QuarantinedCount);
+  CLGS_COUNT_N("clgen.sweep.bytes_evicted", Report.EvictedBytes);
   {
     ArchiveWriter IdW(ArchiveKind::Manifest);
     for (const ManifestEntry &E : M.Entries) {

@@ -8,6 +8,8 @@
 
 #include "store/Serialization.h"
 #include "support/FailPoint.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
 
 #include <filesystem>
 
@@ -230,6 +232,8 @@ std::optional<Measurement> ResultCache::lookup(uint64_t Key) {
       // re-loads a replacement or reports the miss honestly.
       Counters.StaleMemoryEntries.fetch_add(1,
                                             std::memory_order_relaxed);
+      // External sweeps race this process: volatile.
+      CLGS_COUNT_V("clgen.cache.stale_memory_entries");
       std::unique_lock<std::shared_mutex> Lock(MapMutex);
       Memory.erase(Key);
       Lock.unlock();
@@ -238,6 +242,8 @@ std::optional<Measurement> ResultCache::lookup(uint64_t Key) {
   }
   Counters.Hits.fetch_add(1, std::memory_order_relaxed);
   Counters.MemoryHits.fetch_add(1, std::memory_order_relaxed);
+  CLGS_COUNT("clgen.cache.hits");
+  CLGS_COUNT("clgen.cache.memory_hits");
   return std::move(Found->M);
 }
 
@@ -246,6 +252,7 @@ std::optional<Measurement> ResultCache::probeDisk(uint64_t Key) {
   // re-measures), exactly like an unreadable file.
   if (CLGS_FAILPOINT_KEYED("store.read", Key)) {
     Counters.Misses.fetch_add(1, std::memory_order_relaxed);
+    CLGS_COUNT("clgen.cache.misses");
     return std::nullopt;
   }
   // Disk probe outside the lock: archive reads are pure, and concurrent
@@ -256,8 +263,11 @@ std::optional<Measurement> ResultCache::probeDisk(uint64_t Key) {
     std::error_code Ec;
     bool Exists = DirOk && std::filesystem::exists(entryPath(Key), Ec);
     Counters.Misses.fetch_add(1, std::memory_order_relaxed);
-    if (Exists) // Present but unreadable: treated as a miss.
+    CLGS_COUNT("clgen.cache.misses");
+    if (Exists) { // Present but unreadable: treated as a miss.
       Counters.BadEntries.fetch_add(1, std::memory_order_relaxed);
+      CLGS_COUNT("clgen.cache.bad_entries");
+    }
     return std::nullopt;
   }
   ArchiveReader R = Opened.take();
@@ -265,10 +275,13 @@ std::optional<Measurement> ResultCache::probeDisk(uint64_t Key) {
   if (!R.finish().ok()) {
     Counters.Misses.fetch_add(1, std::memory_order_relaxed);
     Counters.BadEntries.fetch_add(1, std::memory_order_relaxed);
+    CLGS_COUNT("clgen.cache.misses");
+    CLGS_COUNT("clgen.cache.bad_entries");
     return std::nullopt;
   }
 
   Counters.Hits.fetch_add(1, std::memory_order_relaxed);
+  CLGS_COUNT("clgen.cache.hits");
   Resident Entry;
   Entry.M = M;
   // Only a resident whose backing identity is known may enter the map:
@@ -284,23 +297,29 @@ std::optional<Measurement> ResultCache::probeDisk(uint64_t Key) {
 }
 
 Status ResultCache::store(uint64_t Key, const Measurement &M) {
+  CLGS_TRACE_SPAN("cache.write");
   Counters.Writes.fetch_add(1, std::memory_order_relaxed);
+  CLGS_COUNT("clgen.cache.writes");
   Status S;
   if (!DirOk) {
     Counters.WriteFailures.fetch_add(1, std::memory_order_relaxed);
+    CLGS_COUNT_V("clgen.cache.write_failures");
     S = Status::error("cache directory unavailable: " + Dir,
                       TrapKind::IoError);
   } else if (CLGS_FAILPOINT_KEYED("store.write", Key)) {
     // Injected write fault: degrades exactly like a failed disk write —
     // the entry stays memory-only and the pipeline carries on.
     Counters.WriteFailures.fetch_add(1, std::memory_order_relaxed);
+    CLGS_COUNT_V("clgen.cache.write_failures");
     S = Status::error("injected fault at store.write", TrapKind::Injected);
   } else {
     ArchiveWriter W(ArchiveKind::Measurement);
     serializeMeasurement(W, M);
     S = W.saveTo(entryPath(Key));
-    if (!S.ok())
+    if (!S.ok()) {
       Counters.WriteFailures.fetch_add(1, std::memory_order_relaxed);
+      CLGS_COUNT_V("clgen.cache.write_failures");
+    }
   }
   // Record the resident entry after the disk write so it can carry the
   // written file's identity. A FAILED write leaves a memory-only entry

@@ -6,6 +6,9 @@
 
 #include "support/ThreadPool.h"
 
+#include "support/Metrics.h"
+#include "support/Trace.h"
+
 #include <algorithm>
 
 using namespace clgen;
@@ -55,6 +58,9 @@ bool ThreadPool::popOrSteal(size_t Worker, Task &Out) {
     if (!Q.Deque.empty()) {
       Out = std::move(Q.Deque.front());
       Q.Deque.pop_front();
+      // Which worker steals is a scheduling accident: volatile.
+      CLGS_COUNT_V("clgen.pool.steals");
+      CLGS_TRACE_INSTANT_IDX("pool.steal", Worker);
       return true;
     }
   }
@@ -62,6 +68,8 @@ bool ThreadPool::popOrSteal(size_t Worker, Task &Out) {
 }
 
 void ThreadPool::runTask(size_t Worker, Task &T) {
+  CLGS_COUNT("clgen.pool.tasks");
+  CLGS_TELEMETRY_ONLY(uint64_t TaskT0 = support::telemetryNowNs();)
   try {
     T(Worker);
   } catch (...) {
@@ -69,6 +77,8 @@ void ThreadPool::runTask(size_t Worker, Task &T) {
     if (!FirstError)
       FirstError = std::current_exception();
   }
+  CLGS_HIST_US("clgen.pool.task_us",
+               (support::telemetryNowNs() - TaskT0) / 1000);
   {
     std::lock_guard<std::mutex> Lock(StateMutex);
     --PendingTasks;
@@ -95,9 +105,13 @@ void ThreadPool::workerLoop(size_t Worker) {
     // Sleep only while nothing was submitted since our (empty) scan; a
     // submission that raced the scan leaves SubmitEpoch advanced and we
     // loop straight back to the queues.
+    CLGS_COUNT_V("clgen.pool.idle_waits");
+    CLGS_TELEMETRY_ONLY(uint64_t IdleT0 = support::telemetryNowNs();)
     WorkAvailable.wait(Lock, [this, SeenEpoch] {
       return ShuttingDown || SubmitEpoch != SeenEpoch;
     });
+    CLGS_HIST_US("clgen.pool.idle_us",
+                 (support::telemetryNowNs() - IdleT0) / 1000);
   }
 }
 
@@ -123,6 +137,9 @@ void ThreadPool::parallelFor(
     std::lock_guard<std::mutex> Lock(StateMutex);
     FirstError = nullptr;
     PendingTasks += Chunks;
+    // Tasks queued but not yet finished; the max is the depth
+    // high-water mark.
+    CLGS_GAUGE_SET("clgen.pool.queue_depth", PendingTasks);
   }
   for (size_t C = 0; C < Chunks; ++C) {
     size_t Lo = Begin + C * PerChunk;

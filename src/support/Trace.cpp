@@ -1,0 +1,229 @@
+//===- support/Trace.cpp - Thread-aware span tracing ----------------------===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace clgen {
+namespace support {
+
+std::atomic<bool> Trace::Active{false};
+
+namespace {
+
+struct Event {
+  const char *Name = nullptr;
+  uint64_t StartNs = 0;
+  uint64_t DurNs = 0;
+  uint64_t Index = Trace::kIndexNone;
+  bool IsSpan = false;
+};
+
+/// One recording thread's bounded event buffer. Events/Size are written
+/// only by the owning thread; the exporter acquire-loads Size after
+/// stop() (with recorders quiescent), so element writes are ordered by
+/// the release store. The vector never reallocates while armed.
+struct ThreadBuffer {
+  std::vector<Event> Events;
+  std::atomic<size_t> Size{0};
+  std::atomic<size_t> Dropped{0};
+  std::atomic<uint64_t> Gen{0};
+  uint32_t Tid = 0;
+};
+
+struct TraceState {
+  std::mutex M;
+  std::vector<std::unique_ptr<ThreadBuffer>> Buffers;
+  std::atomic<uint64_t> Generation{0};
+  std::atomic<size_t> CapPerThread{1 << 16};
+  std::atomic<uint64_t> SessionStartNs{0};
+};
+
+// Leaked: recording threads cache buffer pointers in thread_locals whose
+// destruction order vs. this state is unsequenced at exit.
+TraceState &state() {
+  static TraceState *S = new TraceState();
+  return *S;
+}
+
+ThreadBuffer *threadBuffer() {
+  thread_local ThreadBuffer *Mine = nullptr;
+  if (Mine == nullptr) {
+    TraceState &S = state();
+    std::lock_guard<std::mutex> Lock(S.M);
+    S.Buffers.push_back(std::make_unique<ThreadBuffer>());
+    Mine = S.Buffers.back().get();
+    Mine->Tid = static_cast<uint32_t>(S.Buffers.size());
+  }
+  return Mine;
+}
+
+void recordEvent(const char *Name, uint64_t StartNs, uint64_t DurNs,
+                 bool IsSpan, uint64_t Index) {
+  if (!Trace::active())
+    return;
+  TraceState &S = state();
+  uint64_t Gen = S.Generation.load(std::memory_order_acquire);
+  ThreadBuffer *B = threadBuffer();
+  if (B->Gen.load(std::memory_order_relaxed) != Gen) {
+    // First record of this session on this thread: re-arm in place.
+    size_t Cap = S.CapPerThread.load(std::memory_order_relaxed);
+    if (B->Events.size() != Cap)
+      B->Events.resize(Cap);
+    B->Size.store(0, std::memory_order_relaxed);
+    B->Dropped.store(0, std::memory_order_relaxed);
+    // Release: the exporter acquire-loads Gen before touching Events,
+    // so the resize above must be ordered behind this store.
+    B->Gen.store(Gen, std::memory_order_release);
+  }
+  size_t I = B->Size.load(std::memory_order_relaxed);
+  if (I >= B->Events.size()) {
+    B->Dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  B->Events[I] = Event{Name, StartNs, DurNs, Index, IsSpan};
+  B->Size.store(I + 1, std::memory_order_release);
+}
+
+void appendEscaped(std::string &Out, const char *Text) {
+  for (const char *P = Text; *P; ++P) {
+    if (*P == '"' || *P == '\\')
+      Out += '\\';
+    Out += *P;
+  }
+}
+
+void appendMicros(std::string &Out, uint64_t Ns) {
+  char Buf[48];
+  std::snprintf(Buf, sizeof(Buf), "%llu.%03llu",
+                static_cast<unsigned long long>(Ns / 1000),
+                static_cast<unsigned long long>(Ns % 1000));
+  Out += Buf;
+}
+
+} // namespace
+
+void Trace::start(const TraceOptions &Opts) {
+  TraceState &S = state();
+  std::lock_guard<std::mutex> Lock(S.M);
+  Active.store(false, std::memory_order_release);
+  S.CapPerThread.store(Opts.EventsPerThread == 0 ? 1 : Opts.EventsPerThread,
+                       std::memory_order_relaxed);
+  S.SessionStartNs.store(telemetryNowNs(), std::memory_order_relaxed);
+  // Bumping the generation lazily invalidates every thread's buffer;
+  // events of prior sessions are discarded on the owner's next record.
+  S.Generation.fetch_add(1, std::memory_order_release);
+  Active.store(true, std::memory_order_release);
+}
+
+void Trace::stop() { Active.store(false, std::memory_order_release); }
+
+size_t Trace::eventCount() {
+  TraceState &S = state();
+  std::lock_guard<std::mutex> Lock(S.M);
+  uint64_t Gen = S.Generation.load(std::memory_order_acquire);
+  size_t N = 0;
+  for (const auto &B : S.Buffers)
+    if (B->Gen.load(std::memory_order_acquire) == Gen)
+      N += B->Size.load(std::memory_order_acquire);
+  return N;
+}
+
+size_t Trace::droppedCount() {
+  TraceState &S = state();
+  std::lock_guard<std::mutex> Lock(S.M);
+  uint64_t Gen = S.Generation.load(std::memory_order_acquire);
+  size_t N = 0;
+  for (const auto &B : S.Buffers)
+    if (B->Gen.load(std::memory_order_acquire) == Gen)
+      N += B->Dropped.load(std::memory_order_acquire);
+  return N;
+}
+
+void Trace::span(const char *Name, uint64_t StartNs, uint64_t DurNs,
+                 uint64_t Index) {
+  recordEvent(Name, StartNs, DurNs, /*IsSpan=*/true, Index);
+}
+
+void Trace::instant(const char *Name, uint64_t Index) {
+  recordEvent(Name, telemetryNowNs(), 0, /*IsSpan=*/false, Index);
+}
+
+std::string Trace::renderJson() {
+  TraceState &S = state();
+  std::lock_guard<std::mutex> Lock(S.M);
+  uint64_t Gen = S.Generation.load(std::memory_order_acquire);
+  uint64_t Epoch = S.SessionStartNs.load(std::memory_order_relaxed);
+
+  struct Tagged {
+    Event E;
+    uint32_t Tid;
+  };
+  std::vector<Tagged> All;
+  size_t Dropped = 0;
+  for (const auto &B : S.Buffers) {
+    if (B->Gen.load(std::memory_order_acquire) != Gen)
+      continue;
+    size_t N = B->Size.load(std::memory_order_acquire);
+    Dropped += B->Dropped.load(std::memory_order_acquire);
+    for (size_t I = 0; I < N; ++I)
+      All.push_back(Tagged{B->Events[I], B->Tid});
+  }
+
+  // Deterministic ordering for a fixed event set, whatever the
+  // registration interleaving was.
+  std::sort(All.begin(), All.end(), [](const Tagged &A, const Tagged &B) {
+    if (A.E.StartNs != B.E.StartNs)
+      return A.E.StartNs < B.E.StartNs;
+    if (A.Tid != B.Tid)
+      return A.Tid < B.Tid;
+    if (int C = std::strcmp(A.E.Name, B.E.Name))
+      return C < 0;
+    return A.E.DurNs < B.E.DurNs;
+  });
+
+  std::string Out = "{\"traceEvents\":[";
+  bool First = true;
+  for (const Tagged &T : All) {
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += "\n{\"name\":\"";
+    appendEscaped(Out, T.E.Name);
+    Out += "\",\"cat\":\"clgen\",\"ph\":\"";
+    Out += T.E.IsSpan ? "X" : "i";
+    Out += '"';
+    if (!T.E.IsSpan)
+      Out += ",\"s\":\"t\"";
+    Out += ",\"ts\":";
+    appendMicros(Out, T.E.StartNs >= Epoch ? T.E.StartNs - Epoch : 0);
+    if (T.E.IsSpan) {
+      Out += ",\"dur\":";
+      appendMicros(Out, T.E.DurNs);
+    }
+    Out += ",\"pid\":1,\"tid\":";
+    Out += std::to_string(T.Tid);
+    if (T.E.Index != kIndexNone) {
+      Out += ",\"args\":{\"index\":";
+      Out += std::to_string(T.E.Index);
+      Out += '}';
+    }
+    Out += '}';
+  }
+  Out += "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped\":\"";
+  Out += std::to_string(Dropped);
+  Out += "\"}}\n";
+  return Out;
+}
+
+} // namespace support
+} // namespace clgen

@@ -11,7 +11,7 @@
 using namespace clgen;
 using namespace clgen::vm;
 
-static const char *opcodeName(Opcode Op) {
+const char *clgen::vm::opcodeName(Opcode Op) {
   switch (Op) {
   case Opcode::LoadConst: return "ldc";
   case Opcode::Mov: return "mov";

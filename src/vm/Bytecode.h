@@ -173,6 +173,10 @@ struct CompiledKernel {
   size_t staticInstructionCount() const { return Code.size(); }
 };
 
+/// Short mnemonic for \p Op ("ldc", "bin", "jz", ...), as used by the
+/// disassembler and the opcode-profile reports.
+const char *opcodeName(Opcode Op);
+
 /// Validates internal consistency of \p K (register bounds, jump targets,
 /// table indices). Returns an empty string when valid, else a diagnostic.
 std::string verifyKernel(const CompiledKernel &K);

@@ -9,6 +9,7 @@
 #include "ocl/Builtins.h"
 #include "support/FailPoint.h"
 #include "support/StringUtils.h"
+#include "vm/Profile.h"
 
 #include <chrono>
 #include <cmath>
@@ -114,6 +115,10 @@ struct ItemState {
   bool Done = false;
   size_t Gid[3] = {0, 0, 0};
   size_t Lid[3] = {0, 0, 0};
+  /// Previously executed opcode of THIS item (-1 = none yet), so the
+  /// opcode-pair profile never fuses across work-items even when the
+  /// barrier path interleaves their execution.
+  int16_t PrevOp = -1;
 };
 
 /// Reusable per-thread execution scratch: group context, item states and
@@ -247,6 +252,13 @@ private:
     }
     const Instr &I = K.Code[S.Pc];
     ++C.Instructions;
+    if (OpcodeProfile *Prof = Config.Profile) {
+      size_t OpIdx = static_cast<size_t>(I.Op);
+      ++Prof->Count[OpIdx];
+      if (S.PrevOp >= 0)
+        ++Prof->Pair[S.PrevOp][OpIdx];
+      S.PrevOp = static_cast<int16_t>(OpIdx);
+    }
     switch (I.Op) {
     case Opcode::LoadConst:
       S.Regs[I.Dst] = K.Consts[I.Imm];
@@ -765,6 +777,7 @@ private:
     }
     for (const auto &[Reg, V] : ScalarPreloads)
       S.Regs[Reg] = V;
+    S.PrevOp = -1;
   }
 
   /// Runs one item until barrier / halt / error.
@@ -874,6 +887,8 @@ public:
     CLGS_FAILPOINT_STALL("vm.stall", 0);
     if (!bindArgs())
       return Result<ExecCounters>::error(Error, ErrKind);
+    if (Config.Profile)
+      ++Config.Profile->Launches;
 
     // Resolve conditional-branch sites to dense indices once per launch;
     // the dispatch loop then updates divergence stats with one indexed

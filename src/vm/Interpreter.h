@@ -31,6 +31,8 @@
 namespace clgen {
 namespace vm {
 
+struct OpcodeProfile;
+
 /// A flat numeric buffer bound to a global buffer parameter.
 struct BufferData {
   /// Lane-flattened storage: element i occupies
@@ -102,6 +104,13 @@ struct LaunchConfig {
   /// kernel-visible semantics, so it participates in measurement cache
   /// keys; off by default.
   bool TrapDivZero = false;
+  /// When non-null, accumulates per-opcode and opcode-pair execution
+  /// counts for this launch (vm/Profile.h). Pure observation: never
+  /// feeds back into execution or results, and unlike ExecCounters the
+  /// counts stay raw (no MaxWorkGroups scale-up). Costs one predictable
+  /// branch per instruction when null. Not thread-safe: point each
+  /// concurrent launch at its own profile and merge afterwards.
+  OpcodeProfile *Profile = nullptr;
 };
 
 /// Dynamic execution counters for one launch (scaled to the full NDRange

@@ -1,0 +1,136 @@
+//===- tests/stress/TelemetrySoakTest.cpp - concurrent telemetry soak ---------===//
+//
+// Label "stress": hammers the metrics registry and the trace engine
+// from many threads at once — registration races, sharded counter
+// conservation, histogram merge conservation, and trace sessions
+// cycling while recorders run. Built for TSan (see the build-tsan
+// recipe in CMakeLists.txt): the telemetry hot paths must be provably
+// race-free, since they run inside every pipeline worker.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Metrics.h"
+#include "support/Trace.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace clgen;
+using support::MetricsRegistry;
+using support::Trace;
+using support::TraceOptions;
+
+TEST(TelemetrySoakTest, ConcurrentRegistrationAndCounting) {
+  // All threads race to register the same names and count on them; the
+  // registry must hand every thread the same handle and lose nothing.
+  constexpr size_t Threads = 8, Names = 16, PerName = 5000;
+  std::vector<std::thread> Ts;
+  for (size_t T = 0; T < Threads; ++T)
+    Ts.emplace_back([] {
+      for (size_t N = 0; N < Names; ++N) {
+        std::string Name = "soak.counter." + std::to_string(N);
+        support::Counter &C = MetricsRegistry::counter(Name);
+        for (size_t I = 0; I < PerName; ++I)
+          C.inc();
+      }
+    });
+  for (auto &T : Ts)
+    T.join();
+  for (size_t N = 0; N < Names; ++N) {
+    const support::Counter *C = MetricsRegistry::findCounter(
+        "soak.counter." + std::to_string(N));
+    ASSERT_NE(C, nullptr);
+    EXPECT_EQ(C->value(), Threads * PerName);
+  }
+}
+
+TEST(TelemetrySoakTest, ConcurrentHistogramsAndGauges) {
+  constexpr size_t Threads = 8, PerThread = 20000;
+  support::Histogram &H = MetricsRegistry::histogram("soak.hist");
+  support::Gauge &G = MetricsRegistry::gauge("soak.gauge");
+  std::vector<std::thread> Ts;
+  for (size_t T = 0; T < Threads; ++T)
+    Ts.emplace_back([&H, &G, T] {
+      for (size_t I = 0; I < PerThread; ++I) {
+        H.record((T * PerThread + I) % 1024);
+        G.add(1);
+        G.add(-1);
+      }
+    });
+  for (auto &T : Ts)
+    T.join();
+  EXPECT_EQ(H.count(), Threads * PerThread);
+  uint64_t BucketSum = 0;
+  for (size_t B = 0; B < support::Histogram::NumBuckets; ++B)
+    BucketSum += H.bucketCount(B);
+  EXPECT_EQ(BucketSum, H.count()) << "bucket counts must conserve";
+  EXPECT_EQ(G.value(), 0);
+  EXPECT_GE(G.maxValue(), 1);
+  // A racing renderText must not crash or tear lines (content checked
+  // elsewhere; this is a shape check under contention).
+  std::string Text = MetricsRegistry::renderText({});
+  EXPECT_NE(Text.find("soak.hist"), std::string::npos);
+}
+
+TEST(TelemetrySoakTest, TraceRecordingUnderContention) {
+  constexpr size_t Threads = 8, PerThread = 4000;
+  Trace::start();
+  std::vector<std::thread> Ts;
+  for (size_t T = 0; T < Threads; ++T)
+    Ts.emplace_back([] {
+      for (size_t I = 0; I < PerThread; ++I) {
+        uint64_t Now = support::telemetryNowNs();
+        if (I % 3 == 0)
+          Trace::instant("soak.instant", I);
+        else
+          Trace::span("soak.span", Now, 50, I);
+      }
+    });
+  for (auto &T : Ts)
+    T.join();
+  Trace::stop();
+  EXPECT_EQ(Trace::eventCount() + Trace::droppedCount(),
+            Threads * PerThread)
+      << "every record must be captured or counted as dropped";
+  std::string Json = Trace::renderJson();
+  EXPECT_NE(Json.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST(TelemetrySoakTest, SessionCyclingWhileRecording) {
+  // start()/stop()/renderJson() race against recorders: events may land
+  // or be dropped at session edges, but nothing may crash, deadlock, or
+  // corrupt the export. The final quiescent session must be exact.
+  std::atomic<bool> Stop{false};
+  std::vector<std::thread> Recorders;
+  for (size_t T = 0; T < 4; ++T)
+    Recorders.emplace_back([&Stop] {
+      uint64_t I = 0;
+      while (!Stop.load(std::memory_order_relaxed)) {
+        Trace::span("cycle.span", support::telemetryNowNs(), 10, I++);
+        Trace::instant("cycle.instant");
+      }
+    });
+  TraceOptions Small;
+  Small.EventsPerThread = 256;
+  for (int Cycle = 0; Cycle < 50; ++Cycle) {
+    Trace::start(Small);
+    std::this_thread::yield();
+    Trace::stop();
+    Trace::renderJson();
+    Trace::eventCount();
+  }
+  Stop.store(true, std::memory_order_relaxed);
+  for (auto &T : Recorders)
+    T.join();
+
+  // Quiescent final session: exact accounting again.
+  Trace::start();
+  Trace::instant("cycle.final");
+  Trace::stop();
+  EXPECT_EQ(Trace::eventCount(), 1u);
+  EXPECT_NE(Trace::renderJson().find("cycle.final"), std::string::npos);
+}
