@@ -94,6 +94,9 @@ struct RunnerConfig {
   unsigned TrainWorkers = 0;   // Hardware concurrency.
   int TrainLanes = 8;          // LSTM data-parallel batch width.
   size_t FileCount = 400;      // githubsim corpus size.
+  /// VM dispatch strategy. Pure speed knob: every mode produces
+  /// bit-identical measurements, so it is excluded from cache keys.
+  vm::DispatchMode Dispatch = vm::DispatchMode::Auto;
   // Fault tolerance.
   bool Refill = false;          // Excise failures + draw replacements.
   uint64_t WatchdogMs = 0;      // Per-launch wall-clock watchdog.
@@ -231,6 +234,7 @@ int runCachedPipeline(const RunnerConfig &Cfg) {
   DOpts.WatchdogMs = Cfg.WatchdogMs;
   DOpts.MaxRetries = Cfg.Retries;
   DOpts.Profile = Cfg.Profile;
+  DOpts.Dispatch = Cfg.Dispatch;
   store::ResultCache Cache(CacheDir + "/results");
   store::FailureLedger Ledger(CacheDir + "/failures");
   runtime::BatchCacheStats CStats;
@@ -280,6 +284,7 @@ int runStreamingPipeline(const RunnerConfig &Cfg) {
   SOpts.Driver.WatchdogMs = Cfg.WatchdogMs;
   SOpts.Driver.MaxRetries = Cfg.Retries;
   SOpts.Driver.Profile = Cfg.Profile;
+  SOpts.Driver.Dispatch = Cfg.Dispatch;
   SOpts.MeasureWorkers = Cfg.MeasureWorkers;
   SOpts.QueueCapacity = Cfg.QueueCapacity;
   SOpts.RefillFailures = Cfg.Refill;
@@ -475,6 +480,13 @@ void printUsage(const char *Prog, std::FILE *Out) {
       "  --retries N           retry budget for transient failure classes\n"
       "                        (injected faults, I/O); deterministic traps\n"
       "                        never retry (default 2)\n"
+      "  --dispatch MODE       VM dispatch strategy: auto (default; fused\n"
+      "                        where computed goto is available), switch\n"
+      "                        (portable reference loop), threaded\n"
+      "                        (computed-goto), fused (threaded +\n"
+      "                        profile-guided superinstructions). Pure\n"
+      "                        speed knob: measurements are bit-identical\n"
+      "                        across modes and cache entries are shared\n"
       "  --inject P            arm every compiled-in failpoint site with\n"
       "                        trip probability P in (0,1]; requires a\n"
       "                        build with -DCLGS_FAILPOINTS=ON\n"
@@ -591,6 +603,15 @@ int main(int Argc, char **Argv) {
       }
       Cfg.WatchdogMs = N;
       Cfg.DriverFlagSet = true;
+    } else if (Arg == "--dispatch" && I + 1 < Argc) {
+      auto Mode = vm::parseDispatchMode(Argv[++I]);
+      if (!Mode) {
+        std::fprintf(stderr, "--dispatch expects 'auto', 'switch', "
+                             "'threaded' or 'fused'\n");
+        return 2;
+      }
+      Cfg.Dispatch = *Mode;
+      Cfg.DriverFlagSet = true;
     } else if (Arg == "--retries" && I + 1 < Argc) {
       if (!ParseDigits(Argv[++I], N) || N > 100) {
         std::fprintf(stderr, "--retries expects an integer in [0, 100]\n");
@@ -650,8 +671,9 @@ int main(int Argc, char **Argv) {
     return 2;
   }
   if (Cfg.DriverFlagSet && !PipelineMode) {
-    std::fprintf(stderr, "--watchdog-ms/--retries require a pipeline mode "
-                         "(--cache-dir and/or --pipeline)\n");
+    std::fprintf(stderr,
+                 "--watchdog-ms/--retries/--dispatch require a pipeline "
+                 "mode (--cache-dir and/or --pipeline)\n");
     return 2;
   }
   if (Cfg.TelemetryFlagSet && !PipelineMode) {

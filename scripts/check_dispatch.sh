@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+#===- scripts/check_dispatch.sh - dispatch-parity proof at build level ---===//
+#
+# Configures and builds a nested tree with -DCLGS_FORCE_SWITCH_DISPATCH=ON
+# (the portable switch VM loop every compiler gets, computed goto and
+# threaded dispatch disabled) and runs the full test suite there.
+# Passing proves the switch fallback carries the exact semantics the
+# fast path is tested against everywhere else: the golden byte-identity
+# tests, trap-classification suites and pipeline determinism tests must
+# all pass with the reference loop doing the executing. Together with
+# DispatchParityTest (which compares the strategies in-process) this
+# pins both sides of the trap-parity contract. Registered as the ctest
+# `check_dispatch` (label `dispatch`); run manually:
+#
+#   bash scripts/check_dispatch.sh <source-dir> <build-dir>
+#
+# The nested tree builds only the test binaries, and the nested ctest
+# skips the stress label plus the failpoints/overhead/dispatch
+# meta-fixtures so the nested-build recursion stays at one level.
+#
+# The switch-vs-threaded-vs-fused speed matrix is tracked in
+# BENCH_perf.json (BM_InterpretKernel/dispatch:*).
+#
+#===----------------------------------------------------------------------===//
+
+set -eu
+
+SRC=${1:?usage: check_dispatch.sh <source-dir> <build-dir>}
+BUILD=${2:?usage: check_dispatch.sh <source-dir> <build-dir>}
+
+echo "check_dispatch: configuring $BUILD with -DCLGS_FORCE_SWITCH_DISPATCH=ON"
+cmake -B "$BUILD" -S "$SRC" -DCLGS_FORCE_SWITCH_DISPATCH=ON \
+      -DCLGS_NESTED_FIXTURE=ON >/dev/null
+
+echo "check_dispatch: building test binaries"
+cmake --build "$BUILD" -j --target clgen_tests clgen_stress_tests >/dev/null
+
+echo "check_dispatch: running the suite on the portable switch loop"
+# -LE must precede the bare -j: ctest's optional-value -j would
+# otherwise swallow the -LE token and run the suite unfiltered.
+(cd "$BUILD" && ctest --output-on-failure -LE 'stress|failpoints|overhead|dispatch' -j)
+
+echo "check_dispatch: forced-switch build drifts by nothing"

@@ -6,6 +6,7 @@
 
 #include "vm/Bytecode.h"
 
+#include "ocl/Builtins.h"
 #include "support/StringUtils.h"
 
 using namespace clgen;
@@ -63,15 +64,32 @@ std::string vm::verifyKernel(const CompiledKernel &K) {
         return Bad("constant index out of range");
       break;
     case Opcode::Mov:
+      if (!CheckReg(In.Dst) || !CheckReg(In.A))
+        return Bad("register out of range");
+      break;
     case Opcode::UnOp:
+      if (!CheckReg(In.Dst) || !CheckReg(In.A))
+        return Bad("register out of range");
+      if (In.Aux > static_cast<uint8_t>(VmUnOp::LogicNot))
+        return Bad("unop aux out of range");
+      break;
     case Opcode::Cast:
+      if (!CheckReg(In.Dst) || !CheckReg(In.A))
+        return Bad("register out of range");
+      if (In.Aux > static_cast<uint8_t>(ocl::Scalar::Half))
+        return Bad("cast aux out of range");
+      break;
     case Opcode::Broadcast:
       if (!CheckReg(In.Dst) || !CheckReg(In.A))
         return Bad("register out of range");
+      if (In.B < 1 || In.B > 16)
+        return Bad("broadcast width out of range");
       break;
     case Opcode::BinOp:
       if (!CheckReg(In.Dst) || !CheckReg(In.A) || !CheckReg(In.B))
         return Bad("register out of range");
+      if (In.Aux > static_cast<uint8_t>(VmBinOp::MaxI))
+        return Bad("binop aux out of range");
       break;
     case Opcode::Swizzle:
     case Opcode::InsertLanes:
@@ -79,6 +97,8 @@ std::string vm::verifyKernel(const CompiledKernel &K) {
         return Bad("register out of range");
       if (In.Imm < 0 || static_cast<size_t>(In.Imm) >= K.Masks.size())
         return Bad("mask index out of range");
+      if (K.Masks[In.Imm].size() > 16)
+        return Bad("mask wider than a register");
       for (uint8_t Lane : K.Masks[In.Imm])
         if (Lane >= 16)
           return Bad("mask lane out of range");
@@ -89,6 +109,11 @@ std::string vm::verifyKernel(const CompiledKernel &K) {
         return Bad("register out of range");
       if (In.Imm < 0 || static_cast<size_t>(In.Imm) >= K.ArgLists.size())
         return Bad("arg list index out of range");
+      if (In.Op == Opcode::BuildVec && K.ArgLists[In.Imm].size() > 16)
+        return Bad("vector wider than a register");
+      if (In.Op == Opcode::CallB &&
+          In.Aux > static_cast<uint8_t>(ocl::BuiltinOp::AtomicXchg))
+        return Bad("builtin aux out of range");
       for (uint16_t R : K.ArgLists[In.Imm])
         if (!CheckReg(R))
           return Bad("arg register out of range");
@@ -100,6 +125,14 @@ std::string vm::verifyKernel(const CompiledKernel &K) {
     case Opcode::Atomic: {
       if (!CheckReg(In.A) || !CheckReg(In.B) || !CheckReg(In.Dst))
         return Bad("register out of range");
+      if (In.Space > MemSpace::Private)
+        return Bad("address space out of range");
+      if (In.Op == Opcode::Atomic &&
+          In.Aux > static_cast<uint8_t>(ocl::BuiltinOp::AtomicXchg))
+        return Bad("atomic aux out of range");
+      if ((In.Op == Opcode::VLoad || In.Op == Opcode::VStore) &&
+          (In.WidthField < 1 || In.WidthField > 16))
+        return Bad("vector width out of range");
       size_t SlotLimit = 0;
       switch (In.Space) {
       case MemSpace::Global: SlotLimit = GlobalSlots; break;

@@ -9,10 +9,22 @@
 #include "ocl/Builtins.h"
 #include "support/FailPoint.h"
 #include "support/StringUtils.h"
+#include "vm/Compiler.h"
 #include "vm/Profile.h"
 
 #include <chrono>
 #include <cmath>
+
+/// Computed-goto (label-address-table) dispatch is a GCC/Clang extension;
+/// CLGS_FORCE_SWITCH_DISPATCH (cmake -DCLGS_FORCE_SWITCH_DISPATCH=ON)
+/// disables it so CI can exercise the portable fallback loop on
+/// compilers that do have the extension.
+#if (defined(__GNUC__) || defined(__clang__)) &&                               \
+    !defined(CLGS_FORCE_SWITCH_DISPATCH)
+#define CLGS_VM_COMPUTED_GOTO 1
+#else
+#define CLGS_VM_COMPUTED_GOTO 0
+#endif
 
 using namespace clgen;
 using namespace clgen::ocl;
@@ -61,7 +73,15 @@ double wrapToScalarKind(double X, Scalar S) {
   return X;
 }
 
-double evalBinLane(VmBinOp Op, double A, double B) {
+// Forced inline so every caller — including each fused-handler
+// expansion of CLGS_FUSED_BIN in InterpreterExecLoop.inc — gets its own
+// copy of the operation switch. A single shared switch concentrates
+// every binop's data-dependent indirect branch in one site; per-site
+// copies let the BTB learn each site's local operation mix.
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((always_inline))
+#endif
+inline double evalBinLane(VmBinOp Op, double A, double B) {
   switch (Op) {
   case VmBinOp::Add: return A + B;
   case VmBinOp::Sub: return A - B;
@@ -91,6 +111,76 @@ double evalBinLane(VmBinOp Op, double A, double B) {
   case VmBinOp::MaxI: return A > B ? A : B;
   }
   return 0.0;
+}
+
+//===----------------------------------------------------------------------===//
+// Register-file write helpers (threaded dispatch)
+//===----------------------------------------------------------------------===//
+//
+// The reference switch loop writes results by assigning a fresh
+// zero-initialised Value, so lanes at or beyond a register's Width are
+// always zero. The threaded loop exploits that invariant with partial
+// writes: only live lanes are stored, and previously-live lanes beyond
+// the new width are re-zeroed, keeping the observable register file
+// byte-identical to full-Value assignment.
+
+inline void setScalar(Value &D, double X) {
+  int OldW = D.Width;
+  D.Lanes[0] = X;
+  for (int L = 1; L < OldW; ++L)
+    D.Lanes[L] = 0.0;
+  D.Width = 1;
+}
+
+inline void copyValue(Value &D, const Value &S) {
+  int W = S.Width, OldW = D.Width;
+  for (int L = 0; L < W; ++L)
+    D.Lanes[L] = S.Lanes[L];
+  for (int L = W; L < OldW; ++L)
+    D.Lanes[L] = 0.0;
+  D.Width = static_cast<uint8_t>(W);
+}
+
+/// Commits a result computed into a scratch lane buffer (which makes
+/// Dst-aliases-source safe, same as the switch loop's local Value).
+inline void writeLanes(Value &D, const double *Tmp, int W) {
+  int OldW = D.Width;
+  for (int L = 0; L < W; ++L)
+    D.Lanes[L] = Tmp[L];
+  for (int L = W; L < OldW; ++L)
+    D.Lanes[L] = 0.0;
+  D.Width = static_cast<uint8_t>(W);
+}
+
+/// Cast semantics shared by the threaded Cast handler and the Cast+Mov
+/// superinstruction; verbatim the reference loop's Cast case.
+inline void castValue(Value *Regs, const Instr &I) {
+  const Value &A = Regs[I.A];
+  Value R;
+  R.Width = A.Width;
+  auto S2 = static_cast<Scalar>(I.Aux);
+  for (int L = 0; L < R.Width; ++L) {
+    double X = A.Lanes[L];
+    // Float -> integer conversion truncates toward zero.
+    if (S2 != Scalar::Float && S2 != Scalar::Double && S2 != Scalar::Half)
+      X = std::trunc(X);
+    R.Lanes[L] = wrapToScalarKind(X, S2);
+  }
+  Regs[I.Dst] = R;
+}
+
+/// Vector (or mixed-width) slow path behind the specialized scalar
+/// binop handlers. Only non-trapping operations reach this (DivI/RemI
+/// dispatch through Engine::execBinInstr for the TrapDivZero check).
+inline void binOpVector(Value *Regs, const Instr &I, VmBinOp Op) {
+  const Value &A = Regs[I.A];
+  const Value &B = Regs[I.B];
+  double Tmp[16];
+  int W = std::max(A.Width, B.Width);
+  for (int L = 0; L < W; ++L)
+    Tmp[L] = evalBinLane(Op, A.Lanes[A.Width == 1 ? 0 : L],
+                         B.Lanes[B.Width == 1 ? 0 : L]);
+  writeLanes(Regs[I.Dst], Tmp, W);
 }
 
 /// Per-branch-site taken/total stats within one work-group.
@@ -129,6 +219,9 @@ struct ExecScratch {
   GroupContext Group;
   ItemState Single;
   std::vector<ItemState> States;
+  /// Dispatch-resolved execution form for Threaded/ThreadedFused
+  /// launches; storage recycled across launches.
+  ExecProgram Prog;
 };
 
 enum class StepOutcome { Continue, AtBarrier, Halted, Error };
@@ -165,6 +258,15 @@ private:
   size_t GroupId[3] = {0, 0, 0};
   TrapKind ErrKind = TrapKind::Unknown;
   std::chrono::steady_clock::time_point Start;
+  /// Non-null when this launch runs the dispatch-resolved execution
+  /// form (Threaded/ThreadedFused) instead of the reference switch loop.
+  const ExecInstr *ExecCode = nullptr;
+  /// Instruction count at which the wall-clock watchdog samples next;
+  /// UINT64_MAX when the watchdog is disabled. Deadline-based (>=)
+  /// rather than a mask test so dispatch strategies retiring more than
+  /// one instruction per step (superinstructions) can never stride over
+  /// a sample point.
+  uint64_t WatchdogNext = UINT64_MAX;
 
   bool fail(const std::string &Message) {
     return fail(TrapKind::Unknown, Message);
@@ -176,6 +278,24 @@ private:
       ErrKind = Kind;
     }
     return false;
+  }
+
+  /// Crossed the watchdog deadline: re-arm it and check elapsed host
+  /// time. Returns false (with the trap recorded) on timeout. The 32768
+  /// cadence keeps the clock read off the hot path, so a run that
+  /// completes in time never perturbs its counters.
+  bool watchdogSampleOk(uint64_t Icount) {
+    WatchdogNext = Icount + 0x8000;
+    if (static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - Start)
+                .count()) >= Config.WatchdogMs) {
+      fail(TrapKind::WatchdogTimeout,
+           formatString("kernel exceeded wall-clock watchdog (%llu ms)",
+                        static_cast<unsigned long long>(Config.WatchdogMs)));
+      return false;
+    }
+    return true;
   }
 
   bool bindArgs() {
@@ -239,17 +359,10 @@ private:
       return StepOutcome::Error;
     }
     // The wall-clock watchdog is sampled every 32768 instructions so the
-    // hot dispatch loop pays one predictable branch when it is disabled.
-    if (Config.WatchdogMs != 0 && (C.Instructions & 0x7FFF) == 0 &&
-        static_cast<uint64_t>(
-            std::chrono::duration_cast<std::chrono::milliseconds>(
-                std::chrono::steady_clock::now() - Start)
-                .count()) >= Config.WatchdogMs) {
-      fail(TrapKind::WatchdogTimeout,
-           formatString("kernel exceeded wall-clock watchdog (%llu ms)",
-                        static_cast<unsigned long long>(Config.WatchdogMs)));
+    // hot dispatch loop pays one predictable branch when it is disabled
+    // (WatchdogNext stays at UINT64_MAX).
+    if (C.Instructions >= WatchdogNext && !watchdogSampleOk(C.Instructions))
       return StepOutcome::Error;
-    }
     const Instr &I = K.Code[S.Pc];
     ++C.Instructions;
     if (OpcodeProfile *Prof = Config.Profile) {
@@ -398,6 +511,53 @@ private:
     ++S.Pc;
     return StepOutcome::Continue;
   }
+
+  /// Full BinOp semantics for the threaded loop: shared by the DivI and
+  /// RemI handlers (TrapDivZero check) and by every fused handler's
+  /// BinOp constituent. Mirrors the switch loop's BinOp case exactly,
+  /// including the ComputeOps increment preceding the trap.
+  bool execBinInstr(Value *Regs, const Instr &I) {
+    ++C.ComputeOps;
+    const Value &A = Regs[I.A];
+    const Value &B = Regs[I.B];
+    auto Op = static_cast<VmBinOp>(I.Aux);
+    if ((A.Width | B.Width) == 1) {
+      const double Av = A.Lanes[0];
+      const double Bv = B.Lanes[0];
+      if (Config.TrapDivZero &&
+          (Op == VmBinOp::DivI || Op == VmBinOp::RemI) && toInt(Bv) == 0)
+        return fail(TrapKind::DivByZero, "integer division by zero");
+      setScalar(Regs[I.Dst], evalBinLane(Op, Av, Bv));
+      return true;
+    }
+    int W = std::max(A.Width, B.Width);
+    if (Config.TrapDivZero && (Op == VmBinOp::DivI || Op == VmBinOp::RemI)) {
+      for (int L = 0; L < W; ++L)
+        if (toInt(B.Lanes[B.Width == 1 ? 0 : L]) == 0)
+          return fail(TrapKind::DivByZero, "integer division by zero");
+    }
+    double Tmp[16];
+    for (int L = 0; L < W; ++L)
+      Tmp[L] = evalBinLane(Op, A.Lanes[A.Width == 1 ? 0 : L],
+                           B.Lanes[B.Width == 1 ? 0 : L]);
+    writeLanes(Regs[I.Dst], Tmp, W);
+    return true;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Threaded dispatch over the execution form
+  //===------------------------------------------------------------------===//
+
+  /// The exec loops are two instantiations of the same handler bodies
+  /// (vm/InterpreterExecLoop.inc): a computed-goto label-address table
+  /// on GCC/Clang, and a structurally identical portable switch. The
+  /// portable loop is always compiled (so it cannot rot) but only
+  /// dispatched to when computed goto is unavailable or forced off.
+  [[maybe_unused]] StepOutcome runItemExecSwitch(ItemState &S,
+                                                 GroupContext &G);
+#if CLGS_VM_COMPUTED_GOTO
+  StepOutcome runItemExecGoto(ItemState &S, GroupContext &G);
+#endif
 
   bool execMemAccess(ItemState &S, GroupContext &G, const Instr &I) {
     int64_t Index = toInt(S.Regs[I.A].x());
@@ -782,6 +942,13 @@ private:
 
   /// Runs one item until barrier / halt / error.
   StepOutcome runUntilPause(ItemState &S, GroupContext &G) {
+    if (ExecCode) {
+#if CLGS_VM_COMPUTED_GOTO
+      return runItemExecGoto(S, G);
+#else
+      return runItemExecSwitch(S, G);
+#endif
+    }
     for (;;) {
       StepOutcome O = step(S, G);
       if (O != StepOutcome::Continue)
@@ -885,10 +1052,19 @@ public:
       return Result<ExecCounters>::error("injected fault at vm.launch",
                                          TrapKind::Injected);
     CLGS_FAILPOINT_STALL("vm.stall", 0);
+    // Malformed or corrupted bytecode (out-of-range Aux operands, bad
+    // widths, wild jump targets) classifies as BadLaunch here, in every
+    // dispatch mode, instead of hitting an unhandled enum cast
+    // mid-execution.
+    std::string Malformed = verifyKernel(K);
+    if (!Malformed.empty())
+      return Result<ExecCounters>::error(
+          "malformed kernel bytecode: " + Malformed, TrapKind::BadLaunch);
     if (!bindArgs())
       return Result<ExecCounters>::error(Error, ErrKind);
     if (Config.Profile)
       ++Config.Profile->Launches;
+    WatchdogNext = Config.WatchdogMs != 0 ? 0 : UINT64_MAX;
 
     // Resolve conditional-branch sites to dense indices once per launch;
     // the dispatch loop then updates divergence stats with one indexed
@@ -898,6 +1074,23 @@ public:
     for (size_t Pc = 0; Pc < K.Code.size(); ++Pc)
       if (K.Code[Pc].Op == Opcode::Jz || K.Code[Pc].Op == Opcode::Jnz)
         BranchSiteOf[Pc] = BranchSiteCount++;
+
+    // Resolve the dispatch strategy. Profiling launches always take the
+    // reference switch loop: the per-instruction hook lives only there,
+    // and opcode-pair profiles must see unfused sequences — a profile
+    // collected under fused dispatch would stop ranking exactly the
+    // pairs fusion consumes (a self-extinguishing profiler).
+    DispatchMode Mode = Config.Dispatch;
+    if (Config.Profile)
+      Mode = DispatchMode::Switch;
+    else if (Mode == DispatchMode::Auto)
+      Mode = threadedDispatchAvailable() ? DispatchMode::ThreadedFused
+                                         : DispatchMode::Switch;
+    if (Mode != DispatchMode::Switch) {
+      prepareExecProgram(K, Mode == DispatchMode::ThreadedFused,
+                         Scratch.Prog);
+      ExecCode = Scratch.Prog.Code.data();
+    }
 
     for (int D = 0; D < 3; ++D) {
       if (Config.LocalSize[D] == 0 || Config.GlobalSize[D] == 0)
@@ -967,9 +1160,51 @@ public:
   }
 };
 
+// Instantiate the threaded exec loop twice from one handler-body
+// template: the portable switch over ExtOp (always compiled, keeps the
+// fallback from rotting) and the computed-goto loop when the extension
+// is available.
+#define CLGS_EXEC_USE_GOTO 0
+#define CLGS_EXEC_FN runItemExecSwitch
+#include "vm/InterpreterExecLoop.inc"
+#undef CLGS_EXEC_FN
+#undef CLGS_EXEC_USE_GOTO
+
+#if CLGS_VM_COMPUTED_GOTO
+#define CLGS_EXEC_USE_GOTO 1
+#define CLGS_EXEC_FN runItemExecGoto
+#include "vm/InterpreterExecLoop.inc"
+#undef CLGS_EXEC_FN
+#undef CLGS_EXEC_USE_GOTO
+#endif
+
 } // namespace
 
 Result<ExecCounters> Engine::run() { return runImpl(); }
+
+bool vm::threadedDispatchAvailable() { return CLGS_VM_COMPUTED_GOTO != 0; }
+
+const char *vm::dispatchModeName(DispatchMode Mode) {
+  switch (Mode) {
+  case DispatchMode::Auto: return "auto";
+  case DispatchMode::Switch: return "switch";
+  case DispatchMode::Threaded: return "threaded";
+  case DispatchMode::ThreadedFused: return "fused";
+  }
+  return "?";
+}
+
+std::optional<DispatchMode> vm::parseDispatchMode(const std::string &Name) {
+  if (Name == "auto")
+    return DispatchMode::Auto;
+  if (Name == "switch")
+    return DispatchMode::Switch;
+  if (Name == "threaded")
+    return DispatchMode::Threaded;
+  if (Name == "fused" || Name == "threaded-fused")
+    return DispatchMode::ThreadedFused;
+  return std::nullopt;
+}
 
 Result<ExecCounters> vm::launchKernel(const CompiledKernel &Kernel,
                                       const std::vector<KernelArg> &Args,

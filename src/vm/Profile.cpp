@@ -58,7 +58,7 @@ std::string vm::formatOpcodeReport(const OpcodeProfile &P, size_t TopN) {
   uint64_t Total = P.instructionTotal();
   std::string Out;
   Out += formatString("vm profile: %llu instructions, %llu branches, "
-                      "%llu launches\n",
+                      "%llu launches (unfused switch dispatch)\n",
                       static_cast<unsigned long long>(Total),
                       static_cast<unsigned long long>(P.branchTotal()),
                       static_cast<unsigned long long>(P.Launches));

@@ -239,4 +239,46 @@ TEST(FaultToleranceTest, InjectedStallTripsWatchdog) {
   EXPECT_EQ(M.trap(), TrapKind::WatchdogTimeout);
 }
 
+TEST(FaultToleranceTest, StallInsideFusedHandlerTripsWatchdog) {
+  if (!support::FailPoints::sitesCompiledIn())
+    GTEST_SKIP() << "failpoint sites compiled out (-DCLGS_FAILPOINTS=OFF)";
+  // Regression for the watchdog cadence under superinstruction dispatch:
+  // fused handlers retire two instructions per dispatch, so a cadence
+  // that tested `Icount & Mask == 0` could stride straight over its
+  // sampling point and never look at the clock again. The >=-deadline
+  // counter cannot be skipped. The vm.fused.stall site lives INSIDE the
+  // LoadConst+BinOp superinstruction handler, so this hang only exists
+  // on the fused path — and must still come back as a classified
+  // timeout.
+  support::FailPlan Plan;
+  Plan.Probability = 1.0;
+  Plan.StallMs = 30;
+  Plan.MaxFiresPerSite = 2; // Two stalls blow the budget; then run free.
+  Plan.Sites = {"vm.fused.stall"};
+  support::FailPoints::arm(Plan);
+  DriverOptions Opts = smallOpts();
+  Opts.WatchdogMs = 10;
+  Opts.MaxInstructions = 4000ull * 1000 * 1000;
+  Opts.Dispatch = vm::DispatchMode::ThreadedFused;
+  // The loop body compiles to ... LoadConst(1.0) BinOp(Add) ... — a
+  // FuseLdcBin pair executed every iteration, keeping the work-item
+  // inside fused handlers while the watchdog deadline passes.
+  auto M = runBenchmark(
+      compile("__kernel void spin(__global float* a, const int n) {\n"
+              "  while (1) { a[0] += 1.0f; }\n"
+              "}\n"),
+      amdPlatform(), Opts);
+  uint64_t FusedStalls = 0;
+  for (const auto &S : support::FailPoints::stats())
+    if (S.Site == "vm.fused.stall")
+      FusedStalls = S.Fires;
+  support::FailPoints::disarm();
+  ASSERT_FALSE(M.ok());
+  EXPECT_EQ(M.trap(), TrapKind::WatchdogTimeout);
+  // The site firing proves the kernel really executed the fused pair
+  // (i.e. the pass fused it); a zero here means the hang we are
+  // regression-testing was never reproduced.
+  EXPECT_GT(FusedStalls, 0u);
+}
+
 } // namespace

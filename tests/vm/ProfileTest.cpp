@@ -190,6 +190,58 @@ TEST(ProfileTest, ReportIsByteStable) {
       << "mnemonics come from opcodeName(): " << R1;
 }
 
+TEST(ProfileTest, ProfilingForcesUnfusedSwitchDispatch) {
+  // A profiling launch always executes on the reference switch loop,
+  // whatever Dispatch asks for: the opcode-pair counts must see the
+  // unfused sequences fusion candidates are mined from. A profiler
+  // riding the fused path would never observe e.g. LoadConst→BinOp —
+  // the superinstruction consumes the pair — and would therefore stop
+  // ranking exactly the pairs already fused (self-extinguishing).
+  CompiledKernel K = compile(ScaleSrc);
+  auto Launch = [&K](DispatchMode Mode, OpcodeProfile *Prof) {
+    std::vector<BufferData> Bufs = {iota(64)};
+    LaunchConfig C = config1D(64, 8);
+    C.Dispatch = Mode;
+    C.Profile = Prof;
+    auto R = launchKernel(K, {KernelArg::buffer(0), KernelArg::scalar(64)},
+                          Bufs, C);
+    EXPECT_TRUE(R.ok()) << R.errorMessage();
+    return R.ok() ? R.get() : ExecCounters();
+  };
+
+  OpcodeProfile UnderFused, UnderSwitch;
+  ExecCounters CF = Launch(DispatchMode::ThreadedFused, &UnderFused);
+  ExecCounters CS = Launch(DispatchMode::Switch, &UnderSwitch);
+
+  // Identical profiles whichever mode was requested...
+  EXPECT_EQ(UnderFused.instructionTotal(), UnderSwitch.instructionTotal());
+  for (size_t A = 0; A < NumOpcodes; ++A)
+    for (size_t B = 0; B < NumOpcodes; ++B)
+      EXPECT_EQ(UnderFused.Pair[A][B], UnderSwitch.Pair[A][B])
+          << opcodeName(static_cast<Opcode>(A)) << " -> "
+          << opcodeName(static_cast<Opcode>(B));
+  // ...agreeing with the interpreter's own accounting in both runs.
+  EXPECT_EQ(UnderFused.instructionTotal(), CF.Instructions);
+  EXPECT_EQ(UnderSwitch.instructionTotal(), CS.Instructions);
+  // And the profile saw genuinely unfused sequences: ScaleSrc's
+  // `* 2.0f + 1.0f` executes LoadConst→BinOp pairs, the very pairs the
+  // fused path would have swallowed.
+  EXPECT_GT(UnderFused.Pair[static_cast<size_t>(Opcode::LoadConst)]
+                           [static_cast<size_t>(Opcode::BinOp)],
+            0u);
+
+  // A fused (unprofiled) launch retires the same per-original-
+  // instruction counts, so profile-derived totals stay valid for runs
+  // executed in any mode.
+  ExecCounters Plain = Launch(DispatchMode::ThreadedFused, nullptr);
+  EXPECT_EQ(Plain.Instructions, UnderSwitch.instructionTotal());
+
+  // The report states the dispatch provenance of its numbers.
+  std::string Report = formatOpcodeReport(UnderFused, 5);
+  EXPECT_NE(Report.find("unfused switch dispatch"), std::string::npos)
+      << Report;
+}
+
 TEST(ProfileTest, EmptyProfileReport) {
   OpcodeProfile P;
   std::string R = formatOpcodeReport(P, 5);
