@@ -15,6 +15,7 @@
 #include "Common.h"
 
 #include "features/Features.h"
+#include "predict/Report.h"
 #include "support/Stats.h"
 
 #include <map>
@@ -25,32 +26,24 @@ using namespace clgen::bench;
 
 namespace {
 
-using FeatureKey = std::array<int64_t, 5>;
+using predict::FeatureKey;
 
-std::set<FeatureKey> benchmarkFeatureKeys() {
-  std::set<FeatureKey> Keys;
+/// Static-features-only observations over the benchmark catalogue, the
+/// input shape the shared key collector (predict/Report.h) expects.
+std::vector<predict::Observation> catalogueObservations() {
+  std::vector<predict::Observation> Obs;
   for (const auto &BK : suites::buildCatalogue()) {
     auto Compiled = vm::compileFirstKernel(BK.Source);
-    if (Compiled.ok())
-      Keys.insert(
-          features::extractStaticFeatures(Compiled.get()).key());
+    if (!Compiled.ok())
+      continue;
+    predict::Observation O;
+    O.Suite = BK.Suite;
+    O.Benchmark = BK.Benchmark;
+    O.Kernel = BK.KernelName;
+    O.Raw.Static = features::extractStaticFeatures(Compiled.get());
+    Obs.push_back(O);
   }
-  return Keys;
-}
-
-/// Counts cumulative matches of \p Kernels against \p Keys at each
-/// checkpoint.
-std::vector<size_t> matchCurve(const std::vector<FeatureKey> &Kernels,
-                               const std::set<FeatureKey> &Keys,
-                               const std::vector<size_t> &Checkpoints) {
-  std::vector<size_t> Curve;
-  size_t Matches = 0, Cursor = 0;
-  for (size_t Checkpoint : Checkpoints) {
-    for (; Cursor < std::min(Checkpoint, Kernels.size()); ++Cursor)
-      Matches += Keys.count(Kernels[Cursor]) != 0;
-    Curve.push_back(Matches);
-  }
-  return Curve;
+  return Obs;
 }
 
 FeatureKey keyOf(const vm::CompiledKernel &K) {
@@ -72,7 +65,7 @@ int main() {
                         .c_str());
 
   std::printf("collecting benchmark feature keys...\n");
-  auto Keys = benchmarkFeatureKeys();
+  auto Keys = predict::benchmarkFeatureKeys(catalogueObservations());
   std::printf("distinct benchmark feature tuples: %zu\n\n", Keys.size());
 
   // --- GitHub: the rewritten corpus kernels (finite). ---
@@ -126,12 +119,14 @@ int main() {
   for (int S = 0; S < Samplings; ++S) {
     auto Shuffled = ClgenKeys;
     R.shuffle(Shuffled);
-    auto Curve = matchCurve(Shuffled, Keys, Checkpoints);
+    auto Curve = predict::cumulativeMatchCurve(Shuffled, Keys, Checkpoints);
     for (size_t I = 0; I < Curve.size(); ++I)
       ClgenCurves[I].push_back(static_cast<double>(Curve[I]));
   }
-  auto GithubCurve = matchCurve(GithubKeys, Keys, Checkpoints);
-  auto ClsmithCurve = matchCurve(ClsmithKeys, Keys, Checkpoints);
+  auto GithubCurve =
+      predict::cumulativeMatchCurve(GithubKeys, Keys, Checkpoints);
+  auto ClsmithCurve =
+      predict::cumulativeMatchCurve(ClsmithKeys, Keys, Checkpoints);
   for (size_t I = 0; I < Checkpoints.size(); ++I) {
     T.addRow({std::to_string(Checkpoints[I]),
               std::to_string(GithubCurve[I]),

@@ -14,6 +14,7 @@
 #include "Common.h"
 
 #include "features/Features.h"
+#include "predict/Report.h"
 
 using namespace clgen;
 using namespace clgen::bench;
@@ -29,59 +30,20 @@ int main() {
   auto Obs = suites::measureCatalogue(Catalogue, runtime::amdPlatform());
   std::printf("observations: %zu\n\n", Obs.size());
 
+  // The grid, averages and worst pair all come from the shared renderer
+  // (predict/Report.h) — the same bytes the experiment engine and the
+  // golden tier produce.
   auto Names = suites::suiteNames();
-  TextTable T;
-  std::vector<std::string> Header = {"test \\ train"};
-  for (const auto &N : Names)
-    Header.push_back(N);
-  T.setHeader(Header);
+  predict::Table1Stats Stats;
+  std::string Report = predict::renderTable1(
+      Obs, {}, Names, predict::FeatureSetKind::Grewe, predict::TreeOptions(),
+      &Stats);
+  std::printf("%s", Report.c_str());
 
-  // Also track per-training-suite averages for the "best suite" claim.
-  std::vector<double> TrainAvg(Names.size(), 0.0);
-  std::vector<int> TrainCount(Names.size(), 0);
-  double Worst = 1.0;
-  std::string WorstPair;
-
-  for (const auto &TestSuite : Names) {
-    std::vector<std::string> Row = {TestSuite};
-    auto Test = bySuite(Obs, TestSuite);
-    for (size_t TI = 0; TI < Names.size(); ++TI) {
-      const auto &TrainSuite = Names[TI];
-      if (TrainSuite == TestSuite) {
-        Row.push_back("-");
-        continue;
-      }
-      auto Train = bySuite(Obs, TrainSuite);
-      auto Preds = predict::trainAndPredict(Train, Test,
-                                            predict::FeatureSetKind::Grewe);
-      double Perf = predict::performanceRelativeToOracle(Test, Preds);
-      Row.push_back(formatPercent(Perf));
-      TrainAvg[TI] += Perf;
-      TrainCount[TI] += 1;
-      if (Perf < Worst) {
-        Worst = Perf;
-        WorstPair = "train " + TrainSuite + " -> test " + TestSuite;
-      }
-    }
-    T.addRow(Row);
-  }
-  std::printf("%s", T.render().c_str());
-
-  // Summary row: average per training suite.
-  std::printf("\nAverage performance by training suite:\n");
-  size_t BestIdx = 0;
-  for (size_t TI = 0; TI < Names.size(); ++TI) {
-    double Avg = TrainCount[TI] ? TrainAvg[TI] / TrainCount[TI] : 0.0;
-    std::printf("  %-11s %s\n", Names[TI].c_str(),
-                formatPercent(Avg).c_str());
-    if (TrainCount[TI] &&
-        Avg > TrainAvg[BestIdx] / std::max(TrainCount[BestIdx], 1))
-      BestIdx = TI;
-  }
-  std::printf("\nWorst pair: %s at %s (paper: train Parboil -> test "
-              "Polybench, 11.5%%)\n",
-              WorstPair.c_str(), formatPercent(Worst).c_str());
-  std::printf("Paper's best training suite: NVIDIA SDK at 49%% average.\n");
+  std::printf("\nModels trained: %zu. Paper reference: worst pair train "
+              "Parboil -> test Polybench at 11.5%%;\nbest training suite "
+              "NVIDIA SDK at 49%% average.\n",
+              Stats.TreesTrained);
   std::printf("\nConclusion (paper section 2): heuristics learned on one "
               "benchmark suite\nfail to generalise across other suites.\n");
 

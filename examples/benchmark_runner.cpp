@@ -36,6 +36,7 @@
 
 #include "clgen/Pipeline.h"
 #include "githubsim/GithubSim.h"
+#include "predict/Experiment.h"
 #include "runtime/DynamicChecker.h"
 #include "runtime/HostDriver.h"
 #include "store/Archive.h"
@@ -51,6 +52,8 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <memory>
 #include <optional>
 #include <string>
@@ -109,6 +112,11 @@ struct RunnerConfig {
   /// Aggregation target for --profile-vm, owned by main and wired into
   /// both modes' DriverOptions.
   vm::SharedOpcodeProfile *Profile = nullptr;
+  // Predictive-modeling experiment (--experiment).
+  bool Experiment = false;
+  size_t Folds = 0;            // 0 = golden default.
+  unsigned PredictWorkers = 0; // Meaningful only when the flag was set.
+  std::string ReportOut;       // Directory for the report artifacts.
   // Which flags the user actually passed, so flags that have no effect
   // in the selected mode are rejected instead of silently dropped.
   bool TrainFlagSet = false;
@@ -116,6 +124,8 @@ struct RunnerConfig {
   bool WorkloadFlagSet = false;
   bool DriverFlagSet = false;
   bool TelemetryFlagSet = false;
+  bool PredictWorkersSet = false;
+  bool ExperimentFlagSet = false; // --folds / --report-out / workers.
 };
 
 /// Per-trap-class failure tally for the end-of-run summary. A pipeline
@@ -339,6 +349,88 @@ int runStreamingPipeline(const RunnerConfig &Cfg) {
   return Tally.exitCode();
 }
 
+/// The --experiment mode: the paper's closing loop (predict/Experiment.h)
+/// on the pinned golden configuration — train CLgen, synthesize +
+/// measure synthetic benchmarks, measure the real suites, cross-validate
+/// the device-mapping model with and without the synthetic rows, and
+/// render Table 1 / Figure 9. With --cache-dir the three experiment
+/// archives warm-start the whole stage: a second run trains zero models
+/// and measures zero kernels.
+int runExperimentMode(const RunnerConfig &Cfg) {
+  PhaseTimer Total("clgen.runner.experiment_us");
+  predict::ExperimentOptions Opts = predict::goldenExperimentOptions();
+  if (Cfg.Folds)
+    Opts.KFold.Folds = Cfg.Folds;
+  if (Cfg.PredictWorkersSet) {
+    // Scheduling-only by contract: any value yields identical bytes.
+    Opts.Workers = Cfg.PredictWorkers;
+    Opts.KFold.Workers = Cfg.PredictWorkers;
+  }
+  Opts.Streaming.Driver.WatchdogMs = Cfg.WatchdogMs;
+  Opts.Streaming.Driver.MaxRetries = Cfg.Retries;
+  Opts.Streaming.Driver.Profile = Cfg.Profile;
+  Opts.Streaming.Driver.Dispatch = Cfg.Dispatch;
+
+  predict::ExperimentResult R;
+  if (Cfg.CacheDir.empty()) {
+    R = predict::runExperiment(Opts);
+  } else {
+    auto Loaded = predict::runOrLoadExperiment(Cfg.CacheDir, Opts);
+    if (!Loaded.ok()) {
+      std::fprintf(stderr, "experiment failed: %s\n",
+                   Loaded.errorMessage().c_str());
+      return 1;
+    }
+    R = Loaded.take();
+  }
+
+  std::printf("experiment: %s in %.1f ms — key %s\n",
+              R.Provenance.Warm ? "warm start (all artifacts from store)"
+                                : "computed cold",
+              Total.stopMs(),
+              store::hexDigest(predict::experimentKey(Opts)).c_str());
+  std::printf("work: %zu models trained, %zu kernels measured\n",
+              R.Provenance.TrainedModels, R.Provenance.MeasuredKernels);
+  std::printf("observations: %zu real (%zu folds trained), %zu synthetic\n",
+              R.Real.size(), R.Baseline.FoldsTrained, R.Synthetic.size());
+  const predict::ExperimentMetrics &M = R.Metrics;
+  std::printf("baseline : accuracy %.3f, vs oracle %.3f, speedup over "
+              "static-%s %.3f\n",
+              M.BaselineAccuracy, M.BaselineOracle,
+              M.StaticLabel == 1 ? "GPU" : "CPU", M.BaselineSpeedup);
+  std::printf("augmented: accuracy %.3f, vs oracle %.3f, speedup over "
+              "static-%s %.3f\n",
+              M.AugmentedAccuracy, M.AugmentedOracle,
+              M.StaticLabel == 1 ? "GPU" : "CPU", M.AugmentedSpeedup);
+
+  if (Cfg.ReportOut.empty()) {
+    std::printf("\n%s\n%s", R.Table1.c_str(), R.Fig9.c_str());
+    return 0;
+  }
+  std::error_code Ec;
+  std::filesystem::create_directories(Cfg.ReportOut, Ec);
+  if (Ec) {
+    std::fprintf(stderr, "cannot create report directory %s: %s\n",
+                 Cfg.ReportOut.c_str(), Ec.message().c_str());
+    return 1;
+  }
+  for (const auto &[Name, Body] :
+       {std::pair<std::string, const std::string &>("experiment_table1.txt",
+                                                    R.Table1),
+        std::pair<std::string, const std::string &>("experiment_fig9.txt",
+                                                    R.Fig9)}) {
+    std::string Path = Cfg.ReportOut + "/" + Name;
+    std::ofstream F(Path, std::ios::binary | std::ios::trunc);
+    F << Body;
+    if (!F.flush()) {
+      std::fprintf(stderr, "cannot write report file: %s\n", Path.c_str());
+      return 1;
+    }
+    std::printf("report: wrote %s (%zu bytes)\n", Path.c_str(), Body.size());
+  }
+  return 0;
+}
+
 /// Writes --trace-out / --metrics-out and prints the --profile-vm
 /// report. main runs this on EVERY pipeline exit path — including the
 /// exit-3 zero-measurement failure, where the partial trace/metrics
@@ -443,6 +535,27 @@ void printUsage(const char *Prog, std::FILE *Out) {
       "  --pipeline            stream synthesis straight into measurement\n"
       "                        (bounded producer/consumer channel) instead\n"
       "                        of two phases; combines with --cache-dir\n"
+      "  --experiment          run the paper's closing loop on the pinned\n"
+      "                        golden configuration: train CLgen, measure\n"
+      "                        synthetic + real benchmarks, cross-validate\n"
+      "                        the device-mapping model with and without\n"
+      "                        the synthetic rows, print Table 1 and the\n"
+      "                        Figure 9 feature-match report. With\n"
+      "                        --cache-dir, warm re-runs load all three\n"
+      "                        experiment archives and do zero training\n"
+      "                        and zero measurement\n"
+      "\n"
+      "Experiment knobs (with --experiment):\n"
+      "  --folds N             K-fold count (semantic: changes the fold\n"
+      "                        split, the predictions and the store key;\n"
+      "                        default 3, the golden configuration)\n"
+      "  --predict-workers N   threads for feature extraction and fold\n"
+      "                        training; 0 = hardware concurrency.\n"
+      "                        Scheduling only: report bytes are identical\n"
+      "                        for every value\n"
+      "  --report-out DIR      write experiment_table1.txt and\n"
+      "                        experiment_fig9.txt into DIR instead of\n"
+      "                        printing the reports\n"
       "\n"
       "Workload:\n"
       "  --kernels N           synthesis target (default 40)\n"
@@ -536,6 +649,29 @@ int main(int Argc, char **Argv) {
       Cfg.CacheDir = Argv[++I];
     } else if (Arg == "--pipeline") {
       Cfg.Pipeline = true;
+    } else if (Arg == "--experiment") {
+      Cfg.Experiment = true;
+    } else if (Arg == "--folds" && I + 1 < Argc) {
+      if (!ParseCount(Argv[++I], N) || N > 64) {
+        std::fprintf(stderr, "--folds expects an integer in [1, 64]\n");
+        return 2;
+      }
+      Cfg.Folds = N;
+      Cfg.ExperimentFlagSet = true;
+    } else if (Arg == "--predict-workers" && I + 1 < Argc) {
+      if (!ParseDigits(Argv[++I], N) || N > (1ul << 10)) {
+        std::fprintf(stderr,
+                     "--predict-workers expects an integer in [0, %lu] "
+                     "(0 = hardware concurrency)\n",
+                     1ul << 10);
+        return 2;
+      }
+      Cfg.PredictWorkers = static_cast<unsigned>(N);
+      Cfg.PredictWorkersSet = true;
+      Cfg.ExperimentFlagSet = true;
+    } else if (Arg == "--report-out" && I + 1 < Argc) {
+      Cfg.ReportOut = Argv[++I];
+      Cfg.ExperimentFlagSet = true;
     } else if (Arg == "--backend" && I + 1 < Argc) {
       std::string Backend = Argv[++I];
       if (Backend == "lstm") {
@@ -645,7 +781,23 @@ int main(int Argc, char **Argv) {
   }
   // Reject flag combinations that would be silently ignored: every
   // option the user passes must affect the run it configures.
-  bool PipelineMode = Cfg.Pipeline || !Cfg.CacheDir.empty();
+  if (Cfg.ExperimentFlagSet && !Cfg.Experiment) {
+    std::fprintf(stderr, "--folds/--predict-workers/--report-out only "
+                         "apply to --experiment\n");
+    return 2;
+  }
+  if (Cfg.Experiment &&
+      (Cfg.Pipeline || Cfg.UseLstm || Cfg.WorkloadFlagSet ||
+       Cfg.StreamFlagSet || Cfg.Refill)) {
+    std::fprintf(stderr,
+                 "--experiment runs the pinned golden configuration; it "
+                 "combines only with --cache-dir, the experiment knobs, "
+                 "--dispatch/--watchdog-ms/--retries and telemetry "
+                 "flags\n");
+    return 2;
+  }
+  bool PipelineMode =
+      Cfg.Pipeline || Cfg.Experiment || !Cfg.CacheDir.empty();
   if (Cfg.UseLstm && !PipelineMode) {
     std::fprintf(stderr, "--backend lstm requires a pipeline mode "
                          "(--cache-dir and/or --pipeline)\n");
@@ -708,7 +860,9 @@ int main(int Argc, char **Argv) {
   if (!Cfg.TraceOut.empty())
     support::Trace::start();
   int Exit = -1;
-  if (Cfg.Pipeline)
+  if (Cfg.Experiment)
+    Exit = runExperimentMode(Cfg);
+  else if (Cfg.Pipeline)
     Exit = runStreamingPipeline(Cfg);
   else if (!Cfg.CacheDir.empty())
     Exit = runCachedPipeline(Cfg);

@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+#===- scripts/check_golden.sh - golden-artifact regression at CLI level --===//
+#
+# Drives the shipped experiment CLI (example_benchmark_runner
+# --experiment) against a throwaway store and byte-diffs its report
+# artifacts against the checked-in goldens under tests/golden/ — the
+# same files ExperimentGoldenTest pins in-process. Two passes:
+#
+#   1. cold: a clean store, so the full loop (train, synthesize,
+#      measure, cross-validate, render) runs and the reports are
+#      freshly computed;
+#   2. warm: the store populated by pass 1, which must serve all three
+#      experiment archives ("0 models trained, 0 kernels measured" on
+#      stdout) and still emit byte-identical reports.
+#
+# Passing proves the committed goldens, the library renderers and the
+# CLI surface agree byte-for-byte, cold and warm. Registered as the
+# ctest `check_golden` (label `golden`); run manually:
+#
+#   bash scripts/check_golden.sh <source-dir> <runner-binary>
+#
+#===----------------------------------------------------------------------===//
+
+set -eu
+
+SRC=${1:?usage: check_golden.sh <source-dir> <runner-binary>}
+RUNNER=${2:?usage: check_golden.sh <source-dir> <runner-binary>}
+
+GOLDEN="$SRC/tests/golden"
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/clgen_check_golden.XXXXXX")
+trap 'rm -rf "$WORK"' EXIT
+
+for F in experiment_table1.txt experiment_fig9.txt; do
+  [ -s "$GOLDEN/$F" ] || { echo "check_golden: missing golden $F" >&2; exit 1; }
+done
+
+run_pass() { # <label>
+  local LABEL=$1
+  local OUT="$WORK/$LABEL"
+  echo "check_golden: $LABEL run"
+  "$RUNNER" --experiment --cache-dir "$WORK/store" --report-out "$OUT" \
+      > "$WORK/$LABEL.log"
+  for F in experiment_table1.txt experiment_fig9.txt; do
+    if ! cmp -s "$OUT/$F" "$GOLDEN/$F"; then
+      echo "check_golden: $LABEL $F differs from the golden:" >&2
+      diff "$GOLDEN/$F" "$OUT/$F" >&2 || true
+      exit 1
+    fi
+  done
+}
+
+run_pass cold
+grep -q "computed cold" "$WORK/cold.log" \
+  || { echo "check_golden: first pass did not compute cold" >&2; exit 1; }
+
+run_pass warm
+grep -q "warm start" "$WORK/warm.log" \
+  || { echo "check_golden: second pass did not warm-start" >&2; exit 1; }
+grep -q "work: 0 models trained, 0 kernels measured" "$WORK/warm.log" \
+  || { echo "check_golden: warm pass reported nonzero work" >&2; exit 1; }
+
+echo "check_golden: OK (cold + warm reports byte-identical to tests/golden)"

@@ -6,6 +6,10 @@
 
 #include "features/Features.h"
 
+#include "support/Metrics.h"
+#include "support/ThreadPool.h"
+#include "support/Trace.h"
+
 using namespace clgen;
 using namespace clgen::features;
 using namespace clgen::vm;
@@ -44,6 +48,23 @@ features::extractStaticFeatures(const CompiledKernel &Kernel) {
   }
   F.Branches = Kernel.BranchSites;
   return F;
+}
+
+std::vector<StaticFeatures> features::extractStaticFeaturesParallel(
+    const std::vector<vm::CompiledKernel> &Kernels, unsigned Workers) {
+  CLGS_TRACE_SPAN("features.extract_parallel");
+  // Pre-sized output keyed by kernel index: each task writes its own
+  // slot, so the merge is order-preserving by construction and the
+  // result is byte-identical to the serial loop for any worker count.
+  std::vector<StaticFeatures> Out(Kernels.size());
+  size_t Pool = std::min<size_t>(ThreadPool::resolveWorkerCount(Workers),
+                                 Kernels.size() ? Kernels.size() : 1);
+  ThreadPool TP(Pool);
+  TP.parallelFor(0, Kernels.size(), [&](size_t, size_t I) {
+    Out[I] = extractStaticFeatures(Kernels[I]);
+  });
+  CLGS_COUNT_N("clgen.predict.features_rows", Kernels.size());
+  return Out;
 }
 
 std::vector<double> features::greweFeatureVector(const RawFeatures &F) {

@@ -65,6 +65,14 @@ struct RawFeatures {
 /// Extracts the static features from compiled bytecode.
 StaticFeatures extractStaticFeatures(const vm::CompiledKernel &Kernel);
 
+/// Extracts static features for every kernel of \p Kernels on a thread
+/// pool with an order-preserving merge: element i equals
+/// extractStaticFeatures(Kernels[i]) exactly, for any worker count
+/// (0 = hardware concurrency). Workers is scheduling-only.
+std::vector<StaticFeatures>
+extractStaticFeaturesParallel(const std::vector<vm::CompiledKernel> &Kernels,
+                              unsigned Workers = 0);
+
 /// Combined features F1..F4 (the original Grewe et al. model inputs).
 std::vector<double> greweFeatureVector(const RawFeatures &F);
 

@@ -6,6 +6,7 @@
 
 #include "predict/DecisionTree.h"
 
+#include "store/Archive.h"
 #include "support/StringUtils.h"
 
 #include <algorithm>
@@ -146,6 +147,64 @@ int DecisionTree::predict(const std::vector<double> &X) const {
 
 double DecisionTree::predictProbability(const std::vector<double> &X) const {
   return leafFor(X).Probability;
+}
+
+void DecisionTree::serialize(store::ArchiveWriter &W) const {
+  W.writeI32(Opts.MaxDepth);
+  W.writeU64(Opts.MinSamplesLeaf);
+  W.writeU64(Opts.MinSamplesSplit);
+  W.writeU64(Nodes.size());
+  for (const Node &N : Nodes) {
+    W.writeBool(N.Leaf);
+    W.writeI32(N.Feature);
+    W.writeF64(N.Threshold);
+    W.writeI32(N.Left);
+    W.writeI32(N.Right);
+    W.writeI32(N.Label);
+    W.writeF64(N.Probability);
+  }
+}
+
+DecisionTree DecisionTree::deserialize(store::ArchiveReader &R) {
+  DecisionTree T;
+  T.Opts.MaxDepth = R.readI32();
+  T.Opts.MinSamplesLeaf = R.readU64();
+  T.Opts.MinSamplesSplit = R.readU64();
+  uint64_t Count = R.readU64();
+  // A tree over a few hundred observations has tens of nodes; a
+  // million-node count is a corrupt length field, not a model.
+  if (Count > (1u << 20)) {
+    R.fail("implausible decision-tree node count");
+    return DecisionTree();
+  }
+  T.Nodes.reserve(Count);
+  for (uint64_t I = 0; I < Count && R.ok(); ++I) {
+    Node N;
+    N.Leaf = R.readBool();
+    N.Feature = R.readI32();
+    N.Threshold = R.readF64();
+    N.Left = R.readI32();
+    N.Right = R.readI32();
+    N.Label = R.readI32();
+    N.Probability = R.readF64();
+    if (!N.Leaf) {
+      // build() appends children after their parent, so stored child
+      // indices must point strictly forward and stay in the table —
+      // the invariant that bounds every prediction walk.
+      bool LeftOk = N.Left > static_cast<int>(I) &&
+                    N.Left < static_cast<int>(Count);
+      bool RightOk = N.Right > static_cast<int>(I) &&
+                     N.Right < static_cast<int>(Count);
+      if (!LeftOk || !RightOk || N.Feature < 0) {
+        R.fail("decision-tree split node with invalid children");
+        return DecisionTree();
+      }
+    }
+    T.Nodes.push_back(N);
+  }
+  if (!R.ok())
+    return DecisionTree();
+  return T;
 }
 
 std::string

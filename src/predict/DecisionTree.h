@@ -21,6 +21,10 @@
 #include <vector>
 
 namespace clgen {
+namespace store {
+class ArchiveWriter;
+class ArchiveReader;
+} // namespace store
 namespace predict {
 
 struct TreeOptions {
@@ -50,6 +54,18 @@ public:
 
   /// Text rendering of the tree (tests, debugging).
   std::string dump(const std::vector<std::string> &FeatureNames = {}) const;
+
+  /// Appends the trained tree (options + node table) to an archive
+  /// payload, field-by-field. Equal trees serialize to identical bytes,
+  /// so the image doubles as the tree's content identity.
+  void serialize(store::ArchiveWriter &W) const;
+
+  /// Reads a tree written by serialize(). Malformed payloads — an
+  /// implausible node count, a split child outside the table, a child
+  /// index that does not point strictly forward (the build order's
+  /// invariant, which is also what makes prediction walks terminate) —
+  /// trip \p R's sticky error state and yield an untrained tree.
+  static DecisionTree deserialize(store::ArchiveReader &R);
 
 private:
   struct Node {

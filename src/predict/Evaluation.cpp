@@ -6,8 +6,13 @@
 
 #include "predict/Evaluation.h"
 
+#include "support/Metrics.h"
+#include "support/Rng.h"
 #include "support/Stats.h"
+#include "support/ThreadPool.h"
+#include "support/Trace.h"
 
+#include <algorithm>
 #include <cassert>
 #include <map>
 
@@ -23,6 +28,21 @@ std::vector<double> predict::featureVector(const Observation &O,
     return features::extendedFeatureVector(O.Raw);
   }
   return {};
+}
+
+std::vector<std::vector<double>>
+predict::featureMatrix(const std::vector<Observation> &Obs,
+                       FeatureSetKind Kind, unsigned Workers) {
+  // Slot-per-row merge: each task fills its own index, so the matrix is
+  // identical to the serial loop for any worker count.
+  std::vector<std::vector<double>> X(Obs.size());
+  size_t Pool = std::min<size_t>(ThreadPool::resolveWorkerCount(Workers),
+                                 Obs.size() ? Obs.size() : 1);
+  ThreadPool TP(Pool);
+  TP.parallelFor(0, Obs.size(), [&](size_t, size_t I) {
+    X[I] = featureVector(Obs[I], Kind);
+  });
+  return X;
 }
 
 std::vector<int>
@@ -132,4 +152,70 @@ predict::leaveOneBenchmarkOut(const std::vector<Observation> &Obs,
       Result.Predictions[TestIdx[K]] = Preds[K];
   }
   return Result;
+}
+
+KFoldResult
+predict::kFoldCrossValidation(const std::vector<Observation> &Obs,
+                              const std::vector<Observation> &ExtraTraining,
+                              FeatureSetKind Kind, const KFoldOptions &KOpts,
+                              TreeOptions Opts) {
+  CLGS_TRACE_SPAN("predict.kfold");
+  KFoldResult Out;
+  Out.Predictions.assign(Obs.size(), 0);
+  Out.FoldOf.assign(Obs.size(), 0);
+  if (Obs.empty())
+    return Out;
+
+  // Group observation indices by benchmark; the sorted map fixes the
+  // group order independent of observation order across groups.
+  std::map<std::string, std::vector<size_t>> Groups;
+  for (size_t I = 0; I < Obs.size(); ++I)
+    Groups[Obs[I].Suite + "/" + Obs[I].Benchmark].push_back(I);
+
+  size_t Folds = std::max<size_t>(1, std::min(KOpts.Folds, Groups.size()));
+
+  // Counter-keyed fold assignment: fold(g) is a pure function of
+  // (Seed, g, Folds) — bit-identical for any worker count or schedule.
+  Rng Root(KOpts.Seed);
+  std::vector<std::vector<size_t>> FoldTest(Folds);
+  size_t GroupIndex = 0;
+  for (const auto &[Group, Members] : Groups) {
+    size_t Fold = Root.split(GroupIndex).bounded(Folds);
+    for (size_t I : Members) {
+      Out.FoldOf[I] = static_cast<int>(Fold);
+      FoldTest[Fold].push_back(I);
+    }
+    ++GroupIndex;
+  }
+
+  // Train the folds in parallel. Every fold reads the shared inputs and
+  // writes only its own observations' prediction slots — disjoint by
+  // construction, so the merge is race-free and order-preserving.
+  size_t Pool =
+      std::min<size_t>(ThreadPool::resolveWorkerCount(KOpts.Workers), Folds);
+  ThreadPool TP(Pool);
+  std::vector<uint8_t> Trained(Folds, 0);
+  TP.parallelFor(0, Folds, [&](size_t, size_t Fold) {
+    if (FoldTest[Fold].empty())
+      return;
+    CLGS_TRACE_SPAN_IDX("predict.kfold.fold", Fold);
+    std::vector<Observation> Train;
+    Train.reserve(Obs.size() + ExtraTraining.size());
+    for (size_t I = 0; I < Obs.size(); ++I)
+      if (Out.FoldOf[I] != static_cast<int>(Fold))
+        Train.push_back(Obs[I]);
+    Train.insert(Train.end(), ExtraTraining.begin(), ExtraTraining.end());
+    std::vector<Observation> Test;
+    Test.reserve(FoldTest[Fold].size());
+    for (size_t I : FoldTest[Fold])
+      Test.push_back(Obs[I]);
+    std::vector<int> Preds = trainAndPredict(Train, Test, Kind, Opts);
+    for (size_t K = 0; K < FoldTest[Fold].size(); ++K)
+      Out.Predictions[FoldTest[Fold][K]] = Preds[K];
+    Trained[Fold] = 1;
+  });
+  for (uint8_t T : Trained)
+    Out.FoldsTrained += T;
+  CLGS_COUNT_N("clgen.predict.folds_trained", Out.FoldsTrained);
+  return Out;
 }

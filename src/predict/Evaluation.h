@@ -57,6 +57,14 @@ enum class FeatureSetKind {
 /// Materialises the feature vector for \p O under the chosen layout.
 std::vector<double> featureVector(const Observation &O, FeatureSetKind Kind);
 
+/// Row-major feature matrix over \p Obs, fanned out across a thread
+/// pool with an order-preserving merge: row i equals
+/// featureVector(Obs[i], Kind) exactly for any \p Workers value
+/// (0 = hardware concurrency; scheduling-only by contract).
+std::vector<std::vector<double>>
+featureMatrix(const std::vector<Observation> &Obs, FeatureSetKind Kind,
+              unsigned Workers = 1);
+
 /// Trains a decision tree on \p Train and returns per-observation
 /// predicted labels for \p Test.
 std::vector<int> trainAndPredict(const std::vector<Observation> &Train,
@@ -100,6 +108,48 @@ CrossValidationResult
 leaveOneBenchmarkOut(const std::vector<Observation> &Obs,
                      const std::vector<Observation> &ExtraTraining,
                      FeatureSetKind Kind, TreeOptions Opts = TreeOptions());
+
+/// Configuration of deterministic grouped K-fold cross-validation.
+struct KFoldOptions {
+  /// Number of folds (clamped to the number of benchmark groups).
+  size_t Folds = 5;
+  /// Seed of the fold assignment. Semantic: changes which benchmarks
+  /// land in which fold, and therefore every prediction.
+  uint64_t Seed = 0x5EEDF01D;
+  /// Fold-training threads (0 = hardware concurrency). Scheduling-only:
+  /// predictions are bit-identical for every value, because the fold
+  /// assignment is counter-keyed (below) and each fold writes disjoint
+  /// prediction slots.
+  unsigned Workers = 1;
+};
+
+/// Result of a K-fold run, index-aligned with the input observations.
+struct KFoldResult {
+  std::vector<int> Predictions;
+  /// Fold each observation was held out in.
+  std::vector<int> FoldOf;
+  /// Folds that actually trained a tree (folds assigned no benchmark
+  /// group are skipped).
+  size_t FoldsTrained = 0;
+};
+
+/// Deterministic grouped K-fold cross-validation: whole benchmarks
+/// (Suite/Benchmark groups) are assigned to folds so a kernel is never
+/// predicted by a model that saw its sibling datasets.
+///
+/// Fold-split determinism contract: group keys are sorted, and group g
+/// (in sorted order) lands in fold Rng(Seed).split(g).bounded(Folds) —
+/// a pure function of (Seed, g, Folds) via the counter-keyed RNG split,
+/// so the assignment is independent of worker count, scheduling and
+/// observation arrival order within a group. Folds then train in
+/// parallel, each writing only its own observations' prediction slots;
+/// the merged result is bit-identical for any KFoldOptions::Workers.
+/// \p ExtraTraining joins every fold's training side, never a test set.
+KFoldResult kFoldCrossValidation(const std::vector<Observation> &Obs,
+                                 const std::vector<Observation> &ExtraTraining,
+                                 FeatureSetKind Kind,
+                                 const KFoldOptions &KOpts = KFoldOptions(),
+                                 TreeOptions Opts = TreeOptions());
 
 } // namespace predict
 } // namespace clgen

@@ -106,11 +106,17 @@ PcaResult predict::fitPca(const std::vector<std::vector<double>> &X) {
     }
   }
 
-  // Sort eigenpairs by decreasing eigenvalue.
+  // Sort eigenpairs by decreasing eigenvalue. Ties (e.g. isotropic
+  // data, where every direction explains equal variance) break on the
+  // column index: std::sort is unstable, so without the tie-break the
+  // component order of equal eigenvalues would be unspecified.
   std::vector<size_t> Order(D);
   std::iota(Order.begin(), Order.end(), 0);
-  std::sort(Order.begin(), Order.end(),
-            [&](size_t A, size_t B) { return Cov[A][A] > Cov[B][B]; });
+  std::sort(Order.begin(), Order.end(), [&](size_t A, size_t B) {
+    if (Cov[A][A] != Cov[B][B])
+      return Cov[A][A] > Cov[B][B];
+    return A < B;
+  });
 
   R.Components.resize(D, std::vector<double>(D, 0.0));
   R.ExplainedVariance.resize(D);
@@ -118,6 +124,18 @@ PcaResult predict::fitPca(const std::vector<std::vector<double>> &X) {
     R.ExplainedVariance[K] = Cov[Order[K]][Order[K]];
     for (size_t F = 0; F < D; ++F)
       R.Components[K][F] = V[F][Order[K]];
+    // Orientation convention: an eigenvector is only defined up to
+    // sign, and the Jacobi rotation path can deliver either one. Pin
+    // the first non-negligible coordinate positive so equal inputs
+    // always produce identical components (byte-stable Figure 3).
+    for (size_t F = 0; F < D; ++F) {
+      if (std::fabs(R.Components[K][F]) > 1e-12) {
+        if (R.Components[K][F] < 0.0)
+          for (size_t G = 0; G < D; ++G)
+            R.Components[K][G] = -R.Components[K][G];
+        break;
+      }
+    }
   }
   return R;
 }

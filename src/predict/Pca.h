@@ -23,7 +23,10 @@ namespace predict {
 
 struct PcaResult {
   /// Row-major component matrix: Components[k] is the k-th principal
-  /// axis (unit length) in feature space, ordered by decreasing variance.
+  /// axis (unit length) in feature space, ordered by decreasing
+  /// variance (ties broken by feature index) and oriented so each
+  /// axis's first non-negligible coordinate is positive — equal inputs
+  /// always yield identical components, never a sign flip.
   std::vector<std::vector<double>> Components;
   /// Eigenvalues (explained variance), same order.
   std::vector<double> ExplainedVariance;

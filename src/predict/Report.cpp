@@ -1,0 +1,248 @@
+//===- predict/Report.cpp - Byte-stable paper-artifact reports ----------------===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "predict/Report.h"
+
+#include "support/StringUtils.h"
+#include "support/Table.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+
+using namespace clgen;
+using namespace clgen::predict;
+
+namespace {
+
+std::vector<Observation> ofSuite(const std::vector<Observation> &Obs,
+                                 const std::string &Suite) {
+  std::vector<Observation> Out;
+  for (const Observation &O : Obs)
+    if (O.Suite == Suite)
+      Out.push_back(O);
+  return Out;
+}
+
+std::string percent(double X) { return formatString("%.1f%%", X * 100.0); }
+
+std::string keyString(const FeatureKey &K) {
+  return formatString("(%lld,%lld,%lld,%lld,%lld)",
+                      static_cast<long long>(K[0]),
+                      static_cast<long long>(K[1]),
+                      static_cast<long long>(K[2]),
+                      static_cast<long long>(K[3]),
+                      static_cast<long long>(K[4]));
+}
+
+int64_t l1Distance(const FeatureKey &A, const FeatureKey &B) {
+  int64_t D = 0;
+  for (size_t I = 0; I < A.size(); ++I)
+    D += std::llabs(A[I] - B[I]);
+  return D;
+}
+
+/// One grid of Table 1 plus its per-training-suite averages.
+std::string renderGrid(const std::vector<Observation> &Obs,
+                       const std::vector<Observation> &Extra,
+                       const std::vector<std::string> &SuiteNames,
+                       FeatureSetKind Kind, TreeOptions Opts,
+                       const char *AverageCaption, Table1Stats *Stats) {
+  TextTable T;
+  std::vector<std::string> Header = {"test \\ train"};
+  for (const std::string &N : SuiteNames)
+    Header.push_back(N);
+  T.setHeader(Header);
+
+  std::vector<double> TrainSum(SuiteNames.size(), 0.0);
+  std::vector<int> TrainCount(SuiteNames.size(), 0);
+  double Worst = 1.0;
+  std::string WorstPair;
+  size_t Trained = 0;
+
+  for (const std::string &TestSuite : SuiteNames) {
+    std::vector<Observation> Test = ofSuite(Obs, TestSuite);
+    std::vector<std::string> Row = {TestSuite};
+    for (size_t TI = 0; TI < SuiteNames.size(); ++TI) {
+      const std::string &TrainSuite = SuiteNames[TI];
+      std::vector<Observation> Train = ofSuite(Obs, TrainSuite);
+      if (TrainSuite == TestSuite || Train.empty() || Test.empty()) {
+        Row.push_back("-");
+        continue;
+      }
+      Train.insert(Train.end(), Extra.begin(), Extra.end());
+      std::vector<int> Preds = trainAndPredict(Train, Test, Kind, Opts);
+      ++Trained;
+      double Perf = performanceRelativeToOracle(Test, Preds);
+      Row.push_back(percent(Perf));
+      TrainSum[TI] += Perf;
+      TrainCount[TI] += 1;
+      if (Perf < Worst) {
+        Worst = Perf;
+        WorstPair = "train " + TrainSuite + " -> test " + TestSuite;
+      }
+    }
+    T.addRow(Row);
+  }
+
+  std::string Out = T.render();
+  Out += "\n";
+  Out += AverageCaption;
+  Out += "\n";
+  size_t BestIdx = 0;
+  double BestAvg = -1.0;
+  for (size_t TI = 0; TI < SuiteNames.size(); ++TI) {
+    double Avg = TrainCount[TI]
+                     ? TrainSum[TI] / static_cast<double>(TrainCount[TI])
+                     : 0.0;
+    Out += formatString("  %-11s %s\n", SuiteNames[TI].c_str(),
+                        percent(Avg).c_str());
+    if (TrainCount[TI] && Avg > BestAvg) {
+      BestAvg = Avg;
+      BestIdx = TI;
+    }
+  }
+  if (!WorstPair.empty())
+    Out += formatString("Worst pair: %s at %s\n", WorstPair.c_str(),
+                        percent(Worst).c_str());
+  if (Stats) {
+    Stats->TreesTrained += Trained;
+    Stats->BestTrainSuite = BestIdx;
+    if (Worst < Stats->WorstPerformance) {
+      Stats->WorstPerformance = Worst;
+      Stats->WorstPair = WorstPair;
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+std::set<FeatureKey>
+predict::benchmarkFeatureKeys(const std::vector<Observation> &Obs) {
+  std::set<FeatureKey> Keys;
+  std::set<std::string> Seen;
+  for (const Observation &O : Obs)
+    if (Seen.insert(O.Suite + "/" + O.Benchmark + "/" + O.Kernel).second)
+      Keys.insert(O.Raw.Static.key());
+  return Keys;
+}
+
+std::vector<size_t>
+predict::cumulativeMatchCurve(const std::vector<FeatureKey> &Kernels,
+                              const std::set<FeatureKey> &Keys,
+                              const std::vector<size_t> &Checkpoints) {
+  std::vector<size_t> Curve;
+  size_t Matches = 0, Cursor = 0;
+  for (size_t Checkpoint : Checkpoints) {
+    for (; Cursor < std::min(Checkpoint, Kernels.size()); ++Cursor)
+      Matches += Keys.count(Kernels[Cursor]) != 0;
+    Curve.push_back(Matches);
+  }
+  return Curve;
+}
+
+std::string predict::renderTable1(const std::vector<Observation> &Obs,
+                                  const std::vector<Observation> &Synthetic,
+                                  const std::vector<std::string> &SuiteNames,
+                                  FeatureSetKind Kind, TreeOptions Opts,
+                                  Table1Stats *Stats) {
+  std::string Out =
+      "Cross-suite performance relative to the oracle (baseline):\n";
+  Out += renderGrid(Obs, {}, SuiteNames, Kind, Opts,
+                    "Average performance by training suite (baseline):",
+                    Stats);
+  if (!Synthetic.empty()) {
+    // Count whole synthetic benchmarks, not observation rows.
+    std::set<std::string> Groups;
+    for (const Observation &O : Synthetic)
+      Groups.insert(O.Suite + "/" + O.Benchmark);
+    Out += formatString("\nWith %zu CLgen synthetic benchmarks added to "
+                        "every training set:\n",
+                        Groups.size());
+    Out += renderGrid(Obs, Synthetic, SuiteNames, Kind, Opts,
+                      "Average performance by training suite (+CLgen):",
+                      Stats);
+  }
+  return Out;
+}
+
+std::string predict::renderFig9(const std::vector<Observation> &Obs,
+                                const std::vector<Observation> &Synthetic,
+                                size_t MaxRows, Fig9Stats *Stats) {
+  // Benchmark side: one entry per unique (Suite, Benchmark, Kernel),
+  // key -> smallest qualified name carrying it (deterministic label
+  // for nearest-neighbour rows).
+  std::map<FeatureKey, std::string> KeyLabel;
+  std::set<std::string> Seen;
+  for (const Observation &O : Obs) {
+    std::string Label = O.Suite + "/" + O.Benchmark + "/" + O.Kernel;
+    if (!Seen.insert(Label).second)
+      continue;
+    auto [It, Inserted] = KeyLabel.emplace(O.Raw.Static.key(), Label);
+    if (!Inserted && Label < It->second)
+      It->second = Label;
+  }
+
+  // Candidate side: one row per synthetic benchmark group (all datasets
+  // of one kernel share its static features), sorted by name.
+  std::map<std::string, FeatureKey> Candidates;
+  for (const Observation &O : Synthetic)
+    Candidates.emplace(O.Benchmark, O.Raw.Static.key());
+
+  TextTable T;
+  T.setHeader({"synthetic kernel", "features", "match"});
+  size_t Exact = 0, Rows = 0;
+  for (const auto &[Name, Key] : Candidates) {
+    std::string Match;
+    auto Hit = KeyLabel.find(Key);
+    if (Hit != KeyLabel.end()) {
+      ++Exact;
+      Match = "exact: " + Hit->second;
+    } else if (!KeyLabel.empty()) {
+      // Nearest benchmark tuple under L1; ties resolve to the smallest
+      // key, which std::map iteration order delivers for free.
+      int64_t BestDist = -1;
+      const std::string *BestLabel = nullptr;
+      for (const auto &[BKey, BLabel] : KeyLabel) {
+        int64_t D = l1Distance(Key, BKey);
+        if (BestDist < 0 || D < BestDist) {
+          BestDist = D;
+          BestLabel = &BLabel;
+        }
+      }
+      Match = formatString("nearest: %s L1=%lld", BestLabel->c_str(),
+                           static_cast<long long>(BestDist));
+    } else {
+      Match = "no benchmark keys";
+    }
+    if (Rows < MaxRows)
+      T.addRow({Name, keyString(Key), Match});
+    ++Rows;
+  }
+
+  std::string Out = formatString(
+      "Feature-space coverage: %zu distinct benchmark feature tuples\n",
+      KeyLabel.size());
+  Out += T.render();
+  if (Rows > MaxRows)
+    Out += formatString("(+%zu more synthetic kernels not shown)\n",
+                        Rows - MaxRows);
+  Out += formatString(
+      "%zu of %zu synthetic kernels match a benchmark feature tuple "
+      "exactly (%s)\n",
+      Exact, Candidates.size(),
+      Candidates.empty()
+          ? "0.0%"
+          : percent(static_cast<double>(Exact) /
+                    static_cast<double>(Candidates.size()))
+                .c_str());
+  if (Stats) {
+    Stats->Candidates = Candidates.size();
+    Stats->ExactMatches = Exact;
+  }
+  return Out;
+}

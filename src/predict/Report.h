@@ -1,0 +1,92 @@
+//===- predict/Report.h - Byte-stable paper-artifact reports -----*- C++ -*-===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared renderers for the paper's predictive-modeling artifacts: the
+/// Table 1 cross-suite generalisation grid and the Figure 9
+/// nearest-neighbour feature-match report. One implementation serves
+/// the experiment engine (predict/Experiment.h), the bench binaries and
+/// the golden regression tier, so every consumer prints the same bytes.
+///
+/// Byte-stability contract: both renderers are pure functions of their
+/// observation inputs — iteration orders are sorted, ties broken
+/// deterministically, floats printed through fixed formats — so equal
+/// inputs produce identical report bytes on every platform, worker
+/// count and dispatch mode. The golden tier (tests/golden/) pins this.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLGEN_PREDICT_REPORT_H
+#define CLGEN_PREDICT_REPORT_H
+
+#include "predict/Evaluation.h"
+
+#include <array>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace clgen {
+namespace predict {
+
+/// Integer static-feature tuple used for exact matching (Figure 9).
+using FeatureKey = std::array<int64_t, 5>;
+
+/// Distinct static-feature keys of the unique (Suite, Benchmark,
+/// Kernel) triples in \p Obs, i.e. the benchmark side of Figure 9.
+std::set<FeatureKey> benchmarkFeatureKeys(const std::vector<Observation> &Obs);
+
+/// Cumulative count of \p Kernels[0..checkpoint) whose key is in
+/// \p Keys, evaluated at each checkpoint (the Figure 9 match curve).
+std::vector<size_t> cumulativeMatchCurve(const std::vector<FeatureKey> &Kernels,
+                                         const std::set<FeatureKey> &Keys,
+                                         const std::vector<size_t> &Checkpoints);
+
+/// Counters renderTable1 reports back for callers that assert on the
+/// amount of work behind the report.
+struct Table1Stats {
+  size_t TreesTrained = 0;
+  /// Best off-diagonal training suite of the baseline grid (index into
+  /// the suite-name vector) and the grid's worst pair.
+  size_t BestTrainSuite = 0;
+  double WorstPerformance = 1.0;
+  std::string WorstPair;
+};
+
+/// Renders the Table 1 cross-suite grid: performance relative to the
+/// oracle when training on one suite (columns) and testing on another
+/// (rows), followed by per-training-suite averages and the worst pair.
+/// When \p Synthetic is non-empty a second grid is rendered with the
+/// synthetic observations added to every training set (the paper's
+/// CLgen-augmentation claim). Suites appear in \p SuiteNames order;
+/// suites with no observations render "-" cells.
+std::string renderTable1(const std::vector<Observation> &Obs,
+                         const std::vector<Observation> &Synthetic,
+                         const std::vector<std::string> &SuiteNames,
+                         FeatureSetKind Kind, TreeOptions Opts = TreeOptions(),
+                         Table1Stats *Stats = nullptr);
+
+/// Counters renderFig9 reports back.
+struct Fig9Stats {
+  size_t Candidates = 0;
+  size_t ExactMatches = 0;
+};
+
+/// Renders the Figure 9 feature-match report: each distinct synthetic
+/// kernel (one row per Benchmark group, sorted by name) is matched
+/// against the benchmark feature keys — exactly when its integer tuple
+/// collides, else by nearest neighbour under L1 distance (ties broken
+/// by the lexicographically smallest benchmark key). Rows beyond
+/// \p MaxRows are summarised, never silently dropped.
+std::string renderFig9(const std::vector<Observation> &Obs,
+                       const std::vector<Observation> &Synthetic,
+                       size_t MaxRows = 32, Fig9Stats *Stats = nullptr);
+
+} // namespace predict
+} // namespace clgen
+
+#endif // CLGEN_PREDICT_REPORT_H

@@ -183,6 +183,12 @@ const char *store::archiveKindName(uint32_t Kind) {
     return "manifest";
   case ArchiveKind::Failure:
     return "failure";
+  case ArchiveKind::Features:
+    return "features";
+  case ArchiveKind::Predictor:
+    return "predictor";
+  case ArchiveKind::Report:
+    return "report";
   }
   return "unknown";
 }

@@ -70,6 +70,9 @@ enum class ArchiveKind : uint32_t {
   Synthesis = 4,   // core::SynthesisResult (kernels + stats).
   Manifest = 5,    // store::Manifest (lifecycle sweep record).
   Failure = 6,     // store::FailureRecord (failure-ledger entry).
+  Features = 7,    // predict::Experiment observation set (labelled rows).
+  Predictor = 8,   // Trained predict::DecisionTree device-mapping model.
+  Report = 9,      // predict::Experiment evaluation report + metrics.
 };
 
 /// Human-readable name of a raw kind tag ("model", "corpus", ...;

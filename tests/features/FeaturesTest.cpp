@@ -142,3 +142,92 @@ TEST(FeaturesTest, MathBuiltinsCountAsCompute) {
       "}\n");
   EXPECT_GT(WithMath.Comp, NoMath.Comp);
 }
+
+//===----------------------------------------------------------------------===//
+// Property tests: exact vectors, batch-order invariance, parallel merge
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A family of distinct kernels whose feature vectors differ, so any
+/// merge-order bug in the parallel extractor shows up as a mismatch.
+std::vector<vm::CompiledKernel> compileFamily(size_t Count) {
+  std::vector<vm::CompiledKernel> Kernels;
+  for (size_t I = 0; I < Count; ++I) {
+    std::string Body = "  int i = get_global_id(0);\n  if (i < n) {\n";
+    for (size_t J = 0; J <= I % 5; ++J)
+      Body += "    a[i] = a[i] * 2.0f + 1.0f;\n";
+    if (I % 3 == 0)
+      Body += "    a[i] += a[i + 7];\n"; // Extra (strided) access.
+    Body += "  }\n";
+    auto R = vm::compileFirstKernel(
+        "__kernel void k(__global float* a, const int n) {\n" + Body + "}\n");
+    EXPECT_TRUE(R.ok()) << (R.ok() ? "" : R.errorMessage());
+    Kernels.push_back(R.take());
+  }
+  return Kernels;
+}
+
+bool sameFeatures(const StaticFeatures &A, const StaticFeatures &B) {
+  return A.Comp == B.Comp && A.Mem == B.Mem && A.LocalMem == B.LocalMem &&
+         A.Coalesced == B.Coalesced && A.Branches == B.Branches;
+}
+
+} // namespace
+
+TEST(FeaturesTest, HandComputedFullVector) {
+  // Every feature of a small kernel, computed by hand from its source:
+  // 2 global accesses (1 load + 1 store), both gid-affine stride-1;
+  // one guard branch; no local memory.
+  StaticFeatures F = featuresOf(
+      "__kernel void k(__global float* a, const int n) {\n"
+      "  int i = get_global_id(0);\n"
+      "  if (i < n) { a[i] = a[i] + 1.0f; }\n"
+      "}\n");
+  EXPECT_EQ(F.Mem, 2);
+  EXPECT_EQ(F.Coalesced, 2);
+  EXPECT_EQ(F.LocalMem, 0);
+  EXPECT_EQ(F.Branches, 1);
+  EXPECT_GT(F.Comp, 0);
+
+  RawFeatures Raw;
+  Raw.Static = F;
+  Raw.TransferBytes = 4096;
+  Raw.WgSize = 64;
+  auto Grewe = greweFeatureVector(Raw);
+  ASSERT_EQ(Grewe.size(), 4u);
+  // F1 = transfer/(comp+mem), F2 = coalesced/mem,
+  // F3 = (localmem/mem)*wgsize, F4 = comp/mem — the exact ratios.
+  EXPECT_DOUBLE_EQ(Grewe[0], 4096.0 / (F.Comp + F.Mem));
+  EXPECT_DOUBLE_EQ(Grewe[1], 1.0);            // All accesses coalesced.
+  EXPECT_DOUBLE_EQ(Grewe[2], 0.0);            // No local memory.
+  EXPECT_DOUBLE_EQ(Grewe[3], F.Comp / F.Mem);
+}
+
+TEST(FeaturesTest, ExtractionIsIndependentOfBatchOrder) {
+  // Features are a pure function of one kernel: position in the batch
+  // must not leak into any element (no shared state in the extractor).
+  std::vector<vm::CompiledKernel> Kernels = compileFamily(11);
+  std::vector<vm::CompiledKernel> Reversed(Kernels.rbegin(), Kernels.rend());
+  auto Forward = extractStaticFeaturesParallel(Kernels, 3);
+  auto Backward = extractStaticFeaturesParallel(Reversed, 3);
+  ASSERT_EQ(Forward.size(), Backward.size());
+  for (size_t I = 0; I < Forward.size(); ++I)
+    EXPECT_TRUE(
+        sameFeatures(Forward[I], Backward[Backward.size() - 1 - I]))
+        << I;
+}
+
+TEST(FeaturesTest, ParallelExtractionMatchesSerialForAnyWorkerCount) {
+  std::vector<vm::CompiledKernel> Kernels = compileFamily(23);
+  std::vector<StaticFeatures> Serial;
+  for (const auto &K : Kernels)
+    Serial.push_back(extractStaticFeatures(K));
+  for (unsigned Workers : {1u, 2u, 5u, 0u}) {
+    auto Par = extractStaticFeaturesParallel(Kernels, Workers);
+    ASSERT_EQ(Par.size(), Serial.size()) << Workers;
+    for (size_t I = 0; I < Serial.size(); ++I)
+      EXPECT_TRUE(sameFeatures(Par[I], Serial[I]))
+          << "worker count " << Workers << ", kernel " << I;
+  }
+}

@@ -4,12 +4,14 @@
 #include "predict/Evaluation.h"
 #include "predict/Pca.h"
 
+#include "store/Archive.h"
 #include "support/Rng.h"
 #include "support/StringUtils.h"
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <map>
 
 using namespace clgen;
 using namespace clgen::predict;
@@ -89,6 +91,95 @@ TEST(DecisionTreeTest, EmptyTrainingPredictsClassZero) {
   EXPECT_EQ(T.predict({1.0, 2.0}), 0);
 }
 
+TEST(DecisionTreeTest, SplitTieBreaksToFirstFeature) {
+  // Features 0 and 1 are identical copies, so every candidate split has
+  // the same gain on both. Characterization: the strict `Gain >
+  // BestGain` comparison keeps the FIRST feature scanned, so the tree
+  // is deterministic in the face of ties.
+  std::vector<std::vector<double>> X;
+  std::vector<int> Y;
+  for (int I = 0; I < 20; ++I) {
+    double V = static_cast<double>(I);
+    X.push_back({V, V});
+    Y.push_back(I < 10 ? 0 : 1);
+  }
+  TreeOptions Opts;
+  Opts.MinSamplesLeaf = 1;
+  Opts.MinSamplesSplit = 2;
+  DecisionTree T(Opts);
+  T.fit(X, Y);
+  std::string Dump = T.dump({"first", "second"});
+  EXPECT_NE(Dump.find("first <"), std::string::npos);
+  EXPECT_EQ(Dump.find("second <"), std::string::npos);
+}
+
+TEST(DecisionTreeTest, LeafLabelTieGoesToGpu) {
+  // A leaf with equally many 0s and 1s labels 1 (GPU): `Ones*2 >= Rows`
+  // is the seed's documented tie direction; pin it.
+  std::vector<std::vector<double>> X = {{1.0}, {1.0}};
+  std::vector<int> Y = {0, 1};
+  TreeOptions Opts;
+  Opts.MinSamplesSplit = 8; // Forbid splitting: one leaf.
+  DecisionTree T(Opts);
+  T.fit(X, Y);
+  EXPECT_EQ(T.nodeCount(), 1u);
+  EXPECT_EQ(T.predict({1.0}), 1);
+  EXPECT_DOUBLE_EQ(T.predictProbability({1.0}), 0.5);
+}
+
+TEST(DecisionTreeTest, SerializeRoundTripsExactly) {
+  Rng R(17);
+  std::vector<std::vector<double>> X;
+  std::vector<int> Y;
+  for (int I = 0; I < 120; ++I) {
+    X.push_back({R.uniform(), R.uniform() * 3, R.gaussian()});
+    Y.push_back(X.back()[0] + X.back()[1] > 1.6 ? 1 : 0);
+  }
+  DecisionTree T;
+  T.fit(X, Y);
+  ASSERT_GT(T.nodeCount(), 1u);
+
+  store::ArchiveWriter W(store::ArchiveKind::Predictor);
+  T.serialize(W);
+  auto Opened = store::ArchiveReader::fromBytes(
+      W.finalize(), store::ArchiveKind::Predictor);
+  ASSERT_TRUE(Opened.ok()) << Opened.errorMessage();
+  store::ArchiveReader Reader = Opened.take();
+  DecisionTree Back = DecisionTree::deserialize(Reader);
+  ASSERT_TRUE(Reader.finish().ok()) << Reader.finish().errorMessage();
+
+  EXPECT_EQ(Back.nodeCount(), T.nodeCount());
+  for (const auto &Row : X) {
+    EXPECT_EQ(Back.predict(Row), T.predict(Row));
+    EXPECT_DOUBLE_EQ(Back.predictProbability(Row), T.predictProbability(Row));
+  }
+}
+
+TEST(DecisionTreeTest, DeserializeRejectsCorruptStructure) {
+  // A split node pointing at itself (or backwards) could loop a
+  // prediction walk forever; deserialize must reject it and come back
+  // untrained rather than trust the archive.
+  store::ArchiveWriter W(store::ArchiveKind::Predictor);
+  W.writeI32(10);  // MaxDepth
+  W.writeU64(2);   // MinSamplesLeaf
+  W.writeU64(4);   // MinSamplesSplit
+  W.writeU64(1);   // Node count.
+  W.writeBool(false); // Split node...
+  W.writeI32(0);      // Feature 0
+  W.writeF64(0.5);
+  W.writeI32(0); // ...whose left child is itself.
+  W.writeI32(0);
+  W.writeI32(0);
+  W.writeF64(0.0);
+  auto Opened = store::ArchiveReader::fromBytes(
+      W.finalize(), store::ArchiveKind::Predictor);
+  ASSERT_TRUE(Opened.ok());
+  store::ArchiveReader Reader = Opened.take();
+  DecisionTree Back = DecisionTree::deserialize(Reader);
+  EXPECT_FALSE(Reader.ok());
+  EXPECT_FALSE(Back.trained());
+}
+
 TEST(DecisionTreeTest, DumpShowsStructure) {
   std::vector<std::vector<double>> X = {{0.0}, {1.0}, {2.0}, {3.0}};
   std::vector<int> Y = {0, 0, 1, 1};
@@ -156,6 +247,43 @@ TEST(PcaTest, ProjectionCentersData) {
   auto Proj = P.project({13.0, 2.5}, 2);
   EXPECT_NEAR(Proj[0], 0.0, 1e-9);
   EXPECT_NEAR(Proj[1], 0.0, 1e-9);
+}
+
+TEST(PcaTest, SignConventionIsDeterministic) {
+  // Jacobi rotation directions depend on matrix entries, so without a
+  // convention an eigenvector may come back negated between otherwise
+  // identical fits. Regression: each component's first non-negligible
+  // coordinate is positive.
+  std::vector<std::vector<double>> X;
+  Rng R(99);
+  for (int I = 0; I < 40; ++I) {
+    double T = R.gaussian();
+    X.push_back({-T + 0.1 * R.gaussian(), T + 0.1 * R.gaussian()});
+  }
+  auto P = fitPca(X);
+  for (const auto &C : P.Components) {
+    size_t First = 0;
+    while (First < C.size() && std::fabs(C[First]) <= 1e-12)
+      ++First;
+    ASSERT_LT(First, C.size());
+    EXPECT_GT(C[First], 0.0);
+  }
+}
+
+TEST(PcaTest, EigenvalueTiesOrderByFeatureIndex) {
+  // Isotropic data: every direction explains the same variance, so the
+  // eigenvalue sort alone cannot order the components. Regression for
+  // the index tie-break: two fits of the same data must be identical.
+  std::vector<std::vector<double>> X = {
+      {1.0, 0.0}, {-1.0, 0.0}, {0.0, 1.0}, {0.0, -1.0}};
+  auto A = fitPca(X);
+  auto B = fitPca(X);
+  ASSERT_EQ(A.Components.size(), B.Components.size());
+  for (size_t K = 0; K < A.Components.size(); ++K)
+    for (size_t F = 0; F < A.Components[K].size(); ++F)
+      EXPECT_DOUBLE_EQ(A.Components[K][F], B.Components[K][F]);
+  ASSERT_EQ(A.ExplainedVariance.size(), 2u);
+  EXPECT_NEAR(A.ExplainedVariance[0], A.ExplainedVariance[1], 1e-9);
 }
 
 //===----------------------------------------------------------------------===//
@@ -260,4 +388,83 @@ TEST(EvaluationTest, FeatureVectorKindsDiffer) {
   Observation O = makeObs("x", 3, 1.0, 2.0);
   EXPECT_EQ(featureVector(O, FeatureSetKind::Grewe).size(), 4u);
   EXPECT_EQ(featureVector(O, FeatureSetKind::Extended).size(), 11u);
+}
+
+//===----------------------------------------------------------------------===//
+// K-fold cross-validation determinism
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A mixed workload with enough benchmark groups to spread over folds.
+std::vector<Observation> kfoldObs() {
+  std::vector<Observation> Obs;
+  for (int B = 0; B < 9; ++B) {
+    bool Gpu = B % 2 == 0;
+    for (int D = 0; D < 3; ++D)
+      Obs.push_back(makeObs(formatString("bench%d", B),
+                            Gpu ? 8.0 + D : 1.0 + D, Gpu ? 2.0 : 1.0,
+                            Gpu ? 1.0 : 2.0, formatString("d%d", D)));
+  }
+  return Obs;
+}
+
+} // namespace
+
+TEST(EvaluationTest, KFoldAssignmentMatchesDocumentedContract) {
+  // The determinism contract in Evaluation.h: sorted group g lands in
+  // fold Rng(Seed).split(g).bounded(Folds). Recompute it by hand.
+  std::vector<Observation> Obs = kfoldObs();
+  KFoldOptions Opts;
+  Opts.Folds = 4;
+  Opts.Seed = 0xF01DAB1E;
+  auto R = kFoldCrossValidation(Obs, {}, FeatureSetKind::Grewe,
+                                Opts, TreeOptions());
+  ASSERT_EQ(R.FoldOf.size(), Obs.size());
+
+  // Group keys are Suite + "/" + Benchmark, sorted lexicographically.
+  std::map<std::string, std::vector<size_t>> Groups;
+  for (size_t I = 0; I < Obs.size(); ++I)
+    Groups[Obs[I].Suite + "/" + Obs[I].Benchmark].push_back(I);
+  size_t G = 0;
+  for (const auto &[Key, Members] : Groups) {
+    int Expected =
+        static_cast<int>(Rng(Opts.Seed).split(G).bounded(Opts.Folds));
+    for (size_t I : Members)
+      EXPECT_EQ(R.FoldOf[I], Expected) << Key;
+    ++G;
+  }
+}
+
+TEST(EvaluationTest, KFoldIsBitIdenticalForAnyWorkerCount) {
+  std::vector<Observation> Obs = kfoldObs();
+  std::vector<Observation> Extra = {makeObs("syn0", 9.0, 2.0, 1.0),
+                                    makeObs("syn1", 1.5, 1.0, 2.0)};
+  KFoldOptions Serial;
+  Serial.Folds = 3;
+  auto Base = kFoldCrossValidation(Obs, Extra, FeatureSetKind::Grewe,
+                                   Serial, TreeOptions());
+  for (unsigned Workers : {2u, 4u, 0u}) {
+    KFoldOptions Opts = Serial;
+    Opts.Workers = Workers;
+    auto R = kFoldCrossValidation(Obs, Extra, FeatureSetKind::Grewe,
+                                  Opts, TreeOptions());
+    EXPECT_EQ(R.Predictions, Base.Predictions) << Workers;
+    EXPECT_EQ(R.FoldOf, Base.FoldOf) << Workers;
+    EXPECT_EQ(R.FoldsTrained, Base.FoldsTrained) << Workers;
+  }
+}
+
+TEST(EvaluationTest, KFoldSeedIsSemantic) {
+  // Unlike Workers, the fold seed must be able to change predictions:
+  // it decides which benchmarks are held out together.
+  std::vector<Observation> Obs = kfoldObs();
+  KFoldOptions A, B;
+  A.Folds = B.Folds = 3;
+  B.Seed = A.Seed + 1;
+  auto Ra = kFoldCrossValidation(Obs, {}, FeatureSetKind::Grewe,
+                                 A, TreeOptions());
+  auto Rb = kFoldCrossValidation(Obs, {}, FeatureSetKind::Grewe,
+                                 B, TreeOptions());
+  EXPECT_NE(Ra.FoldOf, Rb.FoldOf);
 }
