@@ -20,7 +20,9 @@
 // (producer wall time vs the measurement drain tail). Output is
 // bit-identical to the phased run. Combines with --cache-dir, in which
 // case cache hits are resolved at enqueue time and never occupy a
-// measurement slot.
+// measurement slot — and the kernel set itself persists: a warm rerun
+// loads the archived kernels instead of sampling (zero sample
+// attempts), byte-identical to the cold run.
 //
 //   ./example_benchmark_runner --pipeline [--cache-dir DIR] [--kernels N]
 //       [--measure-workers N] [--queue N]
@@ -130,7 +132,9 @@ struct RunnerConfig {
 
 /// Per-trap-class failure tally for the end-of-run summary. A pipeline
 /// run that delivers ZERO successful measurements exits nonzero (3) —
-/// an all-failed batch must not look like success to scripts.
+/// an all-failed batch must not look like success to scripts, and
+/// neither may an EMPTY delivery (zero kernels, zero failures): a run
+/// that produced nothing produced nothing useful.
 struct FailureTally {
   size_t Counts[16] = {0};
   size_t Failed = 0, Ok = 0;
@@ -154,7 +158,7 @@ struct FailureTally {
         std::printf("  %-24s %zu\n",
                     trapKindName(static_cast<TrapKind>(K)), Counts[K]);
   }
-  int exitCode() const { return Ok == 0 && Failed > 0 ? 3 : 0; }
+  int exitCode() const { return Ok == 0 ? 3 : 0; }
 };
 
 /// Model/corpus configuration shared by the cached and streaming modes.
@@ -308,7 +312,25 @@ int runStreamingPipeline(const RunnerConfig &Cfg) {
     SOpts.Ledger = Ledger.get();
   }
 
-  auto Out = Pipeline.synthesizeAndMeasure(runtime::amdPlatform(), SOpts);
+  // With a cache directory the streaming run itself is warm-startable:
+  // the persisted kernel-set artifact (shared with synthesizeOrLoad)
+  // replaces the sampler as the channel producer, so a warm rerun
+  // performs zero sampling while producing byte-identical results.
+  core::StreamingResult Out;
+  core::StreamingWarmInfo Warm;
+  if (CacheDir.empty()) {
+    Out = Pipeline.synthesizeAndMeasure(runtime::amdPlatform(), SOpts);
+  } else {
+    Out = Pipeline.synthesizeAndMeasureOrLoad(CacheDir, runtime::amdPlatform(),
+                                              SOpts, &Warm);
+    std::printf("stream: %s (key %s)\n",
+                Warm.Warm ? "warm start — kernel set loaded, sampling "
+                            "skipped"
+                : Warm.Persisted
+                    ? "cold — sampled + kernel set persisted"
+                    : "cold — sampled (not persistable for this config)",
+                store::hexDigest(Warm.KeyDigest).c_str());
+  }
 
   size_t GpuBest = 0;
   FailureTally Tally;
@@ -534,7 +556,9 @@ void printUsage(const char *Prog, std::FILE *Out) {
       "                        the result cache\n"
       "  --pipeline            stream synthesis straight into measurement\n"
       "                        (bounded producer/consumer channel) instead\n"
-      "                        of two phases; combines with --cache-dir\n"
+      "                        of two phases; combines with --cache-dir,\n"
+      "                        where warm reruns load the persisted kernel\n"
+      "                        set and perform zero sampling\n"
       "  --experiment          run the paper's closing loop on the pinned\n"
       "                        golden configuration: train CLgen, measure\n"
       "                        synthetic + real benchmarks, cross-validate\n"
@@ -618,7 +642,8 @@ void printUsage(const char *Prog, std::FILE *Out) {
       "                        print the top-10 report (superinstruction\n"
       "                        candidates); available in every build\n"
       "\n"
-      "A pipeline run that delivers zero successful measurements exits\n"
+      "A pipeline run that delivers zero successful measurements —\n"
+      "whether every kernel failed or the delivery was empty — exits\n"
       "with status 3 and prints the per-class failure table; telemetry\n"
       "files are still written on that path.\n"
       "\n"

@@ -11,7 +11,8 @@
 //            [--dry-run]                  quarantine corrupt entries,
 //                                         publish the sweep manifest
 //   clgen-store vacuum DIR                purge quarantine/, stale temp
-//                                         files and lock files (offline!)
+//                                         files and abandoned lock files
+//                                         (held locks skipped: live-safe)
 //   clgen-store failures DIR              list a failure-ledger directory:
 //                                         key, trap class, attempts,
 //                                         diagnostic (sorted, byte-stable)
@@ -62,8 +63,9 @@ void printUsage(std::FILE *Out) {
       "                            Surviving entries are bit-identical\n"
       "                            to before the sweep, always.\n"
       "  vacuum DIR                delete quarantined files, stale .tmp.\n"
-      "                            files and lock files. Offline only:\n"
-      "                            never run while store users are live\n"
+      "                            files and abandoned lock files. Safe\n"
+      "                            with live store users: a lock a live\n"
+      "                            process holds is skipped, not deleted\n"
       "  failures DIR              list a failure-ledger directory (see\n"
       "                            store/FailureLedger.h): one line per\n"
       "                            known-bad kernel — key, trap class,\n"
@@ -143,10 +145,10 @@ int runVacuum(const std::string &Dir) {
   }
   const store::VacuumReport &R = Report.get();
   std::printf("vacuum: removed %zu quarantined (%llu bytes), %zu temp "
-              "files, %zu lock files\n",
+              "files, %zu lock files (%zu held locks skipped)\n",
               R.QuarantineRemoved,
               static_cast<unsigned long long>(R.QuarantineBytes),
-              R.TempRemoved, R.LocksRemoved);
+              R.TempRemoved, R.LocksRemoved, R.LocksSkipped);
   return 0;
 }
 

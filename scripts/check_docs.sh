@@ -15,11 +15,11 @@
 #    top-level files with a known extension) must exist on disk
 #   - qualified C++ symbols (ns::Name, Class::member) must appear in
 #     src/ sources
-#   - `--flag` tokens must appear in examples/benchmark_runner.cpp or
-#     examples/store_tool.cpp
-#   - `clgen-store <sub> [--flag ...]` invocations: every subcommand
-#     and option word must be handled by examples/store_tool.cpp, so
-#     documented lifecycle-CLI usage cannot rot
+#   - `--flag` tokens must appear in examples/benchmark_runner.cpp,
+#     examples/store_tool.cpp or examples/serve_tool.cpp
+#   - `clgen-store <sub> [--flag ...]` / `clgen-serve <sub> [--flag ...]`
+#     invocations: every subcommand and option word must be handled by
+#     the matching tool source, so documented CLI usage cannot rot
 #   - SuiteName.TestName tokens must appear under tests/
 #
 #===----------------------------------------------------------------------===//
@@ -81,6 +81,29 @@ for DOC in "${DOCS[@]}"; do
       done
       continue
       ;;
+    clgen-serve | "clgen-serve "*)
+      SUB_SEEN=0
+      for WORD in $TOKEN; do
+        case "$WORD" in
+        clgen-serve) ;;
+        --*)
+          if ! grep -qF -- "\"$WORD\"" examples/serve_tool.cpp; then
+            fail "$DOC references clgen-serve option \`$WORD\` not handled by examples/serve_tool.cpp"
+          fi
+          ;;
+        [a-z]*)
+          if [ "$SUB_SEEN" -eq 0 ]; then
+            SUB_SEEN=1
+            if ! grep -qF -- "\"$WORD\"" examples/serve_tool.cpp; then
+              fail "$DOC references clgen-serve subcommand \`$WORD\` not handled by examples/serve_tool.cpp"
+            fi
+          fi
+          ;;
+        *) ;; # Operand placeholder (PATH, DIR, N, ...): skip.
+        esac
+      done
+      continue
+      ;;
     esac
 
     case "$TOKEN" in
@@ -93,8 +116,9 @@ for DOC in "${DOCS[@]}"; do
     case "$TOKEN" in
     --*)
       if ! grep -qF -- "\"$TOKEN\"" examples/benchmark_runner.cpp &&
-         ! grep -qF -- "\"$TOKEN\"" examples/store_tool.cpp; then
-        fail "$DOC references flag \`$TOKEN\` not handled by examples/benchmark_runner.cpp or examples/store_tool.cpp"
+         ! grep -qF -- "\"$TOKEN\"" examples/store_tool.cpp &&
+         ! grep -qF -- "\"$TOKEN\"" examples/serve_tool.cpp; then
+        fail "$DOC references flag \`$TOKEN\` not handled by examples/benchmark_runner.cpp, examples/store_tool.cpp or examples/serve_tool.cpp"
       fi
       continue
       ;;

@@ -1,0 +1,115 @@
+#!/usr/bin/env bash
+#===- scripts/check_serve.sh - clgen-serve daemon end-to-end check -------===//
+#
+# Drives the shipped clgen-serve binary through its whole lifecycle
+# against a throwaway store and socket:
+#
+#   1. daemon start + ping-wait (readiness over the real socket);
+#   2. cold synthesis (trains, samples, persists the kernel set);
+#   3. warm synthesis of the same configuration — must report ZERO
+#      models trained / samples drawn / kernels measured and an
+#      identical kernel-set digest (the streaming-warm-start fix at
+#      the CLI surface);
+#   4. four concurrent clients on a fresh configuration — the daemon's
+#      in-flight dedup plus the store must hold cold computations to
+#      exactly one per configuration (stats: cold_computes 2 total);
+#   5. a target of 0 kernels is a usage error (exit 2, request never
+#      reaches a worker);
+#   6. SIGTERM drains gracefully: the daemon answers in-flight work,
+#      prints its stats ledger, unlinks the socket and exits 0.
+#
+# Registered as the ctest `check_serve` (label `serve`); run manually:
+#
+#   bash scripts/check_serve.sh <clgen-serve-binary>
+#
+#===----------------------------------------------------------------------===//
+
+set -eu
+
+SERVE=${1:?usage: check_serve.sh <clgen-serve-binary>}
+
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/clgen_check_serve.XXXXXX")
+DAEMON=
+cleanup() {
+  [ -n "$DAEMON" ] && kill "$DAEMON" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+SOCK="$WORK/serve.sock"
+
+# 1. Daemon up, readiness via ping.
+"$SERVE" daemon --socket "$SOCK" --store-dir "$WORK/store" --files 120 \
+    > "$WORK/daemon.log" 2>&1 &
+DAEMON=$!
+for _ in $(seq 1 100); do
+  "$SERVE" ping --socket "$SOCK" > /dev/null 2>&1 && break
+  kill -0 "$DAEMON" 2>/dev/null \
+    || { echo "check_serve: daemon died during startup:" >&2;
+         cat "$WORK/daemon.log" >&2; exit 1; }
+  sleep 0.1
+done
+"$SERVE" ping --socket "$SOCK" > /dev/null \
+  || { echo "check_serve: daemon never became pingable" >&2; exit 1; }
+
+# 2. Cold synthesis.
+"$SERVE" synth --socket "$SOCK" --kernels 6 --seed 1 > "$WORK/cold.log"
+grep -q "synth: cold (sampled + persisted)" "$WORK/cold.log" \
+  || { echo "check_serve: first request did not compute cold" >&2;
+       cat "$WORK/cold.log" >&2; exit 1; }
+
+# 3. Warm synthesis: zero work, identical kernel set.
+"$SERVE" synth --socket "$SOCK" --kernels 6 --seed 1 > "$WORK/warm.log"
+grep -q "synth: warm (kernel set loaded, zero sampling)" "$WORK/warm.log" \
+  || { echo "check_serve: repeat request did not warm-start" >&2;
+       cat "$WORK/warm.log" >&2; exit 1; }
+grep -q "trained 0 models, 0 sample attempts, 0 kernels measured" \
+    "$WORK/warm.log" \
+  || { echo "check_serve: warm request reported nonzero work" >&2;
+       cat "$WORK/warm.log" >&2; exit 1; }
+COLD_SET=$(grep '^kernel set:' "$WORK/cold.log")
+WARM_SET=$(grep '^kernel set:' "$WORK/warm.log")
+[ "$COLD_SET" = "$WARM_SET" ] \
+  || { echo "check_serve: warm kernel set differs from cold:" >&2;
+       echo "  cold: $COLD_SET" >&2; echo "  warm: $WARM_SET" >&2; exit 1; }
+
+# 4. Concurrent clients, fresh configuration: exactly one cold compute.
+PIDS=
+for I in 1 2 3 4; do
+  "$SERVE" synth --socket "$SOCK" --kernels 6 --seed 2 \
+      > "$WORK/conc$I.log" &
+  PIDS="$PIDS $!"
+done
+for P in $PIDS; do
+  wait "$P" || { echo "check_serve: concurrent client failed" >&2; exit 1; }
+done
+"$SERVE" stats --socket "$SOCK" > "$WORK/stats.log"
+grep -q "^cold_computes 2$" "$WORK/stats.log" \
+  || { echo "check_serve: expected exactly 2 cold computes (1 per" \
+            "configuration); stats:" >&2; cat "$WORK/stats.log" >&2; exit 1; }
+grep -q "^synth_requests 6$" "$WORK/stats.log" \
+  || { echo "check_serve: lost synth requests; stats:" >&2;
+       cat "$WORK/stats.log" >&2; exit 1; }
+
+# 5. Target 0 is a usage error, exit 2.
+RC=0
+"$SERVE" synth --socket "$SOCK" --kernels 0 > /dev/null 2>&1 || RC=$?
+[ "$RC" -eq 2 ] \
+  || { echo "check_serve: --kernels 0 exited $RC, want usage error 2" >&2;
+       exit 1; }
+
+# 6. Graceful SIGTERM drain.
+kill -TERM "$DAEMON"
+RC=0
+wait "$DAEMON" || RC=$?
+DAEMON=
+[ "$RC" -eq 0 ] \
+  || { echo "check_serve: daemon exited $RC on SIGTERM" >&2;
+       cat "$WORK/daemon.log" >&2; exit 1; }
+grep -q "clgen-serve: drained" "$WORK/daemon.log" \
+  || { echo "check_serve: daemon never reported draining" >&2;
+       cat "$WORK/daemon.log" >&2; exit 1; }
+[ ! -S "$SOCK" ] \
+  || { echo "check_serve: socket file survived the drain" >&2; exit 1; }
+
+echo "check_serve: all daemon lifecycle checks passed"

@@ -263,13 +263,189 @@ StreamingResult core::synthesizeAndMeasure(model::LanguageModel &Model,
   return Out;
 }
 
-SynthesisResult
-ClgenPipeline::synthesizeOrLoad(const std::string &CacheDir,
-                                const SynthesisOptions &Opts,
-                                bool *Loaded) {
-  if (Loaded)
-    *Loaded = false;
+namespace {
 
+/// Deserializes a persisted kernel-set artifact (stats + verified
+/// kernels). nullopt on any corruption — callers re-synthesize and
+/// overwrite. Shared by synthesizeOrLoad and the streaming warm start.
+std::optional<SynthesisResult> loadSynthesisArtifact(const std::string &Path) {
+  auto Opened = store::ArchiveReader::open(Path,
+                                           store::ArchiveKind::Synthesis);
+  if (!Opened.ok())
+    return std::nullopt;
+  store::ArchiveReader R = Opened.take();
+  SynthesisResult Out;
+  Out.Stats.Attempts = R.readU64();
+  Out.Stats.IncompleteSamples = R.readU64();
+  Out.Stats.RejectedByFilter = R.readU64();
+  Out.Stats.Duplicates = R.readU64();
+  Out.Stats.Accepted = R.readU64();
+  uint64_t KernelCount = R.readU64();
+  for (uint64_t I = 0; I < KernelCount && R.ok(); ++I) {
+    SynthesizedKernel K;
+    K.Source = R.readString();
+    K.Kernel = store::deserializeCompiledKernel(R);
+    // The checksum authenticates bytes, not semantics: reject any
+    // archive whose bytecode would not pass the compiler's own
+    // invariants before it can reach the interpreter.
+    if (R.ok() && !vm::verifyKernel(K.Kernel).empty())
+      R.fail("stored kernel fails bytecode verification: " +
+             vm::verifyKernel(K.Kernel));
+    Out.Kernels.push_back(std::move(K));
+  }
+  if (!R.finish().ok())
+    return std::nullopt; // Corrupt: re-synthesize and overwrite.
+  return Out;
+}
+
+/// Persists a kernel-set artifact. Best-effort: a failed write just
+/// stays cold.
+void saveSynthesisArtifact(const std::string &Path,
+                           const SynthesisResult &Out) {
+  store::ArchiveWriter W(store::ArchiveKind::Synthesis);
+  W.writeU64(Out.Stats.Attempts);
+  W.writeU64(Out.Stats.IncompleteSamples);
+  W.writeU64(Out.Stats.RejectedByFilter);
+  W.writeU64(Out.Stats.Duplicates);
+  W.writeU64(Out.Stats.Accepted);
+  W.writeU64(Out.Kernels.size());
+  for (const SynthesizedKernel &K : Out.Kernels) {
+    W.writeString(K.Source);
+    store::serializeCompiledKernel(W, K.Kernel);
+  }
+  (void)W.saveTo(Path);
+}
+
+/// The streaming warm path: measures an already-loaded kernel set. The
+/// producer is an archive reader, not a sampler — no SynthesisEngine
+/// exists, so the request performs zero sampling by construction. The
+/// per-kernel seed derivation (accept index into batchDriverOptions),
+/// the enqueue-time cache/ledger probes and the ledger sweep are the
+/// same as the cold pipeline, so measurements (and cache keys) are
+/// byte-identical to a cold run of the same configuration.
+StreamingResult measureLoadedKernels(SynthesisResult Loaded,
+                                     const runtime::Platform &P,
+                                     const StreamingOptions &Opts) {
+  using Clock = std::chrono::steady_clock;
+  auto MsBetween = [](Clock::time_point A, Clock::time_point B) {
+    return std::chrono::duration<double, std::milli>(B - A).count();
+  };
+  Clock::time_point Start = Clock::now();
+
+  StreamingResult Out;
+  const size_t N = Loaded.Kernels.size();
+  std::deque<Result<runtime::Measurement>> Slots;
+  std::deque<uint64_t> Keys;
+  std::deque<bool> FromLedger;
+  const bool NeedKeys = Opts.Cache != nullptr || Opts.Ledger != nullptr;
+
+  size_t MeasureWorkers =
+      ThreadPool::resolveWorkerCount(Opts.MeasureWorkers);
+  size_t Capacity = Opts.QueueCapacity > 0
+                        ? Opts.QueueCapacity
+                        : std::max<size_t>(MeasureWorkers * 2, 8);
+
+  Rng Base(Opts.Driver.Seed);
+
+  support::Channel<runtime::MeasureJob> Jobs(Capacity);
+  std::vector<std::thread> Consumers;
+  Consumers.reserve(MeasureWorkers);
+  for (size_t W = 0; W < MeasureWorkers; ++W)
+    Consumers.emplace_back([&Jobs, &P, &Opts] {
+      runtime::runMeasurementLoop(Jobs, P, Opts.Cache);
+    });
+  auto CloseAndJoin = [&Jobs, &Consumers] {
+    Jobs.close();
+    for (std::thread &T : Consumers)
+      if (T.joinable())
+        T.join();
+  };
+  struct Guard {
+    std::function<void()> &Fn;
+    ~Guard() { Fn(); }
+  };
+  std::function<void()> CloseFn = CloseAndJoin;
+  Guard JoinGuard{CloseFn};
+
+  Clock::time_point ProduceStart = Clock::now();
+  for (size_t Index = 0; Index < N; ++Index) {
+    const SynthesizedKernel &SK = Loaded.Kernels[Index];
+    CLGS_TRACE_SPAN_IDX("enqueue", Index);
+    Slots.push_back(Result<runtime::Measurement>::error("not measured"));
+    runtime::MeasureJob J;
+    J.Slot = &Slots.back();
+    J.Index = Index;
+    J.Opts = runtime::batchDriverOptions(Opts.Driver, Base, Index);
+    if (NeedKeys) {
+      Keys.push_back(store::measurementKey(SK.Kernel, J.Opts, P));
+      FromLedger.push_back(false);
+    }
+    if (CLGS_FAILPOINT_KEYED("pipeline.enqueue", Index)) {
+      *J.Slot = Result<runtime::Measurement>::error(
+          "injected fault at pipeline.enqueue", TrapKind::Injected);
+      continue;
+    }
+    if (Opts.Cache) {
+      J.CacheKey = Keys.back();
+      if (auto Hit = Opts.Cache->lookup(J.CacheKey)) {
+        *J.Slot = *Hit;
+        ++Out.CacheStats.Hits;
+        CLGS_COUNT("clgen.measure.cache_hits");
+        continue;
+      }
+      J.WriteBack = true;
+    }
+    if (Opts.Ledger) {
+      if (auto Known = Opts.Ledger->lookup(Keys.back())) {
+        *J.Slot = Result<runtime::Measurement>::error(Known->Detail,
+                                                      Known->Kind);
+        FromLedger.back() = true;
+        ++Out.CacheStats.LedgerHits;
+        CLGS_COUNT("clgen.measure.ledger_hits");
+        continue;
+      }
+    }
+    if (Opts.Cache) {
+      ++Out.CacheStats.Misses;
+      CLGS_COUNT("clgen.measure.misses");
+    }
+    J.Kernel = SK.Kernel;
+    Jobs.push(std::move(J));
+  }
+  Clock::time_point ProduceDone = Clock::now();
+  CloseAndJoin();
+  Out.DrainWallMs = MsBetween(ProduceDone, Clock::now());
+  Out.SynthesisWallMs = MsBetween(ProduceStart, ProduceDone);
+
+  if (Opts.Ledger) {
+    for (size_t I = 0; I < Slots.size(); ++I) {
+      if (Slots[I].ok() || FromLedger[I] ||
+          !isDeterministicTrap(Slots[I].trap()))
+        continue;
+      store::FailureRecord Rec;
+      Rec.Kind = Slots[I].trap();
+      Rec.Detail = Slots[I].errorMessage();
+      Rec.Attempts = 1;
+      if (Opts.Ledger->record(Keys[I], Rec).ok()) {
+        ++Out.CacheStats.LedgerRecords;
+        CLGS_COUNT("clgen.measure.ledger_records");
+      }
+    }
+  }
+
+  Out.Kernels = std::move(Loaded.Kernels);
+  Out.Stats = Loaded.Stats; // Replayed archive stats: byte-parity with cold.
+  Out.Measurements.reserve(Slots.size());
+  for (Result<runtime::Measurement> &S : Slots)
+    Out.Measurements.push_back(std::move(S));
+  Out.TotalWallMs = MsBetween(Start, Clock::now());
+  return Out;
+}
+
+} // namespace
+
+std::optional<uint64_t>
+ClgenPipeline::synthesisKeyDigest(const SynthesisOptions &Opts) const {
   // Key: model identity + every option that can change the output.
   // Workers and WaveSize are deliberately absent — the synthesis engine
   // guarantees bit-identical kernels for any value of either.
@@ -284,7 +460,7 @@ ClgenPipeline::synthesizeOrLoad(const std::string &CacheDir,
     Key.writeU8('M');
     static_cast<const model::LstmModel &>(*Model).serialize(Key);
   } else {
-    return synthesize(Opts); // Unserializable model: nothing to key on.
+    return std::nullopt; // Unserializable model: nothing to key on.
   }
   Key.writeU64(Opts.TargetKernels);
   Key.writeU64(Opts.MaxAttempts);
@@ -297,45 +473,27 @@ ClgenPipeline::synthesizeOrLoad(const std::string &CacheDir,
   Key.writeU64(Opts.Sampling.MaxLength);
   Key.writeF64(Opts.Sampling.Temperature);
   Key.writeU64(Opts.Seed);
+  return Key.payloadDigest();
+}
+
+SynthesisResult
+ClgenPipeline::synthesizeOrLoad(const std::string &CacheDir,
+                                const SynthesisOptions &Opts,
+                                bool *Loaded) {
+  if (Loaded)
+    *Loaded = false;
+
+  std::optional<uint64_t> KeyDigest = synthesisKeyDigest(Opts);
+  if (!KeyDigest)
+    return synthesize(Opts); // Unserializable model: nothing to key on.
 
   std::error_code Ec;
   std::filesystem::create_directories(CacheDir, Ec);
-  uint64_t KeyDigest = Key.payloadDigest();
   std::string Path =
-      CacheDir + "/synthesis-" + store::hexDigest(KeyDigest) + ".clgs";
-
-  auto TryLoad = [&]() -> std::optional<SynthesisResult> {
-    auto Opened = store::ArchiveReader::open(Path,
-                                             store::ArchiveKind::Synthesis);
-    if (!Opened.ok())
-      return std::nullopt;
-    store::ArchiveReader R = Opened.take();
-    SynthesisResult Out;
-    Out.Stats.Attempts = R.readU64();
-    Out.Stats.IncompleteSamples = R.readU64();
-    Out.Stats.RejectedByFilter = R.readU64();
-    Out.Stats.Duplicates = R.readU64();
-    Out.Stats.Accepted = R.readU64();
-    uint64_t KernelCount = R.readU64();
-    for (uint64_t I = 0; I < KernelCount && R.ok(); ++I) {
-      SynthesizedKernel K;
-      K.Source = R.readString();
-      K.Kernel = store::deserializeCompiledKernel(R);
-      // The checksum authenticates bytes, not semantics: reject any
-      // archive whose bytecode would not pass the compiler's own
-      // invariants before it can reach the interpreter.
-      if (R.ok() && !vm::verifyKernel(K.Kernel).empty())
-        R.fail("stored kernel fails bytecode verification: " +
-               vm::verifyKernel(K.Kernel));
-      Out.Kernels.push_back(std::move(K));
-    }
-    if (!R.finish().ok())
-      return std::nullopt; // Corrupt: re-synthesize and overwrite.
-    return Out;
-  };
+      CacheDir + "/synthesis-" + store::hexDigest(*KeyDigest) + ".clgs";
 
   // Lock-free fast path: warm stores never touch a lock file.
-  if (auto Hit = TryLoad()) {
+  if (auto Hit = loadSynthesisArtifact(Path)) {
     if (Loaded)
       *Loaded = true;
     return *Hit;
@@ -348,13 +506,13 @@ ClgenPipeline::synthesizeOrLoad(const std::string &CacheDir,
   // or timeout degrades to duplicated work, never an error: every
   // writer publishes via atomic rename.
   store::ScopedLock Lock = store::ScopedLock::acquireForMiss(
-      store::lockFilePath(CacheDir, "synthesis", KeyDigest));
+      store::lockFilePath(CacheDir, "synthesis", *KeyDigest));
   if (Lock.held()) {
     // Re-probe under the lock even when it was uncontended (a racer
     // may have published and released since the fast-path probe);
     // holders publish before releasing, so this makes exactly-once
     // strict rather than probabilistic.
-    if (auto Hit = TryLoad()) {
+    if (auto Hit = loadSynthesisArtifact(Path)) {
       if (Loaded)
         *Loaded = true;
       return *Hit;
@@ -362,18 +520,59 @@ ClgenPipeline::synthesizeOrLoad(const std::string &CacheDir,
   }
 
   SynthesisResult Out = synthesize(Opts);
-  store::ArchiveWriter W(store::ArchiveKind::Synthesis);
-  W.writeU64(Out.Stats.Attempts);
-  W.writeU64(Out.Stats.IncompleteSamples);
-  W.writeU64(Out.Stats.RejectedByFilter);
-  W.writeU64(Out.Stats.Duplicates);
-  W.writeU64(Out.Stats.Accepted);
-  W.writeU64(Out.Kernels.size());
-  for (const SynthesizedKernel &K : Out.Kernels) {
-    W.writeString(K.Source);
-    store::serializeCompiledKernel(W, K.Kernel);
+  saveSynthesisArtifact(Path, Out);
+  return Out;
+}
+
+StreamingResult ClgenPipeline::synthesizeAndMeasureOrLoad(
+    const std::string &CacheDir, const runtime::Platform &P,
+    const StreamingOptions &Opts, StreamingWarmInfo *Info) {
+  StreamingWarmInfo Local;
+  StreamingWarmInfo &I = Info ? *Info : Local;
+  I = StreamingWarmInfo();
+
+  // Refill couples the delivered kernel set to measurement outcomes, so
+  // it is not a pure function of the synthesis options the key digests:
+  // refill requests always sample and never load or persist.
+  if (Opts.RefillFailures)
+    return synthesizeAndMeasure(P, Opts);
+
+  std::optional<uint64_t> KeyDigest = synthesisKeyDigest(Opts.Synthesis);
+  if (!KeyDigest)
+    return synthesizeAndMeasure(P, Opts);
+  I.KeyDigest = *KeyDigest;
+
+  std::error_code Ec;
+  std::filesystem::create_directories(CacheDir, Ec);
+  I.ArtifactPath =
+      CacheDir + "/synthesis-" + store::hexDigest(*KeyDigest) + ".clgs";
+
+  // Lock-free fast path, then the same double-checked "synthesis" lock
+  // as synthesizeOrLoad — one advisory key covers both entry points, so
+  // a streaming request and a plain synthesizeOrLoad of the same
+  // configuration cold-sample exactly once between them.
+  auto MeasureWarm = [&](SynthesisResult Loaded) {
+    I.Warm = true;
+    I.LoadedKernels = Loaded.Kernels.size();
+    CLGS_COUNT("clgen.stream.warm_starts");
+    return measureLoadedKernels(std::move(Loaded), P, Opts);
+  };
+  if (auto Hit = loadSynthesisArtifact(I.ArtifactPath))
+    return MeasureWarm(std::move(*Hit));
+
+  store::ScopedLock Lock = store::ScopedLock::acquireForMiss(
+      store::lockFilePath(CacheDir, "synthesis", *KeyDigest));
+  if (Lock.held()) {
+    if (auto Hit = loadSynthesisArtifact(I.ArtifactPath))
+      return MeasureWarm(std::move(*Hit));
   }
-  (void)W.saveTo(Path); // Best-effort: a failed write just stays cold.
+
+  StreamingResult Out = synthesizeAndMeasure(P, Opts);
+  SynthesisResult Artifact;
+  Artifact.Stats = Out.Stats;
+  Artifact.Kernels = Out.Kernels;
+  saveSynthesisArtifact(I.ArtifactPath, Artifact);
+  I.Persisted = true;
   return Out;
 }
 

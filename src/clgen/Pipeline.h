@@ -23,6 +23,7 @@
 #include "support/Result.h"
 
 #include <memory>
+#include <optional>
 #include <string>
 
 namespace clgen {
@@ -137,6 +138,28 @@ struct StreamingResult {
   double TotalWallMs = 0.0;
 };
 
+/// What synthesizeAndMeasureOrLoad did: whether the kernel set came
+/// from the store (the sampling-free warm path) and where it lives.
+struct StreamingWarmInfo {
+  /// True when the kernel set was loaded from the persisted synthesis
+  /// artifact instead of sampled: the channel producer was an archive
+  /// reader and the request performed ZERO sampling (no synthesis
+  /// engine was even constructed — clgen.synthesis.* counters do not
+  /// move).
+  bool Warm = false;
+  /// True when this (cold) run persisted the kernel-set artifact for
+  /// the next caller.
+  bool Persisted = false;
+  /// Kernels deserialized on the warm path (0 when cold).
+  size_t LoadedKernels = 0;
+  /// The synthesis cache key digest (0 when the model is unserializable
+  /// and no keying was possible).
+  uint64_t KeyDigest = 0;
+  /// Path of the kernel-set artifact (the same file synthesizeOrLoad
+  /// reads and writes — the two entry points interoperate).
+  std::string ArtifactPath;
+};
+
 /// The tentpole entry point: runs synthesis and driver-side measurement
 /// as a bounded producer/consumer pipeline instead of two phase-barried
 /// batches. Accepted kernels flow through a support::Channel from the
@@ -217,6 +240,35 @@ public:
     return core::synthesizeAndMeasure(*Model, P, Opts);
   }
 
+  /// Warm-start streaming: the fix for the gap where streaming requests
+  /// always re-sampled even when the persisted kernel-set artifact was
+  /// warm. Probes \p CacheDir under the SAME key and artifact file as
+  /// synthesizeOrLoad; on a hit the channel producer becomes an archive
+  /// reader — the loaded kernels flow straight into the measurement
+  /// workers (enqueue-time cache/ledger probes and the accept-index
+  /// seed derivation unchanged) and the request performs zero sampling.
+  /// A cold miss runs the full streaming pipeline and persists the
+  /// kernel set for the next caller, serialized on the same advisory
+  /// "synthesis" lock as synthesizeOrLoad (exactly-once cold sampling
+  /// across threads, processes, and both entry points).
+  ///
+  /// Warm results are byte-identical to cold ones: kernels come from
+  /// the artifact, measurements re-derive per-kernel seeds by accept
+  /// index, and Stats replays the archived synthesis statistics. The
+  /// work provenance (did THIS call sample?) is reported via \p Info,
+  /// not the result.
+  ///
+  /// RefillFailures is incompatible with the kernel-set artifact (the
+  /// delivered set then depends on measurement outcomes, not synthesis
+  /// options alone), so refill requests always sample and never load or
+  /// persist; unserializable models likewise fall back to plain
+  /// streaming.
+  StreamingResult
+  synthesizeAndMeasureOrLoad(const std::string &CacheDir,
+                             const runtime::Platform &P,
+                             const StreamingOptions &Opts,
+                             StreamingWarmInfo *Info = nullptr);
+
   const corpus::Corpus &corpus() const { return TrainingCorpus; }
   model::LanguageModel &languageModel() { return *Model; }
 
@@ -225,6 +277,13 @@ public:
   uint64_t artifactFingerprint() const { return ArtifactFingerprint; }
 
 private:
+  /// Digest of (model identity, output-relevant synthesis options) —
+  /// the shared cache key of synthesizeOrLoad and
+  /// synthesizeAndMeasureOrLoad. nullopt when the model cannot be
+  /// serialized (nothing to key on).
+  std::optional<uint64_t>
+  synthesisKeyDigest(const SynthesisOptions &Opts) const;
+
   corpus::Corpus TrainingCorpus;
   std::unique_ptr<model::LanguageModel> Model;
   uint64_t ArtifactFingerprint = 0;

@@ -134,8 +134,21 @@ runtime::runBenchmarkWithRetry(const CompiledKernel &Kernel,
     CLGS_TRACE_INSTANT_IDX("driver.retry", Attempt);
     if (Opts.RetryBackoffMs)
       std::this_thread::sleep_for(std::chrono::milliseconds(
-          static_cast<uint64_t>(Opts.RetryBackoffMs) << Attempt));
+          retryBackoffMs(Opts.RetryBackoffMs, Attempt)));
   }
+}
+
+uint64_t runtime::retryBackoffMs(uint32_t BackoffMs, uint32_t Attempt) {
+  if (BackoffMs == 0)
+    return 0;
+  // Shifting a uint64 by >= 64 is UB; anything past 63 saturates long
+  // before the shift matters, and past ~35 bits the product exceeds
+  // the cap anyway, so one clamped shift plus a compare is total.
+  uint32_t Shift = Attempt < 63 ? Attempt : 63;
+  uint64_t Sleep = Shift >= 64 - 32
+                       ? MaxRetrySleepMs // uint32 base << >=32 bits: over.
+                       : static_cast<uint64_t>(BackoffMs) << Shift;
+  return Sleep < MaxRetrySleepMs ? Sleep : MaxRetrySleepMs;
 }
 
 std::vector<Result<Measurement>>

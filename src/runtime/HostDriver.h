@@ -71,8 +71,10 @@ struct DriverOptions {
   /// I/O); deterministic classes fail fast. Excluded from cache keys.
   uint32_t MaxRetries = 2;
   /// Base backoff between retries; attempt n sleeps
-  /// RetryBackoffMs << n — deterministic, no jitter. 0 = retry
-  /// immediately. Excluded from cache keys.
+  /// retryBackoffMs(RetryBackoffMs, n) — exponential (base << n),
+  /// deterministic, no jitter, saturating at MaxRetrySleepMs (the shift
+  /// is clamped, so large attempt counts neither overflow nor hit
+  /// shift-width UB). 0 = retry immediately. Excluded from cache keys.
   uint32_t RetryBackoffMs = 0;
   /// Trap integer division/remainder by zero (TrapKind::DivByZero)
   /// instead of OpenCL's silent zero. Changes kernel-visible semantics,
@@ -116,6 +118,18 @@ Result<Measurement> runBenchmarkWithRetry(const vm::CompiledKernel &Kernel,
                                           const Platform &P,
                                           const DriverOptions &Opts,
                                           uint32_t *AttemptsOut = nullptr);
+
+/// Ceiling on one retry backoff sleep (30 s): a misconfigured or
+/// pathological retry budget degrades to bounded waiting, never to a
+/// multi-hour stall.
+inline constexpr uint64_t MaxRetrySleepMs = 30'000;
+
+/// The retry backoff schedule: BackoffMs << Attempt, with the shift
+/// clamped below the 64-bit width and the product saturated at
+/// MaxRetrySleepMs. A plain `BackoffMs << Attempt` is undefined for
+/// Attempt >= 32 on the uint32 field (and overflows long before the
+/// shift-width limit); this helper is total over the full input range.
+uint64_t retryBackoffMs(uint32_t BackoffMs, uint32_t Attempt);
 
 /// Per-kernel effective options for batch position \p I: the payload
 /// RNG seed is drawn from the counter-keyed stream I of \p Base (the

@@ -1,0 +1,112 @@
+//===- serve/Client.cpp - clgen-serve blocking client ---------------------===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Client.h"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace clgen;
+using namespace clgen::serve;
+
+Client::Client(Client &&Other) noexcept : Fd(Other.Fd) { Other.Fd = -1; }
+
+Client &Client::operator=(Client &&Other) noexcept {
+  if (this != &Other) {
+    if (Fd >= 0)
+      ::close(Fd);
+    Fd = Other.Fd;
+    Other.Fd = -1;
+  }
+  return *this;
+}
+
+Client::~Client() {
+  if (Fd >= 0)
+    ::close(Fd);
+}
+
+Result<Client> Client::connect(const std::string &SocketPath) {
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (SocketPath.size() >= sizeof(Addr.sun_path))
+    return Result<Client>::error("socket path too long: " + SocketPath);
+  std::memcpy(Addr.sun_path, SocketPath.c_str(), SocketPath.size() + 1);
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return Result<Client>::error(std::string("cannot create socket: ") +
+                                 std::strerror(errno));
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    int E = errno;
+    ::close(Fd);
+    return Result<Client>::error("cannot connect to " + SocketPath + ": " +
+                                 std::strerror(E));
+  }
+  return Client(Fd);
+}
+
+Result<Message> Client::roundTrip(const std::vector<uint8_t> &Frame,
+                                  MessageType Expect) {
+  if (Fd < 0)
+    return Result<Message>::error("client not connected");
+  Status Sent = writeFrame(Fd, Frame);
+  if (!Sent.ok())
+    return Result<Message>::error(Sent.errorMessage());
+  Result<std::vector<uint8_t>> Raw = readFrame(Fd);
+  if (!Raw.ok())
+    return Result<Message>::error(Raw.errorMessage());
+  Result<Message> Parsed = parseFrame(Raw.get());
+  if (!Parsed.ok())
+    return Parsed;
+  if (Parsed.get().Type == MessageType::ErrorResponse)
+    return Result<Message>::error("server error: " + Parsed.get().Text);
+  if (Parsed.get().Type != Expect)
+    return Result<Message>::error("unexpected response type");
+  return Parsed;
+}
+
+Result<PingResponse> Client::ping() {
+  Result<Message> M = roundTrip(encodePingRequest(),
+                                MessageType::PingResponse);
+  if (!M.ok())
+    return Result<PingResponse>::error(M.errorMessage());
+  return M.get().Ping;
+}
+
+Result<SynthesizeResponse>
+Client::synthesize(const SynthesizeRequest &Req) {
+  // Client-side validation catches usage errors (target 0) before any
+  // traffic; the server re-validates for other clients.
+  Status Valid = validateRequest(Req);
+  if (!Valid.ok())
+    return Result<SynthesizeResponse>::error(Valid.errorMessage());
+  Result<Message> M = roundTrip(encodeSynthesizeRequest(Req),
+                                MessageType::SynthesizeResponse);
+  if (!M.ok())
+    return Result<SynthesizeResponse>::error(M.errorMessage());
+  return std::move(M.get().SynthResponse);
+}
+
+Result<std::string> Client::stats() {
+  Result<Message> M = roundTrip(encodeStatsRequest(),
+                                MessageType::StatsResponse);
+  if (!M.ok())
+    return Result<std::string>::error(M.errorMessage());
+  return M.get().Text;
+}
+
+Status Client::shutdown() {
+  Result<Message> M = roundTrip(encodeShutdownRequest(),
+                                MessageType::ShutdownResponse);
+  if (!M.ok())
+    return Status::error(M.errorMessage());
+  return Status();
+}

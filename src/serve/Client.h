@@ -1,0 +1,70 @@
+//===- serve/Client.h - clgen-serve blocking client --------------*- C++ -*-===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal blocking client for the clgen-serve daemon: connect to the
+/// Unix-domain socket, exchange serve/Protocol.h frames, return typed
+/// responses. Used by the `clgen-serve` CLI's client subcommands and by
+/// the serve tests (both the in-process thread clients and the fork()ed
+/// cross-process ones).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLGEN_SERVE_CLIENT_H
+#define CLGEN_SERVE_CLIENT_H
+
+#include "serve/Protocol.h"
+#include "support/Result.h"
+
+#include <string>
+
+namespace clgen {
+namespace serve {
+
+/// One connection to a serve daemon. Move-only; the destructor closes.
+class Client {
+public:
+  Client(Client &&Other) noexcept;
+  Client &operator=(Client &&Other) noexcept;
+  Client(const Client &) = delete;
+  Client &operator=(const Client &) = delete;
+  ~Client();
+
+  /// Connects to the daemon's socket. Fails when the socket does not
+  /// exist or nothing is listening.
+  static Result<Client> connect(const std::string &SocketPath);
+
+  /// Round-trips a ping (daemon pid + protocol version).
+  Result<PingResponse> ping();
+
+  /// Submits a synthesis/measurement request and blocks for the
+  /// result. Server-side validation failures (e.g. a zero target)
+  /// come back as error results carrying the daemon's diagnostic.
+  Result<SynthesizeResponse> synthesize(const SynthesizeRequest &Req);
+
+  /// Fetches the daemon's stats text ("key value" lines).
+  Result<std::string> stats();
+
+  /// Asks the daemon to drain and exit; returns once the daemon has
+  /// acknowledged (in-flight requests still finish before it exits).
+  Status shutdown();
+
+private:
+  explicit Client(int Fd) : Fd(Fd) {}
+
+  /// Sends \p Frame and reads + parses exactly one response frame,
+  /// checking it against \p Expect (ErrorResponse is folded into an
+  /// error Result carrying the server's diagnostic).
+  Result<Message> roundTrip(const std::vector<uint8_t> &Frame,
+                            MessageType Expect);
+
+  int Fd = -1;
+};
+
+} // namespace serve
+} // namespace clgen
+
+#endif // CLGEN_SERVE_CLIENT_H

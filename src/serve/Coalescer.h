@@ -1,0 +1,130 @@
+//===- serve/Coalescer.h - In-flight request coalescing ----------*- C++ -*-===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Single-flight request coalescing for the serve daemon: K identical
+/// concurrent requests collapse onto exactly one computation, and every
+/// caller receives the (copied) result. The first caller to present a
+/// key becomes the LEADER and runs the compute closure; callers that
+/// arrive while the leader is in flight become FOLLOWERS and block on
+/// the leader's completion instead of recomputing.
+///
+/// This is the in-process half of the dedup story. Cross-process dedup
+/// (several daemons or CLI runs sharing one store) is still carried by
+/// store::ScopedLock underneath the compute closure — the coalescer
+/// merely guarantees that one daemon never queues the same cold
+/// computation twice, which the flock layer alone cannot do (flock is
+/// per-open-file-description, so one process would happily re-enter).
+///
+/// Keys must capture the full SEMANTIC configuration of the request
+/// (the same discipline as store cache keys): two requests with equal
+/// keys MUST be satisfiable by one result. Scheduling knobs stay out.
+///
+/// Entries are removed as soon as the leader finishes, so coalescing is
+/// strictly in-flight: a request arriving after completion starts a
+/// fresh flight (and typically hits the warm store instead).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLGEN_SERVE_COALESCER_H
+#define CLGEN_SERVE_COALESCER_H
+
+#include "support/Result.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace clgen {
+namespace serve {
+
+/// Coalesces concurrent computations keyed by a 64-bit semantic digest.
+/// Thread-safe; the compute closure runs outside all coalescer locks.
+template <typename T> class Coalescer {
+public:
+  /// Runs \p Compute under single-flight semantics for \p Key. Returns
+  /// the leader's result (followers get a copy). \p WasLeader, when
+  /// non-null, reports whether THIS call executed the computation —
+  /// the signal the coalescing tests assert on.
+  Result<T> run(uint64_t Key, const std::function<Result<T>()> &Compute,
+                bool *WasLeader = nullptr) {
+    std::shared_ptr<Entry> E;
+    bool Leader = false;
+    {
+      std::lock_guard<std::mutex> Guard(MapMutex);
+      auto It = InFlight.find(Key);
+      if (It == InFlight.end()) {
+        E = std::make_shared<Entry>();
+        InFlight.emplace(Key, E);
+        Leader = true;
+        ++NumLeaders;
+      } else {
+        E = It->second;
+        ++NumFollowers;
+      }
+    }
+    if (WasLeader)
+      *WasLeader = Leader;
+
+    if (!Leader) {
+      std::unique_lock<std::mutex> Lock(E->M);
+      E->Cv.wait(Lock, [&] { return E->Done; });
+      return E->Value;
+    }
+
+    Result<T> R = Compute();
+    {
+      std::lock_guard<std::mutex> Guard(E->M);
+      E->Value = R;
+      E->Done = true;
+    }
+    E->Cv.notify_all();
+    {
+      std::lock_guard<std::mutex> Guard(MapMutex);
+      InFlight.erase(Key);
+    }
+    return R;
+  }
+
+  /// Number of computations actually executed (cold flights led).
+  uint64_t leaders() const {
+    std::lock_guard<std::mutex> Guard(MapMutex);
+    return NumLeaders;
+  }
+
+  /// Number of requests that piggybacked on an in-flight leader.
+  uint64_t followers() const {
+    std::lock_guard<std::mutex> Guard(MapMutex);
+    return NumFollowers;
+  }
+
+  /// Number of flights currently in progress.
+  size_t inFlight() const {
+    std::lock_guard<std::mutex> Guard(MapMutex);
+    return InFlight.size();
+  }
+
+private:
+  struct Entry {
+    std::mutex M;
+    std::condition_variable Cv;
+    bool Done = false;
+    Result<T> Value = Result<T>::error("coalesced flight still pending");
+  };
+
+  mutable std::mutex MapMutex;
+  std::map<uint64_t, std::shared_ptr<Entry>> InFlight;
+  uint64_t NumLeaders = 0;
+  uint64_t NumFollowers = 0;
+};
+
+} // namespace serve
+} // namespace clgen
+
+#endif // CLGEN_SERVE_COALESCER_H

@@ -1,0 +1,399 @@
+//===- serve/Server.cpp - clgen-serve pipeline daemon ---------------------===//
+//
+// Part of the CLgen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Server.h"
+
+#include "githubsim/GithubSim.h"
+#include "runtime/Device.h"
+#include "store/Archive.h"
+#include "store/Lifecycle.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace clgen;
+using namespace clgen::serve;
+
+uint64_t serve::requestKey(const SynthesizeRequest &Req) {
+  // Semantic fields only (the same discipline as store cache keys):
+  // scheduling is server policy and must not split coalescable
+  // requests.
+  uint64_t K = store::fnv1a64(&Req.TargetKernels, sizeof(Req.TargetKernels));
+  K = store::fnv1a64(&Req.Seed, sizeof(Req.Seed), K);
+  uint64_t TempBits;
+  static_assert(sizeof(TempBits) == sizeof(Req.Temperature));
+  std::memcpy(&TempBits, &Req.Temperature, sizeof(TempBits));
+  return store::fnv1a64(&TempBits, sizeof(TempBits), K);
+}
+
+Server::Server(ServerConfig Config) : Cfg(std::move(Config)) {}
+
+Server::~Server() {
+  if (Started.load() && !Drained.load()) {
+    requestDrain();
+    wait();
+  }
+}
+
+Status Server::start() {
+  if (Cfg.SocketPath.empty() || Cfg.StoreDir.empty())
+    return Status::error("server config requires a socket path and a "
+                         "store directory");
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (Cfg.SocketPath.size() >= sizeof(Addr.sun_path))
+    return Status::error("socket path too long for sun_path (" +
+                         std::to_string(sizeof(Addr.sun_path) - 1) +
+                         " bytes max): " + Cfg.SocketPath);
+  std::memcpy(Addr.sun_path, Cfg.SocketPath.c_str(),
+              Cfg.SocketPath.size() + 1);
+
+  if (::pipe(WakePipe) != 0)
+    return Status::error(std::string("cannot create drain pipe: ") +
+                         std::strerror(errno));
+
+  ListenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (ListenFd < 0)
+    return Status::error(std::string("cannot create socket: ") +
+                         std::strerror(errno));
+  ::unlink(Cfg.SocketPath.c_str()); // Replace a stale socket file.
+  if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr),
+             sizeof(Addr)) != 0)
+    return Status::error("cannot bind " + Cfg.SocketPath + ": " +
+                         std::strerror(errno));
+  if (::listen(ListenFd, 64) != 0)
+    return Status::error("cannot listen on " + Cfg.SocketPath + ": " +
+                         std::strerror(errno));
+
+  Cache = std::make_unique<store::ResultCache>(Cfg.StoreDir + "/results");
+  Ledger = std::make_unique<store::FailureLedger>(Cfg.StoreDir + "/failures");
+
+  Started.store(true);
+  AcceptThread = std::thread([this] { acceptLoop(); });
+  if (Cfg.SweepIntervalMs > 0)
+    SweeperThread = std::thread([this] { sweeperLoop(); });
+  return Status();
+}
+
+void Server::requestDrain() {
+  // Async-signal-safe by design: one write(2), no locks, no allocation.
+  // The accept loop owns all actual teardown.
+  if (WakePipe[1] >= 0) {
+    char B = 'q';
+    ssize_t Ignored = ::write(WakePipe[1], &B, 1);
+    (void)Ignored;
+  }
+}
+
+void Server::acceptLoop() {
+  for (;;) {
+    pollfd Fds[2] = {{ListenFd, POLLIN, 0}, {WakePipe[0], POLLIN, 0}};
+    int N = ::poll(Fds, 2, -1);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      break;
+    }
+    if (Fds[1].revents != 0)
+      break; // Drain requested.
+    if ((Fds[0].revents & POLLIN) == 0)
+      continue;
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0)
+      continue;
+    reapConnections(/*All=*/false); // Bound growth on a busy daemon.
+    std::lock_guard<std::mutex> Guard(ConnMutex);
+    auto C = std::make_unique<Connection>();
+    C->Fd = Fd;
+    Connection *Raw = C.get();
+    Connections.push_back(std::move(C));
+    Raw->Worker = std::thread([this, Raw] {
+      serveConnection(Raw->Fd);
+      Raw->Done.store(true);
+    });
+  }
+
+  Draining.store(true);
+  ::close(ListenFd);
+  ListenFd = -1;
+
+  // Half-close every connection: a reader blocked between requests
+  // wakes with EOF and exits; a connection mid-request finishes its
+  // computation and still writes the response (writes stay open).
+  {
+    std::lock_guard<std::mutex> Guard(ConnMutex);
+    for (auto &C : Connections)
+      ::shutdown(C->Fd, SHUT_RD);
+  }
+}
+
+void Server::reapConnections(bool All) {
+  std::lock_guard<std::mutex> Guard(ConnMutex);
+  for (auto It = Connections.begin(); It != Connections.end();) {
+    Connection &C = **It;
+    if (!All && !C.Done.load()) {
+      ++It;
+      continue;
+    }
+    if (C.Worker.joinable())
+      C.Worker.join();
+    ::close(C.Fd);
+    It = Connections.erase(It);
+  }
+}
+
+void Server::serveConnection(int Fd) {
+  for (;;) {
+    Result<std::vector<uint8_t>> FrameBytes = readFrame(Fd);
+    if (!FrameBytes.ok())
+      break; // EOF, drain half-close, or unframeable garbage.
+    Result<Message> Parsed = parseFrame(FrameBytes.get());
+    if (!Parsed.ok()) {
+      ++InvalidRequests;
+      // A corrupt frame leaves the stream unsynchronized: answer with
+      // the diagnostic, then drop the connection.
+      (void)writeFrame(Fd, encodeErrorResponse(Parsed.errorMessage()));
+      break;
+    }
+    ++RequestsServed;
+    const Message &M = Parsed.get();
+    std::vector<uint8_t> Response;
+    bool DrainAfter = false;
+    switch (M.Type) {
+    case MessageType::PingRequest: {
+      PingResponse P;
+      P.Pid = static_cast<uint64_t>(::getpid());
+      Response = encodePingResponse(P);
+      break;
+    }
+    case MessageType::StatsRequest:
+      Response = encodeStatsResponse(renderStats());
+      break;
+    case MessageType::ShutdownRequest:
+      Response = encodeShutdownResponse();
+      DrainAfter = true;
+      break;
+    case MessageType::SynthesizeRequest: {
+      Result<SynthesizeResponse> R = synthesize(M.Synth);
+      Response = R.ok() ? encodeSynthesizeResponse(R.get())
+                        : encodeErrorResponse(R.errorMessage());
+      break;
+    }
+    default:
+      ++InvalidRequests;
+      Response = encodeErrorResponse("unexpected message type on the "
+                                     "request stream");
+      break;
+    }
+    if (!writeFrame(Fd, Response).ok())
+      break;
+    if (DrainAfter)
+      requestDrain();
+  }
+  // Release the peer but keep the descriptor reserved: the accept loop
+  // closes it on reap, so a drain-side shutdown() can never hit a
+  // reused fd.
+  ::shutdown(Fd, SHUT_RDWR);
+}
+
+Result<core::ClgenPipeline *> Server::ensureModel(bool &TrainedNow) {
+  TrainedNow = false;
+  std::lock_guard<std::mutex> Guard(ModelMutex);
+  if (Pipeline)
+    return Pipeline.get();
+  githubsim::GithubSimOptions GOpts;
+  GOpts.FileCount = Cfg.FileCount;
+  auto Files = githubsim::mineGithub(GOpts);
+  core::PipelineOptions POpts;
+  POpts.NGram.Order = 14;
+  core::TrainOrLoadInfo Info;
+  auto Loaded =
+      core::ClgenPipeline::trainOrLoad(Cfg.StoreDir, Files, POpts, &Info);
+  if (!Loaded.ok())
+    return Result<core::ClgenPipeline *>::error(Loaded.errorMessage());
+  Pipeline = std::make_unique<core::ClgenPipeline>(Loaded.take());
+  TrainedNow = !Info.LoadedModel;
+  if (TrainedNow)
+    ++TrainedModels;
+  return Pipeline.get();
+}
+
+Result<SynthesizeResponse>
+Server::synthesize(const SynthesizeRequest &Req) {
+  Status Valid = validateRequest(Req);
+  if (!Valid.ok()) {
+    ++InvalidRequests;
+    return Result<SynthesizeResponse>::error(Valid.errorMessage());
+  }
+  ++SynthRequests;
+  ++ActiveRequests;
+  CLGS_COUNT("clgen.serve.synth_requests");
+  bool WasLeader = false;
+  Result<SynthesizeResponse> R = Flights.run(
+      requestKey(Req), [&] { return runFlight(Req); }, &WasLeader);
+  if (!WasLeader)
+    CLGS_COUNT("clgen.serve.coalesced");
+  --ActiveRequests;
+  return R;
+}
+
+Result<SynthesizeResponse>
+Server::runFlight(const SynthesizeRequest &Req) {
+  bool TrainedNow = false;
+  Result<core::ClgenPipeline *> P = ensureModel(TrainedNow);
+  if (!P.ok())
+    return Result<SynthesizeResponse>::error("model initialization failed: " +
+                                             P.errorMessage());
+
+  core::StreamingOptions SOpts;
+  SOpts.Synthesis.TargetKernels = static_cast<size_t>(Req.TargetKernels);
+  SOpts.Synthesis.Seed = Req.Seed;
+  SOpts.Synthesis.Sampling.Temperature = Req.Temperature;
+  SOpts.Synthesis.Workers = 1;
+  SOpts.Driver.GlobalSize = 16384;
+  SOpts.MeasureWorkers = Cfg.MeasureWorkers;
+  SOpts.QueueCapacity = Cfg.QueueCapacity;
+  SOpts.Cache = Cache.get();
+  SOpts.Ledger = Ledger.get();
+
+  core::StreamingWarmInfo Warm;
+  core::StreamingResult Out = P.get()->synthesizeAndMeasureOrLoad(
+      Cfg.StoreDir, runtime::amdPlatform(), SOpts, &Warm);
+  if (Warm.Warm) {
+    ++WarmLoads;
+    CLGS_COUNT("clgen.serve.warm_loads");
+  } else {
+    ++ColdComputes;
+    CLGS_COUNT("clgen.serve.cold_computes");
+  }
+
+  SynthesizeResponse Resp;
+  Resp.WarmKernels = Warm.Warm;
+  Resp.TrainedModels = TrainedNow ? 1 : 0;
+  // Per-flight work provenance: a warm flight drew zero samples (the
+  // producer was an archive reader) and measured only cache misses.
+  Resp.SampleAttempts = Warm.Warm ? 0 : Out.Stats.Attempts;
+  Resp.MeasuredKernels = Out.CacheStats.Misses;
+  Resp.CacheHits = Out.CacheStats.Hits;
+  Resp.LedgerHits = Out.CacheStats.LedgerHits;
+  uint64_t Digest = store::fnv1a64(nullptr, 0);
+  Resp.Sources.reserve(Out.Kernels.size());
+  for (const core::SynthesizedKernel &K : Out.Kernels) {
+    Digest = store::fnv1a64(K.Source.data(), K.Source.size(), Digest);
+    Resp.Sources.push_back(K.Source);
+  }
+  Resp.KernelSetDigest = Digest;
+  Resp.Measurements.reserve(Out.Measurements.size());
+  for (const Result<runtime::Measurement> &M : Out.Measurements) {
+    MeasurementRow Row;
+    Row.Ok = M.ok();
+    if (M.ok()) {
+      Row.CpuTime = M.get().CpuTime;
+      Row.GpuTime = M.get().GpuTime;
+    } else {
+      Row.Error = M.errorMessage();
+    }
+    Resp.Measurements.push_back(std::move(Row));
+  }
+  return Resp;
+}
+
+void Server::sweeperLoop() {
+  std::unique_lock<std::mutex> Lock(SweepMutex);
+  while (!Draining.load()) {
+    SweepCv.wait_for(Lock,
+                     std::chrono::milliseconds(Cfg.SweepIntervalMs));
+    if (Draining.load())
+      break;
+    store::SweepPolicy Policy;
+    Policy.MaxBytes = Cfg.SweepBudgetBytes;
+    auto Report = store::sweep(Cfg.StoreDir, Policy);
+    if (Report.ok()) {
+      ++Sweeps;
+      SweepEvictedBytes += Report.get().EvictedBytes;
+      CLGS_COUNT("clgen.serve.sweeps");
+    }
+  }
+}
+
+void Server::wait() {
+  if (!Started.load() || Drained.load())
+    return;
+  if (AcceptThread.joinable())
+    AcceptThread.join();
+  // Draining is set by the accept loop before it exits; wake and stop
+  // the sweeper, then let every in-flight request finish and answer.
+  SweepCv.notify_all();
+  if (SweeperThread.joinable())
+    SweeperThread.join();
+  reapConnections(/*All=*/true);
+  ::unlink(Cfg.SocketPath.c_str());
+  if (WakePipe[0] >= 0)
+    ::close(WakePipe[0]);
+  if (WakePipe[1] >= 0)
+    ::close(WakePipe[1]);
+  WakePipe[0] = WakePipe[1] = -1;
+
+  // Flush telemetry. Best-effort: drain completes even when a write
+  // fails (the daemon is exiting either way).
+  auto WriteFile = [](const std::string &Path, const std::string &Body) {
+    std::FILE *F = std::fopen(Path.c_str(), "wb");
+    if (!F)
+      return;
+    (void)std::fwrite(Body.data(), 1, Body.size(), F);
+    (void)std::fclose(F);
+  };
+  if (!Cfg.TraceOut.empty()) {
+    support::Trace::stop();
+    WriteFile(Cfg.TraceOut, support::Trace::renderJson());
+  }
+  if (!Cfg.MetricsOut.empty())
+    WriteFile(Cfg.MetricsOut, support::MetricsRegistry::renderText({}));
+  Drained.store(true);
+}
+
+ServerStats Server::stats() const {
+  ServerStats S;
+  S.RequestsServed = RequestsServed.load();
+  S.SynthRequests = SynthRequests.load();
+  S.InvalidRequests = InvalidRequests.load();
+  S.ColdComputes = ColdComputes.load();
+  S.WarmLoads = WarmLoads.load();
+  S.CoalescedRequests = Flights.followers();
+  S.TrainedModels = TrainedModels.load();
+  S.Sweeps = Sweeps.load();
+  S.SweepEvictedBytes = SweepEvictedBytes.load();
+  S.ActiveRequests = ActiveRequests.load();
+  S.Draining = Draining.load();
+  return S;
+}
+
+std::string Server::renderStats() const {
+  ServerStats S = stats();
+  std::ostringstream Os;
+  Os << "requests_served " << S.RequestsServed << "\n"
+     << "synth_requests " << S.SynthRequests << "\n"
+     << "invalid_requests " << S.InvalidRequests << "\n"
+     << "cold_computes " << S.ColdComputes << "\n"
+     << "warm_loads " << S.WarmLoads << "\n"
+     << "coalesced_requests " << S.CoalescedRequests << "\n"
+     << "trained_models " << S.TrainedModels << "\n"
+     << "sweeps " << S.Sweeps << "\n"
+     << "sweep_evicted_bytes " << S.SweepEvictedBytes << "\n"
+     << "active_requests " << S.ActiveRequests << "\n"
+     << "draining " << (S.Draining ? 1 : 0) << "\n";
+  return Os.str();
+}

@@ -6,6 +6,7 @@
 
 #include "store/Lifecycle.h"
 
+#include "store/Lock.h"
 #include "support/Metrics.h"
 #include "support/Trace.h"
 
@@ -403,6 +404,10 @@ Result<VacuumReport> store::vacuum(const std::string &Dir) {
     }
   }
 
+  // Lock files: live-safe pruning. Unlink only while holding the flock
+  // ourselves — a held probe means a live process owns the lock, and
+  // deleting it out from under the holder would let the next acquirer
+  // lock a fresh inode alongside it (two "exclusive" holders).
   fs::path Locks = fs::path(Dir) / "locks";
   if (fs::is_directory(Locks, Ec)) {
     for (const fs::directory_entry &DE :
@@ -410,8 +415,16 @@ Result<VacuumReport> store::vacuum(const std::string &Dir) {
       std::error_code FileEc;
       if (!DE.is_regular_file(FileEc))
         continue;
+      Result<ScopedLock> Probe = ScopedLock::tryAcquire(DE.path().string());
+      if (!Probe.ok()) {
+        ++Report.LocksSkipped;
+        continue;
+      }
+      ScopedLock Held = Probe.take();
       if (fs::remove(DE.path(), FileEc); !FileEc)
         ++Report.LocksRemoved;
+      // Held releases here: the flock dies with the (now unlinked)
+      // inode's last descriptor, so no acquirer can ever see it again.
     }
   }
 

@@ -166,20 +166,26 @@ struct Manifest {
 /// the store itself is unaffected).
 Result<Manifest> loadManifest(const std::string &Dir);
 
-/// What vacuum() removed.
+/// What vacuum() removed (and deliberately left alone).
 struct VacuumReport {
   size_t QuarantineRemoved = 0;
   uint64_t QuarantineBytes = 0;
   size_t TempRemoved = 0;  // Stale `.tmp.` files from crashed writers.
-  size_t LocksRemoved = 0; // Lock files (see the offline caveat).
+  size_t LocksRemoved = 0; // Free lock files pruned.
+  /// Lock files skipped because a live process holds them. Non-zero
+  /// means the store had active users during the vacuum — harmless,
+  /// but worth knowing; a later vacuum will prune them once released.
+  size_t LocksSkipped = 0;
 };
 
 /// Explicit admin cleanup: empties `quarantine/`, removes stale
-/// `.tmp.` files and prunes lock files. OFFLINE-ONLY for the lock
-/// part: deleting a lock file while a process holds it lets the next
-/// acquirer lock a fresh inode alongside the old holder, so run vacuum
-/// only when no store users are live. Entries and the manifest are
-/// never touched.
+/// `.tmp.` files and prunes ABANDONED lock files. The lock pass is
+/// live-safe: each lock file is probed with a non-blocking flock
+/// attempt (store/Lock.h) and only unlinked while vacuum itself holds
+/// it — a lock another process holds is skipped (LocksSkipped), never
+/// deleted, so a racing acquirer can never end up locking a fresh
+/// inode alongside a live holder. Entries and the manifest are never
+/// touched.
 Result<VacuumReport> vacuum(const std::string &Dir);
 
 //===----------------------------------------------------------------------===//

@@ -11,6 +11,7 @@
 #include "support/Metrics.h"
 #include "support/Trace.h"
 
+#include <cstdio>
 #include <filesystem>
 
 #ifndef _WIN32
@@ -196,11 +197,46 @@ bool statBacking(const std::string &Path, int64_t &MtimeNs,
 #endif
 }
 
+/// Reads the archive container's trailing 8-byte checksum (little
+/// endian, see store/Archive.h). One small pread-equivalent; used only
+/// on coarse-mtime filesystems where (mtime, size) alone cannot
+/// distinguish a same-second same-size rewrite.
+bool readTrailerChecksum(const std::string &Path, uint64_t &Sum) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return false;
+  unsigned char Bytes[8];
+  bool Ok = std::fseek(F, -8, SEEK_END) == 0 &&
+            std::fread(Bytes, 1, 8, F) == 8;
+  std::fclose(F);
+  if (!Ok)
+    return false;
+  Sum = 0;
+  for (int I = 0; I < 8; ++I)
+    Sum |= static_cast<uint64_t>(Bytes[I]) << (8 * I);
+  return true;
+}
+
+/// A whole-second mtime signals a coarse-granularity filesystem (a real
+/// nanosecond timestamp is whole-second with probability ~1e-9).
+bool mtimeLooksCoarse(int64_t MtimeNs) {
+  return MtimeNs % 1000000000 == 0;
+}
+
 } // namespace
 
 bool ResultCache::recordBacking(uint64_t Key, Resident &R) const {
   if (!statBacking(entryPath(Key), R.MtimeNs, R.Size))
     return false;
+  // Coarse mtime: (mtime, size) is not a sound identity on this
+  // filesystem, so capture the trailer checksum as the tiebreaker. If
+  // even that cannot be read, refuse to install — same contract as an
+  // unstatable file.
+  if (mtimeLooksCoarse(R.MtimeNs)) {
+    if (!readTrailerChecksum(entryPath(Key), R.TrailerChecksum))
+      return false;
+    R.CoarseMtime = true;
+  }
   R.Disk = true;
   return true;
 }
@@ -229,6 +265,14 @@ std::optional<Measurement> ResultCache::lookup(uint64_t Key) {
     uint64_t Size = 0;
     bool Fresh = statBacking(entryPath(Key), MtimeNs, Size) &&
                  MtimeNs == Found->MtimeNs && Size == Found->Size;
+    // On a coarse-mtime filesystem a same-size rewrite within the same
+    // second passes the stat probe; the trailer checksum recorded at
+    // install time catches it (see Resident).
+    if (Fresh && Found->CoarseMtime) {
+      uint64_t Sum = 0;
+      Fresh = readTrailerChecksum(entryPath(Key), Sum) &&
+              Sum == Found->TrailerChecksum;
+    }
     if (!Fresh) {
       // Stale: the backing file was evicted or replaced since it was
       // cached. Drop it and fall through to the disk probe, which

@@ -32,11 +32,15 @@
 /// REVALIDATES disk-backed resident entries on every memory hit: each
 /// resident record remembers the (mtime, size) of the file it came
 /// from, and one stat (no read, no checksum) confirms the file is
-/// still there unchanged. A swept entry drops out of memory and the
-/// lookup reports the miss honestly, so a long-lived process never
-/// serves measurements the store no longer holds. Entries that never
-/// reached disk (unwritable directory) are exempt — there is nothing
-/// external to invalidate them.
+/// still there unchanged — using nanosecond mtimes where the
+/// filesystem provides them. On coarse (1 s granularity) filesystems
+/// the record additionally carries the archive's trailer checksum and
+/// revalidation re-reads those 8 bytes, so a same-size rewrite within
+/// the same second cannot serve stale bytes. A swept entry drops out
+/// of memory and the lookup reports the miss honestly, so a long-lived
+/// process never serves measurements the store no longer holds.
+/// Entries that never reached disk (unwritable directory) are exempt —
+/// there is nothing external to invalidate them.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -127,11 +131,25 @@ private:
   /// written as. Disk false = memory-only entry (directory unwritable
   /// or write-back failed): exempt from revalidation because there is
   /// nothing external that could invalidate it.
+  ///
+  /// Coarse-mtime hardening: on filesystems with 1 s mtime granularity
+  /// a same-size rewrite within the same second is invisible to the
+  /// (mtime, size) probe. When the backing file's mtime has zero
+  /// sub-second digits — the signature of a coarse filesystem (a
+  /// nanosecond clock landing on an exact second is a ~1e-9 event) —
+  /// the identity additionally records the archive's trailer checksum,
+  /// and revalidation re-reads those 8 trailing bytes to catch the
+  /// rewrite. Filesystems with real nanosecond mtimes never pay the
+  /// extra read.
   struct Resident {
     runtime::Measurement M;
     bool Disk = false;
     int64_t MtimeNs = 0; // Backing file mtime, ns since epoch.
     uint64_t Size = 0;   // Backing file size in bytes.
+    /// True when MtimeNs is whole-second (coarse filesystem): the
+    /// trailer checksum below participates in revalidation.
+    bool CoarseMtime = false;
+    uint64_t TrailerChecksum = 0; // Archive trailer (last 8 bytes).
   };
   /// Stats the entry file for \p Key (one syscall on POSIX) and fills
   /// the backing identity. False when the file is not statable —

@@ -496,7 +496,7 @@ TEST(LifecycleTest, ScopedLockExcludesAndReleases) {
   EXPECT_FALSE(Waited.ok());
 
   // Release frees the lock for the next acquirer; the lock file stays
-  // (holders never unlink — that is vacuum's job, offline).
+  // (holders never unlink — pruning abandoned files is vacuum's job).
   First.get().release();
   EXPECT_FALSE(First.get().held());
   auto Second = ScopedLock::tryAcquire(Path);
@@ -693,4 +693,34 @@ TEST(LifecycleTest, VacuumPurgesQuarantineTempAndLocksButNeverEntries) {
   auto After = snapshotEntries(Dir.str());
   EXPECT_EQ(After, Before);
   EXPECT_TRUE(loadManifest(Dir.str()).ok());
+}
+
+TEST(LifecycleTest, VacuumSkipsHeldLocks) {
+  // Vacuum is live-safe: a lock file another holder owns is skipped
+  // (reported, not deleted), so a racing acquirer can never flock a
+  // fresh inode alongside the live holder. Free locks are still
+  // pruned in the same pass.
+  ScratchDir Dir("vacuum_live");
+  std::string HeldPath = lockFilePath(Dir.str(), "synthesis", 1);
+  std::string FreePath = lockFilePath(Dir.str(), "synthesis", 2);
+  auto Holder = ScopedLock::tryAcquire(HeldPath);
+  ASSERT_TRUE(Holder.ok());
+  { ASSERT_TRUE(ScopedLock::tryAcquire(FreePath).ok()); } // Released.
+
+  auto R = vacuum(Dir.str());
+  ASSERT_TRUE(R.ok()) << R.errorMessage();
+  EXPECT_EQ(R.get().LocksRemoved, 1u);
+  EXPECT_EQ(R.get().LocksSkipped, 1u);
+  EXPECT_TRUE(fs::exists(HeldPath)) << "held lock must survive vacuum";
+  EXPECT_FALSE(fs::exists(FreePath));
+  // The survivor is still the SAME lock: the holder keeps excluding.
+  EXPECT_FALSE(ScopedLock::tryAcquire(HeldPath).ok());
+
+  // Once released, the next vacuum prunes it.
+  Holder.get().release();
+  auto R2 = vacuum(Dir.str());
+  ASSERT_TRUE(R2.ok());
+  EXPECT_EQ(R2.get().LocksRemoved, 1u);
+  EXPECT_EQ(R2.get().LocksSkipped, 0u);
+  EXPECT_FALSE(fs::exists(HeldPath));
 }

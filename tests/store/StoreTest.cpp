@@ -25,6 +25,10 @@
 #include <fstream>
 #include <thread>
 
+#ifndef _WIN32
+#include <utime.h>
+#endif
+
 using namespace clgen;
 using namespace clgen::store;
 
@@ -537,6 +541,69 @@ TEST(ResultCacheTest, CorruptEntryIsAMissNotACrash) {
   EXPECT_FALSE(Reopened.lookup(Key).has_value());
   EXPECT_EQ(Reopened.stats().BadEntries, 1u);
 }
+
+#ifndef _WIN32
+TEST(ResultCacheTest, CoarseMtimeRewriteIsCaughtByTrailerChecksum) {
+  // Regression: on a filesystem with 1 s mtime granularity, a same-size
+  // rewrite of an entry within the same second is invisible to the
+  // (mtime, size) revalidation probe, and a long-lived process would
+  // serve the pre-rewrite measurement forever. The fix records the
+  // archive's trailer checksum whenever the backing mtime is
+  // whole-second and re-reads those 8 bytes on every memory hit.
+  ScratchDir Dir("cache_coarse");
+  const uint64_t Key = 0xC0A53E;
+  runtime::Measurement M1;
+  M1.CpuTime = 1.5;
+  M1.GpuTime = 0.5;
+  runtime::Measurement M2 = M1;
+  M2.CpuTime = 99.0; // Different bytes, identical serialized size
+                     // (the measurement payload is fixed-width).
+
+  std::string Entry;
+  {
+    ResultCache Writer(Dir.str());
+    ASSERT_TRUE(Writer.store(Key, M1).ok());
+    Entry = Dir.str() + "/" + hexDigest(Key) + ".clgs";
+  }
+  // Pin a whole-second mtime — exactly what a coarse filesystem
+  // produces — so the victim's resident entry takes the hardened path.
+  struct utimbuf Stamp;
+  Stamp.actime = Stamp.modtime = 1700000000;
+  ASSERT_EQ(::utime(Entry.c_str(), &Stamp), 0);
+
+  ResultCache Victim(Dir.str());
+  auto First = Victim.lookup(Key); // Disk probe installs the resident.
+  ASSERT_TRUE(First.has_value());
+  EXPECT_EQ(First->CpuTime, M1.CpuTime);
+  auto Second = Victim.lookup(Key); // Memory hit, checksum verified.
+  ASSERT_TRUE(Second.has_value());
+  EXPECT_EQ(Victim.stats().MemoryHits, 1u);
+  EXPECT_EQ(Victim.stats().StaleMemoryEntries, 0u);
+
+  // The hostile rewrite: another process replaces the entry with a
+  // different measurement of the SAME size, and the mtime lands on the
+  // SAME second. (The stat probe alone cannot see this.)
+  {
+    ResultCache Rewriter(Dir.str());
+    ASSERT_TRUE(Rewriter.store(Key, M2).ok());
+  }
+  uint64_t SizeAfter = std::filesystem::file_size(Entry);
+  ASSERT_EQ(::utime(Entry.c_str(), &Stamp), 0);
+
+  auto Third = Victim.lookup(Key);
+  ASSERT_TRUE(Third.has_value());
+  EXPECT_EQ(Third->CpuTime, M2.CpuTime)
+      << "stale pre-rewrite measurement served (size "
+      << SizeAfter << ")";
+  EXPECT_EQ(Victim.stats().StaleMemoryEntries, 1u)
+      << "the rewrite was not detected as staleness";
+
+  // And the freshly installed resident serves memory hits again.
+  auto Fourth = Victim.lookup(Key);
+  ASSERT_TRUE(Fourth.has_value());
+  EXPECT_EQ(Fourth->CpuTime, M2.CpuTime);
+}
+#endif // !_WIN32
 
 TEST(ResultCacheTest, ConcurrentHitsAreConsistentAndAllCounted) {
   // The in-process map is probed concurrently by pool workers (cached
